@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Search for a single general-purpose design serving a suite of workloads.
+
+The paper's multi-workload experiment (Figure 9/10, "FAST search - multi
+workload") finds one datapath that maximizes the geometric-mean Perf/TDP over
+EfficientNet-B7, ResNet-50, OCR-RPN, OCR-Recognizer, and BERT-1024.  This
+example runs that search with a small trial budget and then breaks down how
+the single design performs on every member of the suite, comparing it to the
+specialization achievable with per-workload designs.
+
+Run with:  python examples/multi_workload_accelerator.py [trials]
+"""
+
+import sys
+
+from repro import (
+    FAST_LARGE,
+    FAST_SMALL,
+    FASTSearch,
+    AreaPowerModel,
+    ObjectiveKind,
+    SearchProblem,
+    Simulator,
+    TPU_V3,
+)
+from repro.core.problem import geometric_mean
+from repro.core.trial import TrialEvaluator
+from repro.workloads.registry import MULTI_WORKLOAD_SUITE
+
+
+def main():
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    area_power = AreaPowerModel()
+    tpu_tdp = area_power.tdp_w(TPU_V3)
+
+    # Baseline scores per workload on TPU-v3.
+    baselines = {}
+    tpu_simulator = Simulator(TPU_V3)
+    for workload in MULTI_WORKLOAD_SUITE:
+        baselines[workload] = tpu_simulator.simulate_workload(workload).qps / tpu_tdp
+
+    # ------------------------------------------------------------------
+    # Multi-workload search.
+    # ------------------------------------------------------------------
+    print(f"=== Multi-workload FAST search over {MULTI_WORKLOAD_SUITE} ({trials} trials) ===")
+    problem = SearchProblem(
+        MULTI_WORKLOAD_SUITE, ObjectiveKind.PERF_PER_TDP, baseline_qps=None or {}
+    )
+    search = FASTSearch(
+        problem, optimizer="lcs", seed=0, seed_configs=[FAST_LARGE, FAST_SMALL]
+    )
+    result = search.run(num_trials=trials)
+    best = result.best_metrics
+    print("best general-purpose design:")
+    for key, value in best.config.describe().items():
+        print(f"  {key:28s}: {value}")
+
+    # ------------------------------------------------------------------
+    # Per-workload breakdown and comparison with specialized designs.
+    # ------------------------------------------------------------------
+    print("\n=== Per-workload Perf/TDP vs TPU-v3 ===")
+    multi_gains = []
+    single_gains = []
+    for workload in MULTI_WORKLOAD_SUITE:
+        multi_gain = best.perf_per_tdp(workload) / baselines[workload]
+        multi_gains.append(multi_gain)
+
+        specialized = FASTSearch(
+            SearchProblem([workload], ObjectiveKind.PERF_PER_TDP),
+            optimizer="lcs",
+            seed=1,
+            seed_configs=[FAST_LARGE, FAST_SMALL, best.config],
+        ).run(num_trials=max(20, trials // 2))
+        single_gain = (
+            specialized.best_metrics.perf_per_tdp(workload) / baselines[workload]
+            if specialized.best_metrics
+            else 0.0
+        )
+        single_gains.append(single_gain)
+        print(f"  {workload:18s}: multi-workload {multi_gain:4.2f}x | specialized {single_gain:4.2f}x")
+
+    print(f"\nGeoMean-5 multi-workload : {geometric_mean(multi_gains):.2f}x "
+          f"(paper: 2.4x Perf/TDP with 5000 trials)")
+    print(f"GeoMean-5 specialized    : {geometric_mean(single_gains):.2f}x "
+          f"(paper: ~2.8x on this suite)")
+    print("-> specialization buys extra efficiency; the multi-workload design trades a "
+          "little of it for generality, as in the paper's Figure 10.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Pareto-frontier and optimizer-comparison exploration (Figures 11-12).
+
+Runs small FAST searches on EfficientNet-B0 with several black-box
+optimizers, compares their convergence, and prints the (latency, TDP, area)
+Pareto frontier accumulated across all feasible trials.
+
+Run with:  python examples/pareto_exploration.py
+"""
+
+from repro import FASTSearch, ObjectiveKind, SearchProblem
+from repro.reporting.ascii_plots import line_plot, sparkline
+from repro.reporting.tables import format_table
+
+WORKLOAD = "efficientnet-b0"
+TRIALS = 40
+
+
+def main() -> None:
+    curves = {}
+    frontier = None
+    for optimizer in ("random", "lcs", "annealing"):
+        problem = SearchProblem([WORKLOAD], ObjectiveKind.PERF_PER_TDP)
+        result = FASTSearch(problem, optimizer=optimizer, seed=0).run(num_trials=TRIALS)
+        curves[optimizer] = result.best_score_curve
+        print(f"{optimizer:10s}  best score {result.best_score:.4f}  "
+              f"feasible {result.num_feasible_trials}/{result.num_trials}  "
+              f"curve {sparkline(result.best_score_curve)}")
+        if optimizer == "lcs":
+            frontier = result.pareto_front
+
+    print("\n" + line_plot(curves, title=f"best Perf/TDP score vs trial ({WORKLOAD}, {TRIALS} trials)"))
+
+    if frontier is not None and len(frontier):
+        rows = [
+            [f"{p.objectives[0]:.2f}", f"{p.objectives[1]:.0f}", f"{p.objectives[2]:.0f}",
+             f"{p.payload.get('score', 0):.4f}"]
+            for p in frontier.sorted_by(0)
+        ]
+        print("\nPareto frontier across feasible LCS trials (lower-left is better):")
+        print(format_table(["Latency (ms)", "TDP (W)", "Area (mm2)", "Score"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a workload on named designs and run a tiny FAST search.
+
+This walks through the three things most users do first:
+
+1. Build a benchmark workload graph (EfficientNet-B0).
+2. Simulate it on the modeled TPU-v3 baseline and on the FAST-Large design,
+   comparing throughput, latency, utilization, and Perf/TDP.
+3. Run a short FAST search for a design specialized to that workload.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    FAST_LARGE,
+    FASTSearch,
+    AreaPowerModel,
+    ObjectiveKind,
+    SearchProblem,
+    Simulator,
+    TPU_V3,
+    build_workload,
+)
+
+WORKLOAD = "efficientnet-b0"
+
+
+def describe(name, config, result, area_power):
+    tdp = area_power.tdp_w(config)
+    print(f"\n{name}")
+    print(f"  peak compute        : {config.peak_matrix_flops / 1e12:.0f} TFLOPS")
+    print(f"  peak bandwidth      : {config.dram_bandwidth_bytes_per_s / 1e9:.0f} GB/s")
+    print(f"  TDP                 : {tdp:.0f} W")
+    print(f"  throughput          : {result.qps:,.0f} inferences/s (batch {result.batch_size})")
+    print(f"  latency             : {result.latency_ms:.2f} ms/batch")
+    print(f"  compute utilization : {result.compute_utilization:.1%}")
+    print(f"  op intensity        : {result.operational_intensity():.0f} FLOPS/byte "
+          f"(ridgepoint {config.operational_intensity_ridgepoint:.0f})")
+    print(f"  Perf/TDP            : {result.qps / tdp:.1f} QPS/W")
+    return result.qps / tdp
+
+
+def main():
+    area_power = AreaPowerModel()
+
+    # 1. Inspect the workload itself.
+    graph = build_workload(WORKLOAD, batch_size=1)
+    print(f"Workload {WORKLOAD}: {len(graph.ops)} ops, "
+          f"{graph.total_flops() / 1e9:.2f} GFLOPs/inference, "
+          f"{graph.weight_bytes() / 2**20:.1f} MiB of weights")
+
+    # 2. Simulate it on the named designs.
+    tpu_score = describe(
+        "Modeled TPU-v3 baseline", TPU_V3,
+        Simulator(TPU_V3).simulate_workload(WORKLOAD), area_power,
+    )
+    fast_score = describe(
+        "FAST-Large (Table 5)", FAST_LARGE,
+        Simulator(FAST_LARGE).simulate_workload(WORKLOAD), area_power,
+    )
+    print(f"\nFAST-Large Perf/TDP gain over TPU-v3 on {WORKLOAD}: {fast_score / tpu_score:.2f}x")
+
+    # 3. Search for a design specialized to this workload.
+    print("\nRunning a 60-trial FAST search (the paper uses 5000 trials)...")
+    problem = SearchProblem([WORKLOAD], ObjectiveKind.PERF_PER_TDP)
+    result = FASTSearch(
+        problem, optimizer="lcs", seed=0, seed_configs=[FAST_LARGE]
+    ).run(num_trials=60)
+    best = result.best_metrics
+    print(f"  feasible trials : {result.num_feasible_trials}/{result.num_trials}")
+    print(f"  best design     : {best.config.describe()}")
+    print(f"  best Perf/TDP   : {best.perf_per_tdp(WORKLOAD):.1f} QPS/W "
+          f"({best.perf_per_tdp(WORKLOAD) / tpu_score:.2f}x over TPU-v3)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro: a reproduction of FAST (Full-stack Accelerator Search Technique).
+
+FAST (Zhang et al., ASPLOS 2022) jointly searches the hardware datapath,
+software schedule, and compiler passes (operation fusion, tensor padding,
+softmax lowering) of ML inference accelerators.  This package provides the
+whole stack from scratch in Python:
+
+* :mod:`repro.workloads` — graph IR and builders for EfficientNet B0-B7,
+  BERT, ResNet-50v2, and the OCR pipeline workloads.
+* :mod:`repro.hardware` — the Table 3 datapath template, memory hierarchy,
+  analytical area/power models, and the TPU-v3 baseline.
+* :mod:`repro.mapping` — the Timeloop-style scheduling/mapping engine.
+* :mod:`repro.simulator` — the whole-graph performance simulator.
+* :mod:`repro.compiler` — XLA-style fusion regions and softmax lowering.
+* :mod:`repro.fusion` — FAST fusion, the ILP that pins tensors in Global
+  Memory.
+* :mod:`repro.search` — random / Bayesian / LCS black-box optimizers.
+* :mod:`repro.core` — the FAST search driver, trial evaluation, and the
+  named designs (FAST-Large, FAST-Small).
+* :mod:`repro.economics` — TCO and ROI models.
+* :mod:`repro.analysis` — operational-intensity and bottleneck analyses.
+
+Quickstart::
+
+    from repro.core import FASTSearch, SearchProblem, ObjectiveKind
+
+    problem = SearchProblem(["efficientnet-b0"], ObjectiveKind.PERF_PER_TDP)
+    result = FASTSearch(problem, optimizer="lcs", seed=0).run(num_trials=100)
+    print(result.best_config.describe())
+"""
+
+from repro.core import (
+    FAST_LARGE,
+    FAST_SMALL,
+    FASTSearch,
+    FASTSearchResult,
+    ObjectiveKind,
+    SearchProblem,
+    TPU_V3,
+    TrialEvaluator,
+    TrialMetrics,
+)
+from repro.hardware import AreaPowerModel, DatapathConfig, DatapathSearchSpace, default_constraints
+from repro.simulator import SimulationResult, Simulator
+from repro.workloads import build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AreaPowerModel",
+    "DatapathConfig",
+    "DatapathSearchSpace",
+    "FAST_LARGE",
+    "FAST_SMALL",
+    "FASTSearch",
+    "FASTSearchResult",
+    "ObjectiveKind",
+    "SearchProblem",
+    "SimulationResult",
+    "Simulator",
+    "TPU_V3",
+    "TrialEvaluator",
+    "TrialMetrics",
+    "__version__",
+    "build_workload",
+    "default_constraints",
+]

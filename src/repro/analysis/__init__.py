@@ -1,0 +1,35 @@
+"""Workload analysis: storage footprints, operational intensity, bottlenecks."""
+
+from repro.analysis.bottleneck import (
+    OpTypeBreakdown,
+    bert_component_breakdown,
+    characterize_op_types,
+    per_layer_utilization,
+)
+from repro.analysis.footprint import (
+    StorageRequirements,
+    storage_requirements,
+    storage_requirements_table,
+)
+from repro.analysis.intensity import IntensityReport, intensity_report, operational_intensity
+from repro.analysis.sensitivity import (
+    SensitivityEntry,
+    SensitivityReport,
+    sensitivity_analysis,
+)
+
+__all__ = [
+    "IntensityReport",
+    "OpTypeBreakdown",
+    "SensitivityEntry",
+    "SensitivityReport",
+    "StorageRequirements",
+    "bert_component_breakdown",
+    "characterize_op_types",
+    "intensity_report",
+    "operational_intensity",
+    "per_layer_utilization",
+    "sensitivity_analysis",
+    "storage_requirements",
+    "storage_requirements_table",
+]

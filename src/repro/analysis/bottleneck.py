@@ -1,0 +1,77 @@
+"""Workload bottleneck characterization (Section 4 of the paper).
+
+These helpers wrap the simulator to answer the questions the paper's workload
+analysis asks: which op types dominate execution time (Table 2), how does
+per-layer utilization evolve through a network (Figure 4), and how does the
+runtime breakdown of a BERT layer change with sequence length (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hardware.datapath import DatapathConfig
+from repro.simulator.engine import Simulator
+from repro.simulator.result import SimulationResult
+from repro.workloads.bert import op_component
+from repro.workloads.ops import OpType
+from repro.workloads.registry import build_workload
+
+__all__ = [
+    "OpTypeBreakdown",
+    "characterize_op_types",
+    "per_layer_utilization",
+    "bert_component_breakdown",
+]
+
+
+@dataclass(frozen=True)
+class OpTypeBreakdown:
+    """FLOP share vs runtime share of one op type (a Table 2 row)."""
+
+    op_type: OpType
+    flop_fraction: float
+    runtime_fraction: float
+
+
+def characterize_op_types(
+    workload: str, config: DatapathConfig, batch_size: int = None
+) -> List[OpTypeBreakdown]:
+    """Table 2: per-op-type FLOP and runtime fractions on a datapath."""
+    result = Simulator(config).simulate_workload(workload, batch_size=batch_size)
+    runtime = result.runtime_fraction_by_op_type()
+    flops = result.flop_fraction_by_op_type()
+    op_types = sorted(set(runtime) | set(flops), key=lambda t: -runtime.get(t, 0.0))
+    return [
+        OpTypeBreakdown(
+            op_type=op_type,
+            flop_fraction=flops.get(op_type, 0.0),
+            runtime_fraction=runtime.get(op_type, 0.0),
+        )
+        for op_type in op_types
+    ]
+
+
+def per_layer_utilization(
+    workload: str, config: DatapathConfig, batch_size: int = None
+) -> List[float]:
+    """Figures 4 / 14: per-layer achieved fraction of peak FLOPs."""
+    result = Simulator(config).simulate_workload(workload, batch_size=batch_size)
+    return result.per_layer_utilization()
+
+
+def bert_component_breakdown(
+    config: DatapathConfig, sequence_lengths: List[int], batch_size: int = None
+) -> Dict[int, Dict[str, float]]:
+    """Figure 5: BERT runtime share per component across sequence lengths."""
+    from repro.workloads.bert import build_bert
+
+    breakdown: Dict[int, Dict[str, float]] = {}
+    simulator = Simulator(config)
+    batch = batch_size or config.native_batch_size
+    for seq_len in sequence_lengths:
+        graph = build_bert(seq_len=seq_len, batch_size=batch)
+        result = simulator.simulate(graph)
+        breakdown[seq_len] = result.runtime_fraction_by(op_component)
+    return breakdown

@@ -1,0 +1,59 @@
+"""On-chip storage requirement analysis (Table 1).
+
+For each workload this reports the maximum per-op working set (input
+activations plus outputs of the op with the largest footprint) and the total
+weight bytes, both in bfloat16 — the quantities that determine how much
+Global Memory aggressive fusion and weight pinning need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.workloads.graph import Graph
+from repro.workloads.registry import build_workload
+
+__all__ = ["StorageRequirements", "storage_requirements", "storage_requirements_table"]
+
+
+@dataclass(frozen=True)
+class StorageRequirements:
+    """Storage requirements of one workload at a given batch size."""
+
+    workload: str
+    batch_size: int
+    max_working_set_bytes: int
+    weight_bytes: int
+    total_activation_bytes: int
+
+    @property
+    def max_working_set_mib(self) -> float:
+        """Largest per-op working set in MiB."""
+        return self.max_working_set_bytes / (1 << 20)
+
+    @property
+    def weight_mib(self) -> float:
+        """Total weight footprint in MiB."""
+        return self.weight_bytes / (1 << 20)
+
+
+def storage_requirements(graph: Graph) -> StorageRequirements:
+    """Compute storage requirements for an already-built graph."""
+    return StorageRequirements(
+        workload=graph.name,
+        batch_size=graph.batch_size,
+        max_working_set_bytes=graph.max_working_set_bytes(),
+        weight_bytes=graph.weight_bytes(),
+        total_activation_bytes=graph.activation_bytes_total(),
+    )
+
+
+def storage_requirements_table(
+    workloads: List[str], batch_size: int = 1
+) -> Dict[str, StorageRequirements]:
+    """Build Table 1 for a list of registered workloads."""
+    return {
+        name: storage_requirements(build_workload(name, batch_size=batch_size))
+        for name in workloads
+    }

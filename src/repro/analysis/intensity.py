@@ -1,0 +1,142 @@
+"""Operational intensity analysis under different fusion strategies (Figure 3).
+
+A model's operational intensity — FLOPs per byte of DRAM traffic — determines
+whether it is compute- or bandwidth-bound on a given accelerator.  Figure 3
+compares four points on the fusion spectrum:
+
+* ``none``      — every op round-trips its inputs and outputs through DRAM.
+* ``xla``       — XLA-style fusion regions; tensors internal to a region stay
+                  on chip (at most one matrix op per region).
+* ``block``     — hypothetical hand-written block templates (fusing an entire
+                  depthwise-separable / MBConv block, or a whole transformer
+                  sublayer); approximated by merging all fusion regions that
+                  belong to the same named block.
+* ``ideal``     — all weights pinned on chip and every intermediate fused:
+                  only the model input and final output touch DRAM.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.compiler.xla_fusion import build_fusion_regions
+from repro.workloads.graph import Graph, TensorKind
+
+__all__ = ["FusionStrategy", "IntensityReport", "operational_intensity", "intensity_report"]
+
+FusionStrategy = str
+_STRATEGIES = ("none", "xla", "block", "ideal")
+
+# Ops belong to the same "block template" when their names share this prefix
+# (e.g. ``block4_2`` for EfficientNet MBConv blocks, ``layer7.ffn`` for BERT
+# feed-forward sublayers, ``stage3.block1`` for ResNet bottlenecks).
+_BLOCK_PREFIX = re.compile(
+    r"^(block\d+_\d+|layer\d+\.(?:attention|ffn)|stage\d+\.block\d+|stem|head|cnn|lstm\d+|"
+    r"backbone\.c\d+\.block\d+|fpn|rpn|embeddings|classifier)"
+)
+
+
+@dataclass(frozen=True)
+class IntensityReport:
+    """Operational intensity of one workload under every fusion strategy."""
+
+    workload: str
+    batch_size: int
+    total_flops: int
+    intensity: Dict[FusionStrategy, float]
+
+    def __getitem__(self, strategy: FusionStrategy) -> float:
+        return self.intensity[strategy]
+
+
+def _block_key(op_name: str) -> str:
+    match = _BLOCK_PREFIX.match(op_name)
+    return match.group(1) if match else op_name
+
+
+def operational_intensity(graph: Graph, strategy: FusionStrategy = "xla") -> float:
+    """Model-level FLOPs per DRAM byte under a fusion strategy."""
+    if strategy not in _STRATEGIES:
+        raise ValueError(f"unknown fusion strategy {strategy!r}; choose from {_STRATEGIES}")
+    flops = graph.total_flops()
+    traffic = _dram_traffic_bytes(graph, strategy)
+    if traffic <= 0:
+        return float("inf")
+    return flops / traffic
+
+
+def intensity_report(graph: Graph) -> IntensityReport:
+    """Operational intensity under every strategy (one Figure 3 group)."""
+    return IntensityReport(
+        workload=graph.name,
+        batch_size=graph.batch_size,
+        total_flops=graph.total_flops(),
+        intensity={s: operational_intensity(graph, s) for s in _STRATEGIES},
+    )
+
+
+# ----------------------------------------------------------------------
+def _dram_traffic_bytes(graph: Graph, strategy: FusionStrategy) -> float:
+    if strategy == "none":
+        return _unfused_traffic(graph)
+    if strategy == "ideal":
+        return _ideal_traffic(graph)
+    regions = build_fusion_regions(graph)
+    if strategy == "xla":
+        groups = [[region] for region in regions]
+    else:  # block templates: merge regions sharing a block prefix
+        by_block: Dict[str, List] = {}
+        order: List[str] = []
+        for region in regions:
+            anchor = region.ops[0].name
+            key = _block_key(anchor)
+            if key not in by_block:
+                by_block[key] = []
+                order.append(key)
+            by_block[key].append(region)
+        groups = [by_block[key] for key in order]
+    return _grouped_traffic(graph, groups)
+
+
+def _unfused_traffic(graph: Graph) -> float:
+    total = 0
+    for op in graph.ops:
+        for tname in list(op.inputs) + list(op.outputs):
+            total += graph.tensor(tname).size_bytes
+    return float(total)
+
+
+def _ideal_traffic(graph: Graph) -> float:
+    inputs = sum(graph.tensor(t).size_bytes for t in graph.input_names)
+    outputs = sum(graph.tensor(t).size_bytes for t in graph.output_names)
+    return float(inputs + outputs)
+
+
+def _grouped_traffic(graph: Graph, groups) -> float:
+    total = 0
+    for group in groups:
+        member_ops = {op.name for region in group for op in region.ops}
+        produced = set()
+        for region in group:
+            for op in region.ops:
+                produced.update(op.outputs)
+        # External inputs and weights are read once per group.
+        seen_inputs = set()
+        for region in group:
+            for op in region.ops:
+                for tname in op.inputs:
+                    tensor = graph.tensor(tname)
+                    if tname in produced or tname in seen_inputs:
+                        continue
+                    seen_inputs.add(tname)
+                    total += tensor.size_bytes
+        # Outputs escaping the group are written once.
+        for tname in produced:
+            escapes = tname in graph.output_names or any(
+                consumer.name not in member_ops for consumer in graph.consumers(tname)
+            )
+            if escapes:
+                total += graph.tensor(tname).size_bytes
+    return float(total)

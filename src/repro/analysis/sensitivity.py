@@ -1,0 +1,156 @@
+"""Design-sensitivity analysis: how much does each datapath knob matter?
+
+Table 6 of the paper ablates FAST-Large one component at a time; this module
+generalizes that study into a reusable analysis.  Given a base design, a
+workload, and a set of parameters to perturb, it evaluates the design with
+each parameter swept across its neighbouring values and reports the Perf/TDP
+impact.  The result ranks the datapath decisions by how much the workload
+cares about them — useful both to sanity-check a search result and to decide
+which parameters to freeze when re-searching for a related workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.hardware.area_power import AreaPowerModel
+from repro.hardware.datapath import DatapathConfig
+from repro.hardware.search_space import DatapathSearchSpace
+from repro.simulator.engine import Simulator
+
+__all__ = ["SensitivityEntry", "SensitivityReport", "sensitivity_analysis"]
+
+#: Parameters swept by default: the ones Table 5 / Table 6 call out as the
+#: load-bearing differences between TPU-v3 and the FAST designs.
+DEFAULT_PARAMETERS = (
+    "systolic_array_x",
+    "systolic_array_y",
+    "l3_global_buffer_mib",
+    "native_batch_size",
+    "gddr6_channels",
+    "l1_input_buffer_kib",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """Perf/TDP impact of perturbing one parameter of the base design."""
+
+    parameter: str
+    base_value: object
+    best_value: object
+    worst_value: object
+    base_perf_per_tdp: float
+    best_perf_per_tdp: float
+    worst_perf_per_tdp: float
+
+    @property
+    def swing(self) -> float:
+        """Ratio between the best and worst Perf/TDP across the sweep."""
+        if self.worst_perf_per_tdp <= 0:
+            return float("inf")
+        return self.best_perf_per_tdp / self.worst_perf_per_tdp
+
+    @property
+    def headroom(self) -> float:
+        """Best swept Perf/TDP relative to the base value (1.0 = base is optimal)."""
+        if self.base_perf_per_tdp <= 0:
+            return float("inf")
+        return self.best_perf_per_tdp / self.base_perf_per_tdp
+
+
+@dataclass
+class SensitivityReport:
+    """All sensitivity entries for one (design, workload) pair."""
+
+    workload: str
+    base_config: DatapathConfig
+    base_perf_per_tdp: float
+    entries: List[SensitivityEntry]
+
+    def ranked(self) -> List[SensitivityEntry]:
+        """Entries sorted by decreasing swing (most influential first)."""
+        return sorted(self.entries, key=lambda e: e.swing, reverse=True)
+
+    def most_sensitive(self) -> Optional[SensitivityEntry]:
+        """The parameter with the largest Perf/TDP swing."""
+        ranked = self.ranked()
+        return ranked[0] if ranked else None
+
+
+def sensitivity_analysis(
+    config: DatapathConfig,
+    workload: str,
+    parameters: Sequence[str] = DEFAULT_PARAMETERS,
+    neighbourhood: int = 1,
+    space: Optional[DatapathSearchSpace] = None,
+    area_power_model: Optional[AreaPowerModel] = None,
+) -> SensitivityReport:
+    """Sweep each parameter around its base value and measure Perf/TDP.
+
+    Args:
+        config: Base design to perturb.
+        workload: Registered workload name.
+        parameters: Table 3 parameter names to sweep.
+        neighbourhood: How many choices on each side of the base value to
+            evaluate (1 sweeps the adjacent power-of-two values).
+        space: Search space providing the per-parameter choice lists.
+        area_power_model: Area/power model used for the TDP denominator.
+
+    Returns:
+        A :class:`SensitivityReport` with one entry per swept parameter.
+    """
+    space = space or DatapathSearchSpace(
+        memory_technology=config.memory_technology, clock_ghz=config.clock_ghz
+    )
+    area_power_model = area_power_model or AreaPowerModel()
+    base_score = _perf_per_tdp(config, workload, area_power_model)
+
+    entries: List[SensitivityEntry] = []
+    for parameter in parameters:
+        spec = space.spec(parameter)
+        base_value = getattr(config, parameter)
+        try:
+            base_index = spec.index_of(base_value)
+        except ValueError:
+            continue  # base design uses a value outside the search space
+        scores: Dict[object, float] = {base_value: base_score}
+        lo = max(0, base_index - neighbourhood)
+        hi = min(spec.cardinality - 1, base_index + neighbourhood)
+        for index in range(lo, hi + 1):
+            value = spec.choices[index]
+            if value in scores:
+                continue
+            try:
+                candidate = config.evolve(**{parameter: value})
+            except Exception:
+                continue  # invalid combination; skip this neighbour
+            scores[value] = _perf_per_tdp(candidate, workload, area_power_model)
+        best_value = max(scores, key=scores.get)
+        worst_value = min(scores, key=scores.get)
+        entries.append(
+            SensitivityEntry(
+                parameter=parameter,
+                base_value=base_value,
+                best_value=best_value,
+                worst_value=worst_value,
+                base_perf_per_tdp=base_score,
+                best_perf_per_tdp=scores[best_value],
+                worst_perf_per_tdp=scores[worst_value],
+            )
+        )
+    return SensitivityReport(
+        workload=workload,
+        base_config=config,
+        base_perf_per_tdp=base_score,
+        entries=entries,
+    )
+
+
+def _perf_per_tdp(config: DatapathConfig, workload: str, model: AreaPowerModel) -> float:
+    result = Simulator(config).simulate_workload(workload)
+    if result.schedule_failed:
+        return 0.0
+    tdp = model.tdp_w(config)
+    return result.qps / tdp if tdp > 0 else 0.0

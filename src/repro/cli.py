@@ -1,0 +1,288 @@
+"""Command-line interface for the FAST reproduction.
+
+The CLI exposes the main entry points of the library without writing any
+Python: listing and inspecting workloads, simulating a named design on a
+workload, running the characterization analyses of Section 4, running a
+(small) FAST search, computing ROI, and regenerating the paper's tables and
+figures through the experiment registry.
+
+Examples::
+
+    python -m repro list-workloads
+    python -m repro simulate --design fast-large --workload efficientnet-b0
+    python -m repro characterize --workload efficientnet-b7
+    python -m repro search --workload efficientnet-b0 --trials 50 --optimizer lcs
+    python -m repro roi --speedup 3.9 --volume 4000
+    python -m repro reproduce table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.footprint import storage_requirements
+from repro.analysis.intensity import intensity_report
+from repro.core.designs import NAMED_DESIGNS
+from repro.core.fast import FASTSearch
+from repro.core.problem import ObjectiveKind, SearchProblem
+from repro.economics.roi import RoiModel
+from repro.hardware.area_power import AreaPowerModel
+from repro.reporting.experiments import list_experiments, run_experiment
+from repro.reporting.serialization import save_config, save_search_result
+from repro.reporting.tables import format_kv, format_table
+from repro.simulator.engine import Simulator
+from repro.workloads.registry import available_workloads, build_workload
+
+__all__ = ["main", "build_parser"]
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations (each returns a process exit code)
+# ---------------------------------------------------------------------------
+def _cmd_list_workloads(_args) -> int:
+    rows = []
+    for name in available_workloads():
+        graph = build_workload(name, batch_size=1)
+        rows.append(
+            [
+                name,
+                len(graph),
+                f"{graph.total_flops() / 1e9:.2f} GFLOPs",
+                f"{graph.weight_bytes() / (1 << 20):.1f} MiB",
+            ]
+        )
+    print(format_table(["Workload", "Ops", "FLOPs (batch 1)", "Weights"], rows))
+    return 0
+
+
+def _cmd_list_designs(_args) -> int:
+    model = AreaPowerModel()
+    rows = []
+    for name, config in NAMED_DESIGNS.items():
+        breakdown = model.evaluate(config)
+        rows.append(
+            [
+                name,
+                f"{config.peak_matrix_flops / 1e12:.0f} TFLOPS",
+                f"{config.dram_bandwidth_bytes_per_s / 1e9:.0f} GB/s",
+                f"{config.systolic_array_x}x{config.systolic_array_y}",
+                config.l3_global_buffer_mib,
+                f"{breakdown.total_area_mm2:.0f} mm2",
+                f"{breakdown.total_tdp_w:.0f} W",
+            ]
+        )
+    print(format_table(["Design", "Peak", "Bandwidth", "Systolic", "GM MiB", "Area", "TDP"], rows))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    config = _resolve_design(args.design)
+    if config is None:
+        return 1
+    simulator = Simulator(config)
+    result = simulator.simulate_workload(args.workload, batch_size=args.batch_size)
+    if result.schedule_failed:
+        print(f"schedule failure: {args.workload} cannot be mapped onto {args.design}")
+        return 1
+    tdp = AreaPowerModel().tdp_w(config)
+    print(format_kv(
+        {
+            "workload": args.workload,
+            "design": args.design,
+            "batch size": result.batch_size,
+            "latency (ms)": result.latency_ms,
+            "throughput (QPS)": result.qps,
+            "compute utilization": result.compute_utilization,
+            "operational intensity (post-fusion)": result.operational_intensity(),
+            "memory stall fraction": result.memory_stall_fraction(),
+            "TDP (W)": tdp,
+            "Perf/TDP (QPS/W)": result.qps / tdp if tdp else 0.0,
+        },
+        title=f"Simulation of {args.workload} on {args.design}",
+    ))
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    graph = build_workload(args.workload, batch_size=args.batch_size)
+    storage = storage_requirements(graph)
+    intensity = intensity_report(graph)
+    print(format_kv(
+        {
+            "ops": len(graph),
+            "total FLOPs": graph.total_flops(),
+            "weights (MiB)": storage.weight_mib,
+            "max working set (MiB)": storage.max_working_set_mib,
+            "matrix-op FLOP fraction": graph.matrix_op_flop_fraction(),
+            "op intensity (no fusion)": intensity["none"],
+            "op intensity (XLA fusion)": intensity["xla"],
+            "op intensity (block fusion)": intensity["block"],
+            "op intensity (ideal)": intensity["ideal"],
+        },
+        title=f"{args.workload} at batch {args.batch_size}",
+    ))
+    return 0
+
+
+def _cmd_search(args) -> int:
+    problem = SearchProblem(
+        workloads=list(args.workload),
+        objective=ObjectiveKind(args.objective),
+    )
+    search = FASTSearch(problem, optimizer=args.optimizer, seed=args.seed)
+    result = search.run(num_trials=args.trials)
+    if result.best_metrics is None:
+        print("search found no feasible design within the trial budget")
+        return 1
+    print(format_kv(result.best_config.describe(), title="Best design found"))
+    print()
+    print(format_kv(
+        {
+            "trials": result.num_trials,
+            "feasible trials": result.num_feasible_trials,
+            "best score": result.best_score,
+            **{f"QPS ({w})": q for w, q in result.best_metrics.per_workload_qps.items()},
+            "TDP (W)": result.best_metrics.tdp_w,
+            "area (mm2)": result.best_metrics.area_mm2,
+        },
+        title="Search summary",
+    ))
+    if args.output:
+        save_search_result(result, args.output)
+        print(f"\nsearch result written to {args.output}")
+    if args.save_config:
+        save_config(result.best_config, args.save_config)
+        print(f"best design written to {args.save_config}")
+    return 0
+
+
+def _cmd_roi(args) -> int:
+    model = RoiModel()
+    value = model.roi(args.volume, args.speedup)
+    print(format_kv(
+        {
+            "Perf/TCO speedup": f"{args.speedup}x",
+            "deployment volume": args.volume,
+            "ROI": value,
+            "break-even volume": model.breakeven_volume(args.speedup),
+            "volume for 2x ROI": model.deployment_volume_for_roi(2.0, args.speedup),
+            "volume for 4x ROI": model.deployment_volume_for_roi(4.0, args.speedup),
+        },
+        title="Return-on-investment estimate",
+    ))
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    if args.list or not args.experiment:
+        rows = [
+            [spec.name, "yes" if spec.expensive else "no", spec.title]
+            for spec in list_experiments()
+        ]
+        print(format_table(["Experiment", "Slow", "Title"], rows))
+        return 0
+    options = _parse_options(args.option or [])
+    report = run_experiment(args.experiment, **options)
+    print(report)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+def _resolve_design(name: str):
+    key = name.lower()
+    if key not in NAMED_DESIGNS:
+        known = ", ".join(sorted(NAMED_DESIGNS))
+        print(f"unknown design {name!r}; available: {known}")
+        return None
+    return NAMED_DESIGNS[key]
+
+
+def _parse_options(pairs: Sequence[str]) -> Dict[str, object]:
+    """Parse ``key=value`` experiment options, casting numerics."""
+    options: Dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"invalid --option {pair!r}; expected key=value")
+        key, value = pair.split("=", 1)
+        try:
+            options[key] = int(value)
+        except ValueError:
+            try:
+                options[key] = float(value)
+            except ValueError:
+                options[key] = value
+    return options
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FAST (ASPLOS 2022) reproduction: full-stack accelerator search.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads", help="List registered workloads").set_defaults(
+        func=_cmd_list_workloads
+    )
+    sub.add_parser("list-designs", help="List named accelerator designs").set_defaults(
+        func=_cmd_list_designs
+    )
+
+    simulate = sub.add_parser("simulate", help="Simulate a workload on a named design")
+    simulate.add_argument("--design", default="tpu-v3", help="tpu-v3 / fast-large / fast-small")
+    simulate.add_argument("--workload", required=True)
+    simulate.add_argument("--batch-size", type=int, default=None)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    characterize = sub.add_parser(
+        "characterize", help="Footprint and operational-intensity analysis of a workload"
+    )
+    characterize.add_argument("--workload", required=True)
+    characterize.add_argument("--batch-size", type=int, default=1)
+    characterize.set_defaults(func=_cmd_characterize)
+
+    search = sub.add_parser("search", help="Run a (small) FAST search")
+    search.add_argument("--workload", action="append", required=True,
+                        help="Repeat for multi-workload search")
+    search.add_argument("--trials", type=int, default=50)
+    search.add_argument("--optimizer", default="lcs",
+                        help="random / bayesian / lcs / annealing / coordinate / safe:<name>")
+    search.add_argument("--objective", default="perf_per_tdp",
+                        choices=[kind.value for kind in ObjectiveKind])
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--output", default=None, help="Write the search result JSON here")
+    search.add_argument("--save-config", default=None, help="Write the best design JSON here")
+    search.set_defaults(func=_cmd_search)
+
+    roi = sub.add_parser("roi", help="Return-on-investment estimate (Eq. 1-2)")
+    roi.add_argument("--speedup", type=float, required=True, help="Perf/TCO speedup vs baseline")
+    roi.add_argument("--volume", type=int, default=4000, help="Deployed accelerator count")
+    roi.set_defaults(func=_cmd_roi)
+
+    reproduce = sub.add_parser("reproduce", help="Regenerate a paper table/figure by name")
+    reproduce.add_argument("experiment", nargs="?", default=None, help="e.g. table1, fig13")
+    reproduce.add_argument("--list", action="store_true", help="List available experiments")
+    reproduce.add_argument("--option", action="append", metavar="KEY=VALUE",
+                           help="Experiment option, e.g. workload=resnet50 or trials=100")
+    reproduce.set_defaults(func=_cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Compiler passes: XLA-style fusion regions and softmax lowering."""
+
+from repro.compiler.passes import CompiledModel, compile_graph
+from repro.compiler.softmax import (
+    THREE_PASS_SOFTMAX,
+    TWO_PASS_SOFTMAX,
+    SoftmaxCostFactors,
+    reference_softmax,
+    softmax_cost_factors,
+    three_pass_softmax,
+    two_pass_softmax,
+)
+from repro.compiler.xla_fusion import FusionRegion, build_fusion_regions
+
+__all__ = [
+    "CompiledModel",
+    "FusionRegion",
+    "SoftmaxCostFactors",
+    "THREE_PASS_SOFTMAX",
+    "TWO_PASS_SOFTMAX",
+    "build_fusion_regions",
+    "compile_graph",
+    "reference_softmax",
+    "softmax_cost_factors",
+    "three_pass_softmax",
+    "two_pass_softmax",
+]

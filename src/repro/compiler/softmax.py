@@ -1,0 +1,113 @@
+"""Softmax lowering strategies (Section 5.6).
+
+Numerically-stable softmax needs three passes over its input vector
+(Algorithm 1): a max pass, an exponentiation/sum pass, and a normalization
+pass.  When the vector does not fit on chip each pass round-trips to DRAM.
+The *two-pass* (online-normalizer) formulation of Algorithm 2 merges the
+first two passes, eliminating one read of the input at the cost of up to 2N
+extra exponential evaluations.  Whether that trade wins depends on the
+accelerator's memory bandwidth and VPU throughput, so FAST exposes it as a
+search hyperparameter.
+
+This module provides both a *cost descriptor* used by the simulator's VPU
+model and reference NumPy implementations used by the tests to verify the
+two formulations are numerically equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SoftmaxCostFactors",
+    "THREE_PASS_SOFTMAX",
+    "TWO_PASS_SOFTMAX",
+    "softmax_cost_factors",
+    "reference_softmax",
+    "three_pass_softmax",
+    "two_pass_softmax",
+]
+
+
+@dataclass(frozen=True)
+class SoftmaxCostFactors:
+    """Relative cost multipliers of a softmax lowering.
+
+    Attributes:
+        input_traffic_factor: DRAM reads of the input vector, as a multiple
+            of its size.
+        output_traffic_factor: DRAM writes (plus temp traffic), as a multiple
+            of the output size.
+        flops_factor: VPU work relative to the baseline per-element cost.
+    """
+
+    input_traffic_factor: float
+    output_traffic_factor: float
+    flops_factor: float
+
+
+#: Algorithm 1: max pass + exp/sum pass + normalize pass.  The input is read
+#: twice, the temp vector is written and re-read, and the output written.
+THREE_PASS_SOFTMAX = SoftmaxCostFactors(
+    input_traffic_factor=2.0, output_traffic_factor=3.0, flops_factor=1.0
+)
+
+#: Algorithm 2: online normalizer.  One fewer pass over the input (no temp
+#: vector), but up to 2N extra exponentials (~50% more VPU work).
+TWO_PASS_SOFTMAX = SoftmaxCostFactors(
+    input_traffic_factor=2.0, output_traffic_factor=1.0, flops_factor=1.5
+)
+
+
+def softmax_cost_factors(use_two_pass: bool) -> SoftmaxCostFactors:
+    """Select the cost descriptor for the configured lowering."""
+    return TWO_PASS_SOFTMAX if use_two_pass else THREE_PASS_SOFTMAX
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (used by tests to check numerical equivalence).
+# ----------------------------------------------------------------------
+def reference_softmax(values: np.ndarray) -> np.ndarray:
+    """Straightforward numerically-stable softmax (ground truth)."""
+    values = np.asarray(values, dtype=np.float64)
+    shifted = values - values.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=-1, keepdims=True)
+
+
+def three_pass_softmax(values: np.ndarray) -> np.ndarray:
+    """Algorithm 1: explicit three-pass numerically-stable softmax."""
+    values = np.asarray(values, dtype=np.float64)
+    flat = values.reshape(-1, values.shape[-1])
+    out = np.empty_like(flat)
+    for row_idx, row in enumerate(flat):
+        max_val = -np.inf
+        for v in row:  # pass 1: max
+            max_val = max(max_val, v)
+        temp = np.empty_like(row)
+        total = 0.0
+        for i, v in enumerate(row):  # pass 2: exp + sum
+            temp[i] = np.exp(v - max_val)
+            total += temp[i]
+        for i in range(len(row)):  # pass 3: normalize
+            out[row_idx, i] = temp[i] / total
+    return out.reshape(values.shape)
+
+
+def two_pass_softmax(values: np.ndarray) -> np.ndarray:
+    """Algorithm 2: online-normalizer (two-pass) softmax."""
+    values = np.asarray(values, dtype=np.float64)
+    flat = values.reshape(-1, values.shape[-1])
+    out = np.empty_like(flat)
+    for row_idx, row in enumerate(flat):
+        running_max = -np.inf
+        running_sum = 0.0
+        for v in row:  # pass 1: fused max + sum
+            new_max = max(running_max, v)
+            running_sum = running_sum * np.exp(running_max - new_max) + np.exp(v - new_max)
+            running_max = new_max
+        for i, v in enumerate(row):  # pass 2: normalize
+            out[row_idx, i] = np.exp(v - running_max) / running_sum
+    return out.reshape(values.shape)

@@ -1,0 +1,21 @@
+"""FAST core: search problem definition, trial evaluation, search driver, designs."""
+
+from repro.core.designs import FAST_LARGE, FAST_SMALL, NAMED_DESIGNS, TPU_V3, TPU_V3_SINGLE_CORE
+from repro.core.fast import FASTSearch, FASTSearchResult
+from repro.core.problem import ObjectiveKind, SearchProblem, geometric_mean
+from repro.core.trial import TrialEvaluator, TrialMetrics
+
+__all__ = [
+    "FAST_LARGE",
+    "FAST_SMALL",
+    "FASTSearch",
+    "FASTSearchResult",
+    "NAMED_DESIGNS",
+    "ObjectiveKind",
+    "SearchProblem",
+    "TPU_V3",
+    "TPU_V3_SINGLE_CORE",
+    "TrialEvaluator",
+    "TrialMetrics",
+    "geometric_mean",
+]

@@ -1,0 +1,72 @@
+"""Named accelerator designs from the paper (Table 5).
+
+``FAST_LARGE`` and ``FAST_SMALL`` are the two example designs FAST found when
+optimizing Perf/TDP for EfficientNet-B7; ``TPU_V3`` is the die-shrunk
+baseline.  They are used directly by the Table 5 / Figure 13-15 / Table 6
+benchmarks and serve as convenient starting points for users of the library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hardware.datapath import BufferConfig, DatapathConfig, L2Config, MemoryTechnology
+from repro.hardware.tpu import TPU_V3, TPU_V3_SINGLE_CORE
+
+__all__ = ["TPU_V3", "TPU_V3_SINGLE_CORE", "FAST_LARGE", "FAST_SMALL", "NAMED_DESIGNS"]
+
+
+#: FAST-Large (Table 5): 64 PEs with 32x32 systolic arrays, a 32-wide VPU per
+#: PE, 8 KiB shared L1 scratchpads, no L2, a 128 MiB Global Memory, 8 GDDR6
+#: channels (448 GB/s) and native batch size 8.  Relies on FAST fusion to
+#: overcome its 2x lower memory bandwidth.
+FAST_LARGE = DatapathConfig(
+    pes_x_dim=8,
+    pes_y_dim=8,
+    systolic_array_x=32,
+    systolic_array_y=32,
+    vector_unit_multiplier=1,
+    l1_buffer_config=BufferConfig.SHARED,
+    l1_input_buffer_kib=4,
+    l1_weight_buffer_kib=2,
+    l1_output_buffer_kib=2,
+    l2_buffer_config=L2Config.DISABLED,
+    l3_global_buffer_mib=128,
+    gddr6_channels=8,
+    native_batch_size=8,
+    memory_technology=MemoryTechnology.GDDR6,
+    clock_ghz=0.94,
+    num_cores=1,
+    enable_fast_fusion=True,
+)
+
+#: FAST-Small (Table 5): 8 PEs with 64x32 systolic arrays, a 64-wide VPU per
+#: PE, 8 KiB shared L1, an 8 MiB Global Memory, 8 GDDR6 channels and native
+#: batch size 64.  Avoids fusion entirely and instead relies on a low
+#: compute-to-bandwidth ratio.
+FAST_SMALL = DatapathConfig(
+    pes_x_dim=4,
+    pes_y_dim=2,
+    systolic_array_x=64,
+    systolic_array_y=32,
+    vector_unit_multiplier=1,
+    l1_buffer_config=BufferConfig.SHARED,
+    l1_input_buffer_kib=4,
+    l1_weight_buffer_kib=2,
+    l1_output_buffer_kib=2,
+    l2_buffer_config=L2Config.DISABLED,
+    l3_global_buffer_mib=8,
+    gddr6_channels=8,
+    native_batch_size=64,
+    memory_technology=MemoryTechnology.GDDR6,
+    clock_ghz=0.94,
+    num_cores=1,
+    enable_fast_fusion=False,
+)
+
+#: All named designs by their paper name.
+NAMED_DESIGNS: Dict[str, DatapathConfig] = {
+    "tpu-v3": TPU_V3,
+    "fast-large": FAST_LARGE,
+    "fast-small": FAST_SMALL,
+}

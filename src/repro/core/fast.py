@@ -1,0 +1,157 @@
+"""FAST: the full-stack accelerator search driver.
+
+:class:`FASTSearch` ties together the datapath search space, a black-box
+optimizer (random / Bayesian / LCS), and the trial evaluator.  Each trial
+proposes a datapath, the simulator schedules the target workloads onto it
+(tensor padding + Timeloop-style mapping), the FAST fusion ILP assigns
+tensors to the Global Memory, and the resulting performance/TDP feeds back
+into the optimizer — the loop of Figure 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+from repro.core.problem import SearchProblem
+from repro.core.trial import TrialEvaluator, TrialMetrics
+from repro.hardware.datapath import DatapathConfig
+from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
+from repro.search import Optimizer, make_optimizer
+from repro.search.pareto import ParetoFront
+
+__all__ = ["FASTSearchResult", "FASTSearch"]
+
+
+@dataclass
+class FASTSearchResult:
+    """Outcome of one FAST search run."""
+
+    problem: SearchProblem
+    best_params: Optional[ParameterValues]
+    best_config: Optional[DatapathConfig]
+    best_metrics: Optional[TrialMetrics]
+    history: List[TrialMetrics] = field(default_factory=list)
+    best_score_curve: List[float] = field(default_factory=list)
+    pareto_front: Optional[ParetoFront] = None
+
+    @property
+    def num_trials(self) -> int:
+        """Number of evaluated trials."""
+        return len(self.history)
+
+    @property
+    def num_feasible_trials(self) -> int:
+        """Number of trials satisfying all constraints."""
+        return sum(1 for m in self.history if m.feasible)
+
+    @property
+    def best_score(self) -> float:
+        """Best aggregate objective score found (higher is better)."""
+        if self.best_metrics is None:
+            return 0.0
+        return self.best_metrics.aggregate_score
+
+
+class FASTSearch:
+    """Runs the FAST joint datapath / schedule / fusion search."""
+
+    def __init__(
+        self,
+        problem: SearchProblem,
+        optimizer: Union[str, Optimizer] = "lcs",
+        space: Optional[DatapathSearchSpace] = None,
+        evaluator: Optional[TrialEvaluator] = None,
+        seed: int = 0,
+        seed_configs: Optional[List[DatapathConfig]] = None,
+    ) -> None:
+        """Create a search instance.
+
+        Args:
+            problem: Workloads, objective, and constraints.
+            optimizer: Optimizer name (``random``/``bayesian``/``lcs``) or instance.
+            space: Datapath search space (defaults to the Table 3 space).
+            evaluator: Trial evaluator (defaults to one built from ``problem``).
+            seed: Random seed for the optimizer.
+            seed_configs: Optional known designs (e.g. the baseline datapath)
+                evaluated as the first trials to warm-start the optimizer.
+                The paper runs 5000 Vizier trials per experiment; warm
+                starting lets much smaller budgets reach representative
+                designs.
+        """
+        self.problem = problem
+        self.space = space or DatapathSearchSpace()
+        self.evaluator = evaluator or TrialEvaluator(problem)
+        self.seed_configs = list(seed_configs or [])
+        if isinstance(optimizer, str):
+            self.optimizer = make_optimizer(optimizer, self.space, seed=seed)
+        else:
+            self.optimizer = optimizer
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        num_trials: int,
+        callback: Optional[Callable[[int, TrialMetrics], None]] = None,
+    ) -> FASTSearchResult:
+        """Run the search for a fixed trial budget.
+
+        Args:
+            num_trials: Number of candidate designs to evaluate.
+            callback: Optional per-trial hook ``callback(trial_index, metrics)``.
+
+        Returns:
+            The search result with the best design, full history, the
+            best-so-far score curve, and the (latency, TDP, area) Pareto
+            frontier across all feasible trials.
+        """
+        history: List[TrialMetrics] = []
+        best_metrics: Optional[TrialMetrics] = None
+        best_params: Optional[ParameterValues] = None
+        best_curve: List[float] = []
+        pareto = ParetoFront()
+
+        seed_params = [self.space.from_config(config) for config in self.seed_configs]
+
+        for trial_index in range(num_trials):
+            if trial_index < len(seed_params):
+                params = seed_params[trial_index]
+            else:
+                params = self.optimizer.ask()
+            metrics = self.evaluator.evaluate_params(params, self.space)
+            self.optimizer.tell(
+                params,
+                metrics.objective_value,
+                feasible=metrics.feasible and math.isfinite(metrics.objective_value),
+            )
+            history.append(metrics)
+
+            if metrics.feasible and math.isfinite(metrics.objective_value):
+                if best_metrics is None or metrics.aggregate_score > best_metrics.aggregate_score:
+                    best_metrics = metrics
+                    best_params = dict(params)
+                mean_latency = _mean(metrics.per_workload_latency_ms.values())
+                pareto.add(
+                    (mean_latency, metrics.tdp_w, metrics.area_mm2),
+                    payload={"params": dict(params), "score": metrics.aggregate_score},
+                )
+            best_curve.append(best_metrics.aggregate_score if best_metrics else 0.0)
+
+            if callback is not None:
+                callback(trial_index, metrics)
+
+        return FASTSearchResult(
+            problem=self.problem,
+            best_params=best_params,
+            best_config=best_metrics.config if best_metrics else None,
+            best_metrics=best_metrics,
+            history=history,
+            best_score_curve=best_curve,
+            pareto_front=pareto,
+        )
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

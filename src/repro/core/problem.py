@@ -1,0 +1,105 @@
+"""Search problem definition: workloads, objective, and constraints (Eq. 3-5).
+
+A :class:`SearchProblem` bundles everything FAST needs to score one candidate
+datapath: the workload set (one workload for a specialized design, several
+for a general-purpose design), the objective function (throughput, Perf/TDP,
+Perf/Area, or latency), and the cost constraints (maximum area and TDP).
+Multi-workload objectives are aggregated with the geometric mean, matching
+the GeoMean-5 treatment in Figure 9.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.hardware.tpu import EvaluationConstraints, default_constraints
+
+__all__ = ["ObjectiveKind", "SearchProblem", "geometric_mean"]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; zero if any value is non-positive."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class ObjectiveKind(Enum):
+    """Objective functions supported by the search (all maximized except latency)."""
+
+    THROUGHPUT = "qps"
+    PERF_PER_TDP = "perf_per_tdp"
+    PERF_PER_AREA = "perf_per_area"
+    LATENCY = "latency"
+
+    @property
+    def higher_is_better(self) -> bool:
+        """Whether larger objective values are better."""
+        return self is not ObjectiveKind.LATENCY
+
+
+@dataclass
+class SearchProblem:
+    """One FAST search instance.
+
+    Attributes:
+        workloads: Names of registered workloads to optimize for.
+        objective: Objective function.
+        constraints: Maximum area / TDP budget; defaults to the paper's
+            TPU-v3-relative budget when omitted.
+        baseline_qps: Optional per-workload baseline throughputs.  When given,
+            the multi-workload aggregation uses relative speedups instead of
+            raw QPS, which keeps workloads with very different absolute
+            throughputs comparable (as in Figures 9-10).
+    """
+
+    workloads: List[str]
+    objective: ObjectiveKind = ObjectiveKind.PERF_PER_TDP
+    constraints: Optional[EvaluationConstraints] = None
+    baseline_qps: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ValueError("a search problem needs at least one workload")
+        if self.constraints is None:
+            self.constraints = default_constraints()
+
+    @property
+    def is_multi_workload(self) -> bool:
+        """Whether the search optimizes a design across several workloads."""
+        return len(self.workloads) > 1
+
+    # ------------------------------------------------------------------
+    def workload_score(self, workload: str, qps: float, tdp_w: float, area_mm2: float) -> float:
+        """Objective value for a single workload (higher is better)."""
+        if qps <= 0:
+            return 0.0
+        if self.objective is ObjectiveKind.THROUGHPUT:
+            score = qps
+        elif self.objective is ObjectiveKind.PERF_PER_TDP:
+            score = qps / tdp_w if tdp_w > 0 else 0.0
+        elif self.objective is ObjectiveKind.PERF_PER_AREA:
+            score = qps / area_mm2 if area_mm2 > 0 else 0.0
+        else:  # LATENCY: score is inverse latency so that higher is better.
+            score = qps
+        baseline = self.baseline_qps.get(workload)
+        if baseline:
+            score /= baseline
+        return score
+
+    def aggregate(self, per_workload_scores: Dict[str, float]) -> float:
+        """Combine per-workload scores into one objective (geometric mean)."""
+        scores = [per_workload_scores[w] for w in self.workloads]
+        return geometric_mean(scores)
+
+    def minimized_value(self, aggregate_score: float) -> float:
+        """Convert an aggregate score into the value the optimizer minimizes."""
+        if aggregate_score <= 0:
+            return math.inf
+        return -aggregate_score

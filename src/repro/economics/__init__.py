@@ -1,0 +1,13 @@
+"""Economics: TCO and ROI models for specialized accelerator deployments."""
+
+from repro.economics.roi import DEFAULT_NRE, NreParameters, RoiModel
+from repro.economics.tco import CostParameters, DGX_A100_BASELINE, total_cost_of_ownership
+
+__all__ = [
+    "CostParameters",
+    "DEFAULT_NRE",
+    "DGX_A100_BASELINE",
+    "NreParameters",
+    "RoiModel",
+    "total_cost_of_ownership",
+]

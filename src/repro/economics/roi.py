@@ -1,0 +1,105 @@
+"""Return-on-investment model for specialized accelerators (Eq. 1-2).
+
+ROI compares the savings of serving the same traffic on a more cost-efficient
+accelerator against the one-time engineering, mask, and IP cost of building
+it.  An ROI above 1 is profitable; Figure 6 plots ROI against deployment
+volume for hypothetical Perf/TCO improvements, and Table 4 inverts the
+relationship to find the deployment volume needed to hit an ROI target for
+each FAST-generated design.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.economics.tco import CostParameters, DGX_A100_BASELINE, total_cost_of_ownership
+
+__all__ = ["NreParameters", "DEFAULT_NRE", "RoiModel"]
+
+
+@dataclass(frozen=True)
+class NreParameters:
+    """One-time (non-recurring engineering) cost of building an accelerator.
+
+    Attributes:
+        design_engineer_years: Aggregate engineering-years to design the
+            accelerator and its system software (the paper averages Simba's
+            12.5 and Tesla FSD's 117 to get 65).
+        cost_per_engineer_year: Fully-loaded cost per engineer per year
+            ($240k median SWE compensation with 65% overhead).
+        mask_cost: Wafer mask set cost for a sub-10nm process ($).
+        ip_licensing_cost: IP licensing cost, e.g. the DRAM PHY ($).
+    """
+
+    design_engineer_years: float = 65.0
+    cost_per_engineer_year: float = 240_000.0 * 1.65
+    mask_cost: float = 12_000_000.0
+    ip_licensing_cost: float = 7_500_000.0
+
+    @property
+    def total(self) -> float:
+        """Total one-time cost ($)."""
+        return (
+            self.design_engineer_years * self.cost_per_engineer_year
+            + self.mask_cost
+            + self.ip_licensing_cost
+        )
+
+
+DEFAULT_NRE = NreParameters()
+
+
+class RoiModel:
+    """Computes ROI as a function of deployment volume and Perf/TCO gain."""
+
+    def __init__(
+        self,
+        baseline: CostParameters = DGX_A100_BASELINE,
+        nre: NreParameters = DEFAULT_NRE,
+    ) -> None:
+        self.baseline = baseline
+        self.nre = nre
+
+    # ------------------------------------------------------------------
+    def roi(self, num_accelerators: int, perf_per_tco_speedup: float) -> float:
+        """ROI of replacing ``num_accelerators`` baseline units (Eq. 2).
+
+        Args:
+            num_accelerators: Baseline accelerators currently serving the
+                workload (the new deployment serves the same aggregate QPS).
+            perf_per_tco_speedup: Perf/TCO improvement ``S`` of the new
+                accelerator relative to the baseline (must exceed 1 for any
+                savings).
+        """
+        if perf_per_tco_speedup <= 0:
+            raise ValueError("Perf/TCO speedup must be positive")
+        tco_old = total_cost_of_ownership(num_accelerators, self.baseline)
+        savings = tco_old * (perf_per_tco_speedup - 1.0)
+        investment = self.nre.total * perf_per_tco_speedup
+        return savings / investment
+
+    def deployment_volume_for_roi(
+        self, target_roi: float, perf_per_tco_speedup: float
+    ) -> int:
+        """Smallest deployment volume reaching ``target_roi`` (Table 4).
+
+        A design with no Perf/TCO advantage never recoups its cost; the
+        returned volume is a sentinel larger than any realistic deployment.
+        """
+        if perf_per_tco_speedup <= 1.0:
+            return 10**15 if target_roi > 0 else 0
+        per_accelerator_tco = self.baseline.lifetime_cost_per_accelerator
+        required_tco = (
+            target_roi * self.nre.total * perf_per_tco_speedup / (perf_per_tco_speedup - 1.0)
+        )
+        return int(math.ceil(required_tco / per_accelerator_tco))
+
+    def breakeven_volume(self, perf_per_tco_speedup: float) -> int:
+        """Deployment volume at which ROI reaches 1."""
+        return self.deployment_volume_for_roi(1.0, perf_per_tco_speedup)
+
+    # ------------------------------------------------------------------
+    def roi_curve(self, volumes, perf_per_tco_speedup: float):
+        """ROI evaluated at each deployment volume (Figure 6 series)."""
+        return [self.roi(int(n), perf_per_tco_speedup) for n in volumes]

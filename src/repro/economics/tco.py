@@ -1,0 +1,71 @@
+"""Total cost of ownership (TCO) model for accelerator deployments.
+
+The paper's ROI analysis (Section 5.1) estimates the return of deploying a
+specialized accelerator against the TCO of the currently-deployed baseline.
+Because real TCO data is proprietary, the paper — and this reproduction —
+uses the NVIDIA DGX A100 320GB platform as the baseline, with public pricing
+and the May-2021 average US commercial electricity rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostParameters", "DGX_A100_BASELINE", "total_cost_of_ownership"]
+
+_HOURS_PER_YEAR = 8760.0
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Per-accelerator cost parameters of a deployment baseline.
+
+    Attributes:
+        capital_cost_per_accelerator: Purchase price per accelerator,
+            including the amortized share of the host system ($).
+        power_kw_per_accelerator: Wall power per accelerator including its
+            share of the host machine (kW).
+        electricity_cost_per_kwh: Electricity price ($/kWh).
+        datacenter_pue: Power usage effectiveness multiplier (cooling and
+            distribution overhead).
+        deployment_lifetime_years: Accelerator deployment lifetime.
+    """
+
+    capital_cost_per_accelerator: float
+    power_kw_per_accelerator: float
+    electricity_cost_per_kwh: float = 0.1084
+    datacenter_pue: float = 1.5
+    deployment_lifetime_years: float = 3.0
+
+    @property
+    def operational_cost_per_accelerator_per_year(self) -> float:
+        """Electricity cost per accelerator per year ($)."""
+        return (
+            self.power_kw_per_accelerator
+            * _HOURS_PER_YEAR
+            * self.electricity_cost_per_kwh
+            * self.datacenter_pue
+        )
+
+    @property
+    def lifetime_cost_per_accelerator(self) -> float:
+        """Capital plus lifetime operational cost per accelerator ($)."""
+        return (
+            self.capital_cost_per_accelerator
+            + self.deployment_lifetime_years * self.operational_cost_per_accelerator_per_year
+        )
+
+
+#: NVIDIA DGX A100 320GB baseline: $199,000 MSRP and a 6.5 kW system
+#: containing 8 A100 accelerators (values quoted in Section 5.1).
+DGX_A100_BASELINE = CostParameters(
+    capital_cost_per_accelerator=199_000.0 / 8.0,
+    power_kw_per_accelerator=6.5 / 8.0,
+)
+
+
+def total_cost_of_ownership(num_accelerators: int, params: CostParameters = DGX_A100_BASELINE) -> float:
+    """TCO of deploying ``num_accelerators`` for their lifetime (Eq. 1)."""
+    if num_accelerators < 0:
+        raise ValueError("number of accelerators must be non-negative")
+    return num_accelerators * params.lifetime_cost_per_accelerator

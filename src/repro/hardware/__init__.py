@@ -1,0 +1,49 @@
+"""Hardware datapath configurations, cost models, and the search space."""
+
+from repro.hardware.area_power import (
+    DEFAULT_TECHNOLOGY,
+    AreaPowerBreakdown,
+    AreaPowerModel,
+    TechnologyModel,
+)
+from repro.hardware.datapath import (
+    KIB,
+    MIB,
+    BufferConfig,
+    DatapathConfig,
+    DatapathValidationError,
+    L2Config,
+    MemoryTechnology,
+)
+from repro.hardware.memory import MemoryHierarchy, MemoryLevel, MemoryLevelName
+from repro.hardware.search_space import DatapathSearchSpace, ParameterSpec, ParameterValues
+from repro.hardware.tpu import (
+    TPU_V3,
+    TPU_V3_SINGLE_CORE,
+    EvaluationConstraints,
+    default_constraints,
+)
+
+__all__ = [
+    "AreaPowerBreakdown",
+    "AreaPowerModel",
+    "BufferConfig",
+    "DEFAULT_TECHNOLOGY",
+    "DatapathConfig",
+    "DatapathSearchSpace",
+    "DatapathValidationError",
+    "EvaluationConstraints",
+    "KIB",
+    "L2Config",
+    "MIB",
+    "MemoryHierarchy",
+    "MemoryLevel",
+    "MemoryLevelName",
+    "MemoryTechnology",
+    "ParameterSpec",
+    "ParameterValues",
+    "TPU_V3",
+    "TPU_V3_SINGLE_CORE",
+    "TechnologyModel",
+    "default_constraints",
+]

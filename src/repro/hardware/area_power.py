@@ -1,0 +1,247 @@
+"""Analytical area and power models for datapath configurations.
+
+The paper uses analytical models correlated to production designs on an
+industry sub-10nm process.  We use the same modelling structure with
+technology coefficients chosen so a modeled TPU-v3 (123 TFLOPS bf16, 900 GB/s
+HBM, 32 MiB of Global Memory) lands at a realistic area and TDP; because
+every comparison in the evaluation is *relative* to the modeled TPU-v3 on the
+same process (Figures 10, 12, Tables 4-6), only the scaling behaviour of the
+model matters:
+
+* MAC and VPU area/energy scale linearly with unit count.
+* SRAM access energy grows with macro capacity (~capacity**0.25), which is
+  what makes large L1 scratchpads TDP-expensive, one of the effects the
+  paper's ablation (Table 6, 32 KiB vs 8 KiB L1) relies on.
+* TDP is computed as "power virus" power: every component accessed at 100%
+  utilization every cycle (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hardware.datapath import DatapathConfig, KIB, L2Config, MIB
+
+__all__ = ["TechnologyModel", "AreaPowerBreakdown", "AreaPowerModel", "DEFAULT_TECHNOLOGY"]
+
+
+@dataclass(frozen=True)
+class TechnologyModel:
+    """Process-technology coefficients for the analytical model.
+
+    All energies are in picojoules, areas in mm^2, powers in watts.
+    """
+
+    # Compute units.
+    mac_area_mm2: float = 800e-6
+    mac_energy_pj: float = 0.55
+    vpu_lane_area_mm2: float = 3500e-6
+    vpu_lane_energy_pj: float = 1.2
+
+    # SRAM.  Access energy per byte scales with macro capacity as
+    # ``base * (capacity_kib / 32) ** exponent``.
+    sram_area_mm2_per_mib: float = 0.45
+    sram_access_energy_pj_per_byte: float = 0.30
+    sram_energy_capacity_exponent: float = 0.30
+    sram_leakage_w_per_mib: float = 0.02
+
+    # Network-on-chip and per-PE control overhead.
+    pe_overhead_area_mm2: float = 0.05
+    noc_energy_pj_per_byte: float = 0.1
+
+    # Fixed chip overhead: host interface, PCIe, clocking, misc control.
+    fixed_area_mm2: float = 55.0
+    fixed_power_w: float = 18.0
+
+    def sram_energy_per_byte(self, macro_kib: float) -> float:
+        """Access energy per byte for an SRAM macro of ``macro_kib`` KiB."""
+        macro_kib = max(macro_kib, 1.0)
+        return self.sram_access_energy_pj_per_byte * (macro_kib / 32.0) ** (
+            self.sram_energy_capacity_exponent
+        )
+
+
+DEFAULT_TECHNOLOGY = TechnologyModel()
+
+
+@dataclass(frozen=True)
+class AreaPowerBreakdown:
+    """Per-component area (mm^2) and TDP (W) of a datapath configuration."""
+
+    mac_area_mm2: float
+    vpu_area_mm2: float
+    sram_area_mm2: float
+    dram_phy_area_mm2: float
+    other_area_mm2: float
+    mac_power_w: float
+    vpu_power_w: float
+    l1_power_w: float
+    l2_power_w: float
+    global_buffer_power_w: float
+    dram_power_w: float
+    leakage_power_w: float
+    other_power_w: float
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Total die area."""
+        return (
+            self.mac_area_mm2
+            + self.vpu_area_mm2
+            + self.sram_area_mm2
+            + self.dram_phy_area_mm2
+            + self.other_area_mm2
+        )
+
+    @property
+    def total_tdp_w(self) -> float:
+        """Thermal design power (power-virus power)."""
+        return (
+            self.mac_power_w
+            + self.vpu_power_w
+            + self.l1_power_w
+            + self.l2_power_w
+            + self.global_buffer_power_w
+            + self.dram_power_w
+            + self.leakage_power_w
+            + self.other_power_w
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary including totals."""
+        result = {
+            "mac_area_mm2": self.mac_area_mm2,
+            "vpu_area_mm2": self.vpu_area_mm2,
+            "sram_area_mm2": self.sram_area_mm2,
+            "dram_phy_area_mm2": self.dram_phy_area_mm2,
+            "other_area_mm2": self.other_area_mm2,
+            "total_area_mm2": self.total_area_mm2,
+            "mac_power_w": self.mac_power_w,
+            "vpu_power_w": self.vpu_power_w,
+            "l1_power_w": self.l1_power_w,
+            "l2_power_w": self.l2_power_w,
+            "global_buffer_power_w": self.global_buffer_power_w,
+            "dram_power_w": self.dram_power_w,
+            "leakage_power_w": self.leakage_power_w,
+            "other_power_w": self.other_power_w,
+            "total_tdp_w": self.total_tdp_w,
+        }
+        return result
+
+
+class AreaPowerModel:
+    """Computes area and TDP for a :class:`DatapathConfig`."""
+
+    def __init__(self, technology: TechnologyModel = DEFAULT_TECHNOLOGY) -> None:
+        self.technology = technology
+
+    # ------------------------------------------------------------------
+    def evaluate(self, config: DatapathConfig) -> AreaPowerBreakdown:
+        """Compute the full area/power breakdown for ``config``."""
+        tech = self.technology
+        clock_hz = config.clock_ghz * 1e9
+
+        # ----- Area -----------------------------------------------------
+        mac_area = config.total_macs * tech.mac_area_mm2
+        vpu_area = config.total_vpu_lanes * tech.vpu_lane_area_mm2
+        sram_area = (config.total_sram_bytes / MIB) * tech.sram_area_mm2_per_mib
+        dram_phy_area = (
+            config.gddr6_channels * config.memory_technology.phy_area_mm2_per_channel
+        )
+        other_area = tech.fixed_area_mm2 + config.total_pes * tech.pe_overhead_area_mm2
+
+        # ----- Power (power virus: 100% utilization of every component) --
+        mac_power = config.total_macs * clock_hz * tech.mac_energy_pj * 1e-12
+        vpu_power = config.total_vpu_lanes * clock_hz * tech.vpu_lane_energy_pj * 1e-12
+
+        # L1: the power-virus assumption is that every L1 buffer is accessed
+        # at its full port bandwidth every cycle.  Ports are provisioned for
+        # the worst-case dataflow, in which every MAC in the systolic array
+        # can demand fresh input and weight operands each cycle and the
+        # output edge drains one vector per cycle — this is what makes large
+        # L1 scratchpads (and very large systolic arrays) TDP-expensive.
+        l1_macro_kib = (
+            config.l1_input_buffer_kib
+            + config.l1_weight_buffer_kib
+            + config.l1_output_buffer_kib
+        )
+        l1_energy = tech.sram_energy_per_byte(l1_macro_kib)
+        l1_bytes_per_cycle_per_pe = 2.0 * (
+            2.0 * config.systolic_array_x * config.systolic_array_y
+            + config.systolic_array_y
+        )
+        l1_power = (
+            config.total_pes
+            * l1_bytes_per_cycle_per_pe
+            * clock_hz
+            * l1_energy
+            * 1e-12
+        )
+
+        # L2 (when enabled) is charged at the same worst-case rate with its
+        # (larger) macro energy — this is why enabling L2 raises TDP.
+        if config.l2_buffer_config is L2Config.DISABLED:
+            l2_power = 0.0
+        else:
+            l2_macro_kib = config.l2_bytes_per_pe / KIB
+            l2_energy = tech.sram_energy_per_byte(l2_macro_kib)
+            l2_power = (
+                config.total_pes
+                * l1_bytes_per_cycle_per_pe
+                * clock_hz
+                * l2_energy
+                * 1e-12
+            )
+
+        # Global Memory: worst case it simultaneously absorbs the full DRAM
+        # bandwidth and feeds the PE array.
+        if config.l3_global_buffer_mib > 0:
+            gm_energy = tech.sram_energy_per_byte(config.l3_global_buffer_mib * 1024.0)
+            pe_side_bytes_per_cycle = min(
+                config.num_pes * 2.0 * config.systolic_array_x, 8192.0
+            )
+            gm_bytes_per_s = (
+                config.dram_bandwidth_bytes_per_s + pe_side_bytes_per_cycle * clock_hz
+            ) * config.num_cores
+            gm_power = gm_bytes_per_s * gm_energy * 1e-12
+            noc_power = gm_bytes_per_s * tech.noc_energy_pj_per_byte * 1e-12
+        else:
+            gm_power = 0.0
+            noc_power = (
+                config.dram_bandwidth_bytes_per_s * tech.noc_energy_pj_per_byte * 1e-12
+            )
+
+        dram_power = (
+            config.dram_bandwidth_bytes_per_s
+            * config.memory_technology.energy_per_byte_pj
+            * 1e-12
+            + config.gddr6_channels * config.memory_technology.static_power_w_per_channel
+        )
+
+        leakage_power = (config.total_sram_bytes / MIB) * tech.sram_leakage_w_per_mib
+        other_power = tech.fixed_power_w + noc_power
+
+        return AreaPowerBreakdown(
+            mac_area_mm2=mac_area,
+            vpu_area_mm2=vpu_area,
+            sram_area_mm2=sram_area,
+            dram_phy_area_mm2=dram_phy_area,
+            other_area_mm2=other_area,
+            mac_power_w=mac_power,
+            vpu_power_w=vpu_power,
+            l1_power_w=l1_power,
+            l2_power_w=l2_power,
+            global_buffer_power_w=gm_power,
+            dram_power_w=dram_power,
+            leakage_power_w=leakage_power,
+            other_power_w=other_power,
+        )
+
+    def area_mm2(self, config: DatapathConfig) -> float:
+        """Total die area for ``config``."""
+        return self.evaluate(config).total_area_mm2
+
+    def tdp_w(self, config: DatapathConfig) -> float:
+        """Thermal design power for ``config``."""
+        return self.evaluate(config).total_tdp_w

@@ -1,0 +1,211 @@
+"""Memory hierarchy view derived from a datapath configuration.
+
+The mapper and the fusion pass reason about the memory system in terms of
+*levels* — L1 scratchpads (split into input/weight/output partitions), an
+optional L2, the shared Global Memory, and DRAM — each with a capacity, a
+bandwidth, and an access energy.  This module derives that view from a
+:class:`~repro.hardware.datapath.DatapathConfig` so the scheduling code does
+not need to know about search-space encodings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.hardware.area_power import DEFAULT_TECHNOLOGY, TechnologyModel
+from repro.hardware.datapath import BufferConfig, DatapathConfig, KIB, L2Config, MIB
+
+__all__ = ["MemoryLevelName", "MemoryLevel", "MemoryHierarchy"]
+
+
+class MemoryLevelName(Enum):
+    """Names of memory hierarchy levels."""
+
+    L1 = "l1"
+    L2 = "l2"
+    GLOBAL = "global"
+    DRAM = "dram"
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the memory hierarchy.
+
+    Attributes:
+        name: Level identifier.
+        capacity_bytes: Usable capacity at this level, chip-wide.
+        input_capacity_bytes / weight_capacity_bytes / output_capacity_bytes:
+            Per-role capacity for partitioned scratchpads (L1/L2); for the
+            Global Memory and DRAM the full capacity is shared across roles.
+        bandwidth_bytes_per_cycle: Peak transfer rate into/out of the level.
+        access_energy_pj_per_byte: Energy per byte accessed.
+        shared: Whether the level is shared across PEs.
+    """
+
+    name: MemoryLevelName
+    capacity_bytes: int
+    input_capacity_bytes: int
+    weight_capacity_bytes: int
+    output_capacity_bytes: int
+    bandwidth_bytes_per_cycle: float
+    access_energy_pj_per_byte: float
+    shared: bool
+
+
+class MemoryHierarchy:
+    """Memory hierarchy derived from a datapath configuration."""
+
+    def __init__(
+        self,
+        config: DatapathConfig,
+        technology: TechnologyModel = DEFAULT_TECHNOLOGY,
+    ) -> None:
+        self.config = config
+        self.technology = technology
+        self._levels = self._build_levels()
+
+    # ------------------------------------------------------------------
+    def _build_levels(self) -> Dict[MemoryLevelName, MemoryLevel]:
+        config = self.config
+        tech = self.technology
+        levels: Dict[MemoryLevelName, MemoryLevel] = {}
+
+        # L1 scratchpads.  When shared, the PE grid pools its L1 capacity
+        # (one large multi-banked scratchpad); when private, each PE only
+        # sees its own slice.
+        l1_shared = config.l1_buffer_config is BufferConfig.SHARED
+        l1_scale = config.num_pes if l1_shared else 1
+        l1_energy = tech.sram_energy_per_byte(
+            (config.l1_bytes_per_pe / KIB) * (config.num_pes if l1_shared else 1)
+        )
+        levels[MemoryLevelName.L1] = MemoryLevel(
+            name=MemoryLevelName.L1,
+            capacity_bytes=config.l1_bytes_per_pe * l1_scale,
+            input_capacity_bytes=config.l1_input_buffer_kib * KIB * l1_scale,
+            weight_capacity_bytes=config.l1_weight_buffer_kib * KIB * l1_scale,
+            output_capacity_bytes=config.l1_output_buffer_kib * KIB * l1_scale,
+            bandwidth_bytes_per_cycle=2.0
+            * config.num_pes
+            * (config.systolic_array_x + config.systolic_array_y),
+            access_energy_pj_per_byte=l1_energy,
+            shared=l1_shared,
+        )
+
+        # Optional L2.
+        if config.l2_buffer_config is not L2Config.DISABLED:
+            l2_shared = config.l2_buffer_config is L2Config.SHARED
+            l2_scale = config.num_pes if l2_shared else 1
+            levels[MemoryLevelName.L2] = MemoryLevel(
+                name=MemoryLevelName.L2,
+                capacity_bytes=config.l2_bytes_per_pe * l2_scale,
+                input_capacity_bytes=config.l1_input_buffer_kib
+                * config.l2_input_buffer_multiplier
+                * KIB
+                * l2_scale,
+                weight_capacity_bytes=config.l1_weight_buffer_kib
+                * config.l2_weight_buffer_multiplier
+                * KIB
+                * l2_scale,
+                output_capacity_bytes=config.l1_output_buffer_kib
+                * config.l2_output_buffer_multiplier
+                * KIB
+                * l2_scale,
+                bandwidth_bytes_per_cycle=config.num_pes * config.systolic_array_x,
+                access_energy_pj_per_byte=tech.sram_energy_per_byte(
+                    config.l2_bytes_per_pe / KIB
+                ),
+                shared=l2_shared,
+            )
+
+        # Global Memory (optional).
+        if config.l3_global_buffer_mib > 0:
+            gm_bytes = config.global_buffer_bytes
+            levels[MemoryLevelName.GLOBAL] = MemoryLevel(
+                name=MemoryLevelName.GLOBAL,
+                capacity_bytes=gm_bytes,
+                input_capacity_bytes=gm_bytes,
+                weight_capacity_bytes=gm_bytes,
+                output_capacity_bytes=gm_bytes,
+                bandwidth_bytes_per_cycle=min(
+                    config.num_pes * 2.0 * config.systolic_array_x, 8192.0
+                ),
+                access_energy_pj_per_byte=tech.sram_energy_per_byte(
+                    config.l3_global_buffer_mib * 1024.0
+                ),
+                shared=True,
+            )
+
+        # DRAM.
+        levels[MemoryLevelName.DRAM] = MemoryLevel(
+            name=MemoryLevelName.DRAM,
+            capacity_bytes=1 << 40,  # effectively unbounded for inference
+            input_capacity_bytes=1 << 40,
+            weight_capacity_bytes=1 << 40,
+            output_capacity_bytes=1 << 40,
+            bandwidth_bytes_per_cycle=config.dram_bytes_per_cycle,
+            access_energy_pj_per_byte=config.memory_technology.energy_per_byte_pj,
+            shared=True,
+        )
+        return levels
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> List[MemoryLevel]:
+        """Levels present in the hierarchy, innermost first."""
+        order = [
+            MemoryLevelName.L1,
+            MemoryLevelName.L2,
+            MemoryLevelName.GLOBAL,
+            MemoryLevelName.DRAM,
+        ]
+        return [self._levels[name] for name in order if name in self._levels]
+
+    def level(self, name: MemoryLevelName) -> Optional[MemoryLevel]:
+        """Look up a level; None if not present (e.g. disabled L2)."""
+        return self._levels.get(name)
+
+    @property
+    def has_l2(self) -> bool:
+        """Whether an L2 is present."""
+        return MemoryLevelName.L2 in self._levels
+
+    @property
+    def has_global_buffer(self) -> bool:
+        """Whether a Global Memory is present."""
+        return MemoryLevelName.GLOBAL in self._levels
+
+    @property
+    def onchip_capacity_bytes(self) -> int:
+        """Total on-chip capacity available for blocking (L1 + L2 + GM)."""
+        total = 0
+        for name in (MemoryLevelName.L1, MemoryLevelName.L2, MemoryLevelName.GLOBAL):
+            level = self._levels.get(name)
+            if level is not None:
+                total += level.capacity_bytes
+        return total
+
+    @property
+    def blocking_capacity_bytes(self) -> int:
+        """Capacity the *scheduler* may use for a single op's tiles.
+
+        Per the paper, Timeloop blocks within the scratchpads and Global
+        Memory; FAST fusion later claims leftover Global Memory capacity.
+        We reserve half of the Global Memory for scheduler blocking so that
+        fusion always has headroom to claim the remainder, mirroring the
+        "leftover capacity unused by Timeloop" split described in
+        Section 5.5.
+        """
+        l1 = self._levels[MemoryLevelName.L1].capacity_bytes
+        l2 = (
+            self._levels[MemoryLevelName.L2].capacity_bytes
+            if MemoryLevelName.L2 in self._levels
+            else 0
+        )
+        gm = (
+            self._levels[MemoryLevelName.GLOBAL].capacity_bytes // 2
+            if MemoryLevelName.GLOBAL in self._levels
+            else 0
+        )
+        return l1 + l2 + gm

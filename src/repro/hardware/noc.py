@@ -1,0 +1,176 @@
+"""Mesh network-on-chip (NoC) model for the PE grid.
+
+Figure 7 of the paper connects the PEs with a mesh on-chip network.  The
+headline performance model treats on-chip operand distribution as free (the
+paper's simulator folds it into the per-level scratchpad access costs), but
+the NoC still matters for two questions the search keeps running into:
+
+* how much *area and power* the interconnect adds as the PE grid grows, and
+* whether operand broadcast / partial-sum reduction across a large grid can
+  itself become a bandwidth ceiling for very small systolic arrays.
+
+:class:`MeshNocModel` answers both with standard analytical formulas for a
+2-D mesh: per-router/link area and energy, bisection bandwidth, and cycle
+estimates for the unicast / broadcast / reduction traffic patterns that the
+weight-stationary and output-stationary dataflows generate.  It is used by
+the analysis and reporting layers and by an ablation benchmark; it is kept
+out of the calibrated headline cost model so the Table 5 / Figure 9-10
+numbers remain those of the paper's modelling approach.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hardware.datapath import DatapathConfig
+
+__all__ = ["NocParameters", "NocCharacteristics", "MeshNocModel"]
+
+
+@dataclass(frozen=True)
+class NocParameters:
+    """Technology coefficients for the mesh interconnect.
+
+    Defaults follow the same sub-10nm technology assumptions as
+    :class:`~repro.hardware.area_power.TechnologyModel`.
+    """
+
+    link_width_bytes: int = 64
+    router_area_mm2: float = 0.012
+    link_area_mm2_per_byte: float = 0.0002
+    router_energy_pj_per_byte: float = 0.08
+    link_energy_pj_per_byte_per_hop: float = 0.04
+    router_static_power_w: float = 0.004
+
+    def __post_init__(self) -> None:
+        if self.link_width_bytes <= 0:
+            raise ValueError("link_width_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class NocCharacteristics:
+    """Derived NoC metrics for one datapath configuration."""
+
+    mesh_x: int
+    mesh_y: int
+    num_routers: int
+    num_links: int
+    link_width_bytes: int
+    bisection_bandwidth_bytes_per_cycle: float
+    average_hops: float
+    area_mm2: float
+    static_power_w: float
+    energy_pj_per_byte: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for reports."""
+        return {
+            "mesh_x": self.mesh_x,
+            "mesh_y": self.mesh_y,
+            "num_routers": self.num_routers,
+            "num_links": self.num_links,
+            "link_width_bytes": self.link_width_bytes,
+            "bisection_bandwidth_bytes_per_cycle": self.bisection_bandwidth_bytes_per_cycle,
+            "average_hops": self.average_hops,
+            "area_mm2": self.area_mm2,
+            "static_power_w": self.static_power_w,
+            "energy_pj_per_byte": self.energy_pj_per_byte,
+        }
+
+
+class MeshNocModel:
+    """Analytical model of the 2-D mesh connecting the PE grid of one core."""
+
+    def __init__(self, parameters: NocParameters = NocParameters()) -> None:
+        self.parameters = parameters
+
+    # ------------------------------------------------------------------
+    def characterize(self, config: DatapathConfig) -> NocCharacteristics:
+        """Compute mesh topology, bandwidth, area, and power for ``config``."""
+        p = self.parameters
+        mesh_x, mesh_y = config.pes_x_dim, config.pes_y_dim
+        num_routers = mesh_x * mesh_y
+        # Bidirectional mesh links between adjacent routers.
+        num_links = mesh_x * (mesh_y - 1) + mesh_y * (mesh_x - 1)
+        # Bisection: links crossing the narrower cut of the mesh.
+        bisection_links = min(mesh_x, mesh_y) if num_routers > 1 else 1
+        bisection_bw = bisection_links * p.link_width_bytes
+        average_hops = (mesh_x + mesh_y) / 3.0 if num_routers > 1 else 0.0
+
+        area = (
+            num_routers * p.router_area_mm2
+            + num_links * p.link_area_mm2_per_byte * p.link_width_bytes
+        ) * config.num_cores
+        static_power = num_routers * p.router_static_power_w * config.num_cores
+        energy_per_byte = (
+            p.router_energy_pj_per_byte
+            + p.link_energy_pj_per_byte_per_hop * max(average_hops, 1.0)
+        )
+        return NocCharacteristics(
+            mesh_x=mesh_x,
+            mesh_y=mesh_y,
+            num_routers=num_routers,
+            num_links=num_links,
+            link_width_bytes=p.link_width_bytes,
+            bisection_bandwidth_bytes_per_cycle=float(bisection_bw),
+            average_hops=average_hops,
+            area_mm2=area,
+            static_power_w=static_power,
+            energy_pj_per_byte=energy_per_byte,
+        )
+
+    # ------------------------------------------------------------------
+    # Traffic-pattern cycle estimates
+    # ------------------------------------------------------------------
+    def unicast_cycles(self, config: DatapathConfig, payload_bytes: float) -> float:
+        """Cycles to move ``payload_bytes`` point-to-point across the mesh."""
+        noc = self.characterize(config)
+        serialization = payload_bytes / noc.link_width_bytes
+        return serialization + noc.average_hops
+
+    def broadcast_cycles(self, config: DatapathConfig, payload_bytes: float) -> float:
+        """Cycles to broadcast ``payload_bytes`` from the Global Memory to every PE.
+
+        A mesh broadcast is row/column pipelined: after the pipeline fill of
+        roughly the mesh diameter, one link-width flit reaches every PE per
+        cycle, so serialization dominates for large payloads.
+        """
+        noc = self.characterize(config)
+        diameter = (noc.mesh_x - 1) + (noc.mesh_y - 1)
+        serialization = payload_bytes / noc.link_width_bytes
+        return serialization + diameter
+
+    def reduction_cycles(self, config: DatapathConfig, payload_bytes_per_pe: float) -> float:
+        """Cycles to reduce per-PE partial sums of ``payload_bytes_per_pe`` each.
+
+        A dimension-ordered reduction tree merges values hop by hop; the
+        bottleneck is the last column, which carries the payload of every row.
+        """
+        noc = self.characterize(config)
+        column_payload = payload_bytes_per_pe * noc.mesh_y
+        serialization = column_payload / noc.link_width_bytes
+        diameter = (noc.mesh_x - 1) + (noc.mesh_y - 1)
+        return serialization + diameter
+
+    # ------------------------------------------------------------------
+    def distribution_bandwidth_bound(
+        self, config: DatapathConfig, operand_bytes_per_cycle: float
+    ) -> float:
+        """Slowdown factor if operand distribution exceeds bisection bandwidth.
+
+        Returns 1.0 when the mesh can sustain the requested operand rate and
+        the ratio ``requested / bisection`` (> 1) otherwise.  Used by the NoC
+        ablation analysis to flag datapaths whose many small PEs outstrip the
+        interconnect.
+        """
+        noc = self.characterize(config)
+        if noc.bisection_bandwidth_bytes_per_cycle <= 0:
+            return 1.0
+        return max(1.0, operand_bytes_per_cycle / noc.bisection_bandwidth_bytes_per_cycle)
+
+    def dynamic_power_w(self, config: DatapathConfig, bytes_per_second: float) -> float:
+        """Dynamic NoC power for a sustained traffic rate."""
+        noc = self.characterize(config)
+        return bytes_per_second * noc.energy_pj_per_byte * 1e-12 + noc.static_power_w

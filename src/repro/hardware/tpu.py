@@ -1,0 +1,93 @@
+"""Modeled TPU-v3 baseline and evaluation constraints.
+
+The paper evaluates every FAST design against a *simulated* TPU-v3 that is
+die-shrunk to the same sub-10nm process as the candidate designs.  Table 5
+gives the datapath parameters of that baseline: a dual-core chip where each
+core has two PEs with 128x128 systolic arrays, a 512-wide VPU per PE, 64 KiB
+of shared L1 per PE, no L2, a 16 MiB Global Memory per core, and 900 GB/s of
+HBM bandwidth, for 123 TFLOPS of bf16 peak compute at batch 64 per core.
+
+The search constraints (maximum area and TDP) are expressed relative to this
+baseline using the normalizations reported in Table 5: the modeled TPU-v3
+sits at 0.5x of the TDP threshold and 0.6x of the area threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.area_power import AreaPowerModel
+from repro.hardware.datapath import BufferConfig, DatapathConfig, L2Config, MemoryTechnology
+
+__all__ = [
+    "TPU_V3",
+    "TPU_V3_SINGLE_CORE",
+    "EvaluationConstraints",
+    "default_constraints",
+]
+
+
+def _tpu_v3_config(num_cores: int) -> DatapathConfig:
+    return DatapathConfig(
+        pes_x_dim=2,
+        pes_y_dim=1,
+        systolic_array_x=128,
+        systolic_array_y=128,
+        vector_unit_multiplier=4,  # 4 * 128 = 512-wide VPU per PE
+        l1_buffer_config=BufferConfig.SHARED,
+        l1_input_buffer_kib=32,
+        l1_weight_buffer_kib=16,
+        l1_output_buffer_kib=16,
+        l2_buffer_config=L2Config.DISABLED,
+        l3_global_buffer_mib=16,
+        gddr6_channels=2,
+        native_batch_size=64,
+        memory_technology=MemoryTechnology.HBM2,
+        clock_ghz=0.94,
+        num_cores=num_cores,
+        use_two_pass_softmax=False,
+        enable_fast_fusion=False,
+    )
+
+
+#: The dual-core modeled TPU-v3 baseline (Table 5, first column).
+TPU_V3: DatapathConfig = _tpu_v3_config(num_cores=2)
+
+#: A single TPU-v3 core, used for the per-component breakdown in Figure 15.
+TPU_V3_SINGLE_CORE: DatapathConfig = _tpu_v3_config(num_cores=1)
+
+
+@dataclass(frozen=True)
+class EvaluationConstraints:
+    """Maximum area and TDP budget given to the FAST search (Eq. 4)."""
+
+    max_area_mm2: float
+    max_tdp_w: float
+
+    def is_feasible(self, area_mm2: float, tdp_w: float) -> bool:
+        """Whether a design fits within the budget."""
+        return area_mm2 <= self.max_area_mm2 and tdp_w <= self.max_tdp_w
+
+    def normalized_area(self, area_mm2: float) -> float:
+        """Area as a fraction of the budget (Table 5 normalization)."""
+        return area_mm2 / self.max_area_mm2
+
+    def normalized_tdp(self, tdp_w: float) -> float:
+        """TDP as a fraction of the budget (Table 5 normalization)."""
+        return tdp_w / self.max_tdp_w
+
+
+def default_constraints(model: AreaPowerModel = None) -> EvaluationConstraints:
+    """Constraints placing the modeled TPU-v3 at 0.5x TDP and 0.6x area.
+
+    This mirrors the paper's experimental setup: FAST is given "a power and
+    area budget similar to the current-generation TPU-v3, but on a new
+    process technology" and the TPU-v3 baseline normalizes to 0.5x / 0.6x of
+    those thresholds in Table 5.
+    """
+    model = model or AreaPowerModel()
+    breakdown = model.evaluate(TPU_V3)
+    return EvaluationConstraints(
+        max_area_mm2=breakdown.total_area_mm2 / 0.6,
+        max_tdp_w=breakdown.total_tdp_w / 0.5,
+    )

@@ -1,0 +1,119 @@
+"""Dataflow (mapping scheme) definitions and spatial utilization formulas.
+
+Vizier, in the paper, constrains the schedule mapspace to known-good mapping
+schemes such as weight-stationary and output-stationary (Section 5.3).  A
+dataflow determines which problem dimension is held stationary in the PE
+registers and which dimensions are streamed, which in turn determines how
+per-tile latch overhead and operand reuse behave.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.mapping.loopnest import MatrixProblem
+
+__all__ = ["Dataflow", "SpatialMapping", "spatial_mapping"]
+
+#: Extra array columns (beyond the kernel window) a depthwise convolution can
+#: keep fed from the array edge; calibrated against the TPU-v3 depthwise
+#: utilization reported in Section 4.2.
+_DEPTHWISE_EXTRA_COLS = 8
+
+
+class Dataflow(Enum):
+    """Supported mapping schemes."""
+
+    WEIGHT_STATIONARY = "weight_stationary"
+    OUTPUT_STATIONARY = "output_stationary"
+
+
+@dataclass(frozen=True)
+class SpatialMapping:
+    """How a problem maps spatially onto one PE's systolic array.
+
+    Attributes:
+        dataflow: The mapping scheme.
+        tiles_k: Number of reduction-dimension tiles (array rows).
+        tiles_n: Number of output-feature tiles (array columns).
+        rows_used / cols_used: Array rows/columns actually occupied by the
+            final (possibly partial) tile — used for utilization accounting.
+        quantization_efficiency: Fraction of the array's MACs doing useful
+            work, accounting for dimension quantization only.
+        latch_efficiency: Fraction of time the array spends streaming rather
+            than latching / filling / draining.
+        utilization: Product of the two efficiencies; fraction of peak MACs.
+        cycles_per_instance: Cycles for one problem instance on one PE.
+    """
+
+    dataflow: Dataflow
+    tiles_k: int
+    tiles_n: int
+    rows_used: int
+    cols_used: int
+    quantization_efficiency: float
+    latch_efficiency: float
+    utilization: float
+    cycles_per_instance: float
+
+
+def spatial_mapping(
+    problem: MatrixProblem,
+    array_x: int,
+    array_y: int,
+    dataflow: Dataflow = Dataflow.WEIGHT_STATIONARY,
+) -> SpatialMapping:
+    """Map one problem instance onto a single systolic array.
+
+    Under weight-stationary mapping the reduction dimension K occupies the
+    array's x (row) dimension and the output features N occupy the y
+    (column) dimension; the M rows are streamed through.  Output-stationary
+    swaps the roles of M and K: output tiles are pinned and operands stream,
+    which benefits problems with large K and small M.
+    """
+    if dataflow is Dataflow.WEIGHT_STATIONARY:
+        dim_rows, dim_cols, streamed = problem.k, problem.n, problem.m
+    else:
+        dim_rows, dim_cols, streamed = problem.m, problem.n, problem.k
+
+    # Depthwise convolutions cannot broadcast one input vector to every
+    # column (each channel needs its own input window), so only slightly more
+    # than one kernel window's worth of columns can be fed from the array
+    # edge per cycle.  This is what makes depthwise convolutions
+    # catastrophically inefficient on 128-wide arrays (about 1% of peak)
+    # while remaining tolerable on 32-wide arrays (Section 3.2 and Table 5).
+    effective_cols = array_y
+    if problem.is_depthwise:
+        effective_cols = min(array_y, max(1, problem.k + _DEPTHWISE_EXTRA_COLS))
+
+    tiles_rows = max(1, math.ceil(dim_rows / array_x))
+    tiles_cols = max(1, math.ceil(dim_cols / effective_cols))
+    rows_used = min(dim_rows, array_x)
+    cols_used = min(dim_cols, effective_cols)
+
+    quantization = (dim_rows * dim_cols) / (tiles_rows * array_x * tiles_cols * array_y)
+
+    # Per stationary tile: latch the tile (array_x cycles, overlapped with the
+    # previous tile's streaming when enough rows are streamed), stream the
+    # rows, then fill/drain the pipeline.
+    latch_penalty = max(0.0, array_x - streamed)
+    overhead = array_x + array_y + latch_penalty
+    cycles_per_tile = streamed + overhead
+    latch_efficiency = streamed / cycles_per_tile if cycles_per_tile > 0 else 0.0
+
+    cycles_per_instance = tiles_rows * tiles_cols * cycles_per_tile
+    utilization = quantization * latch_efficiency
+
+    return SpatialMapping(
+        dataflow=dataflow,
+        tiles_k=tiles_rows if dataflow is Dataflow.WEIGHT_STATIONARY else tiles_cols,
+        tiles_n=tiles_cols,
+        rows_used=rows_used,
+        cols_used=cols_used,
+        quantization_efficiency=quantization,
+        latch_efficiency=latch_efficiency,
+        utilization=utilization,
+        cycles_per_instance=cycles_per_instance,
+    )

@@ -1,0 +1,202 @@
+"""Extraction of matrix-op problem shapes from graph operations.
+
+Every matrix op (Conv2D, DepthwiseConv2D, MatMul, Einsum) is lowered to a
+canonical *GEMM-like problem*: stream ``M`` rows against a stationary
+``K x N`` operand, optionally repeated over ``instances`` independent
+problems whose stationary operands differ (the activation x activation case
+of self-attention, where latching cannot be amortized across the batch).
+This canonicalization is what both the mapper and the padding pass operate
+on; it corresponds to the 7-D nested loop view of Section 3.1 with the
+spatial dims folded into M.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.workloads.graph import Operation, Tensor, TensorKind
+from repro.workloads.ops import OpType
+
+__all__ = ["MatrixProblem", "extract_problem"]
+
+
+@dataclass(frozen=True)
+class MatrixProblem:
+    """Canonical GEMM-like problem shape for one matrix operation.
+
+    Attributes:
+        m: Number of streamed rows per instance (batch x spatial positions,
+            or batch x sequence for dense layers).
+        n: Output features per instance (mapped to systolic array columns).
+        k: Reduction depth per instance (mapped to systolic array rows).
+        instances: Number of independent problems whose stationary operand
+            differs and therefore requires a separate latch (1 for
+            activation x weight ops; batch x heads for attention einsums).
+        stationary_is_weight: True when the stationary operand is a weight
+            tensor (reusable across inference requests and across the batch).
+        is_depthwise: True for depthwise convolutions, whose reduction depth
+            is only ``KH*KW`` — the root cause of their poor utilization on
+            large systolic arrays (Section 3.2).
+        input_bytes: DRAM footprint of the streamed (activation) operand.
+        stationary_bytes: DRAM footprint of the stationary operand across all
+            instances.
+        output_bytes: DRAM footprint of the produced activations.
+    """
+
+    m: int
+    n: int
+    k: int
+    instances: int
+    stationary_is_weight: bool
+    is_depthwise: bool
+    input_bytes: int
+    stationary_bytes: int
+    output_bytes: int
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulate count."""
+        return self.m * self.n * self.k * self.instances
+
+    @property
+    def flops(self) -> int:
+        """Total floating point operations (2 per MAC)."""
+        return 2 * self.macs
+
+    @property
+    def total_bytes(self) -> int:
+        """Minimum DRAM traffic with perfect on-chip reuse."""
+        return self.input_bytes + self.stationary_bytes + self.output_bytes
+
+    @property
+    def operational_intensity(self) -> float:
+        """FLOPs per DRAM byte assuming minimum traffic."""
+        if self.total_bytes == 0:
+            return float("inf")
+        return self.flops / self.total_bytes
+
+
+def extract_problem(op: Operation, tensors: Dict[str, Tensor]) -> MatrixProblem:
+    """Lower a matrix op to its canonical :class:`MatrixProblem`.
+
+    Raises:
+        ValueError: If the op is not a matrix op.
+    """
+    if op.op_type is OpType.CONV2D:
+        return _conv2d_problem(op, tensors)
+    if op.op_type is OpType.DEPTHWISE_CONV2D:
+        return _depthwise_problem(op, tensors)
+    if op.op_type is OpType.MATMUL:
+        return _matmul_problem(op, tensors)
+    if op.op_type is OpType.EINSUM:
+        return _einsum_problem(op, tensors)
+    raise ValueError(f"op {op.name!r} ({op.op_type}) is not a matrix op")
+
+
+def _tensor_bytes(tensors: Dict[str, Tensor], names, kind=None) -> int:
+    total = 0
+    for name in names:
+        tensor = tensors[name]
+        if kind is None or tensor.kind is kind:
+            total += tensor.size_bytes
+    return total
+
+
+def _conv2d_problem(op: Operation, tensors: Dict[str, Tensor]) -> MatrixProblem:
+    out = tensors[op.outputs[0]]
+    b, oh, ow, of = _nhwc(out.shape)
+    kh, kw = op.attrs["kernel"]
+    in_features = int(op.attrs["in_features"])
+    groups = int(op.attrs.get("groups", 1))
+    return MatrixProblem(
+        m=b * oh * ow,
+        n=of // groups if groups > 1 else of,
+        k=(in_features // groups) * kh * kw,
+        instances=groups,
+        stationary_is_weight=True,
+        is_depthwise=False,
+        input_bytes=_tensor_bytes(tensors, op.inputs, TensorKind.ACTIVATION),
+        stationary_bytes=_tensor_bytes(tensors, op.inputs, TensorKind.WEIGHT),
+        output_bytes=_tensor_bytes(tensors, op.outputs),
+    )
+
+
+def _depthwise_problem(op: Operation, tensors: Dict[str, Tensor]) -> MatrixProblem:
+    out = tensors[op.outputs[0]]
+    b, oh, ow, c = _nhwc(out.shape)
+    kh, kw = op.attrs["kernel"]
+    return MatrixProblem(
+        m=b * oh * ow,
+        n=c,
+        k=kh * kw,
+        instances=1,
+        stationary_is_weight=True,
+        is_depthwise=True,
+        input_bytes=_tensor_bytes(tensors, op.inputs, TensorKind.ACTIVATION),
+        stationary_bytes=_tensor_bytes(tensors, op.inputs, TensorKind.WEIGHT),
+        output_bytes=_tensor_bytes(tensors, op.outputs),
+    )
+
+
+def _matmul_problem(op: Operation, tensors: Dict[str, Tensor]) -> MatrixProblem:
+    out = tensors[op.outputs[0]]
+    k = int(op.attrs["contracting_dim"])
+    n = out.shape[-1]
+    m = out.num_elements // n
+    return MatrixProblem(
+        m=m,
+        n=n,
+        k=k,
+        instances=1,
+        stationary_is_weight=True,
+        is_depthwise=False,
+        input_bytes=_tensor_bytes(tensors, op.inputs, TensorKind.ACTIVATION),
+        stationary_bytes=_tensor_bytes(tensors, op.inputs, TensorKind.WEIGHT),
+        output_bytes=_tensor_bytes(tensors, op.outputs),
+    )
+
+
+def _einsum_problem(op: Operation, tensors: Dict[str, Tensor]) -> MatrixProblem:
+    """Activation x activation contraction (attention scores / context).
+
+    The output shape is interpreted as ``(batch-like dims..., M, N)`` and the
+    contracting dimension comes from the op attributes; every batch-like
+    combination is an independent problem whose stationary operand must be
+    re-latched.
+    """
+    out = tensors[op.outputs[0]]
+    k = int(op.attrs["contracting_dim"])
+    if len(out.shape) < 2:
+        raise ValueError(f"einsum output {out.name!r} must have rank >= 2")
+    m = out.shape[-2]
+    n = out.shape[-1]
+    instances = max(1, out.num_elements // (m * n))
+    # Both operands are activations; split the activation bytes between the
+    # streamed operand (M x K) and the stationary operand (K x N).
+    act_bytes = _tensor_bytes(tensors, op.inputs, TensorKind.ACTIVATION)
+    dtype_bytes = out.dtype.bytes
+    stationary = instances * k * n * dtype_bytes
+    streamed = max(act_bytes - stationary, instances * m * k * dtype_bytes)
+    return MatrixProblem(
+        m=m,
+        n=n,
+        k=k,
+        instances=instances,
+        stationary_is_weight=False,
+        is_depthwise=False,
+        input_bytes=streamed,
+        stationary_bytes=stationary,
+        output_bytes=_tensor_bytes(tensors, op.outputs),
+    )
+
+
+def _nhwc(shape) -> tuple:
+    if len(shape) == 4:
+        return shape
+    if len(shape) == 3:
+        return (1,) + tuple(shape)
+    if len(shape) == 2:
+        return (shape[0], 1, 1, shape[1])
+    raise ValueError(f"cannot interpret shape {shape} as NHWC")

@@ -1,0 +1,230 @@
+"""Timeloop-style mapper: schedules matrix ops onto the datapath.
+
+For each matrix op the mapper
+(1) lowers it to a canonical GEMM-like problem,
+(2) applies the tensor padding pre-pass,
+(3) checks structural schedulability (minimum scratchpad sizes),
+(4) searches a pruned mapspace of dataflows x tilings, estimating compute
+    cycles and DRAM traffic for each candidate, and
+(5) returns the best mapping as an :class:`~repro.mapping.costmodel.OpCost`.
+
+This replaces the Timeloop invocation used by the paper's simulator; the
+search is deliberately small (a few dozen candidates per op) because the
+datapath template constrains the mapspace to known-good mapping schemes,
+exactly as Vizier does in the paper (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.hardware.datapath import BufferConfig, DatapathConfig
+from repro.hardware.memory import MemoryHierarchy
+from repro.mapping.costmodel import OpCost
+from repro.mapping.dataflow import Dataflow, SpatialMapping, spatial_mapping
+from repro.mapping.loopnest import MatrixProblem, extract_problem
+from repro.mapping.padding import pad_problem
+from repro.mapping.tiling import Tiling, candidate_tilings, estimate_traffic
+from repro.workloads.graph import Operation, Tensor
+from repro.workloads.ops import is_matrix_op
+
+__all__ = ["Mapper", "MapperOptions"]
+
+_DTYPE_BYTES = 2  # bfloat16 throughout, matching the paper's evaluation.
+_MIN_STREAM_CHUNK = 128  # Minimum rows per PE when splitting the streamed dim.
+
+
+class MapperOptions:
+    """Tunable knobs of the mapper search."""
+
+    def __init__(
+        self,
+        dataflows: Tuple[Dataflow, ...] = (Dataflow.WEIGHT_STATIONARY, Dataflow.OUTPUT_STATIONARY),
+        max_tiling_candidates: int = 48,
+        padding_max_overhead: float = 0.2,
+    ) -> None:
+        self.dataflows = dataflows
+        self.max_tiling_candidates = max_tiling_candidates
+        self.padding_max_overhead = padding_max_overhead
+
+
+class Mapper:
+    """Maps matrix operations onto a single core of a datapath."""
+
+    def __init__(
+        self,
+        config: DatapathConfig,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        options: Optional[MapperOptions] = None,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy or MemoryHierarchy(config)
+        self.options = options or MapperOptions()
+        self._cache: Dict[Tuple, OpCost] = {}
+
+    # ------------------------------------------------------------------
+    def map_op(self, op: Operation, tensors: Dict[str, Tensor]) -> OpCost:
+        """Map a matrix op; returns its cost (cached by problem signature)."""
+        if not is_matrix_op(op.op_type):
+            raise ValueError(f"mapper only handles matrix ops, got {op.op_type}")
+        problem = extract_problem(op, tensors)
+        key = self._problem_key(problem)
+        cached = self._cache.get(key)
+        if cached is not None:
+            # Re-label the cached cost for this op name.
+            return OpCost(**{**cached.__dict__, "op_name": op.name, "op_type": op.op_type})
+        cost = self._map_problem(op, problem)
+        self._cache[key] = cost
+        return cost
+
+    # ------------------------------------------------------------------
+    def _problem_key(self, problem: MatrixProblem) -> Tuple:
+        return (
+            problem.m,
+            problem.n,
+            problem.k,
+            problem.instances,
+            problem.stationary_is_weight,
+            problem.is_depthwise,
+            problem.input_bytes,
+            problem.stationary_bytes,
+            problem.output_bytes,
+        )
+
+    def _schedulable(self) -> bool:
+        """Structural feasibility of the datapath for matrix ops (Eq. 5).
+
+        The L1 scratchpads must be able to double-buffer the systolic array's
+        operand vectors and stage a reasonable fraction of a stationary tile;
+        otherwise no schedule exists and the design point is invalid.
+        """
+        config = self.config
+        input_needed = 2 * config.systolic_array_x * _DTYPE_BYTES
+        output_needed = 2 * config.systolic_array_y * _DTYPE_BYTES
+        weight_needed = config.systolic_array_x * config.systolic_array_y * _DTYPE_BYTES // 4
+        pooled = config.l1_buffer_config is BufferConfig.SHARED
+        scale = config.num_pes if pooled else 1
+        return (
+            config.l1_input_buffer_kib * 1024 * scale >= input_needed
+            and config.l1_output_buffer_kib * 1024 * scale >= output_needed
+            and config.l1_weight_buffer_kib * 1024 * scale >= weight_needed
+        )
+
+    def _map_problem(self, op: Operation, raw_problem: MatrixProblem) -> OpCost:
+        config = self.config
+        if not self._schedulable():
+            return OpCost(
+                op_name=op.name,
+                op_type=op.op_type,
+                flops=raw_problem.flops,
+                padded_flops=raw_problem.flops,
+                schedule_failed=True,
+            )
+
+        padding = pad_problem(
+            raw_problem,
+            config.systolic_array_x,
+            config.systolic_array_y,
+            max_overhead=self.options.padding_max_overhead,
+        )
+        problem = padding.problem
+        blocking_capacity = self.hierarchy.blocking_capacity_bytes
+        dram_bpc = config.dram_bytes_per_cycle
+
+        # Candidates are ranked lexicographically: execution time first (with a
+        # small tolerance so near-ties compare equal), then DRAM traffic, then
+        # on-chip buffer footprint.  Preferring small footprints among equal
+        # mappings leaves Global Memory headroom for FAST fusion, mirroring
+        # the paper's "leftover capacity unused by Timeloop".
+        best: Optional[Tuple[Tuple[float, float, float], SpatialMapping, Tiling, object]] = None
+        for dataflow in self.options.dataflows:
+            mapping = spatial_mapping(
+                problem, config.systolic_array_x, config.systolic_array_y, dataflow
+            )
+            compute_cycles = self._compute_cycles(problem, mapping)
+            for tiling in candidate_tilings(
+                problem,
+                config.systolic_array_x,
+                config.systolic_array_y,
+                self.options.max_tiling_candidates,
+            ):
+                traffic, fits = estimate_traffic(
+                    problem, tiling, blocking_capacity, _DTYPE_BYTES
+                )
+                if not fits:
+                    continue
+                dram_cycles = traffic.total_bytes / dram_bpc if dram_bpc > 0 else 0.0
+                objective = max(compute_cycles, dram_cycles)
+                rank = (
+                    round(objective, 3),
+                    round(traffic.total_bytes),
+                    tiling.buffer_bytes(_DTYPE_BYTES),
+                )
+                if best is None or rank < best[0]:
+                    best = (rank, mapping, tiling, traffic)
+
+        if best is None:
+            return OpCost(
+                op_name=op.name,
+                op_type=op.op_type,
+                flops=raw_problem.flops,
+                padded_flops=problem.flops,
+                schedule_failed=True,
+            )
+
+        _, mapping, tiling, traffic = best
+        compute_cycles = self._compute_cycles(problem, mapping)
+        utilization = self._utilization(raw_problem, compute_cycles)
+        return OpCost(
+            op_name=op.name,
+            op_type=op.op_type,
+            flops=raw_problem.flops,
+            padded_flops=problem.flops,
+            compute_cycles=compute_cycles,
+            vector_cycles=0.0,
+            dram_input_bytes=traffic.input_bytes,
+            dram_weight_bytes=traffic.stationary_bytes,
+            dram_output_bytes=traffic.output_bytes,
+            utilization=utilization,
+            dataflow=mapping.dataflow,
+            tiling=tiling,
+            schedule_failed=False,
+        )
+
+    # ------------------------------------------------------------------
+    def _compute_cycles(self, problem: MatrixProblem, mapping: SpatialMapping) -> float:
+        """Distribute the mapped problem across the PE grid of one core."""
+        config = self.config
+        num_pes = config.num_pes
+
+        tiles_per_instance = mapping.tiles_k * mapping.tiles_n
+        total_tiles = problem.instances * tiles_per_instance
+        serial_cycles = problem.instances * mapping.cycles_per_instance
+
+        # The streamed dimension can also be split across PEs (each PE gets a
+        # chunk of at least _MIN_STREAM_CHUNK rows), which matters for ops
+        # with few stationary tiles but many streamed rows.
+        streamed = problem.m if mapping.dataflow is Dataflow.WEIGHT_STATIONARY else problem.k
+        stream_splits = max(1, streamed // _MIN_STREAM_CHUNK)
+        parallelism = total_tiles * stream_splits
+
+        effective_pes = min(num_pes, parallelism)
+        if effective_pes <= 0:
+            return serial_cycles
+
+        cycles = serial_cycles / effective_pes
+        # Load imbalance: work is assigned at tile granularity.
+        if total_tiles >= num_pes:
+            waves = math.ceil(total_tiles / num_pes)
+            imbalance = (waves * num_pes) / total_tiles
+            cycles *= imbalance
+        return cycles
+
+    def _utilization(self, raw_problem: MatrixProblem, compute_cycles: float) -> float:
+        """Achieved fraction of the core's peak MAC throughput."""
+        config = self.config
+        peak_macs_per_cycle = config.num_pes * config.macs_per_pe
+        if compute_cycles <= 0 or peak_macs_per_cycle <= 0:
+            return 0.0
+        return min(1.0, raw_problem.macs / (compute_cycles * peak_macs_per_cycle))

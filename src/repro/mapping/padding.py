@@ -1,0 +1,98 @@
+"""Tensor padding pre-processing pass.
+
+Timeloop cannot handle problem dimensions that do not factorize cleanly into
+the hardware datapath dimensions, so the paper adds a padding pre-processing
+step that rounds problem dimensions up to the next multiple of the systolic
+array dimensions when doing so improves utilization (Section 6.1).  Padding
+trades extra (wasted) compute for regular mappings; this module decides when
+that trade is worthwhile and reports the padded problem together with the
+compute overhead it introduces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.mapping.loopnest import MatrixProblem
+
+__all__ = ["PaddingDecision", "pad_problem"]
+
+
+@dataclass(frozen=True)
+class PaddingDecision:
+    """Result of the padding pass for one matrix op.
+
+    Attributes:
+        problem: The (possibly padded) problem handed to the mapper.
+        padded_n / padded_k: Whether each dimension was padded.
+        extra_flops: Additional FLOPs introduced by padding (wasted work).
+        extra_bytes: Additional DRAM bytes introduced by padding the
+            stationary operand (padded weights must still be fetched).
+    """
+
+    problem: MatrixProblem
+    padded_n: bool
+    padded_k: bool
+    extra_flops: int
+    extra_bytes: int
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return int(math.ceil(value / multiple) * multiple)
+
+
+def pad_problem(
+    problem: MatrixProblem,
+    array_x: int,
+    array_y: int,
+    max_overhead: float = 0.2,
+) -> PaddingDecision:
+    """Pad the N and K dimensions up to array multiples when cheap.
+
+    A dimension is padded only when the padding overhead (extra MACs as a
+    fraction of the original) stays below ``max_overhead``; otherwise the
+    dimension is left ragged and the mapper's quantization efficiency model
+    accounts for the partial tile instead.  Depthwise convolutions never pad
+    the reduction dimension (padding a 3x3 kernel's 9-element reduction up to
+    a 128-wide array would be a >14x overhead).
+    """
+    n_target = _round_up(problem.n, array_y) if problem.n % array_y else problem.n
+    k_target = _round_up(problem.k, array_x) if problem.k % array_x else problem.k
+
+    padded_n = False
+    padded_k = False
+    new_n, new_k = problem.n, problem.k
+
+    if n_target != problem.n:
+        overhead = (n_target - problem.n) / problem.n
+        if overhead <= max_overhead:
+            new_n = n_target
+            padded_n = True
+
+    if k_target != problem.k and not problem.is_depthwise:
+        overhead = (k_target - problem.k) / problem.k
+        if overhead <= max_overhead:
+            new_k = k_target
+            padded_k = True
+
+    if not (padded_n or padded_k):
+        return PaddingDecision(problem, False, False, 0, 0)
+
+    dtype_bytes = 2
+    old_macs = problem.macs
+    new_macs = problem.m * new_n * new_k * problem.instances
+    extra_flops = 2 * (new_macs - old_macs)
+
+    old_stationary_elems = problem.k * problem.n * problem.instances
+    new_stationary_elems = new_k * new_n * problem.instances
+    extra_bytes = (new_stationary_elems - old_stationary_elems) * dtype_bytes
+
+    padded = replace(
+        problem,
+        n=new_n,
+        k=new_k,
+        stationary_bytes=problem.stationary_bytes + extra_bytes,
+    )
+    return PaddingDecision(padded, padded_n, padded_k, extra_flops, extra_bytes)

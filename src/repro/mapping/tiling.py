@@ -1,0 +1,150 @@
+"""Loop blocking (tiling) and the resulting DRAM traffic model.
+
+Given a GEMM-like problem and the on-chip capacity available for blocking,
+the scheduler chooses tile sizes ``(m_tile, n_tile, k_tile)`` for the three
+problem dimensions.  The classic reuse analysis gives the resulting DRAM
+traffic:
+
+* each input element is re-read once per N tile that does not keep it
+  resident: ``input_bytes * ceil(N / n_tile)`` unless the input block fits,
+* each stationary element is re-read once per M tile: ``stationary_bytes *
+  ceil(M / m_tile)`` unless it fits,
+* outputs are written once, plus read+written again per extra K tile when
+  partial sums spill.
+
+The mapper searches a small grid of tile candidates (this is the pruned
+Timeloop-style mapspace search) and keeps the best.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.mapping.loopnest import MatrixProblem
+
+__all__ = ["Tiling", "TrafficEstimate", "candidate_tilings", "estimate_traffic"]
+
+
+@dataclass(frozen=True)
+class Tiling:
+    """Tile sizes for the three GEMM dimensions of one problem instance."""
+
+    m_tile: int
+    n_tile: int
+    k_tile: int
+
+    def buffer_bytes(self, dtype_bytes: int = 2) -> int:
+        """On-chip bytes needed to hold one tile of each operand."""
+        input_tile = self.m_tile * self.k_tile
+        weight_tile = self.k_tile * self.n_tile
+        output_tile = self.m_tile * self.n_tile
+        return (input_tile + weight_tile + output_tile) * dtype_bytes
+
+
+@dataclass(frozen=True)
+class TrafficEstimate:
+    """DRAM traffic for a problem under a given tiling."""
+
+    input_bytes: float
+    stationary_bytes: float
+    output_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        """Total DRAM bytes moved."""
+        return self.input_bytes + self.stationary_bytes + self.output_bytes
+
+
+def _geometric_steps(dim: int, minimum: int) -> List[int]:
+    """Power-of-two tile candidates between ``minimum`` and ``dim``."""
+    steps = []
+    value = max(1, minimum)
+    while value < dim:
+        steps.append(value)
+        value *= 4
+    steps.append(dim)
+    return steps
+
+
+def candidate_tilings(
+    problem: MatrixProblem,
+    array_x: int,
+    array_y: int,
+    max_candidates: int = 48,
+) -> Iterator[Tiling]:
+    """Enumerate candidate tilings for the mapper's pruned search.
+
+    Tiles never go below the systolic array dimensions (smaller tiles would
+    waste the array) and grow geometrically up to the full problem dims.
+    """
+    m_steps = _geometric_steps(problem.m, minimum=min(problem.m, 128))
+    n_steps = _geometric_steps(problem.n, minimum=min(problem.n, array_y))
+    k_steps = _geometric_steps(problem.k, minimum=min(problem.k, array_x))
+    count = 0
+    for m_tile in m_steps:
+        for n_tile in n_steps:
+            for k_tile in k_steps:
+                yield Tiling(m_tile, n_tile, k_tile)
+                count += 1
+                if count >= max_candidates:
+                    return
+
+
+def estimate_traffic(
+    problem: MatrixProblem,
+    tiling: Tiling,
+    blocking_capacity_bytes: int,
+    dtype_bytes: int = 2,
+) -> Tuple[TrafficEstimate, bool]:
+    """Estimate DRAM traffic for ``problem`` under ``tiling``.
+
+    Returns the traffic estimate and a flag indicating whether the tiling
+    fits within the blocking capacity (tilings that do not fit are invalid
+    mappings).
+    """
+    fits = tiling.buffer_bytes(dtype_bytes) <= blocking_capacity_bytes
+
+    m_outer = math.ceil(problem.m / tiling.m_tile)
+    n_outer = math.ceil(problem.n / tiling.n_tile)
+    k_outer = math.ceil(problem.k / tiling.k_tile)
+
+    # Input (streamed operand): re-read for every N tile unless the whole
+    # input of one instance fits on chip alongside the working tiles.
+    # Depthwise convolutions never re-read: each input element belongs to a
+    # single channel and is only touched by that channel's column.
+    input_resident = problem.input_bytes / max(problem.instances, 1) <= (
+        blocking_capacity_bytes - tiling.buffer_bytes(dtype_bytes)
+    )
+    if problem.is_depthwise:
+        input_reread = 1
+    else:
+        input_reread = 1 if (n_outer == 1 or input_resident) else n_outer
+    input_traffic = problem.input_bytes * input_reread
+
+    # Stationary operand: re-read for every M tile unless it fits on chip.
+    stationary_resident = problem.stationary_bytes / max(problem.instances, 1) <= (
+        blocking_capacity_bytes - tiling.buffer_bytes(dtype_bytes)
+    )
+    stationary_reread = 1 if (m_outer == 1 or stationary_resident) else m_outer
+    stationary_traffic = problem.stationary_bytes * stationary_reread
+
+    # Outputs: written once; when the reduction is tiled and partial sums
+    # cannot stay resident they spill (read + write per extra K tile).
+    output_resident = problem.output_bytes / max(problem.instances, 1) <= (
+        blocking_capacity_bytes - tiling.buffer_bytes(dtype_bytes)
+    )
+    if k_outer == 1 or output_resident:
+        output_traffic = float(problem.output_bytes)
+    else:
+        output_traffic = problem.output_bytes * (1.0 + 2.0 * (k_outer - 1))
+
+    return (
+        TrafficEstimate(
+            input_bytes=float(input_traffic),
+            stationary_bytes=float(stationary_traffic),
+            output_bytes=float(output_traffic),
+        ),
+        fits,
+    )

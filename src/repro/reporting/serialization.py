@@ -1,0 +1,113 @@
+"""JSON serialization of datapath configurations and search results.
+
+Search runs are expensive; these helpers let users persist the designs FAST
+finds (and the full trial history) and reload them later for re-simulation,
+ablation, or deployment studies without re-running the search.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.fast import FASTSearchResult
+from repro.core.trial import TrialMetrics
+from repro.hardware.datapath import BufferConfig, DatapathConfig, L2Config, MemoryTechnology
+
+__all__ = [
+    "config_to_dict",
+    "config_from_dict",
+    "save_config",
+    "load_config",
+    "trial_metrics_to_dict",
+    "search_result_to_dict",
+    "save_search_result",
+]
+
+_ENUM_FIELDS = {
+    "l1_buffer_config": BufferConfig,
+    "l2_buffer_config": L2Config,
+    "memory_technology": MemoryTechnology,
+}
+
+
+def config_to_dict(config: DatapathConfig) -> Dict[str, object]:
+    """Convert a datapath configuration to a JSON-compatible dictionary."""
+    result: Dict[str, object] = {}
+    for name, value in config.__dict__.items():
+        if name in _ENUM_FIELDS:
+            result[name] = value.value
+        else:
+            result[name] = value
+    return result
+
+
+def config_from_dict(data: Dict[str, object]) -> DatapathConfig:
+    """Rebuild a datapath configuration from :func:`config_to_dict` output."""
+    kwargs = dict(data)
+    for name, enum_type in _ENUM_FIELDS.items():
+        if name in kwargs and not isinstance(kwargs[name], enum_type):
+            kwargs[name] = enum_type(kwargs[name])
+    return DatapathConfig(**kwargs)
+
+
+def save_config(config: DatapathConfig, path: Union[str, Path]) -> Path:
+    """Write a configuration to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(config_to_dict(config), indent=2, sort_keys=True))
+    return path
+
+
+def load_config(path: Union[str, Path]) -> DatapathConfig:
+    """Read a configuration previously written by :func:`save_config`."""
+    return config_from_dict(json.loads(Path(path).read_text()))
+
+
+def trial_metrics_to_dict(metrics: TrialMetrics) -> Dict[str, object]:
+    """Convert trial metrics (one evaluated design) to a JSON-compatible dict."""
+    return {
+        "config": config_to_dict(metrics.config) if metrics.config is not None else None,
+        "area_mm2": metrics.area_mm2,
+        "tdp_w": metrics.tdp_w,
+        "feasible": metrics.feasible,
+        "failure_reason": metrics.failure_reason,
+        "per_workload_qps": dict(metrics.per_workload_qps),
+        "per_workload_latency_ms": dict(metrics.per_workload_latency_ms),
+        "per_workload_utilization": dict(metrics.per_workload_utilization),
+        "aggregate_score": metrics.aggregate_score,
+    }
+
+
+def search_result_to_dict(
+    result: FASTSearchResult, include_history: bool = False
+) -> Dict[str, object]:
+    """Convert a search result to a JSON-compatible dict."""
+    payload: Dict[str, object] = {
+        "workloads": list(result.problem.workloads),
+        "objective": result.problem.objective.value,
+        "num_trials": result.num_trials,
+        "num_feasible_trials": result.num_feasible_trials,
+        "best_score": result.best_score,
+        "best_config": (
+            config_to_dict(result.best_config) if result.best_config is not None else None
+        ),
+        "best_metrics": (
+            trial_metrics_to_dict(result.best_metrics)
+            if result.best_metrics is not None
+            else None
+        ),
+        "best_score_curve": list(result.best_score_curve),
+    }
+    if include_history:
+        payload["history"] = [trial_metrics_to_dict(m) for m in result.history]
+    return payload
+
+
+def save_search_result(
+    result: FASTSearchResult, path: Union[str, Path], include_history: bool = False
+) -> Path:
+    """Write a search result (and optionally its full history) to JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(search_result_to_dict(result, include_history), indent=2))
+    return path

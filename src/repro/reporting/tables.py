@@ -1,0 +1,60 @@
+"""Plain-text table formatting shared by the CLI, examples, and benchmarks."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_kv", "to_csv", "to_markdown"]
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table with a header rule."""
+    str_rows: List[List[str]] = [[_stringify(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+
+    lines = [render(list(headers)), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_kv(mapping: Mapping[str, object], title: str = "") -> str:
+    """Render a key/value mapping as an aligned two-column block."""
+    width = max((len(str(k)) for k in mapping), default=0)
+    lines = [f"{title}" ] if title else []
+    lines.extend(f"{str(k).ljust(width)}  {_stringify(v)}" for k, v in mapping.items())
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as CSV text (for piping into spreadsheets / plotting)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow([_stringify(c) for c in row])
+    return buffer.getvalue()
+
+
+def to_markdown(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(c) for c in row) + " |")
+    return "\n".join(lines)

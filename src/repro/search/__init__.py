@@ -1,0 +1,51 @@
+"""Black-box optimizers and multi-objective utilities (the Vizier substitute)."""
+
+from repro.search.annealing import SimulatedAnnealingOptimizer
+from repro.search.bayesian import BayesianOptimizer
+from repro.search.constrained import SafeSearchOptimizer
+from repro.search.coordinate import CoordinateDescentOptimizer
+from repro.search.evolutionary import LinearCombinationSwarmOptimizer
+from repro.search.optimizer import Observation, Optimizer
+from repro.search.pareto import ParetoFront, ParetoPoint, dominates
+from repro.search.random_search import RandomSearchOptimizer
+from repro.search.transfer import TransferWarmStartOptimizer, top_configurations
+
+__all__ = [
+    "BayesianOptimizer",
+    "CoordinateDescentOptimizer",
+    "LinearCombinationSwarmOptimizer",
+    "Observation",
+    "Optimizer",
+    "ParetoFront",
+    "ParetoPoint",
+    "RandomSearchOptimizer",
+    "SafeSearchOptimizer",
+    "SimulatedAnnealingOptimizer",
+    "TransferWarmStartOptimizer",
+    "dominates",
+    "make_optimizer",
+    "top_configurations",
+]
+
+
+def make_optimizer(name: str, space, seed: int = 0) -> Optimizer:
+    """Construct an optimizer by name.
+
+    Recognized names: ``random``, ``bayesian``, ``lcs``, ``annealing``,
+    ``coordinate``.  Prefix any of them with ``safe:`` to wrap it in
+    :class:`SafeSearchOptimizer` (e.g. ``safe:lcs``).
+    """
+    name = name.lower()
+    if name.startswith("safe:"):
+        return SafeSearchOptimizer(space, seed=seed, inner=name.split(":", 1)[1])
+    if name in ("random", "random_search"):
+        return RandomSearchOptimizer(space, seed=seed)
+    if name in ("bayesian", "gp", "bo"):
+        return BayesianOptimizer(space, seed=seed)
+    if name in ("lcs", "evolutionary", "swarm"):
+        return LinearCombinationSwarmOptimizer(space, seed=seed)
+    if name in ("annealing", "sa", "simulated_annealing"):
+        return SimulatedAnnealingOptimizer(space, seed=seed)
+    if name in ("coordinate", "cd", "coordinate_descent"):
+        return CoordinateDescentOptimizer(space, seed=seed)
+    raise ValueError(f"unknown optimizer {name!r}")

@@ -1,0 +1,100 @@
+"""Simulated-annealing optimizer over the datapath search space.
+
+Simulated annealing is a classic single-point metaheuristic: it keeps one
+incumbent configuration, proposes a small mutation of it each trial, and
+accepts worse proposals with a probability that decays with a temperature
+schedule.  The paper's Vizier study (Figure 11) compares Bayesian, random,
+and LCS heuristics; annealing is provided as an additional, cheap baseline
+that is often competitive on categorical spaces like Table 3 and is useful
+for ablating the choice of black-box optimizer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
+from repro.search.optimizer import Observation, Optimizer
+
+__all__ = ["SimulatedAnnealingOptimizer"]
+
+
+class SimulatedAnnealingOptimizer(Optimizer):
+    """Single-incumbent optimizer with a Metropolis acceptance rule.
+
+    The acceptance test uses the *relative* objective degradation so the
+    temperature schedule does not need to know the objective's scale
+    (objectives here are negated Perf/TDP scores whose magnitude varies by
+    orders of magnitude across workloads).
+    """
+
+    def __init__(
+        self,
+        space: DatapathSearchSpace,
+        seed: int = 0,
+        initial_temperature: float = 0.25,
+        cooling_rate: float = 0.97,
+        min_temperature: float = 1e-3,
+        num_initial_random: int = 8,
+        max_mutations: int = 3,
+    ) -> None:
+        super().__init__(space, seed)
+        if initial_temperature <= 0:
+            raise ValueError("initial_temperature must be positive")
+        if not 0.0 < cooling_rate <= 1.0:
+            raise ValueError("cooling_rate must be in (0, 1]")
+        self.initial_temperature = initial_temperature
+        self.cooling_rate = cooling_rate
+        self.min_temperature = min_temperature
+        self.num_initial_random = num_initial_random
+        self.max_mutations = max_mutations
+        self._incumbent: Optional[ParameterValues] = None
+        self._incumbent_objective = math.inf
+
+    # ------------------------------------------------------------------
+    @property
+    def temperature(self) -> float:
+        """Current annealing temperature."""
+        cooled = self.initial_temperature * self.cooling_rate**self.num_trials
+        return max(cooled, self.min_temperature)
+
+    def ask(self) -> ParameterValues:
+        """Propose a mutation of the incumbent (or a random point early on)."""
+        if self._incumbent is None or self.num_trials < self.num_initial_random:
+            return self.space.sample(self.rng)
+        # Hotter temperatures explore with larger moves; cold ones fine-tune.
+        hot_fraction = self.temperature / self.initial_temperature
+        num_mutations = 1 + int(round(hot_fraction * (self.max_mutations - 1)))
+        return self.space.mutate(self._incumbent, self.rng, num_mutations=num_mutations)
+
+    def tell(
+        self,
+        params: ParameterValues,
+        objective: float,
+        feasible: bool = True,
+        metadata: Optional[dict] = None,
+    ) -> Observation:
+        """Record the trial and apply the Metropolis acceptance rule."""
+        observation = super().tell(params, objective, feasible=feasible, metadata=metadata)
+        if not feasible or not math.isfinite(objective):
+            return observation
+        if self._incumbent is None or objective < self._incumbent_objective:
+            self._accept(params, objective)
+            return observation
+        # Worse but maybe accepted: relative degradation vs. temperature.
+        scale = abs(self._incumbent_objective) + 1e-12
+        delta = (objective - self._incumbent_objective) / scale
+        if self.rng.random() < math.exp(-delta / self.temperature):
+            self._accept(params, objective)
+        return observation
+
+    # ------------------------------------------------------------------
+    def _accept(self, params: ParameterValues, objective: float) -> None:
+        self._incumbent = dict(params)
+        self._incumbent_objective = objective
+
+    @property
+    def incumbent(self) -> Optional[ParameterValues]:
+        """The currently accepted configuration (not necessarily the best seen)."""
+        return dict(self._incumbent) if self._incumbent is not None else None

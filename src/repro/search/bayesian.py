@@ -1,0 +1,110 @@
+"""Bayesian optimization with a Gaussian-process surrogate.
+
+This stands in for Vizier's default Bayesian algorithm (Figure 11): a GP with
+an RBF kernel over the normalized categorical encoding of the datapath
+parameters, expected-improvement acquisition maximized by sampling a batch of
+random plus mutated candidates, and an initial space-filling phase of pure
+random exploration.  Infeasible observations are included with a penalized
+objective so the surrogate learns to avoid constraint-violating regions
+(Vizier's "safe search").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
+from repro.search.optimizer import Observation, Optimizer
+
+__all__ = ["BayesianOptimizer"]
+
+
+class BayesianOptimizer(Optimizer):
+    """GP-based Bayesian optimizer over the datapath search space."""
+
+    def __init__(
+        self,
+        space: DatapathSearchSpace,
+        seed: int = 0,
+        num_initial_random: int = 12,
+        candidates_per_ask: int = 256,
+        length_scale: float = 0.35,
+        noise: float = 1e-4,
+        max_fit_points: int = 256,
+    ) -> None:
+        super().__init__(space, seed)
+        self.num_initial_random = num_initial_random
+        self.candidates_per_ask = candidates_per_ask
+        self.length_scale = length_scale
+        self.noise = noise
+        self.max_fit_points = max_fit_points
+
+    # ------------------------------------------------------------------
+    def ask(self) -> ParameterValues:
+        """Propose the next configuration via expected improvement."""
+        usable = [obs for obs in self.observations if math.isfinite(obs.objective)]
+        if len(usable) < self.num_initial_random:
+            return self.space.sample(self.rng)
+
+        train_x, train_y, best_y = self._training_data(usable)
+        candidates = self._generate_candidates()
+        encoded = np.stack([self.space.encode(c) for c in candidates])
+        mean, std = self._gp_posterior(train_x, train_y, encoded)
+        ei = self._expected_improvement(mean, std, best_y)
+        return candidates[int(np.argmax(ei))]
+
+    # ------------------------------------------------------------------
+    def _training_data(self, usable: List[Observation]):
+        feasible = [obs for obs in usable if obs.feasible]
+        penalty = max((obs.objective for obs in feasible), default=0.0)
+        rows = usable[-self.max_fit_points :]
+        train_x = np.stack([self.space.encode(obs.params) for obs in rows])
+        train_y = np.array(
+            [obs.objective if obs.feasible else penalty + abs(penalty) + 1.0 for obs in rows]
+        )
+        # Standardize targets for numerical stability.
+        self._y_mean = float(train_y.mean())
+        self._y_std = float(train_y.std()) or 1.0
+        train_y = (train_y - self._y_mean) / self._y_std
+        best_y = float(train_y.min())
+        return train_x, train_y, best_y
+
+    def _generate_candidates(self) -> List[ParameterValues]:
+        candidates = [self.space.sample(self.rng) for _ in range(self.candidates_per_ask // 2)]
+        best = self.best_observation()
+        if best is not None:
+            for _ in range(self.candidates_per_ask - len(candidates)):
+                candidates.append(
+                    self.space.mutate(best.params, self.rng, num_mutations=int(self.rng.integers(1, 4)))
+                )
+        return candidates
+
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq_dist = (
+            np.sum(a**2, axis=1)[:, None] + np.sum(b**2, axis=1)[None, :] - 2.0 * a @ b.T
+        )
+        return np.exp(-0.5 * np.maximum(sq_dist, 0.0) / self.length_scale**2)
+
+    def _gp_posterior(self, train_x: np.ndarray, train_y: np.ndarray, test_x: np.ndarray):
+        k_train = self._kernel(train_x, train_x) + self.noise * np.eye(train_x.shape[0])
+        k_cross = self._kernel(train_x, test_x)
+        try:
+            chol = np.linalg.cholesky(k_train)
+        except np.linalg.LinAlgError:
+            chol = np.linalg.cholesky(k_train + 1e-3 * np.eye(train_x.shape[0]))
+        alpha = np.linalg.solve(chol.T, np.linalg.solve(chol, train_y))
+        mean = k_cross.T @ alpha
+        v = np.linalg.solve(chol, k_cross)
+        var = np.maximum(1.0 - np.sum(v**2, axis=0), 1e-9)
+        return mean, np.sqrt(var)
+
+    @staticmethod
+    def _expected_improvement(mean: np.ndarray, std: np.ndarray, best_y: float) -> np.ndarray:
+        from scipy.stats import norm
+
+        improvement = best_y - mean
+        z = improvement / std
+        return improvement * norm.cdf(z) + std * norm.pdf(z)

@@ -1,0 +1,81 @@
+"""Safe-search wrapper: constraint-aware objective shaping.
+
+The paper enables Vizier's *safe search* (Gelbart et al., "Bayesian
+Optimization with Unknown Constraints") so that infeasible trials — designs
+that exceed the area/TDP budget or fail to schedule — still inform the
+optimizer instead of being discarded.  :class:`SafeSearchOptimizer` brings
+the same behaviour to any of the in-repo optimizers: it forwards proposals
+to an inner optimizer unchanged, but replaces the (useless, usually
+infinite) objective of infeasible trials with a finite penalty placed just
+beyond the worst feasible objective seen so far.  Surrogate- and
+population-based optimizers then treat constraint violations as "bad but
+ordered" points and steer away from them smoothly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
+from repro.search.optimizer import Observation, Optimizer
+
+__all__ = ["SafeSearchOptimizer"]
+
+
+class SafeSearchOptimizer(Optimizer):
+    """Wraps another optimizer, shaping infeasible objectives into penalties."""
+
+    def __init__(
+        self,
+        space: DatapathSearchSpace,
+        seed: int = 0,
+        inner: Union[str, Optimizer] = "lcs",
+        penalty_margin: float = 0.25,
+    ) -> None:
+        super().__init__(space, seed)
+        if isinstance(inner, str):
+            # Imported lazily to avoid a circular import with the factory.
+            from repro.search import make_optimizer
+
+            inner = make_optimizer(inner, space, seed=seed)
+        if inner.space is not space:
+            raise ValueError("inner optimizer must share the same search space")
+        self.inner = inner
+        self.penalty_margin = penalty_margin
+
+    # ------------------------------------------------------------------
+    def ask(self) -> ParameterValues:
+        """Delegate proposal generation to the inner optimizer."""
+        return self.inner.ask()
+
+    def tell(
+        self,
+        params: ParameterValues,
+        objective: float,
+        feasible: bool = True,
+        metadata: Optional[dict] = None,
+    ) -> Observation:
+        """Record the true outcome and feed a shaped objective to the inner optimizer."""
+        observation = super().tell(params, objective, feasible=feasible, metadata=metadata)
+        if feasible and math.isfinite(objective):
+            self.inner.tell(params, objective, feasible=True, metadata=metadata)
+        else:
+            self.inner.tell(params, self.penalty_objective(), feasible=True, metadata=metadata)
+        return observation
+
+    # ------------------------------------------------------------------
+    def penalty_objective(self) -> float:
+        """Finite objective assigned to infeasible trials.
+
+        The penalty sits one ``penalty_margin`` of the observed objective
+        spread beyond the worst feasible value, so infeasible points are
+        always ranked behind every feasible point but remain comparable to
+        each other for the surrogate.
+        """
+        feasible = [obs.objective for obs in self.feasible_observations]
+        if not feasible:
+            return 0.0
+        worst = max(feasible)
+        spread = max(worst - min(feasible), abs(worst), 1.0)
+        return worst + self.penalty_margin * spread

@@ -1,0 +1,77 @@
+"""Linear Combination Swarm (LCS) style evolutionary optimizer.
+
+Vizier's LCS heuristic (Golovin et al., "Black box optimization via a
+bayesian-optimized genetic algorithm") maintains a population and produces
+children by linearly combining parent encodings plus mutation.  The paper
+finds LCS outperforms the default Bayesian algorithm once trials exceed ~2000
+(Figure 11).  This implementation keeps an elite population in the normalized
+encoding space, generates children as convex combinations of two parents
+(optionally extrapolated, the "linear combination" move), decodes back to the
+categorical space, and applies a small number of categorical mutations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
+from repro.search.optimizer import Observation, Optimizer
+
+__all__ = ["LinearCombinationSwarmOptimizer"]
+
+
+class LinearCombinationSwarmOptimizer(Optimizer):
+    """Population-based optimizer using linear-combination crossover."""
+
+    def __init__(
+        self,
+        space: DatapathSearchSpace,
+        seed: int = 0,
+        population_size: int = 24,
+        num_initial_random: int = 24,
+        mutation_probability: float = 0.6,
+        extrapolation_scale: float = 0.3,
+    ) -> None:
+        super().__init__(space, seed)
+        self.population_size = population_size
+        self.num_initial_random = num_initial_random
+        self.mutation_probability = mutation_probability
+        self.extrapolation_scale = extrapolation_scale
+
+    # ------------------------------------------------------------------
+    def ask(self) -> ParameterValues:
+        """Propose the next configuration."""
+        population = self._population()
+        if len(population) < 2 or self.num_trials < self.num_initial_random:
+            return self.space.sample(self.rng)
+
+        parent_a, parent_b = self._select_parents(population)
+        child_vector = self._linear_combination(
+            self.space.encode(parent_a.params), self.space.encode(parent_b.params)
+        )
+        child = self.space.decode(child_vector)
+        if self.rng.random() < self.mutation_probability:
+            child = self.space.mutate(child, self.rng, num_mutations=int(self.rng.integers(1, 3)))
+        return child
+
+    # ------------------------------------------------------------------
+    def _population(self) -> List[Observation]:
+        feasible = self.feasible_observations
+        feasible.sort(key=lambda obs: obs.objective)
+        return feasible[: self.population_size]
+
+    def _select_parents(self, population: List[Observation]):
+        """Rank-weighted tournament selection of two distinct parents."""
+        ranks = np.arange(len(population), 0, -1, dtype=float)
+        probabilities = ranks / ranks.sum()
+        indices = self.rng.choice(len(population), size=2, replace=False, p=probabilities)
+        return population[int(indices[0])], population[int(indices[1])]
+
+    def _linear_combination(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Convex (possibly extrapolated) combination of two parent encodings."""
+        weight = self.rng.uniform(-self.extrapolation_scale, 1.0 + self.extrapolation_scale)
+        child = weight * a + (1.0 - weight) * b
+        return np.clip(child, 0.0, 1.0)

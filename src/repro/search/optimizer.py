@@ -1,0 +1,94 @@
+"""Black-box optimizer interface (the Vizier substitute).
+
+All optimizers implement an ask/tell interface over the categorical datapath
+search space: ``ask`` proposes the next parameter assignment to evaluate and
+``tell`` reports the measured objective (lower is better — the framework
+minimizes, e.g. negative Perf/TDP) together with a feasibility flag covering
+the area/TDP constraints and schedule failures (Eq. 4-5).  Infeasible trials
+carry no objective signal other than "avoid this"; this mirrors Vizier's
+safe-search handling of constraint violations.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
+
+__all__ = ["Observation", "Optimizer"]
+
+
+@dataclass
+class Observation:
+    """One evaluated trial."""
+
+    params: ParameterValues
+    objective: float
+    feasible: bool
+    trial_index: int
+    metadata: dict = field(default_factory=dict)
+
+
+class Optimizer(ABC):
+    """Base class for black-box optimizers over the datapath search space."""
+
+    def __init__(self, space: DatapathSearchSpace, seed: int = 0) -> None:
+        self.space = space
+        self.rng = np.random.default_rng(seed)
+        self.observations: List[Observation] = []
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def ask(self) -> ParameterValues:
+        """Propose the next parameter assignment to evaluate."""
+
+    def tell(
+        self,
+        params: ParameterValues,
+        objective: float,
+        feasible: bool = True,
+        metadata: Optional[dict] = None,
+    ) -> Observation:
+        """Report the outcome of evaluating ``params``."""
+        observation = Observation(
+            params=dict(params),
+            objective=float(objective),
+            feasible=feasible,
+            trial_index=len(self.observations),
+            metadata=metadata or {},
+        )
+        self.observations.append(observation)
+        return observation
+
+    # ------------------------------------------------------------------
+    @property
+    def num_trials(self) -> int:
+        """Number of completed trials."""
+        return len(self.observations)
+
+    @property
+    def feasible_observations(self) -> List[Observation]:
+        """Trials that satisfied all constraints."""
+        return [obs for obs in self.observations if obs.feasible and math.isfinite(obs.objective)]
+
+    def best_observation(self) -> Optional[Observation]:
+        """Best (lowest-objective) feasible trial so far."""
+        feasible = self.feasible_observations
+        if not feasible:
+            return None
+        return min(feasible, key=lambda obs: obs.objective)
+
+    def best_objective_curve(self) -> List[float]:
+        """Best-so-far objective after each trial (for convergence plots)."""
+        curve: List[float] = []
+        best = math.inf
+        for obs in self.observations:
+            if obs.feasible and obs.objective < best:
+                best = obs.objective
+            curve.append(best)
+        return curve

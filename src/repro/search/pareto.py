@@ -1,0 +1,76 @@
+"""Pareto-frontier tracking for multi-objective design-space views.
+
+Figure 12 characterizes the relationship between EfficientNet-B7 step time,
+TDP, and area: every evaluated design is a point and the interesting set is
+the Pareto frontier (no other design is at least as good on every axis and
+strictly better on one).  This module provides a small utility for
+maintaining that frontier over arbitrary objective tuples where *lower is
+better* on every axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ParetoPoint", "ParetoFront", "dominates"]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when objective tuple ``a`` Pareto-dominates ``b`` (lower is better)."""
+    if len(a) != len(b):
+        raise ValueError("objective tuples must have the same length")
+    at_least_as_good = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return at_least_as_good and strictly_better
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """A design point with its objective tuple and free-form payload."""
+
+    objectives: Tuple[float, ...]
+    payload: Dict[str, object] = field(default_factory=dict)
+
+
+class ParetoFront:
+    """Maintains the set of non-dominated points."""
+
+    def __init__(self) -> None:
+        self._points: List[ParetoPoint] = []
+        self._all_points: List[ParetoPoint] = []
+
+    def add(self, objectives: Sequence[float], payload: Dict[str, object] = None) -> bool:
+        """Add a point; returns True if it joins the frontier."""
+        point = ParetoPoint(tuple(float(x) for x in objectives), dict(payload or {}))
+        self._all_points.append(point)
+        if any(dominates(existing.objectives, point.objectives) for existing in self._points):
+            return False
+        self._points = [
+            existing
+            for existing in self._points
+            if not dominates(point.objectives, existing.objectives)
+        ]
+        self._points.append(point)
+        return True
+
+    @property
+    def points(self) -> List[ParetoPoint]:
+        """Current non-dominated points (unsorted)."""
+        return list(self._points)
+
+    @property
+    def all_points(self) -> List[ParetoPoint]:
+        """Every point ever added (for scatter plots)."""
+        return list(self._all_points)
+
+    def sorted_by(self, axis: int) -> List[ParetoPoint]:
+        """Frontier points sorted along one objective axis."""
+        return sorted(self._points, key=lambda p: p.objectives[axis])
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, objectives: Sequence[float]) -> bool:
+        key = tuple(float(x) for x in objectives)
+        return any(p.objectives == key for p in self._points)

@@ -1,0 +1,16 @@
+"""Uniform random search baseline (the "random sampling" curve of Figure 11)."""
+
+from __future__ import annotations
+
+from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
+from repro.search.optimizer import Optimizer
+
+__all__ = ["RandomSearchOptimizer"]
+
+
+class RandomSearchOptimizer(Optimizer):
+    """Samples the search space uniformly at random, ignoring feedback."""
+
+    def ask(self) -> ParameterValues:
+        """Propose a uniformly random configuration."""
+        return self.space.sample(self.rng)

@@ -1,0 +1,90 @@
+"""Transfer learning across FAST studies (warm starting).
+
+Vizier supports transfer learning between studies; the paper disables it for
+its headline experiments but it is a natural extension when FAST is run
+repeatedly on related workloads (e.g. retuning for EfficientNet-B4 after
+having searched for B7).  :class:`TransferWarmStartOptimizer` replays the
+best configurations of a prior study as the first proposals of a new study
+and only then hands control to the inner optimizer — the prior designs are
+re-evaluated under the new workload/objective, so a misleading prior costs a
+few trials rather than biasing the whole search.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
+from repro.search.optimizer import Observation, Optimizer
+
+__all__ = ["TransferWarmStartOptimizer", "top_configurations"]
+
+
+def top_configurations(
+    observations: Iterable[Observation], num_configs: int
+) -> List[ParameterValues]:
+    """Best feasible parameter assignments of a prior study, best first."""
+    feasible = [obs for obs in observations if obs.feasible]
+    feasible.sort(key=lambda obs: obs.objective)
+    return [dict(obs.params) for obs in feasible[:num_configs]]
+
+
+class TransferWarmStartOptimizer(Optimizer):
+    """Replays a prior study's best designs before delegating to an inner optimizer."""
+
+    def __init__(
+        self,
+        space: DatapathSearchSpace,
+        seed: int = 0,
+        inner: Union[str, Optimizer] = "lcs",
+        prior_observations: Optional[Sequence[Observation]] = None,
+        prior_params: Optional[Sequence[ParameterValues]] = None,
+        num_warm_start: int = 8,
+    ) -> None:
+        super().__init__(space, seed)
+        if isinstance(inner, str):
+            from repro.search import make_optimizer
+
+            inner = make_optimizer(inner, space, seed=seed)
+        if inner.space is not space:
+            raise ValueError("inner optimizer must share the same search space")
+        self.inner = inner
+
+        warm: List[ParameterValues] = []
+        if prior_observations:
+            warm.extend(top_configurations(prior_observations, num_warm_start))
+        if prior_params:
+            warm.extend(dict(p) for p in prior_params)
+        # Deduplicate while preserving order; the same design often tops
+        # several prior studies.
+        seen = set()
+        self._warm_start_queue: List[ParameterValues] = []
+        for params in warm[:num_warm_start]:
+            key = tuple(sorted((k, str(v)) for k, v in params.items()))
+            if key not in seen:
+                seen.add(key)
+                self._warm_start_queue.append(params)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_pending_warm_starts(self) -> int:
+        """Prior designs that have not been proposed yet."""
+        return len(self._warm_start_queue)
+
+    def ask(self) -> ParameterValues:
+        """Propose the next prior design, or delegate once the queue is empty."""
+        if self._warm_start_queue:
+            return self._warm_start_queue.pop(0)
+        return self.inner.ask()
+
+    def tell(
+        self,
+        params: ParameterValues,
+        objective: float,
+        feasible: bool = True,
+        metadata: Optional[dict] = None,
+    ) -> Observation:
+        """Record the outcome in both this wrapper and the inner optimizer."""
+        observation = super().tell(params, objective, feasible=feasible, metadata=metadata)
+        self.inner.tell(params, objective, feasible=feasible, metadata=metadata)
+        return observation

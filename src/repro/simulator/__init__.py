@@ -1,0 +1,18 @@
+"""Whole-graph accelerator simulator (performance, traffic, utilization)."""
+
+from repro.simulator.engine import SimulationOptions, Simulator
+from repro.simulator.result import RegionPerformance, SimulationResult
+from repro.simulator.roofline import RooflinePoint, attainable_flops, roofline_point
+from repro.simulator.vector_ops import vector_op_cost, vpu_lanes_per_core
+
+__all__ = [
+    "RegionPerformance",
+    "RooflinePoint",
+    "SimulationOptions",
+    "SimulationResult",
+    "Simulator",
+    "attainable_flops",
+    "roofline_point",
+    "vector_op_cost",
+    "vpu_lanes_per_core",
+]

@@ -1,0 +1,311 @@
+"""Whole-graph accelerator simulator.
+
+The simulator evaluates a workload graph on a datapath configuration using
+the same three-stage flow as the paper (Figure 1): matrix ops are scheduled
+by the Timeloop-style mapper, vector ops are costed on the VPU, per-region
+pre-fusion performance is assembled, and — when the datapath has a Global
+Memory and fusion is enabled — the FAST fusion ILP assigns tensors to the
+Global Memory and post-fusion performance is produced.
+
+Multi-core chips (the dual-core TPU-v3 baseline) are modeled by simulating a
+single core with its share of the DRAM bandwidth and multiplying throughput
+by the core count, matching the paper's treatment of each TPU-v3 core as a
+separate accelerator serving its own batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.compiler.passes import CompiledModel, compile_graph
+from repro.compiler.xla_fusion import FusionRegion
+from repro.fusion.fast_fusion import FastFusionOptimizer, FusionDecision, FusionResult, RegionStats
+from repro.hardware.datapath import DatapathConfig
+from repro.hardware.memory import MemoryHierarchy
+from repro.mapping.costmodel import OpCost
+from repro.mapping.mapper import Mapper, MapperOptions
+from repro.simulator.result import RegionPerformance, SimulationResult
+from repro.simulator.vector_ops import vector_op_cost
+from repro.workloads.graph import Graph, Operation, TensorKind
+from repro.workloads.ops import OpType, is_matrix_op
+from repro.workloads.registry import build_workload
+
+__all__ = ["SimulationOptions", "Simulator"]
+
+
+@dataclass
+class SimulationOptions:
+    """Knobs controlling a simulation run."""
+
+    enable_fast_fusion: Optional[bool] = None  # None: follow the datapath config
+    fusion_solver: str = "auto"
+    mapper_options: Optional[MapperOptions] = None
+
+
+class Simulator:
+    """Evaluates workloads on a datapath configuration."""
+
+    def __init__(
+        self,
+        config: DatapathConfig,
+        options: Optional[SimulationOptions] = None,
+    ) -> None:
+        self.config = config
+        self.options = options or SimulationOptions()
+        self._core_config = self._derive_core_config(config)
+        self.hierarchy = MemoryHierarchy(self._core_config)
+        self.mapper = Mapper(
+            self._core_config, self.hierarchy, self.options.mapper_options
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _derive_core_config(config: DatapathConfig) -> DatapathConfig:
+        """Single-core view of the chip (bandwidth split across cores)."""
+        if config.num_cores == 1:
+            return config
+        channels = max(1, config.gddr6_channels // config.num_cores)
+        return config.evolve(num_cores=1, gddr6_channels=channels)
+
+    # ------------------------------------------------------------------
+    def simulate_workload(self, workload: str, batch_size: Optional[int] = None) -> SimulationResult:
+        """Build a registered workload at the design's native batch and simulate it."""
+        batch = batch_size or self.config.native_batch_size
+        graph = build_workload(workload, batch_size=batch)
+        return self.simulate(graph)
+
+    def simulate(self, graph: Graph) -> SimulationResult:
+        """Simulate a prepared graph (already at the desired batch size)."""
+        core = self._core_config
+        compiled = compile_graph(graph, use_two_pass_softmax=core.use_two_pass_softmax)
+        dram_bpc = core.dram_bytes_per_cycle
+
+        region_perf: List[RegionPerformance] = []
+        region_stats: List[RegionStats] = []
+        producer_region: Dict[str, int] = {}
+        schedule_failed = False
+
+        for region in compiled.regions:
+            record, stats = self._evaluate_region(
+                compiled, region, dram_bpc, producer_region
+            )
+            if record is None:
+                schedule_failed = True
+                break
+            region_perf.append(record)
+            region_stats.append(stats)
+            for tensor_name in region.output_tensors:
+                producer_region[tensor_name] = region.index
+
+        fusion_result: Optional[FusionResult] = None
+        fusion_enabled = (
+            self.options.enable_fast_fusion
+            if self.options.enable_fast_fusion is not None
+            else core.enable_fast_fusion
+        )
+        if (
+            fusion_enabled
+            and not schedule_failed
+            and core.l3_global_buffer_mib > 0
+            and region_stats
+        ):
+            optimizer = FastFusionOptimizer(
+                gm_capacity_bytes=core.global_buffer_bytes,
+                solver=self.options.fusion_solver,
+            )
+            fusion_result = optimizer.optimize(region_stats)
+            for record, cycles, decision in zip(
+                region_perf, fusion_result.region_cycles, fusion_result.decisions
+            ):
+                record.post_fusion_cycles = cycles
+                record.fusion = decision
+
+        return SimulationResult(
+            workload=graph.name,
+            config=self.config,
+            batch_size=graph.batch_size,
+            regions=region_perf,
+            fusion_result=fusion_result,
+            schedule_failed=schedule_failed,
+            clock_ghz=core.clock_ghz,
+            num_cores=self.config.num_cores,
+        )
+
+    # ------------------------------------------------------------------
+    def _evaluate_region(
+        self,
+        compiled: CompiledModel,
+        region: FusionRegion,
+        dram_bpc: float,
+        producer_region: Dict[str, int],
+    ):
+        """Cost one fusion region; returns (RegionPerformance, RegionStats)."""
+        graph = compiled.graph
+        tensors = graph.tensors
+        core = self._core_config
+
+        matrix_costs: List[OpCost] = []
+        anchor_cost: Optional[OpCost] = None
+        vector_costs: List[OpCost] = []
+        op_busy_cycles: Dict[str, float] = {}
+        for op in region.ops:
+            if is_matrix_op(op.op_type):
+                cost = self.mapper.map_op(op, tensors)
+                if cost.schedule_failed:
+                    return None, None
+                matrix_costs.append(cost)
+                op_busy_cycles[op.name] = cost.compute_cycles
+                if region.matrix_op is not None and op.name == region.matrix_op.name:
+                    anchor_cost = cost
+            else:
+                cost = vector_op_cost(op, tensors, core, compiled.softmax_factors)
+                vector_costs.append(cost)
+                op_busy_cycles[op.name] = cost.vector_cycles
+        if anchor_cost is None and matrix_costs:
+            anchor_cost = matrix_costs[0]
+
+        compute_cycles = sum(c.compute_cycles for c in matrix_costs)
+        vector_cycles = sum(c.vector_cycles for c in vector_costs)
+        flops = sum(c.flops for c in matrix_costs) + sum(c.flops for c in vector_costs)
+
+        # --- DRAM traffic attribution -----------------------------------
+        # Each matrix op's mapping may re-read its operands (traffic
+        # amplification); record a per-tensor multiplier so region-external
+        # tensors feeding a matrix op are charged the amplified traffic.
+        matrix_inputs: set = set()
+        input_amp_by_tensor: Dict[str, float] = {}
+        weight_amp_by_tensor: Dict[str, float] = {}
+        for matrix_op, cost in zip(region.matrix_ops, matrix_costs):
+            matrix_inputs.update(matrix_op.inputs)
+            act_bytes = sum(
+                tensors[t].size_bytes
+                for t in matrix_op.inputs
+                if tensors[t].kind is TensorKind.ACTIVATION
+            )
+            w_bytes = sum(
+                tensors[t].size_bytes
+                for t in matrix_op.inputs
+                if tensors[t].kind in (TensorKind.WEIGHT, TensorKind.CONSTANT)
+            )
+            in_amp = max(1.0, cost.dram_input_bytes / act_bytes) if act_bytes else 1.0
+            w_amp = max(1.0, cost.dram_weight_bytes / w_bytes) if w_bytes else 1.0
+            for t in matrix_op.inputs:
+                if tensors[t].kind is TensorKind.ACTIVATION:
+                    input_amp_by_tensor[t] = in_amp
+                else:
+                    weight_amp_by_tensor[t] = w_amp
+
+        softmax_ops = {
+            op.name for op in region.ops if op.op_type is OpType.SOFTMAX
+        }
+        softmax_inputs = set()
+        softmax_outputs = set()
+        for op in region.ops:
+            if op.name in softmax_ops:
+                softmax_inputs.update(op.inputs)
+                softmax_outputs.update(op.outputs)
+
+        input_traffic = 0.0
+        for tname in region.input_tensors:
+            size = tensors[tname].size_bytes
+            if tname in input_amp_by_tensor:
+                input_traffic += size * input_amp_by_tensor[tname]
+            elif tname in softmax_inputs:
+                input_traffic += size * compiled.softmax_factors.input_traffic_factor
+            else:
+                input_traffic += size
+
+        weight_traffic = 0.0
+        for tname in region.weight_tensors:
+            size = tensors[tname].size_bytes
+            weight_traffic += size * weight_amp_by_tensor.get(tname, 1.0)
+
+        output_traffic = 0.0
+        for tname in region.output_tensors:
+            size = tensors[tname].size_bytes
+            if tname in softmax_outputs:
+                output_traffic += size * compiled.softmax_factors.output_traffic_factor
+            else:
+                output_traffic += size
+        # Partial-sum spill traffic from the matrix ops, if a mapping tiled
+        # the reduction beyond on-chip capacity (counted even when the matrix
+        # output itself stays inside the region).
+        for matrix_op, cost in zip(region.matrix_ops, matrix_costs):
+            matrix_out_bytes = sum(tensors[t].size_bytes for t in matrix_op.outputs)
+            output_traffic += max(0.0, cost.dram_output_bytes - matrix_out_bytes)
+
+        # Within a fused region the vector ops execute as the matrix op's
+        # epilogue, consuming results as they stream out of the systolic
+        # array, so the region's busy time is the longer of the two engines
+        # rather than their sum.
+        busy_cycles = max(compute_cycles, vector_cycles)
+        total_traffic = input_traffic + weight_traffic + output_traffic
+        dram_cycles = total_traffic / dram_bpc if dram_bpc > 0 else 0.0
+        pre_fusion_cycles = max(busy_cycles, dram_cycles)
+
+        primary_type = (
+            region.matrix_op.op_type
+            if region.matrix_op is not None
+            else self._dominant_vector_type(region)
+        )
+        record = RegionPerformance(
+            index=region.index,
+            name=region.name,
+            op_names=[op.name for op in region.ops],
+            primary_op_type=primary_type,
+            flops=flops,
+            compute_cycles=compute_cycles,
+            vector_cycles=vector_cycles,
+            dram_input_bytes=input_traffic,
+            dram_weight_bytes=weight_traffic,
+            dram_output_bytes=output_traffic,
+            pre_fusion_cycles=pre_fusion_cycles,
+            post_fusion_cycles=pre_fusion_cycles,
+            matrix_utilization=anchor_cost.utilization if anchor_cost else 0.0,
+            fusion=FusionDecision(),
+            op_busy_cycles=op_busy_cycles,
+        )
+
+        # --- Fusion statistics -------------------------------------------
+        predecessor = None
+        if region.input_tensors:
+            largest_input = max(
+                region.input_tensors, key=lambda t: tensors[t].size_bytes
+            )
+            predecessor = producer_region.get(largest_input)
+        blocking_gm = 0
+        if anchor_cost is not None and anchor_cost.tiling is not None:
+            onchip_without_gm = (
+                self._core_config.l1_total_bytes + self._core_config.l2_total_bytes
+            )
+            blocking_gm = max(0, anchor_cost.tiling.buffer_bytes(2) - onchip_without_gm)
+
+        stats = RegionStats(
+            index=region.index,
+            name=region.name,
+            busy_cycles=busy_cycles,
+            t_max_cycles=pre_fusion_cycles,
+            input_dram_cycles=input_traffic / dram_bpc if dram_bpc > 0 else 0.0,
+            weight_dram_cycles=weight_traffic / dram_bpc if dram_bpc > 0 else 0.0,
+            output_dram_cycles=output_traffic / dram_bpc if dram_bpc > 0 else 0.0,
+            input_bytes=int(region.input_bytes(graph)),
+            weight_bytes=int(region.weight_bytes(graph)),
+            output_bytes=int(region.output_bytes(graph)),
+            blocking_gm_bytes=blocking_gm,
+            predecessor=predecessor,
+            is_graph_output=any(t in graph.output_names for t in region.output_tensors),
+        )
+        return record, stats
+
+    @staticmethod
+    def _dominant_vector_type(region: FusionRegion) -> OpType:
+        """Primary op type of a region with no matrix op."""
+        if not region.ops:
+            return OpType.ELEMENTWISE_ADD
+        preferred = (OpType.SOFTMAX, OpType.LAYERNORM, OpType.POOLING, OpType.REDUCE)
+        for op_type in preferred:
+            for op in region.ops:
+                if op.op_type is op_type:
+                    return op_type
+        return region.ops[0].op_type

@@ -1,0 +1,288 @@
+"""Simulation result records and derived metrics.
+
+A :class:`SimulationResult` holds one workload's per-region performance on a
+datapath, both before and after FAST fusion, together with every derived
+metric the paper's evaluation reports: QPS, latency, operational intensity,
+compute utilization, memory stall fraction, per-layer utilization, and
+runtime share by op type or BERT component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.fusion.fast_fusion import FusionDecision, FusionResult
+from repro.hardware.datapath import DatapathConfig
+from repro.workloads.ops import OpType
+
+__all__ = ["RegionPerformance", "SimulationResult"]
+
+
+@dataclass
+class RegionPerformance:
+    """Performance of one fusion region on one core."""
+
+    index: int
+    name: str
+    op_names: List[str]
+    primary_op_type: OpType
+    flops: int
+    compute_cycles: float
+    vector_cycles: float
+    dram_input_bytes: float
+    dram_weight_bytes: float
+    dram_output_bytes: float
+    pre_fusion_cycles: float
+    post_fusion_cycles: float
+    matrix_utilization: float
+    fusion: FusionDecision = field(default_factory=FusionDecision)
+    op_busy_cycles: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def busy_cycles(self) -> float:
+        """Region busy time: matrix and VPU work overlap within a fused region."""
+        return max(self.compute_cycles, self.vector_cycles)
+
+    @property
+    def dram_bytes_pre_fusion(self) -> float:
+        """DRAM traffic before FAST fusion."""
+        return self.dram_input_bytes + self.dram_weight_bytes + self.dram_output_bytes
+
+    @property
+    def dram_bytes_post_fusion(self) -> float:
+        """DRAM traffic after FAST fusion (pinned tensors stay on chip)."""
+        traffic = self.dram_bytes_pre_fusion
+        if self.fusion.pin_input:
+            traffic -= self.dram_input_bytes
+        if self.fusion.pin_output:
+            traffic -= self.dram_output_bytes
+        if self.fusion.pin_weights:
+            traffic -= self.dram_weight_bytes
+        return max(0.0, traffic)
+
+    @property
+    def achieved_utilization(self) -> float:
+        """Fraction of the op's own busy time the region spends stalled-free.
+
+        Used for per-layer utilization plots: the region's useful FLOPs per
+        cycle of wall time, normalized by peak, is computed by the parent
+        result which knows the peak throughput.
+        """
+        if self.post_fusion_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / self.post_fusion_cycles)
+
+
+@dataclass
+class SimulationResult:
+    """Whole-workload simulation outcome on a datapath configuration."""
+
+    workload: str
+    config: DatapathConfig
+    batch_size: int
+    regions: List[RegionPerformance]
+    fusion_result: Optional[FusionResult]
+    schedule_failed: bool
+    clock_ghz: float
+    num_cores: int
+
+    # ------------------------------------------------------------------
+    # Time and throughput
+    # ------------------------------------------------------------------
+    @property
+    def total_cycles(self) -> float:
+        """Post-fusion execution cycles for one batch on one core."""
+        return sum(r.post_fusion_cycles for r in self.regions)
+
+    @property
+    def pre_fusion_cycles(self) -> float:
+        """Pre-fusion execution cycles for one batch on one core."""
+        return sum(r.pre_fusion_cycles for r in self.regions)
+
+    @property
+    def execution_time_s(self) -> float:
+        """Wall-clock time to run one batch on one core."""
+        return self.total_cycles / (self.clock_ghz * 1e9)
+
+    @property
+    def latency_s(self) -> float:
+        """Inference latency of one batch (the paper's step time)."""
+        return self.execution_time_s
+
+    @property
+    def latency_ms(self) -> float:
+        """Inference latency in milliseconds."""
+        return self.execution_time_s * 1e3
+
+    @property
+    def qps(self) -> float:
+        """Aggregate queries per second across all cores."""
+        if self.schedule_failed or self.execution_time_s <= 0:
+            return 0.0
+        return self.batch_size * self.num_cores / self.execution_time_s
+
+    def perf_per_tdp(self, tdp_w: float) -> float:
+        """QPS per watt of TDP."""
+        if tdp_w <= 0:
+            return 0.0
+        return self.qps / tdp_w
+
+    # ------------------------------------------------------------------
+    # FLOPs, traffic, intensity
+    # ------------------------------------------------------------------
+    @property
+    def total_flops(self) -> int:
+        """Useful FLOPs of one batch."""
+        return sum(r.flops for r in self.regions)
+
+    @property
+    def dram_bytes_pre_fusion(self) -> float:
+        """Total DRAM traffic before FAST fusion."""
+        return sum(r.dram_bytes_pre_fusion for r in self.regions)
+
+    @property
+    def dram_bytes_post_fusion(self) -> float:
+        """Total DRAM traffic after FAST fusion."""
+        return sum(r.dram_bytes_post_fusion for r in self.regions)
+
+    def operational_intensity(self, post_fusion: bool = True) -> float:
+        """Model-level FLOPs per DRAM byte."""
+        traffic = self.dram_bytes_post_fusion if post_fusion else self.dram_bytes_pre_fusion
+        if traffic <= 0:
+            return float("inf")
+        return self.total_flops / traffic
+
+    # ------------------------------------------------------------------
+    # Utilization and stalls
+    # ------------------------------------------------------------------
+    @property
+    def peak_flops_per_cycle(self) -> float:
+        """Peak matrix FLOPs per cycle of one core."""
+        return 2.0 * self.config.num_pes * self.config.macs_per_pe
+
+    @property
+    def compute_utilization(self) -> float:
+        """Achieved fraction of peak FLOPs over the whole model."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.total_flops / (self.total_cycles * self.peak_flops_per_cycle))
+
+    def memory_stall_fraction(self, post_fusion: bool = True) -> float:
+        """Fraction of execution time spent waiting on DRAM transfers."""
+        total = 0.0
+        stalled = 0.0
+        for region in self.regions:
+            cycles = region.post_fusion_cycles if post_fusion else region.pre_fusion_cycles
+            total += cycles
+            stalled += max(0.0, cycles - region.busy_cycles)
+        if total <= 0:
+            return 0.0
+        return stalled / total
+
+    @property
+    def fusion_efficiency(self) -> float:
+        """Fraction of pre-fusion memory stall time removed by FAST fusion.
+
+        This is the "Fusion Efficiency" row of Table 5 (85% for FAST-Large on
+        EfficientNet-B7): how much of the idle DRAM-wait time fusion
+        recovered.
+        """
+        stall_pre = sum(
+            max(0.0, r.pre_fusion_cycles - r.busy_cycles) for r in self.regions
+        )
+        stall_post = sum(
+            max(0.0, r.post_fusion_cycles - r.busy_cycles) for r in self.regions
+        )
+        if stall_pre <= 0:
+            return 0.0
+        return 1.0 - stall_post / stall_pre
+
+    # ------------------------------------------------------------------
+    # Attribution breakdowns
+    # ------------------------------------------------------------------
+    def runtime_fraction_by_op_type(self, post_fusion: bool = True) -> Dict[OpType, float]:
+        """Fraction of execution time attributed to each (primary) op type."""
+        totals: Dict[OpType, float] = {}
+        for region in self.regions:
+            cycles = region.post_fusion_cycles if post_fusion else region.pre_fusion_cycles
+            totals[region.primary_op_type] = totals.get(region.primary_op_type, 0.0) + cycles
+        grand_total = sum(totals.values())
+        if grand_total <= 0:
+            return {k: 0.0 for k in totals}
+        return {k: v / grand_total for k, v in totals.items()}
+
+    def flop_fraction_by_op_type(self) -> Dict[OpType, float]:
+        """Fraction of useful FLOPs attributed to each (primary) op type."""
+        totals: Dict[OpType, float] = {}
+        for region in self.regions:
+            totals[region.primary_op_type] = totals.get(region.primary_op_type, 0.0) + region.flops
+        grand_total = sum(totals.values())
+        if grand_total <= 0:
+            return {k: 0.0 for k in totals}
+        return {k: v / grand_total for k, v in totals.items()}
+
+    def runtime_fraction_by(self, classify: Callable[[str], str], post_fusion: bool = True) -> Dict[str, float]:
+        """Fraction of execution time grouped by an arbitrary op-name classifier.
+
+        A region's time is split across its member ops proportionally to each
+        op's busy cycles (ops with no recorded busy time share the remainder
+        equally), so vector ops fused into a matrix op's region — e.g. the
+        softmax following the attention-score einsum — are still attributed
+        to their own component.  Used for the BERT breakdown of Figure 5 with
+        :func:`repro.workloads.bert.op_component` as the classifier.
+        """
+        totals: Dict[str, float] = {}
+        for region in self.regions:
+            cycles = region.post_fusion_cycles if post_fusion else region.pre_fusion_cycles
+            busy = region.op_busy_cycles or {}
+            busy_total = sum(busy.values())
+            if busy_total > 0:
+                for op_name in region.op_names:
+                    share = busy.get(op_name, 0.0) / busy_total
+                    key = classify(op_name)
+                    totals[key] = totals.get(key, 0.0) + cycles * share
+            else:
+                anchor = region.op_names[0] if region.op_names else region.name
+                key = classify(anchor)
+                totals[key] = totals.get(key, 0.0) + cycles
+        grand_total = sum(totals.values())
+        if grand_total <= 0:
+            return {k: 0.0 for k in totals}
+        return {k: v / grand_total for k, v in totals.items()}
+
+    def per_layer_utilization(self, matrix_only: bool = True) -> List[float]:
+        """Per-region achieved fraction of peak FLOPs (Figures 4 and 14)."""
+        utilizations = []
+        for region in self.regions:
+            if matrix_only and region.primary_op_type not in (
+                OpType.CONV2D,
+                OpType.DEPTHWISE_CONV2D,
+                OpType.MATMUL,
+                OpType.EINSUM,
+            ):
+                continue
+            cycles = region.post_fusion_cycles
+            if cycles <= 0:
+                utilizations.append(0.0)
+                continue
+            utilizations.append(
+                min(1.0, region.flops / (cycles * self.peak_flops_per_cycle))
+            )
+        return utilizations
+
+    def summary(self) -> Dict[str, float]:
+        """Headline metrics as a flat dictionary."""
+        return {
+            "workload": self.workload,
+            "batch_size": self.batch_size,
+            "qps": self.qps,
+            "latency_ms": self.latency_ms,
+            "compute_utilization": self.compute_utilization,
+            "op_intensity_pre_fusion": self.operational_intensity(post_fusion=False),
+            "op_intensity_post_fusion": self.operational_intensity(post_fusion=True),
+            "memory_stall_pre_fusion": self.memory_stall_fraction(post_fusion=False),
+            "memory_stall_post_fusion": self.memory_stall_fraction(post_fusion=True),
+            "fusion_efficiency": self.fusion_efficiency,
+            "schedule_failed": self.schedule_failed,
+        }

@@ -1,0 +1,68 @@
+"""Workload graphs: IR, op taxonomy, and benchmark model builders."""
+
+from repro.workloads.bert import BERT_BASE, BERT_LARGE, BertConfig, build_bert
+from repro.workloads.builder import GraphBuilder
+from repro.workloads.efficientnet import (
+    EFFICIENTNET_TOP1_ACCURACY,
+    EFFICIENTNET_VARIANTS,
+    build_efficientnet,
+)
+from repro.workloads.graph import (
+    DType,
+    Graph,
+    GraphValidationError,
+    Operation,
+    Tensor,
+    TensorKind,
+)
+from repro.workloads.mobilenet import MOBILENET_V2_BLOCKS, build_mobilenet_v2
+from repro.workloads.ocr import build_ocr_recognizer, build_ocr_rpn
+from repro.workloads.ops import MATRIX_OP_TYPES, VECTOR_OP_TYPES, OpType, is_matrix_op, op_flops
+from repro.workloads.quantization import QuantizationRecipe, memory_savings, quantize_graph
+from repro.workloads.registry import (
+    FULL_SUITE,
+    MULTI_WORKLOAD_SUITE,
+    WORKLOAD_BUILDERS,
+    available_workloads,
+    build_workload,
+)
+from repro.workloads.resnet import build_resnet50
+from repro.workloads.training import TrainingOptions, build_training_graph, training_flops_ratio
+
+__all__ = [
+    "BERT_BASE",
+    "BERT_LARGE",
+    "BertConfig",
+    "DType",
+    "EFFICIENTNET_TOP1_ACCURACY",
+    "EFFICIENTNET_VARIANTS",
+    "FULL_SUITE",
+    "Graph",
+    "GraphBuilder",
+    "GraphValidationError",
+    "MATRIX_OP_TYPES",
+    "MOBILENET_V2_BLOCKS",
+    "MULTI_WORKLOAD_SUITE",
+    "Operation",
+    "OpType",
+    "QuantizationRecipe",
+    "Tensor",
+    "TensorKind",
+    "TrainingOptions",
+    "VECTOR_OP_TYPES",
+    "WORKLOAD_BUILDERS",
+    "available_workloads",
+    "build_bert",
+    "build_efficientnet",
+    "build_mobilenet_v2",
+    "build_ocr_recognizer",
+    "build_ocr_rpn",
+    "build_resnet50",
+    "build_training_graph",
+    "build_workload",
+    "is_matrix_op",
+    "memory_savings",
+    "op_flops",
+    "quantize_graph",
+    "training_flops_ratio",
+]

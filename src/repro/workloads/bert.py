@@ -1,0 +1,146 @@
+"""BERT encoder graph construction.
+
+BERT-Base (Devlin et al., 2019) stacks 12 transformer encoder layers, each
+with multi-head self-attention (QKV projections, activation x activation
+attention score einsum, softmax, context einsum, output projection), a
+feed-forward block (two dense layers with GELU), residual connections, and
+layer normalization.  The paper evaluates BERT at sequence lengths 128 and
+1024; attention score/softmax cost scales quadratically with sequence length
+while the projections scale linearly, which is what Figure 5 characterizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.workloads.builder import GraphBuilder
+from repro.workloads.graph import Graph
+
+__all__ = ["BertConfig", "BERT_BASE", "BERT_LARGE", "build_bert"]
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """Hyperparameters of a BERT encoder stack."""
+
+    num_layers: int = 12
+    hidden_size: int = 768
+    num_heads: int = 12
+    intermediate_size: int = 3072
+    vocab_size: int = 30522
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimensionality."""
+        return self.hidden_size // self.num_heads
+
+
+BERT_BASE = BertConfig(num_layers=12, hidden_size=768, num_heads=12, intermediate_size=3072)
+BERT_LARGE = BertConfig(num_layers=24, hidden_size=1024, num_heads=16, intermediate_size=4096)
+
+
+def build_bert(
+    seq_len: int = 128,
+    batch_size: int = 1,
+    config: BertConfig = BERT_BASE,
+    name: str = None,
+) -> Graph:
+    """Build the inference graph of a BERT encoder.
+
+    Args:
+        seq_len: Input token sequence length.
+        batch_size: Inference batch size.
+        config: Encoder hyperparameters (defaults to BERT-Base).
+        name: Optional graph name (defaults to ``bert-seq<seq_len>``).
+
+    Returns:
+        The workload graph, output being the final hidden states.
+    """
+    if seq_len <= 0:
+        raise ValueError("sequence length must be positive")
+    graph_name = name or f"bert-seq{seq_len}"
+    builder = GraphBuilder(graph_name, batch_size=batch_size)
+    hidden = config.hidden_size
+
+    # Embedding lookup output: (batch, seq, hidden).  We model the embedding
+    # table as a weight tensor read once per inference.
+    builder.weight("embeddings.word", (config.vocab_size, hidden))
+    x = builder.input("embedding_output", (batch_size, seq_len, hidden))
+    x = builder.layernorm(x, name="embeddings.layernorm")
+
+    for layer_idx in range(config.num_layers):
+        x = _encoder_layer(builder, x, config, seq_len, batch_size, f"layer{layer_idx}")
+
+    return builder.finish(outputs=[x])
+
+
+def _encoder_layer(
+    builder: GraphBuilder,
+    x: str,
+    config: BertConfig,
+    seq_len: int,
+    batch_size: int,
+    name: str,
+) -> str:
+    """One transformer encoder layer."""
+    hidden = config.hidden_size
+    heads = config.num_heads
+    head_dim = config.head_dim
+    residual = x
+
+    # QKV projections: activation x weight matmuls.
+    q = builder.matmul(x, hidden, name=f"{name}.attention.query")
+    k = builder.matmul(x, hidden, name=f"{name}.attention.key")
+    v = builder.matmul(x, hidden, name=f"{name}.attention.value")
+
+    # Attention scores: (B, heads, S, S) = Q x K^T — activation x activation.
+    scores = builder.einsum(
+        q,
+        k,
+        out_shape=(batch_size, heads, seq_len, seq_len),
+        contracting_dim=head_dim,
+        name=f"{name}.attention.scores",
+    )
+    probs = builder.softmax(scores, name=f"{name}.attention.softmax")
+
+    # Context: (B, heads, S, head_dim) = probs x V — activation x activation.
+    context = builder.einsum(
+        probs,
+        v,
+        out_shape=(batch_size, heads, seq_len, head_dim),
+        contracting_dim=seq_len,
+        name=f"{name}.attention.context",
+    )
+    context = builder.reshape(context, (batch_size, seq_len, hidden), name=f"{name}.attention.merge")
+
+    # Output projection + residual + layernorm.
+    attn_out = builder.matmul(context, hidden, name=f"{name}.attention.output")
+    attn_out = builder.add(attn_out, residual, name=f"{name}.attention.residual")
+    attn_out = builder.layernorm(attn_out, name=f"{name}.attention.layernorm")
+
+    # Feed-forward block.
+    ff_residual = attn_out
+    ff = builder.matmul(attn_out, config.intermediate_size, name=f"{name}.ffn.intermediate")
+    ff = builder.activation(ff, "gelu", name=f"{name}.ffn.gelu")
+    ff = builder.matmul(ff, hidden, name=f"{name}.ffn.output")
+    ff = builder.add(ff, ff_residual, name=f"{name}.ffn.residual")
+    ff = builder.layernorm(ff, name=f"{name}.ffn.layernorm")
+    return ff
+
+
+def op_component(op_name: str) -> str:
+    """Classify a BERT op name into the Figure 5 components.
+
+    Returns one of ``qkv_projection``, ``softmax``, ``self_attention``,
+    ``feed_forward``, or ``other``.
+    """
+    if ".attention.query" in op_name or ".attention.key" in op_name or ".attention.value" in op_name:
+        return "qkv_projection"
+    if ".attention.softmax" in op_name:
+        return "softmax"
+    if ".attention.scores" in op_name or ".attention.context" in op_name:
+        return "self_attention"
+    if ".ffn." in op_name or ".attention.output" in op_name:
+        return "feed_forward"
+    return "other"

@@ -1,0 +1,300 @@
+"""Convenience builder for constructing workload graphs.
+
+The model definition modules (EfficientNet, BERT, ResNet, OCR) use this
+builder to express layers compactly.  Each helper creates the weight tensors,
+the output activation tensor, and the :class:`~repro.workloads.graph.Operation`
+node, wiring producer/consumer edges automatically and returning the name of
+the produced activation so layers can be chained functionally.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.workloads.graph import DType, Graph, Operation, Tensor, TensorKind
+from repro.workloads.ops import OpType
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Builds a :class:`Graph` layer by layer.
+
+    All activations are NHWC for vision models and ``(batch, seq, features)``
+    or ``(batch, features)`` for sequence / dense models.  Weight tensors are
+    created on demand and named ``<op>.<role>``.
+    """
+
+    def __init__(self, name: str, batch_size: int = 1, dtype: DType = DType.BFLOAT16) -> None:
+        self.graph = Graph(name, batch_size=batch_size)
+        self.dtype = dtype
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Tensor helpers
+    # ------------------------------------------------------------------
+    def _unique(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    def input(self, name: str, shape: Sequence[int]) -> str:
+        """Create a graph input activation."""
+        tensor = Tensor(name, tuple(shape), self.dtype, TensorKind.ACTIVATION)
+        self.graph.add_tensor(tensor)
+        self.graph.mark_input(name)
+        return name
+
+    def activation_tensor(self, name: str, shape: Sequence[int]) -> str:
+        """Create an intermediate activation tensor."""
+        self.graph.add_tensor(Tensor(name, tuple(shape), self.dtype, TensorKind.ACTIVATION))
+        return name
+
+    def weight(self, name: str, shape: Sequence[int]) -> str:
+        """Create a weight tensor."""
+        self.graph.add_tensor(Tensor(name, tuple(shape), self.dtype, TensorKind.WEIGHT))
+        return name
+
+    def shape(self, tensor_name: str) -> Tuple[int, ...]:
+        """Shape of an existing tensor."""
+        return self.graph.tensor(tensor_name).shape
+
+    def finish(self, outputs: Optional[Sequence[str]] = None) -> Graph:
+        """Mark outputs, validate, and return the finished graph."""
+        if outputs:
+            for out in outputs:
+                self.graph.mark_output(out)
+        self.graph.validate()
+        return self.graph
+
+    # ------------------------------------------------------------------
+    # Vision layers (NHWC)
+    # ------------------------------------------------------------------
+    def conv2d(
+        self,
+        x: str,
+        out_features: int,
+        kernel: Tuple[int, int],
+        stride: int = 1,
+        name: Optional[str] = None,
+        groups: int = 1,
+    ) -> str:
+        """Standard 2-D convolution with 'same' padding."""
+        name = name or self._unique("conv2d")
+        b, h, w, c = self.shape(x)
+        oh, ow = _conv_out(h, stride), _conv_out(w, stride)
+        wname = self.weight(f"{name}.w", (kernel[0], kernel[1], c // groups, out_features))
+        out = self.activation_tensor(f"{name}.out", (b, oh, ow, out_features))
+        self.graph.add_op(
+            Operation(
+                name,
+                OpType.CONV2D,
+                inputs=[x, wname],
+                outputs=[out],
+                attrs={
+                    "kernel": kernel,
+                    "stride": stride,
+                    "in_features": c,
+                    "out_features": out_features,
+                    "groups": groups,
+                },
+            )
+        )
+        return out
+
+    def depthwise_conv2d(
+        self,
+        x: str,
+        kernel: Tuple[int, int],
+        stride: int = 1,
+        name: Optional[str] = None,
+        channel_multiplier: int = 1,
+    ) -> str:
+        """Depthwise convolution (per-channel filter, depth 1)."""
+        name = name or self._unique("dwconv")
+        b, h, w, c = self.shape(x)
+        oh, ow = _conv_out(h, stride), _conv_out(w, stride)
+        out_c = c * channel_multiplier
+        wname = self.weight(f"{name}.w", (kernel[0], kernel[1], c, channel_multiplier))
+        out = self.activation_tensor(f"{name}.out", (b, oh, ow, out_c))
+        self.graph.add_op(
+            Operation(
+                name,
+                OpType.DEPTHWISE_CONV2D,
+                inputs=[x, wname],
+                outputs=[out],
+                attrs={
+                    "kernel": kernel,
+                    "stride": stride,
+                    "in_features": c,
+                    "out_features": out_c,
+                    "channel_multiplier": channel_multiplier,
+                },
+            )
+        )
+        return out
+
+    def pointwise_conv(self, x: str, out_features: int, name: Optional[str] = None) -> str:
+        """1x1 convolution (projection / expansion)."""
+        return self.conv2d(x, out_features, (1, 1), stride=1, name=name)
+
+    def pooling(
+        self,
+        x: str,
+        kernel: Tuple[int, int],
+        stride: int,
+        pool_type: str = "max",
+        name: Optional[str] = None,
+        global_pool: bool = False,
+    ) -> str:
+        """Max / average pooling; global pooling collapses H and W."""
+        name = name or self._unique("pool")
+        b, h, w, c = self.shape(x)
+        if global_pool:
+            oh, ow = 1, 1
+        else:
+            oh, ow = _conv_out(h, stride), _conv_out(w, stride)
+        out = self.activation_tensor(f"{name}.out", (b, oh, ow, c))
+        self.graph.add_op(
+            Operation(
+                name,
+                OpType.POOLING,
+                inputs=[x],
+                outputs=[out],
+                attrs={"kernel": kernel, "stride": stride, "pool_type": pool_type},
+            )
+        )
+        return out
+
+    def batchnorm(self, x: str, name: Optional[str] = None) -> str:
+        """Batch normalization (inference: scale + shift)."""
+        name = name or self._unique("bn")
+        shape = self.shape(x)
+        scale = self.weight(f"{name}.scale", (shape[-1],))
+        shift = self.weight(f"{name}.shift", (shape[-1],))
+        out = self.activation_tensor(f"{name}.out", shape)
+        self.graph.add_op(
+            Operation(name, OpType.BATCHNORM, inputs=[x, scale, shift], outputs=[out], attrs={})
+        )
+        return out
+
+    # ------------------------------------------------------------------
+    # Dense / sequence layers
+    # ------------------------------------------------------------------
+    def matmul(
+        self,
+        x: str,
+        out_features: int,
+        name: Optional[str] = None,
+        weight_name: Optional[str] = None,
+    ) -> str:
+        """Dense layer: contract the last dimension against a weight matrix."""
+        name = name or self._unique("matmul")
+        shape = self.shape(x)
+        in_features = shape[-1]
+        wname = weight_name or self.weight(f"{name}.w", (in_features, out_features))
+        out_shape = tuple(shape[:-1]) + (out_features,)
+        out = self.activation_tensor(f"{name}.out", out_shape)
+        self.graph.add_op(
+            Operation(
+                name,
+                OpType.MATMUL,
+                inputs=[x, wname],
+                outputs=[out],
+                attrs={"contracting_dim": in_features, "out_features": out_features},
+            )
+        )
+        return out
+
+    def einsum(
+        self,
+        a: str,
+        b: str,
+        out_shape: Sequence[int],
+        contracting_dim: int,
+        name: Optional[str] = None,
+    ) -> str:
+        """Activation x activation contraction (e.g. attention scores)."""
+        name = name or self._unique("einsum")
+        out = self.activation_tensor(f"{name}.out", tuple(out_shape))
+        self.graph.add_op(
+            Operation(
+                name,
+                OpType.EINSUM,
+                inputs=[a, b],
+                outputs=[out],
+                attrs={"contracting_dim": contracting_dim},
+            )
+        )
+        return out
+
+    # ------------------------------------------------------------------
+    # Vector ops
+    # ------------------------------------------------------------------
+    def _unary(self, op_type: OpType, x: str, name: Optional[str], **attrs) -> str:
+        name = name or self._unique(op_type.value)
+        out = self.activation_tensor(f"{name}.out", self.shape(x))
+        self.graph.add_op(Operation(name, op_type, inputs=[x], outputs=[out], attrs=dict(attrs)))
+        return out
+
+    def activation(self, x: str, fn: str = "relu", name: Optional[str] = None) -> str:
+        """Pointwise nonlinearity (relu, swish, sigmoid, gelu, tanh)."""
+        return self._unary(OpType.ACTIVATION, x, name, fn=fn)
+
+    def softmax(self, x: str, name: Optional[str] = None, axis: int = -1) -> str:
+        """Numerically-stable softmax along ``axis``."""
+        return self._unary(OpType.SOFTMAX, x, name, axis=axis)
+
+    def layernorm(self, x: str, name: Optional[str] = None) -> str:
+        """Layer normalization with learned scale/shift."""
+        name = name or self._unique("layernorm")
+        shape = self.shape(x)
+        scale = self.weight(f"{name}.scale", (shape[-1],))
+        shift = self.weight(f"{name}.shift", (shape[-1],))
+        out = self.activation_tensor(f"{name}.out", shape)
+        self.graph.add_op(
+            Operation(name, OpType.LAYERNORM, inputs=[x, scale, shift], outputs=[out], attrs={})
+        )
+        return out
+
+    def add(self, a: str, b: str, name: Optional[str] = None) -> str:
+        """Elementwise addition (residual connections)."""
+        name = name or self._unique("add")
+        out = self.activation_tensor(f"{name}.out", self.shape(a))
+        self.graph.add_op(
+            Operation(name, OpType.ELEMENTWISE_ADD, inputs=[a, b], outputs=[out], attrs={})
+        )
+        return out
+
+    def multiply(self, a: str, b: str, name: Optional[str] = None) -> str:
+        """Elementwise multiplication (e.g. squeeze-excite gating)."""
+        name = name or self._unique("mul")
+        out = self.activation_tensor(f"{name}.out", self.shape(a))
+        self.graph.add_op(
+            Operation(name, OpType.ELEMENTWISE_MUL, inputs=[a, b], outputs=[out], attrs={})
+        )
+        return out
+
+    def reduce_mean(self, x: str, keep_spatial: bool = False, name: Optional[str] = None) -> str:
+        """Global average over the spatial dims (squeeze-excite / head pool)."""
+        name = name or self._unique("reduce")
+        b = self.shape(x)[0]
+        c = self.shape(x)[-1]
+        shape = (b, 1, 1, c) if keep_spatial else (b, c)
+        out = self.activation_tensor(f"{name}.out", shape)
+        self.graph.add_op(
+            Operation(name, OpType.REDUCE, inputs=[x], outputs=[out], attrs={"reduce": "mean"})
+        )
+        return out
+
+    def reshape(self, x: str, new_shape: Sequence[int], name: Optional[str] = None) -> str:
+        """Reshape (no data movement cost in the model)."""
+        name = name or self._unique("reshape")
+        out = self.activation_tensor(f"{name}.out", tuple(new_shape))
+        self.graph.add_op(Operation(name, OpType.RESHAPE, inputs=[x], outputs=[out], attrs={}))
+        return out
+
+
+def _conv_out(size: int, stride: int) -> int:
+    """'Same' padding output size."""
+    return int(math.ceil(size / stride))

@@ -1,0 +1,187 @@
+"""EfficientNet B0–B7 graph construction.
+
+EfficientNet (Tan & Le, 2019) is built from MBConv inverted-residual blocks:
+a 1x1 expansion convolution, a depthwise convolution, a squeeze-and-excite
+block, and a 1x1 projection convolution, with a residual add when the block
+preserves shape.  The B1–B7 variants apply compound width/depth/resolution
+scaling to the B0 base architecture.  These graphs drive the EfficientNet
+experiments in the paper (Tables 1–2, Figures 2–4, 9, 10, 13, 14).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.workloads.builder import GraphBuilder
+from repro.workloads.graph import Graph
+
+__all__ = [
+    "EFFICIENTNET_VARIANTS",
+    "EFFICIENTNET_TOP1_ACCURACY",
+    "BlockArgs",
+    "build_efficientnet",
+]
+
+
+@dataclass(frozen=True)
+class BlockArgs:
+    """Architecture of one MBConv stage of the B0 base network."""
+
+    kernel: int
+    num_repeat: int
+    input_filters: int
+    output_filters: int
+    expand_ratio: int
+    stride: int
+    se_ratio: float = 0.25
+
+
+# The EfficientNet-B0 base architecture (Table 1 of the EfficientNet paper).
+_B0_BLOCKS: Tuple[BlockArgs, ...] = (
+    BlockArgs(kernel=3, num_repeat=1, input_filters=32, output_filters=16, expand_ratio=1, stride=1),
+    BlockArgs(kernel=3, num_repeat=2, input_filters=16, output_filters=24, expand_ratio=6, stride=2),
+    BlockArgs(kernel=5, num_repeat=2, input_filters=24, output_filters=40, expand_ratio=6, stride=2),
+    BlockArgs(kernel=3, num_repeat=3, input_filters=40, output_filters=80, expand_ratio=6, stride=2),
+    BlockArgs(kernel=5, num_repeat=3, input_filters=80, output_filters=112, expand_ratio=6, stride=1),
+    BlockArgs(kernel=5, num_repeat=4, input_filters=112, output_filters=192, expand_ratio=6, stride=2),
+    BlockArgs(kernel=3, num_repeat=1, input_filters=192, output_filters=320, expand_ratio=6, stride=1),
+)
+
+# (width_coefficient, depth_coefficient, input_resolution) per variant.
+EFFICIENTNET_VARIANTS: Dict[str, Tuple[float, float, int]] = {
+    "efficientnet-b0": (1.0, 1.0, 224),
+    "efficientnet-b1": (1.0, 1.1, 240),
+    "efficientnet-b2": (1.1, 1.2, 260),
+    "efficientnet-b3": (1.2, 1.4, 300),
+    "efficientnet-b4": (1.4, 1.8, 380),
+    "efficientnet-b5": (1.6, 2.2, 456),
+    "efficientnet-b6": (1.8, 2.6, 528),
+    "efficientnet-b7": (2.0, 3.1, 600),
+}
+
+# Published ImageNet top-1 accuracy per variant (used to regenerate Figure 2).
+EFFICIENTNET_TOP1_ACCURACY: Dict[str, float] = {
+    "efficientnet-b0": 77.1,
+    "efficientnet-b1": 79.1,
+    "efficientnet-b2": 80.1,
+    "efficientnet-b3": 81.6,
+    "efficientnet-b4": 82.9,
+    "efficientnet-b5": 83.6,
+    "efficientnet-b6": 84.0,
+    "efficientnet-b7": 84.3,
+}
+
+
+def round_filters(filters: int, width_coefficient: float, divisor: int = 8) -> int:
+    """Round a channel count after width scaling to a multiple of ``divisor``."""
+    filters *= width_coefficient
+    new_filters = max(divisor, int(filters + divisor / 2) // divisor * divisor)
+    if new_filters < 0.9 * filters:  # Never round down by more than 10%.
+        new_filters += divisor
+    return int(new_filters)
+
+
+def round_repeats(repeats: int, depth_coefficient: float) -> int:
+    """Round a block repeat count after depth scaling."""
+    return int(math.ceil(depth_coefficient * repeats))
+
+
+def build_efficientnet(variant: str = "efficientnet-b0", batch_size: int = 1) -> Graph:
+    """Build the inference graph of an EfficientNet variant.
+
+    Args:
+        variant: One of ``efficientnet-b0`` .. ``efficientnet-b7``.
+        batch_size: Inference batch size.
+
+    Returns:
+        The workload graph, with the classifier logits as the sole output.
+    """
+    if variant not in EFFICIENTNET_VARIANTS:
+        raise ValueError(f"unknown EfficientNet variant {variant!r}")
+    width, depth, resolution = EFFICIENTNET_VARIANTS[variant]
+    builder = GraphBuilder(variant, batch_size=batch_size)
+
+    x = builder.input("images", (batch_size, resolution, resolution, 3))
+
+    # Stem.
+    stem_filters = round_filters(32, width)
+    x = builder.conv2d(x, stem_filters, (3, 3), stride=2, name="stem.conv")
+    x = builder.batchnorm(x, name="stem.bn")
+    x = builder.activation(x, "swish", name="stem.swish")
+
+    # MBConv stages.
+    for stage_idx, block in enumerate(_B0_BLOCKS):
+        in_filters = round_filters(block.input_filters, width)
+        out_filters = round_filters(block.output_filters, width)
+        repeats = round_repeats(block.num_repeat, depth)
+        for repeat_idx in range(repeats):
+            stride = block.stride if repeat_idx == 0 else 1
+            block_in = in_filters if repeat_idx == 0 else out_filters
+            x = _mbconv_block(
+                builder,
+                x,
+                name=f"block{stage_idx + 1}_{repeat_idx}",
+                input_filters=block_in,
+                output_filters=out_filters,
+                kernel=block.kernel,
+                stride=stride,
+                expand_ratio=block.expand_ratio,
+                se_ratio=block.se_ratio,
+            )
+
+    # Head.
+    head_filters = round_filters(1280, width)
+    x = builder.pointwise_conv(x, head_filters, name="head.conv")
+    x = builder.batchnorm(x, name="head.bn")
+    x = builder.activation(x, "swish", name="head.swish")
+    x = builder.reduce_mean(x, name="head.pool")
+    logits = builder.matmul(x, 1000, name="head.fc")
+    return builder.finish(outputs=[logits])
+
+
+def _mbconv_block(
+    builder: GraphBuilder,
+    x: str,
+    name: str,
+    input_filters: int,
+    output_filters: int,
+    kernel: int,
+    stride: int,
+    expand_ratio: int,
+    se_ratio: float,
+) -> str:
+    """One MBConv (inverted residual) block with squeeze-and-excite."""
+    residual = x
+    expanded_filters = input_filters * expand_ratio
+
+    # Expansion 1x1 conv (skipped when expand_ratio == 1).
+    if expand_ratio != 1:
+        x = builder.pointwise_conv(x, expanded_filters, name=f"{name}.expand")
+        x = builder.batchnorm(x, name=f"{name}.expand_bn")
+        x = builder.activation(x, "swish", name=f"{name}.expand_swish")
+
+    # Depthwise conv.
+    x = builder.depthwise_conv2d(x, (kernel, kernel), stride=stride, name=f"{name}.dwconv")
+    x = builder.batchnorm(x, name=f"{name}.dw_bn")
+    x = builder.activation(x, "swish", name=f"{name}.dw_swish")
+
+    # Squeeze and excite.
+    if se_ratio > 0:
+        se_filters = max(1, int(input_filters * se_ratio))
+        squeezed = builder.reduce_mean(x, keep_spatial=True, name=f"{name}.se_squeeze")
+        squeezed = builder.conv2d(squeezed, se_filters, (1, 1), name=f"{name}.se_reduce")
+        squeezed = builder.activation(squeezed, "swish", name=f"{name}.se_swish")
+        squeezed = builder.conv2d(squeezed, expanded_filters, (1, 1), name=f"{name}.se_expand")
+        gate = builder.activation(squeezed, "sigmoid", name=f"{name}.se_sigmoid")
+        x = builder.multiply(x, gate, name=f"{name}.se_excite")
+
+    # Projection 1x1 conv.
+    x = builder.pointwise_conv(x, output_filters, name=f"{name}.project")
+    x = builder.batchnorm(x, name=f"{name}.project_bn")
+
+    # Residual connection when shape is preserved.
+    if stride == 1 and input_filters == output_filters:
+        x = builder.add(x, residual, name=f"{name}.residual")
+    return x

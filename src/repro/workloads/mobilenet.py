@@ -1,0 +1,111 @@
+"""MobileNetV2 graph construction.
+
+MobileNetV2 (Sandler et al., 2018) introduced the inverted-residual (MBConv)
+block that EfficientNet builds on, and is the canonical "edge" CNN with very
+low operational intensity.  It is not part of the paper's benchmark suite
+but is a natural additional workload for FAST: its depthwise-separable
+convolutions stress exactly the bottlenecks Section 4 characterizes, at a
+much smaller parameter count than EfficientNet-B7.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.builder import GraphBuilder
+from repro.workloads.graph import Graph
+
+__all__ = ["MOBILENET_V2_BLOCKS", "build_mobilenet_v2"]
+
+#: Inverted-residual stage configuration: (expansion, channels, repeats, stride).
+MOBILENET_V2_BLOCKS: List[Tuple[int, int, int, int]] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def build_mobilenet_v2(
+    batch_size: int = 1,
+    image_size: int = 224,
+    width_multiplier: float = 1.0,
+    num_classes: int = 1000,
+) -> Graph:
+    """Build the MobileNetV2 inference graph.
+
+    Args:
+        batch_size: Inference batch size.
+        image_size: Input resolution (square images).
+        width_multiplier: Channel width scaling factor (the "alpha" knob).
+        num_classes: Classifier output size.
+    """
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be positive")
+    builder = GraphBuilder(f"mobilenet-v2-{image_size}", batch_size=batch_size)
+
+    def scaled(channels: int) -> int:
+        value = int(round(channels * width_multiplier / 8) * 8)
+        return max(value, 8)
+
+    x = builder.input("images", (batch_size, image_size, image_size, 3))
+
+    # Stem: 3x3 stride-2 convolution.
+    x = builder.conv2d(x, scaled(32), (3, 3), stride=2, name="stem.conv")
+    x = builder.batchnorm(x, name="stem.bn")
+    x = builder.activation(x, "relu", name="stem.relu")
+
+    for stage_idx, (expansion, channels, repeats, stride) in enumerate(MOBILENET_V2_BLOCKS):
+        out_channels = scaled(channels)
+        for block_idx in range(repeats):
+            block_stride = stride if block_idx == 0 else 1
+            x = _inverted_residual(
+                builder,
+                x,
+                out_channels,
+                expansion,
+                block_stride,
+                name=f"stage{stage_idx}.block{block_idx}",
+            )
+
+    # Head: 1x1 conv to 1280 channels, global pool, classifier.
+    head_channels = max(scaled(1280), 1280)
+    x = builder.pointwise_conv(x, head_channels, name="head.conv")
+    x = builder.batchnorm(x, name="head.bn")
+    x = builder.activation(x, "relu", name="head.relu")
+    x = builder.reduce_mean(x, name="head.pool")
+    logits = builder.matmul(x, num_classes, name="head.classifier")
+    return builder.finish(outputs=[logits])
+
+
+def _inverted_residual(
+    builder: GraphBuilder,
+    x: str,
+    out_channels: int,
+    expansion: int,
+    stride: int,
+    name: str,
+) -> str:
+    """One MobileNetV2 inverted-residual block."""
+    in_channels = builder.shape(x)[-1]
+    residual = x
+
+    y = x
+    if expansion != 1:
+        y = builder.pointwise_conv(y, in_channels * expansion, name=f"{name}.expand")
+        y = builder.batchnorm(y, name=f"{name}.expand_bn")
+        y = builder.activation(y, "relu", name=f"{name}.expand_relu")
+
+    y = builder.depthwise_conv2d(y, (3, 3), stride=stride, name=f"{name}.depthwise")
+    y = builder.batchnorm(y, name=f"{name}.depthwise_bn")
+    y = builder.activation(y, "relu", name=f"{name}.depthwise_relu")
+
+    y = builder.pointwise_conv(y, out_channels, name=f"{name}.project")
+    y = builder.batchnorm(y, name=f"{name}.project_bn")
+
+    if stride == 1 and in_channels == out_channels:
+        y = builder.add(y, residual, name=f"{name}.residual")
+    return y

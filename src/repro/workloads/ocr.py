@@ -1,0 +1,190 @@
+"""Production OCR pipeline workloads (RPN and Recognizer).
+
+The paper evaluates two components of the text-spotting pipeline from
+Qin et al. (2019):
+
+* **OCR-RPN** — the region proposal network stage of a standard Mask R-CNN:
+  a ResNet-style convolutional backbone with an FPN neck and a shared RPN
+  head (3x3 conv followed by objectness / box-regression 1x1 convs) applied
+  at several pyramid levels.
+
+* **OCR-Recognizer** — an LSTM-based sequence recognizer: a small
+  convolutional feature extractor over a text-line crop followed by stacked
+  bidirectional LSTM layers and a character classifier.
+
+The exact production models are proprietary; these builders construct
+representative graphs with the published structure (standard Conv2D-heavy
+RPN, matmul/element-wise-heavy LSTM recognizer).  Both already map well onto
+a TPU-v3-like datapath, which is exactly the role they play in the paper's
+evaluation (the "worst case for FAST" workloads).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.builder import GraphBuilder
+from repro.workloads.graph import Graph
+from repro.workloads.resnet import _bottleneck_block
+
+__all__ = ["build_ocr_rpn", "build_ocr_recognizer"]
+
+
+def build_ocr_rpn(batch_size: int = 1, image_size: int = 800) -> Graph:
+    """Build the OCR region-proposal-network graph (Mask R-CNN first stage).
+
+    Args:
+        batch_size: Inference batch size.
+        image_size: Square input resolution (Mask R-CNN commonly uses ~800px).
+
+    Returns:
+        The workload graph; outputs are the per-level objectness maps.
+    """
+    builder = GraphBuilder("ocr-rpn", batch_size=batch_size)
+    x = builder.input("images", (batch_size, image_size, image_size, 3))
+
+    # ResNet-style backbone (trimmed to stages C2-C5).
+    x = builder.conv2d(x, 64, (7, 7), stride=2, name="backbone.stem")
+    x = builder.pooling(x, (3, 3), stride=2, pool_type="max", name="backbone.pool")
+
+    stages: Tuple[Tuple[int, int], ...] = ((3, 64), (4, 128), (6, 256), (3, 512))
+    in_filters = 64
+    pyramid_features: List[str] = []
+    for stage_idx, (num_blocks, base_filters) in enumerate(stages):
+        out_filters = base_filters * 4
+        for block_idx in range(num_blocks):
+            stride = 2 if (block_idx == 0 and stage_idx > 0) else 1
+            x = _bottleneck_block(
+                builder,
+                x,
+                name=f"backbone.c{stage_idx + 2}.block{block_idx}",
+                in_filters=in_filters,
+                base_filters=base_filters,
+                out_filters=out_filters,
+                stride=stride,
+            )
+            in_filters = out_filters
+        pyramid_features.append(x)
+
+    # FPN lateral 1x1 convs + 3x3 smoothing on each level.
+    fpn_levels: List[str] = []
+    for level_idx, feature in enumerate(pyramid_features):
+        lateral = builder.conv2d(feature, 256, (1, 1), name=f"fpn.lateral{level_idx}")
+        smoothed = builder.conv2d(lateral, 256, (3, 3), name=f"fpn.output{level_idx}")
+        fpn_levels.append(smoothed)
+
+    # Shared RPN head on every pyramid level.
+    outputs: List[str] = []
+    num_anchors = 3
+    for level_idx, feature in enumerate(fpn_levels):
+        head = builder.conv2d(feature, 256, (3, 3), name=f"rpn.conv{level_idx}")
+        head = builder.activation(head, "relu", name=f"rpn.relu{level_idx}")
+        objectness = builder.conv2d(head, num_anchors, (1, 1), name=f"rpn.objectness{level_idx}")
+        builder.conv2d(head, num_anchors * 4, (1, 1), name=f"rpn.boxes{level_idx}")
+        outputs.append(objectness)
+
+    return builder.finish(outputs=outputs)
+
+
+def build_ocr_recognizer(
+    batch_size: int = 1,
+    sequence_length: int = 64,
+    input_height: int = 32,
+    lstm_units: int = 256,
+    num_lstm_layers: int = 2,
+    vocab_size: int = 128,
+) -> Graph:
+    """Build the OCR recognizer graph (convolutional frontend + stacked LSTMs).
+
+    The LSTM is unrolled over the sequence; each step performs the four-gate
+    matmul against the concatenated ``[input, hidden]`` vector followed by the
+    element-wise gate math, which is the op mix that makes this workload
+    vector-unit heavy.
+
+    Args:
+        batch_size: Inference batch size.
+        sequence_length: Number of horizontal feature columns / time steps.
+        input_height: Height of the text-line crop.
+        lstm_units: Hidden size of each LSTM layer.
+        num_lstm_layers: Number of stacked (bidirectional pairs collapsed)
+            LSTM layers.
+        vocab_size: Output character vocabulary.
+
+    Returns:
+        The workload graph; output is the per-step character logits.
+    """
+    builder = GraphBuilder("ocr-recognizer", batch_size=batch_size)
+    image_width = sequence_length * 4
+    x = builder.input("line_image", (batch_size, input_height, image_width, 1))
+
+    # Convolutional feature extractor collapsing the height dimension.
+    x = builder.conv2d(x, 64, (3, 3), stride=1, name="cnn.conv1")
+    x = builder.activation(x, "relu", name="cnn.relu1")
+    x = builder.pooling(x, (2, 2), stride=2, name="cnn.pool1")
+    x = builder.conv2d(x, 128, (3, 3), stride=1, name="cnn.conv2")
+    x = builder.activation(x, "relu", name="cnn.relu2")
+    x = builder.pooling(x, (2, 2), stride=2, name="cnn.pool2")
+    x = builder.conv2d(x, 256, (3, 3), stride=1, name="cnn.conv3")
+    x = builder.activation(x, "relu", name="cnn.relu3")
+
+    # Collapse to a (batch, seq, features) sequence.
+    b, h, w, c = builder.shape(x)
+    features = h * c
+    seq = builder.reshape(x, (batch_size, w, features), name="cnn.to_sequence")
+
+    # Stacked LSTM layers, unrolled over time.
+    layer_input = seq
+    input_size = features
+    for layer_idx in range(num_lstm_layers):
+        layer_input = _lstm_layer(
+            builder,
+            layer_input,
+            name=f"lstm{layer_idx}",
+            batch_size=batch_size,
+            seq_len=w,
+            input_size=input_size,
+            units=lstm_units,
+        )
+        input_size = lstm_units
+
+    logits = builder.matmul(layer_input, vocab_size, name="classifier")
+    return builder.finish(outputs=[logits])
+
+
+def _lstm_layer(
+    builder: GraphBuilder,
+    sequence: str,
+    name: str,
+    batch_size: int,
+    seq_len: int,
+    input_size: int,
+    units: int,
+) -> str:
+    """One unrolled LSTM layer.
+
+    The recurrent weight matrix is shared across steps (created once); each
+    time step contributes a gate matmul plus element-wise gate operations.
+    """
+    weight = builder.weight(f"{name}.kernel", (input_size + units, 4 * units))
+    step_outputs: List[str] = []
+    for step in range(seq_len):
+        step_in = builder.reshape(
+            sequence, (batch_size, input_size + units), name=f"{name}.step{step}.concat"
+        )
+        gates = builder.matmul(
+            step_in, 4 * units, name=f"{name}.step{step}.gates", weight_name=weight
+        )
+        gated = builder.activation(gates, "sigmoid", name=f"{name}.step{step}.gate_act")
+        cell = builder.reshape(gated, (batch_size, units), name=f"{name}.step{step}.cell")
+        cell = builder.activation(cell, "tanh", name=f"{name}.step{step}.tanh")
+        step_outputs.append(cell)
+
+    # Concatenate step outputs back into a sequence tensor.
+    merged = builder.activation_tensor(f"{name}.output", (batch_size, seq_len, units))
+    from repro.workloads.graph import Operation  # local import to avoid cycle at module load
+    from repro.workloads.ops import OpType
+
+    builder.graph.add_op(
+        Operation(f"{name}.merge", OpType.CONCAT, inputs=list(step_outputs), outputs=[merged], attrs={})
+    )
+    return merged

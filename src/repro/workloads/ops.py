@@ -1,0 +1,157 @@
+"""Operation taxonomy and per-op FLOP accounting.
+
+FAST divides ops into two classes: *matrix* ops (Conv2D, DepthwiseConv2D,
+MatMul, Einsum) that are scheduled onto the PE systolic arrays through the
+Timeloop-style mapper, and *vector* ops (softmax, layernorm, element-wise,
+pooling, ...) that execute on the per-PE Vector Processing Unit (VPU).  This
+module defines the op vocabulary and the FLOP formulas for each op type; byte
+accounting lives on the tensors themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.workloads.graph import Operation, Tensor
+
+__all__ = [
+    "OpType",
+    "MATRIX_OP_TYPES",
+    "VECTOR_OP_TYPES",
+    "is_matrix_op",
+    "op_flops",
+]
+
+
+class OpType(Enum):
+    """Kinds of operations understood by the simulator."""
+
+    # Matrix ops — run on the systolic array.
+    CONV2D = "conv2d"
+    DEPTHWISE_CONV2D = "depthwise_conv2d"
+    MATMUL = "matmul"
+    EINSUM = "einsum"
+
+    # Vector ops — run on the VPU.
+    ELEMENTWISE_ADD = "elementwise_add"
+    ELEMENTWISE_MUL = "elementwise_mul"
+    ACTIVATION = "activation"  # relu / swish / sigmoid / gelu / tanh
+    SOFTMAX = "softmax"
+    LAYERNORM = "layernorm"
+    BATCHNORM = "batchnorm"
+    POOLING = "pooling"
+    REDUCE = "reduce"
+    TRANSPOSE = "transpose"
+    RESHAPE = "reshape"
+    CONCAT = "concat"
+    SLICE = "slice"
+
+
+MATRIX_OP_TYPES = frozenset(
+    {OpType.CONV2D, OpType.DEPTHWISE_CONV2D, OpType.MATMUL, OpType.EINSUM}
+)
+
+VECTOR_OP_TYPES = frozenset(set(OpType) - MATRIX_OP_TYPES)
+
+# FLOPs charged per output element for vector ops.  These approximate the
+# number of VPU lane-operations needed per element, including transcendental
+# expansion cost (exp/erf are several VPU ops on real hardware).
+_VECTOR_FLOPS_PER_ELEMENT: Dict[OpType, float] = {
+    OpType.ELEMENTWISE_ADD: 1.0,
+    OpType.ELEMENTWISE_MUL: 1.0,
+    OpType.ACTIVATION: 2.0,  # transcendentals use the VPU's function unit
+    OpType.SOFTMAX: 6.0,  # max pass + exp + sum + divide (3-pass baseline)
+    OpType.LAYERNORM: 6.0,
+    OpType.BATCHNORM: 1.0,  # folded to a single scale-and-shift FMA at inference
+    OpType.POOLING: 1.0,
+    OpType.REDUCE: 1.0,
+    OpType.TRANSPOSE: 0.0,
+    OpType.RESHAPE: 0.0,
+    OpType.CONCAT: 0.0,
+    OpType.SLICE: 0.0,
+}
+
+
+def is_matrix_op(op_type: OpType) -> bool:
+    """True if the op type is scheduled on the systolic array."""
+    return op_type in MATRIX_OP_TYPES
+
+
+def op_flops(op: "Operation", tensors: Dict[str, "Tensor"]) -> int:
+    """Compute the FLOPs performed by ``op`` given its tensor shapes.
+
+    Matrix ops use the standard multiply-accumulate formulas (2 FLOPs per
+    MAC); vector ops are charged a per-element cost from
+    ``_VECTOR_FLOPS_PER_ELEMENT``.
+    """
+    if op.op_type is OpType.CONV2D:
+        return _conv2d_flops(op, tensors)
+    if op.op_type is OpType.DEPTHWISE_CONV2D:
+        return _depthwise_conv2d_flops(op, tensors)
+    if op.op_type is OpType.MATMUL:
+        return _matmul_flops(op, tensors)
+    if op.op_type is OpType.EINSUM:
+        return _einsum_flops(op, tensors)
+    return _vector_flops(op, tensors)
+
+
+def _output_elements(op: "Operation", tensors: Dict[str, "Tensor"]) -> int:
+    return sum(tensors[name].num_elements for name in op.outputs)
+
+
+def _vector_flops(op: "Operation", tensors: Dict[str, "Tensor"]) -> int:
+    per_element = _VECTOR_FLOPS_PER_ELEMENT.get(op.op_type, 1.0)
+    if op.op_type is OpType.POOLING:
+        # Pooling reads a kernel-sized window per output element.
+        kernel = op.attrs.get("kernel", (1, 1))
+        per_element = float(kernel[0] * kernel[1])
+    return int(math.ceil(per_element * _output_elements(op, tensors)))
+
+
+def _conv2d_flops(op: "Operation", tensors: Dict[str, "Tensor"]) -> int:
+    """2 * B * OH * OW * OF * IF * KH * KW."""
+    out = tensors[op.outputs[0]]
+    b, oh, ow, of = _nhwc(out.shape)
+    kh, kw = op.attrs["kernel"]
+    in_features = op.attrs["in_features"]
+    groups = int(op.attrs.get("groups", 1))
+    return 2 * b * oh * ow * of * (in_features // groups) * kh * kw
+
+
+def _depthwise_conv2d_flops(op: "Operation", tensors: Dict[str, "Tensor"]) -> int:
+    """2 * B * OH * OW * C * KH * KW (filter depth is 1)."""
+    out = tensors[op.outputs[0]]
+    b, oh, ow, c = _nhwc(out.shape)
+    kh, kw = op.attrs["kernel"]
+    multiplier = int(op.attrs.get("channel_multiplier", 1))
+    return 2 * b * oh * ow * c * kh * kw * multiplier
+
+
+def _matmul_flops(op: "Operation", tensors: Dict[str, "Tensor"]) -> int:
+    """2 * M * N * K, with leading batch dims folded into M."""
+    out = tensors[op.outputs[0]]
+    k = int(op.attrs["contracting_dim"])
+    n = out.shape[-1]
+    m = out.num_elements // n
+    return 2 * m * n * k
+
+
+def _einsum_flops(op: "Operation", tensors: Dict[str, "Tensor"]) -> int:
+    """2 * (product of output dims) * (contracting dimension size)."""
+    out = tensors[op.outputs[0]]
+    k = int(op.attrs["contracting_dim"])
+    return 2 * out.num_elements * k
+
+
+def _nhwc(shape) -> tuple:
+    """Interpret a shape as NHWC, padding missing leading dims with 1."""
+    if len(shape) == 4:
+        return shape
+    if len(shape) == 3:
+        return (1,) + tuple(shape)
+    if len(shape) == 2:
+        return (shape[0], 1, 1, shape[1])
+    raise ValueError(f"cannot interpret shape {shape} as NHWC")

@@ -1,0 +1,90 @@
+"""Post-training quantization as a graph transformation.
+
+The paper notes (Figure 2 caption) that quantization is orthogonal to FAST
+and "can bring further gains" — it shrinks every tensor, which raises
+operational intensity and lets FAST fusion pin more tensors in the Global
+Memory, and int8 MACs are denser than bf16 MACs.  This module provides the
+graph-level half of that extension: :func:`quantize_graph` rewrites a
+workload graph so that the selected tensor kinds use a narrower datatype.
+The simulator then sees the reduced DRAM traffic and footprints directly;
+compute-side gains (denser MAC arrays) can be explored by scaling the
+datapath's systolic array dimensions in the usual Table 3 search space.
+
+Quantization here is a *cost-model* transformation: no numerical calibration
+is performed and model accuracy is out of scope, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.workloads.graph import DType, Graph, Operation, Tensor, TensorKind
+
+__all__ = ["QuantizationRecipe", "quantize_graph", "memory_savings"]
+
+
+@dataclass(frozen=True)
+class QuantizationRecipe:
+    """Which tensor kinds get which datatype.
+
+    The default recipe is weight-and-activation int8 (the common inference
+    deployment point); ``weight_only`` recipes keep activations in bf16.
+    """
+
+    weight_dtype: DType = DType.INT8
+    activation_dtype: DType = DType.INT8
+
+    @classmethod
+    def weight_only(cls, dtype: DType = DType.INT8) -> "QuantizationRecipe":
+        """Quantize weights only, keeping activations in bf16."""
+        return cls(weight_dtype=dtype, activation_dtype=DType.BFLOAT16)
+
+    def dtype_for(self, kind: TensorKind) -> DType:
+        """Datatype assigned to a tensor of the given kind."""
+        if kind in (TensorKind.WEIGHT, TensorKind.CONSTANT):
+            return self.weight_dtype
+        return self.activation_dtype
+
+
+def quantize_graph(graph: Graph, recipe: QuantizationRecipe = QuantizationRecipe()) -> Graph:
+    """Return a copy of ``graph`` with tensors narrowed per ``recipe``.
+
+    The graph structure (ops, edges, shapes) is unchanged; only tensor
+    datatypes — and therefore byte footprints and DRAM traffic — change.
+    """
+    quantized = Graph(f"{graph.name}-int8" if graph.name else "quantized", graph.batch_size)
+    for tensor in graph.tensors.values():
+        quantized.add_tensor(
+            Tensor(tensor.name, tensor.shape, recipe.dtype_for(tensor.kind), tensor.kind)
+        )
+    for op in graph.ops:
+        quantized.add_op(
+            Operation(op.name, op.op_type, list(op.inputs), list(op.outputs), dict(op.attrs))
+        )
+    for name in graph.input_names:
+        quantized.mark_input(name)
+    for name in graph.output_names:
+        quantized.mark_output(name)
+    return quantized
+
+
+def memory_savings(graph: Graph, quantized: Graph) -> Dict[str, float]:
+    """Footprint reduction factors achieved by quantization.
+
+    Returns the weight, peak-working-set, and total-activation reduction
+    factors (original bytes divided by quantized bytes).
+    """
+
+    def ratio(before: float, after: float) -> float:
+        return before / after if after > 0 else 1.0
+
+    return {
+        "weight_reduction": ratio(graph.weight_bytes(), quantized.weight_bytes()),
+        "working_set_reduction": ratio(
+            graph.max_working_set_bytes(), quantized.max_working_set_bytes()
+        ),
+        "activation_reduction": ratio(
+            graph.activation_bytes_total(), quantized.activation_bytes_total()
+        ),
+    }

@@ -1,0 +1,99 @@
+"""Registry of benchmark workloads used throughout the paper's evaluation.
+
+The registry maps the workload names used in the figures and tables (e.g.
+``efficientnet-b7``, ``bert-seq1024``) to graph builder callables, and defines
+the two suites the paper evaluates on: the full benchmark suite and the
+reduced five-workload suite used for the multi-workload search.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads.bert import BERT_LARGE, build_bert
+from repro.workloads.efficientnet import EFFICIENTNET_VARIANTS, build_efficientnet
+from repro.workloads.graph import Graph
+from repro.workloads.mobilenet import build_mobilenet_v2
+from repro.workloads.ocr import build_ocr_recognizer, build_ocr_rpn
+from repro.workloads.resnet import build_resnet50
+
+__all__ = [
+    "WORKLOAD_BUILDERS",
+    "FULL_SUITE",
+    "MULTI_WORKLOAD_SUITE",
+    "build_workload",
+    "available_workloads",
+]
+
+
+def _efficientnet_builder(variant: str) -> Callable[[int], Graph]:
+    def build(batch_size: int = 1) -> Graph:
+        return build_efficientnet(variant, batch_size=batch_size)
+
+    return build
+
+
+WORKLOAD_BUILDERS: Dict[str, Callable[..., Graph]] = {
+    **{name: _efficientnet_builder(name) for name in EFFICIENTNET_VARIANTS},
+    "bert-seq128": lambda batch_size=1: build_bert(seq_len=128, batch_size=batch_size),
+    "bert-seq1024": lambda batch_size=1: build_bert(seq_len=1024, batch_size=batch_size),
+    "resnet50": lambda batch_size=1: build_resnet50(batch_size=batch_size),
+    "ocr-rpn": lambda batch_size=1: build_ocr_rpn(batch_size=batch_size),
+    "ocr-recognizer": lambda batch_size=1: build_ocr_recognizer(batch_size=batch_size),
+    # Additional workloads beyond the paper's benchmark suite (extensions).
+    "mobilenet-v2": lambda batch_size=1: build_mobilenet_v2(batch_size=batch_size),
+    "bert-large-seq128": lambda batch_size=1: build_bert(
+        seq_len=128, batch_size=batch_size, config=BERT_LARGE, name="bert-large-seq128"
+    ),
+    "bert-large-seq512": lambda batch_size=1: build_bert(
+        seq_len=512, batch_size=batch_size, config=BERT_LARGE, name="bert-large-seq512"
+    ),
+}
+
+# The comprehensive suite evaluated in Figures 9-10 (single-workload search).
+FULL_SUITE: List[str] = [
+    "efficientnet-b0",
+    "efficientnet-b1",
+    "efficientnet-b2",
+    "efficientnet-b3",
+    "efficientnet-b4",
+    "efficientnet-b5",
+    "efficientnet-b6",
+    "efficientnet-b7",
+    "bert-seq128",
+    "bert-seq1024",
+    "resnet50",
+    "ocr-rpn",
+    "ocr-recognizer",
+]
+
+# The reduced suite used for the multi-workload search (GeoMean-5 in Fig. 9).
+MULTI_WORKLOAD_SUITE: List[str] = [
+    "efficientnet-b7",
+    "resnet50",
+    "ocr-rpn",
+    "ocr-recognizer",
+    "bert-seq1024",
+]
+
+
+def available_workloads() -> List[str]:
+    """Names of all registered workloads."""
+    return sorted(WORKLOAD_BUILDERS)
+
+
+def build_workload(name: str, batch_size: int = 1) -> Graph:
+    """Build a registered workload graph by name.
+
+    Args:
+        name: A key of :data:`WORKLOAD_BUILDERS`.
+        batch_size: Inference batch size for the built graph.
+
+    Raises:
+        KeyError: If the workload name is unknown.
+    """
+    if name not in WORKLOAD_BUILDERS:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(available_workloads())}"
+        )
+    return WORKLOAD_BUILDERS[name](batch_size=batch_size)

@@ -1,0 +1,93 @@
+"""ResNet-50 v2 graph construction.
+
+ResNet-50 v2 (He et al., 2016) uses pre-activation bottleneck residual blocks
+(BN -> ReLU -> 1x1 conv -> BN -> ReLU -> 3x3 conv -> BN -> ReLU -> 1x1 conv)
+arranged in four stages of 3/4/6/3 blocks.  Unlike EfficientNet, it uses only
+standard Conv2D operations and therefore maps efficiently onto large systolic
+arrays; the paper uses it as a "already fast on TPU-v3" comparison point.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.workloads.builder import GraphBuilder
+from repro.workloads.graph import Graph
+
+__all__ = ["build_resnet50"]
+
+# (num_blocks, base_filters) per stage; bottleneck expansion is 4x.
+_STAGES: Tuple[Tuple[int, int], ...] = ((3, 64), (4, 128), (6, 256), (3, 512))
+_EXPANSION = 4
+
+
+def build_resnet50(batch_size: int = 1, image_size: int = 224) -> Graph:
+    """Build the ResNet-50 v2 inference graph.
+
+    Args:
+        batch_size: Inference batch size.
+        image_size: Square input resolution (224 for ImageNet).
+
+    Returns:
+        The workload graph with classifier logits as the sole output.
+    """
+    builder = GraphBuilder("resnet50v2", batch_size=batch_size)
+    x = builder.input("images", (batch_size, image_size, image_size, 3))
+
+    # Stem: 7x7/2 conv + 3x3/2 max pool.
+    x = builder.conv2d(x, 64, (7, 7), stride=2, name="stem.conv")
+    x = builder.pooling(x, (3, 3), stride=2, pool_type="max", name="stem.pool")
+
+    in_filters = 64
+    for stage_idx, (num_blocks, base_filters) in enumerate(_STAGES):
+        out_filters = base_filters * _EXPANSION
+        for block_idx in range(num_blocks):
+            stride = 2 if (block_idx == 0 and stage_idx > 0) else 1
+            x = _bottleneck_block(
+                builder,
+                x,
+                name=f"stage{stage_idx + 1}.block{block_idx}",
+                in_filters=in_filters,
+                base_filters=base_filters,
+                out_filters=out_filters,
+                stride=stride,
+            )
+            in_filters = out_filters
+
+    # Head: final BN/ReLU, global average pool, dense classifier.
+    x = builder.batchnorm(x, name="head.bn")
+    x = builder.activation(x, "relu", name="head.relu")
+    x = builder.reduce_mean(x, name="head.pool")
+    logits = builder.matmul(x, 1000, name="head.fc")
+    return builder.finish(outputs=[logits])
+
+
+def _bottleneck_block(
+    builder: GraphBuilder,
+    x: str,
+    name: str,
+    in_filters: int,
+    base_filters: int,
+    out_filters: int,
+    stride: int,
+) -> str:
+    """Pre-activation bottleneck residual block."""
+    preact = builder.batchnorm(x, name=f"{name}.preact_bn")
+    preact = builder.activation(preact, "relu", name=f"{name}.preact_relu")
+
+    # Shortcut: identity when shape is preserved, 1x1 projection otherwise.
+    if stride != 1 or in_filters != out_filters:
+        shortcut = builder.conv2d(preact, out_filters, (1, 1), stride=stride, name=f"{name}.shortcut")
+    else:
+        shortcut = x
+
+    y = builder.conv2d(preact, base_filters, (1, 1), stride=1, name=f"{name}.conv1")
+    y = builder.batchnorm(y, name=f"{name}.bn1")
+    y = builder.activation(y, "relu", name=f"{name}.relu1")
+
+    y = builder.conv2d(y, base_filters, (3, 3), stride=stride, name=f"{name}.conv2")
+    y = builder.batchnorm(y, name=f"{name}.bn2")
+    y = builder.activation(y, "relu", name=f"{name}.relu2")
+
+    y = builder.conv2d(y, out_filters, (1, 1), stride=1, name=f"{name}.conv3")
+    return builder.add(y, shortcut, name=f"{name}.add")

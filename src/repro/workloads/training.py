@@ -1,0 +1,238 @@
+"""Training-step graph construction (the paper's stated future work).
+
+The paper optimizes *inference* accelerators and lists "adding support for
+optimizing accelerators for training" as future work (Section 7).  This
+module provides that extension at the workload level: given an inference
+graph it builds a training-step graph containing the forward pass, a loss
+reduction, a backward pass, and the weight-update ops of the chosen
+optimizer.
+
+The backward pass is modeled structurally rather than symbolically:
+
+* every forward matrix op gets a *grad-input* op of the same type (backward
+  data convolutions/matmuls have essentially the forward op's FLOP count and
+  traffic) and a *grad-weight* op (an activation x activation contraction);
+* every forward vector op gets one backward vector op of the same shape;
+* each backward op re-reads the forward op's stored activations — this is
+  the key property that distinguishes training from inference for FAST
+  fusion: intermediate activations cannot be discarded after use, so the
+  aggressive inference-only fusion of Section 5.5 does not apply.
+
+Gradient tensors are given unique names per backward op, so fan-out in the
+forward graph is modeled as independent gradient contributions rather than
+an explicit accumulation tree; the FLOP and traffic totals are the same and
+the graph remains a valid single-producer DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.workloads.graph import Graph, Operation, Tensor, TensorKind
+from repro.workloads.ops import OpType, is_matrix_op
+
+__all__ = ["TrainingOptions", "build_training_graph", "training_flops_ratio"]
+
+#: Number of elementwise passes over each weight tensor performed by the
+#: optimizer update (read grad + read/write state + write weight).
+_OPTIMIZER_UPDATE_PASSES = {"sgd": 1, "momentum": 2, "adam": 3}
+
+
+@dataclass(frozen=True)
+class TrainingOptions:
+    """Configuration of the generated training step."""
+
+    optimizer: str = "sgd"
+    include_weight_update: bool = True
+
+    def __post_init__(self) -> None:
+        if self.optimizer not in _OPTIMIZER_UPDATE_PASSES:
+            raise ValueError(
+                f"unknown optimizer {self.optimizer!r}; "
+                f"expected one of {sorted(_OPTIMIZER_UPDATE_PASSES)}"
+            )
+
+    @property
+    def update_passes(self) -> int:
+        """Elementwise passes over each weight tensor for one update."""
+        return _OPTIMIZER_UPDATE_PASSES[self.optimizer]
+
+
+def build_training_graph(
+    inference: Graph, options: TrainingOptions = TrainingOptions()
+) -> Graph:
+    """Build a training-step graph from an inference graph.
+
+    Args:
+        inference: The forward (inference) graph.
+        options: Optimizer choice and whether to emit weight-update ops.
+
+    Returns:
+        A new graph named ``<name>-train`` containing forward, loss,
+        backward, and (optionally) weight-update operations.
+    """
+    train = Graph(f"{inference.name}-train", batch_size=inference.batch_size)
+    dtype = _dominant_dtype(inference)
+
+    # ----- forward pass (copied verbatim) --------------------------------
+    for tensor in inference.tensors.values():
+        train.add_tensor(Tensor(tensor.name, tensor.shape, tensor.dtype, tensor.kind))
+    for op in inference.ops:
+        train.add_op(
+            Operation(op.name, op.op_type, list(op.inputs), list(op.outputs), dict(op.attrs))
+        )
+    for name in inference.input_names:
+        train.mark_input(name)
+
+    # ----- loss -----------------------------------------------------------
+    loss_inputs = list(inference.output_names) or [inference.ops[-1].outputs[0]]
+    loss_name = "loss"
+    train.add_tensor(Tensor(loss_name, (inference.batch_size,), dtype, TensorKind.ACTIVATION))
+    train.add_op(
+        Operation("loss.reduce", OpType.REDUCE, inputs=loss_inputs, outputs=[loss_name],
+                  attrs={"reduce": "mean"})
+    )
+
+    # ----- backward pass ---------------------------------------------------
+    grad_tensors: List[str] = []
+    for op in reversed(inference.ops):
+        if op.op_type is OpType.RESHAPE:
+            continue  # no compute or unique traffic in the cost model
+        grad_tensors.extend(_append_backward_ops(train, inference, op, dtype))
+
+    # ----- weight update ---------------------------------------------------
+    if options.include_weight_update:
+        _append_weight_updates(train, inference, options, dtype)
+
+    for name in inference.output_names:
+        train.mark_output(name)
+    train.mark_output(loss_name)
+    train.validate()
+    return train
+
+
+def training_flops_ratio(inference: Graph, training: Graph) -> float:
+    """FLOP ratio of the training step to the forward pass.
+
+    The classic rule of thumb is ~3x for dense networks (forward + grad-input
+    + grad-weight); models dominated by vector ops land lower.
+    """
+    forward = inference.total_flops()
+    return training.total_flops() / forward if forward else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Internal helpers
+# ---------------------------------------------------------------------------
+def _dominant_dtype(graph: Graph):
+    for tensor in graph.tensors.values():
+        return tensor.dtype
+    raise ValueError("cannot build a training graph from an empty graph")
+
+
+def _append_backward_ops(train: Graph, inference: Graph, op: Operation, dtype) -> List[str]:
+    """Append the backward op(s) for one forward op; returns new grad tensor names."""
+    tensors = inference.tensors
+    created: List[str] = []
+    # The incoming gradient has the shape of the op's (first) output; the
+    # stored forward output tensor stands in for it so the backward op reads
+    # a tensor of identical size without needing an explicit gradient chain.
+    incoming = op.outputs[0]
+
+    activation_inputs = [t for t in op.inputs if tensors[t].kind is TensorKind.ACTIVATION]
+    weight_inputs = [
+        t for t in op.inputs if tensors[t].kind in (TensorKind.WEIGHT, TensorKind.CONSTANT)
+    ]
+
+    if is_matrix_op(op.op_type):
+        # Grad w.r.t. the input activation(s): same op type, same attrs.
+        for idx, act in enumerate(activation_inputs):
+            grad_name = f"{op.name}.grad_input{idx}"
+            train.add_tensor(Tensor(grad_name, tensors[act].shape, dtype, TensorKind.ACTIVATION))
+            backward_inputs = [incoming] + weight_inputs if weight_inputs else [incoming, act]
+            train.add_op(
+                Operation(
+                    f"{op.name}.bwd_input{idx}",
+                    op.op_type,
+                    inputs=backward_inputs,
+                    outputs=[grad_name],
+                    attrs=dict(op.attrs),
+                )
+            )
+            created.append(grad_name)
+        # Grad w.r.t. each weight: activation x activation contraction whose
+        # output has the weight's shape.
+        for idx, weight in enumerate(weight_inputs):
+            grad_name = f"{op.name}.grad_weight{idx}"
+            train.add_tensor(Tensor(grad_name, tensors[weight].shape, dtype, TensorKind.ACTIVATION))
+            contracting = _output_positions(tensors[incoming].shape)
+            train.add_op(
+                Operation(
+                    f"{op.name}.bwd_weight{idx}",
+                    OpType.EINSUM,
+                    inputs=[activation_inputs[0] if activation_inputs else incoming, incoming],
+                    outputs=[grad_name],
+                    attrs={"contracting_dim": contracting},
+                )
+            )
+            created.append(grad_name)
+    else:
+        # Vector ops: one backward vector op with the input activation's shape.
+        source = activation_inputs[0] if activation_inputs else incoming
+        grad_name = f"{op.name}.grad_input"
+        train.add_tensor(Tensor(grad_name, tensors[source].shape, dtype, TensorKind.ACTIVATION))
+        backward_type = op.op_type if op.op_type is not OpType.REDUCE else OpType.ELEMENTWISE_MUL
+        train.add_op(
+            Operation(
+                f"{op.name}.bwd",
+                backward_type,
+                inputs=[incoming, source],
+                outputs=[grad_name],
+                attrs=dict(op.attrs),
+            )
+        )
+        created.append(grad_name)
+    return created
+
+
+def _append_weight_updates(
+    train: Graph, inference: Graph, options: TrainingOptions, dtype
+) -> None:
+    """Append optimizer-update ops, one chain per weight tensor."""
+    grad_by_weight: Dict[str, str] = {}
+    for op in inference.ops:
+        weight_inputs = [
+            t
+            for t in op.inputs
+            if inference.tensors[t].kind in (TensorKind.WEIGHT, TensorKind.CONSTANT)
+        ]
+        for idx, weight in enumerate(weight_inputs):
+            grad_by_weight.setdefault(weight, f"{op.name}.grad_weight{idx}")
+
+    for weight, grad in grad_by_weight.items():
+        if grad not in train.tensors:
+            continue  # vector-op parameters (scale/shift) have no matrix grad op
+        shape = inference.tensors[weight].shape
+        previous = grad
+        for step in range(options.update_passes):
+            out_name = f"{weight}.update{step}"
+            train.add_tensor(Tensor(out_name, shape, dtype, TensorKind.ACTIVATION))
+            train.add_op(
+                Operation(
+                    f"{weight}.optimizer_step{step}",
+                    OpType.ELEMENTWISE_ADD,
+                    inputs=[previous, weight],
+                    outputs=[out_name],
+                    attrs={"optimizer": options.optimizer},
+                )
+            )
+            previous = out_name
+
+
+def _output_positions(shape) -> int:
+    """Number of output positions reduced over when forming a weight gradient."""
+    positions = 1
+    for dim in shape[:-1]:
+        positions *= dim
+    return max(positions, 1)

@@ -1,0 +1,101 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (workload graphs, end-to-end simulation results) are
+session-scoped so the suite stays fast while still exercising the full stack.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.designs import FAST_LARGE, FAST_SMALL, TPU_V3
+from repro.hardware.datapath import DatapathConfig
+from repro.simulator.engine import Simulator
+from repro.workloads.builder import GraphBuilder
+from repro.workloads.registry import build_workload
+
+
+@pytest.fixture(scope="session")
+def tiny_graph():
+    """A small conv -> relu -> residual add -> dense graph."""
+    builder = GraphBuilder("tiny", batch_size=2)
+    x = builder.input("images", (2, 16, 16, 8))
+    y = builder.conv2d(x, 16, (3, 3), stride=1, name="conv1")
+    y = builder.activation(y, "relu", name="relu1")
+    z = builder.conv2d(y, 16, (1, 1), stride=1, name="conv2")
+    z = builder.add(z, y, name="residual")
+    z = builder.reduce_mean(z, name="pool")
+    logits = builder.matmul(z, 10, name="fc")
+    return builder.finish(outputs=[logits])
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    """A modest datapath used by most mapper/simulator tests."""
+    return DatapathConfig(
+        pes_x_dim=2,
+        pes_y_dim=2,
+        systolic_array_x=16,
+        systolic_array_y=16,
+        vector_unit_multiplier=2,
+        l1_input_buffer_kib=16,
+        l1_weight_buffer_kib=16,
+        l1_output_buffer_kib=16,
+        l3_global_buffer_mib=8,
+        gddr6_channels=2,
+        native_batch_size=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def tpu_config():
+    """The modeled TPU-v3 baseline."""
+    return TPU_V3
+
+
+@pytest.fixture(scope="session")
+def fast_large_config():
+    """The FAST-Large design from Table 5."""
+    return FAST_LARGE
+
+
+@pytest.fixture(scope="session")
+def fast_small_config():
+    """The FAST-Small design from Table 5."""
+    return FAST_SMALL
+
+
+@pytest.fixture(scope="session")
+def efficientnet_b0():
+    """EfficientNet-B0 at batch 1."""
+    return build_workload("efficientnet-b0", batch_size=1)
+
+
+@pytest.fixture(scope="session")
+def bert_seq128():
+    """BERT-Base at sequence length 128, batch 1."""
+    return build_workload("bert-seq128", batch_size=1)
+
+
+@pytest.fixture(scope="session")
+def resnet50():
+    """ResNet-50v2 at batch 1."""
+    return build_workload("resnet50", batch_size=1)
+
+
+@pytest.fixture(scope="session")
+def b0_on_tpu(tpu_config):
+    """EfficientNet-B0 simulated on the TPU-v3 baseline."""
+    return Simulator(tpu_config).simulate_workload("efficientnet-b0")
+
+
+@pytest.fixture(scope="session")
+def b0_on_fast_large(fast_large_config):
+    """EfficientNet-B0 simulated on FAST-Large."""
+    return Simulator(fast_large_config).simulate_workload("efficientnet-b0")
+
+
+@pytest.fixture(scope="session")
+def tiny_on_small(tiny_graph, small_config):
+    """The tiny graph simulated on the small datapath."""
+    return Simulator(small_config).simulate(tiny_graph)

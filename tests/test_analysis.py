@@ -1,0 +1,117 @@
+"""Tests for the analysis package (footprints, operational intensity, bottlenecks)."""
+
+import pytest
+
+from repro.analysis.bottleneck import (
+    bert_component_breakdown,
+    characterize_op_types,
+    per_layer_utilization,
+)
+from repro.analysis.footprint import storage_requirements, storage_requirements_table
+from repro.analysis.intensity import intensity_report, operational_intensity
+from repro.core.designs import FAST_SMALL, TPU_V3
+from repro.workloads.ops import OpType
+from repro.workloads.registry import build_workload
+
+
+class TestFootprint:
+    def test_requirements_match_graph_accounting(self, efficientnet_b0):
+        req = storage_requirements(efficientnet_b0)
+        assert req.max_working_set_bytes == efficientnet_b0.max_working_set_bytes()
+        assert req.weight_bytes == efficientnet_b0.weight_bytes()
+        assert req.max_working_set_mib > 0
+        assert req.weight_mib > 0
+
+    def test_table1_ordering(self):
+        """Table 1: working sets and weights grow monotonically from B0 to B3."""
+        table = storage_requirements_table(
+            ["efficientnet-b0", "efficientnet-b1", "efficientnet-b2", "efficientnet-b3"]
+        )
+        weights = [table[f"efficientnet-b{i}"].weight_bytes for i in range(4)]
+        assert weights == sorted(weights)
+
+    def test_b0_magnitudes_match_table1(self):
+        """Table 1: B0 weights ~12.7 MiB, working set a few MiB (bfloat16)."""
+        req = storage_requirements(build_workload("efficientnet-b0", batch_size=1))
+        assert 7 < req.weight_mib < 20
+        assert 1 < req.max_working_set_mib < 12
+
+    def test_working_set_scales_with_batch(self):
+        b1 = storage_requirements(build_workload("efficientnet-b0", batch_size=1))
+        b8 = storage_requirements(build_workload("efficientnet-b0", batch_size=8))
+        assert b8.max_working_set_bytes == pytest.approx(8 * b1.max_working_set_bytes, rel=0.05)
+        assert b8.weight_bytes == b1.weight_bytes
+
+
+class TestIntensity:
+    def test_strategies_ordered(self, efficientnet_b0):
+        """Figure 3: none < xla < block < ideal."""
+        report = intensity_report(efficientnet_b0)
+        assert (
+            report["none"] < report["xla"] <= report["block"] < report["ideal"]
+        )
+
+    def test_unknown_strategy_rejected(self, efficientnet_b0):
+        with pytest.raises(ValueError):
+            operational_intensity(efficientnet_b0, "fancy")
+
+    def test_efficientnet_unfused_is_memory_bound_on_tpu(self, efficientnet_b0):
+        """Section 4.1: unfused EfficientNet sits far below the TPU-v3 ridgepoint."""
+        assert operational_intensity(efficientnet_b0, "none") < 40
+        assert operational_intensity(efficientnet_b0, "none") < TPU_V3.operational_intensity_ridgepoint
+
+    def test_resnet_has_higher_intensity_than_efficientnet(self, efficientnet_b0, resnet50):
+        assert operational_intensity(resnet50, "xla") > operational_intensity(
+            efficientnet_b0, "xla"
+        )
+
+    def test_batching_helps_resnet_more_than_efficientnet(self):
+        """Figure 3: batching amortizes ResNet weights but not EfficientNet's."""
+        def gain(name):
+            b1 = operational_intensity(build_workload(name, batch_size=1), "xla")
+            b8 = operational_intensity(build_workload(name, batch_size=8), "xla")
+            return b8 / b1
+
+        assert gain("resnet50") > gain("efficientnet-b0")
+
+    def test_ideal_intensity_uses_only_model_io(self, bert_seq128):
+        report = intensity_report(bert_seq128)
+        io_bytes = sum(
+            bert_seq128.tensor(t).size_bytes
+            for t in bert_seq128.input_names + bert_seq128.output_names
+        )
+        assert report["ideal"] == pytest.approx(bert_seq128.total_flops() / io_bytes)
+
+
+class TestBottleneck:
+    def test_table2_depthwise_dominates_runtime_on_tpu(self):
+        """Table 2: depthwise convs take far more runtime than their FLOP share."""
+        rows = characterize_op_types("efficientnet-b4", TPU_V3)
+        by_type = {row.op_type: row for row in rows}
+        dw = by_type[OpType.DEPTHWISE_CONV2D]
+        conv = by_type[OpType.CONV2D]
+        assert dw.flop_fraction < 0.2
+        assert dw.runtime_fraction > dw.flop_fraction * 3
+        assert conv.flop_fraction > 0.7
+
+    def test_per_layer_utilization_shape(self):
+        values = per_layer_utilization("efficientnet-b0", TPU_V3)
+        assert len(values) > 10
+        assert all(0 <= v <= 1 for v in values)
+
+    def test_figure4_early_layers_worse_than_late_layers(self):
+        """Figure 4: early layers (few channels) run at lower utilization."""
+        values = per_layer_utilization("efficientnet-b4", TPU_V3)
+        early = sum(values[:10]) / 10
+        late = sum(values[-10:]) / 10
+        assert late > early
+
+    def test_figure5_attention_share_grows_with_sequence_length(self):
+        """Figure 5: softmax + self-attention dominate at long sequence lengths."""
+        breakdown = bert_component_breakdown(FAST_SMALL, [128, 512], batch_size=4)
+        short = breakdown[128]
+        long = breakdown[512]
+        attention_short = short.get("self_attention", 0) + short.get("softmax", 0)
+        attention_long = long.get("self_attention", 0) + long.get("softmax", 0)
+        assert attention_long > attention_short
+        assert long.get("feed_forward", 0) < short.get("feed_forward", 0)

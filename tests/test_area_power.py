@@ -1,0 +1,107 @@
+"""Tests for the analytical area and power (TDP) models."""
+
+import pytest
+
+from repro.hardware.area_power import AreaPowerModel, TechnologyModel
+from repro.hardware.datapath import DatapathConfig, L2Config, MemoryTechnology
+from repro.hardware.tpu import TPU_V3
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AreaPowerModel()
+
+
+class TestBreakdownStructure:
+    def test_totals_are_sums_of_components(self, model):
+        breakdown = model.evaluate(DatapathConfig())
+        as_dict = breakdown.as_dict()
+        area_components = [
+            as_dict[k] for k in as_dict if k.endswith("_area_mm2") and k != "total_area_mm2"
+        ]
+        power_components = [
+            as_dict[k] for k in as_dict if k.endswith("_power_w") and k != "total_tdp_w"
+        ]
+        assert sum(area_components) == pytest.approx(as_dict["total_area_mm2"])
+        assert sum(power_components) == pytest.approx(as_dict["total_tdp_w"])
+
+    def test_all_components_non_negative(self, model):
+        breakdown = model.evaluate(DatapathConfig())
+        assert all(v >= 0 for v in breakdown.as_dict().values())
+
+    def test_convenience_accessors(self, model):
+        config = DatapathConfig()
+        assert model.area_mm2(config) == pytest.approx(model.evaluate(config).total_area_mm2)
+        assert model.tdp_w(config) == pytest.approx(model.evaluate(config).total_tdp_w)
+
+
+class TestScalingBehaviour:
+    def test_more_macs_cost_more_area_and_power(self, model):
+        small = DatapathConfig(systolic_array_x=16, systolic_array_y=16)
+        large = DatapathConfig(systolic_array_x=64, systolic_array_y=64)
+        assert model.area_mm2(large) > model.area_mm2(small)
+        assert model.tdp_w(large) > model.tdp_w(small)
+
+    def test_larger_global_memory_costs_more_area(self, model):
+        small = DatapathConfig(l3_global_buffer_mib=16)
+        large = DatapathConfig(l3_global_buffer_mib=256)
+        assert model.area_mm2(large) > model.area_mm2(small)
+
+    def test_larger_l1_raises_tdp(self, model):
+        """Table 6: moving from 8 KiB to 32 KiB L1 scratchpads raises TDP."""
+        small = DatapathConfig(
+            l1_input_buffer_kib=4, l1_weight_buffer_kib=2, l1_output_buffer_kib=2
+        )
+        large = DatapathConfig(
+            l1_input_buffer_kib=16, l1_weight_buffer_kib=8, l1_output_buffer_kib=8
+        )
+        assert model.tdp_w(large) > model.tdp_w(small)
+
+    def test_enabling_l2_raises_tdp(self, model):
+        """Section 6.2.5: L2 buffers increase TDP under power-virus accounting."""
+        without = DatapathConfig(l2_buffer_config=L2Config.DISABLED)
+        with_l2 = DatapathConfig(l2_buffer_config=L2Config.SHARED)
+        assert model.tdp_w(with_l2) > model.tdp_w(without)
+
+    def test_more_dram_channels_cost_more(self, model):
+        few = DatapathConfig(gddr6_channels=2)
+        many = DatapathConfig(gddr6_channels=8)
+        assert model.tdp_w(many) > model.tdp_w(few)
+        assert model.area_mm2(many) > model.area_mm2(few)
+
+    def test_hbm_costs_more_than_gddr6_per_channel(self, model):
+        gddr = DatapathConfig(gddr6_channels=2, memory_technology=MemoryTechnology.GDDR6)
+        hbm = DatapathConfig(gddr6_channels=2, memory_technology=MemoryTechnology.HBM2)
+        assert model.tdp_w(hbm) > model.tdp_w(gddr)
+
+    def test_dual_core_roughly_doubles_compute_power(self, model):
+        single = model.evaluate(DatapathConfig(num_cores=1))
+        dual = model.evaluate(DatapathConfig(num_cores=2))
+        assert dual.mac_power_w == pytest.approx(2 * single.mac_power_w)
+
+
+class TestCalibration:
+    def test_tpu_v3_peak_flops(self):
+        assert TPU_V3.peak_matrix_flops / 1e12 == pytest.approx(123, rel=0.02)
+
+    def test_tpu_v3_bandwidth(self):
+        assert TPU_V3.dram_bandwidth_bytes_per_s / 1e9 == pytest.approx(900, rel=0.01)
+
+    def test_tpu_v3_ridgepoint_matches_paper(self):
+        """Section 4.1: TPU-v3 needs ~137 FLOPS/B to avoid memory-boundedness."""
+        assert TPU_V3.operational_intensity_ridgepoint == pytest.approx(137, rel=0.03)
+
+    def test_tpu_v3_area_and_tdp_plausible(self, model):
+        breakdown = model.evaluate(TPU_V3)
+        assert 100 < breakdown.total_area_mm2 < 600
+        assert 100 < breakdown.total_tdp_w < 450
+
+    def test_sram_energy_grows_with_macro_size(self):
+        tech = TechnologyModel()
+        assert tech.sram_energy_per_byte(256) > tech.sram_energy_per_byte(8)
+
+    def test_custom_technology_scales_results(self):
+        cheap = AreaPowerModel(TechnologyModel(mac_energy_pj=0.1))
+        default = AreaPowerModel()
+        config = DatapathConfig()
+        assert cheap.evaluate(config).mac_power_w < default.evaluate(config).mac_power_w

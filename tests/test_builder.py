@@ -1,0 +1,125 @@
+"""Tests for the GraphBuilder convenience layer."""
+
+import pytest
+
+from repro.workloads.builder import GraphBuilder
+from repro.workloads.graph import GraphValidationError, TensorKind
+from repro.workloads.ops import OpType
+
+
+@pytest.fixture
+def builder():
+    return GraphBuilder("test", batch_size=2)
+
+
+class TestVisionLayers:
+    def test_conv2d_same_padding_shape(self, builder):
+        x = builder.input("x", (2, 17, 17, 3))
+        y = builder.conv2d(x, 8, (3, 3), stride=2)
+        assert builder.shape(y) == (2, 9, 9, 8)
+
+    def test_conv2d_creates_weight(self, builder):
+        x = builder.input("x", (2, 8, 8, 3))
+        builder.conv2d(x, 8, (3, 3), name="c")
+        w = builder.graph.tensor("c.w")
+        assert w.kind is TensorKind.WEIGHT
+        assert w.shape == (3, 3, 3, 8)
+
+    def test_depthwise_preserves_channels(self, builder):
+        x = builder.input("x", (2, 8, 8, 16))
+        y = builder.depthwise_conv2d(x, (3, 3), stride=1)
+        assert builder.shape(y)[-1] == 16
+
+    def test_depthwise_channel_multiplier(self, builder):
+        x = builder.input("x", (2, 8, 8, 16))
+        y = builder.depthwise_conv2d(x, (3, 3), channel_multiplier=2)
+        assert builder.shape(y)[-1] == 32
+
+    def test_pointwise_conv_is_1x1(self, builder):
+        x = builder.input("x", (2, 8, 8, 16))
+        builder.pointwise_conv(x, 4, name="pw")
+        assert builder.graph.op("pw").attrs["kernel"] == (1, 1)
+
+    def test_pooling_strided(self, builder):
+        x = builder.input("x", (2, 8, 8, 16))
+        y = builder.pooling(x, (2, 2), stride=2)
+        assert builder.shape(y) == (2, 4, 4, 16)
+
+    def test_global_pooling(self, builder):
+        x = builder.input("x", (2, 8, 8, 16))
+        y = builder.pooling(x, (8, 8), stride=1, global_pool=True)
+        assert builder.shape(y) == (2, 1, 1, 16)
+
+    def test_batchnorm_keeps_shape_and_adds_params(self, builder):
+        x = builder.input("x", (2, 8, 8, 16))
+        y = builder.batchnorm(x, name="bn")
+        assert builder.shape(y) == (2, 8, 8, 16)
+        assert builder.graph.tensor("bn.scale").shape == (16,)
+
+
+class TestDenseAndVectorLayers:
+    def test_matmul_output_shape(self, builder):
+        x = builder.input("x", (2, 64))
+        y = builder.matmul(x, 32)
+        assert builder.shape(y) == (2, 32)
+
+    def test_matmul_on_sequences(self, builder):
+        x = builder.input("x", (2, 10, 64))
+        y = builder.matmul(x, 32)
+        assert builder.shape(y) == (2, 10, 32)
+
+    def test_matmul_shared_weight(self, builder):
+        x = builder.input("x", (2, 64))
+        w = builder.weight("shared", (64, 32))
+        y1 = builder.matmul(x, 32, name="m1", weight_name=w)
+        y2 = builder.matmul(x, 32, name="m2", weight_name=w)
+        assert builder.graph.op("m1").inputs[1] == "shared"
+        assert builder.graph.op("m2").inputs[1] == "shared"
+        assert builder.shape(y1) == builder.shape(y2)
+
+    def test_einsum_shape_and_attrs(self, builder):
+        a = builder.input("a", (2, 4, 16, 8))
+        b = builder.activation_tensor("b", (2, 4, 16, 8))
+        s = builder.einsum(a, b, (2, 4, 16, 16), contracting_dim=8, name="scores")
+        assert builder.shape(s) == (2, 4, 16, 16)
+        assert builder.graph.op("scores").attrs["contracting_dim"] == 8
+
+    def test_softmax_and_activation_preserve_shape(self, builder):
+        x = builder.input("x", (2, 16))
+        assert builder.shape(builder.softmax(x)) == (2, 16)
+        assert builder.shape(builder.activation(x, "gelu")) == (2, 16)
+
+    def test_layernorm_adds_scale_and_shift(self, builder):
+        x = builder.input("x", (2, 16))
+        builder.layernorm(x, name="ln")
+        assert builder.graph.tensor("ln.scale").shape == (16,)
+        assert builder.graph.tensor("ln.shift").shape == (16,)
+
+    def test_add_and_multiply(self, builder):
+        a = builder.input("a", (2, 16))
+        b = builder.activation_tensor("b", (2, 16))
+        assert builder.shape(builder.add(a, b)) == (2, 16)
+        assert builder.shape(builder.multiply(a, b)) == (2, 16)
+
+    def test_reduce_mean_collapses_spatial(self, builder):
+        x = builder.input("x", (2, 8, 8, 16))
+        assert builder.shape(builder.reduce_mean(x)) == (2, 16)
+        assert builder.shape(builder.reduce_mean(x, keep_spatial=True)) == (2, 1, 1, 16)
+
+    def test_reshape(self, builder):
+        x = builder.input("x", (2, 8, 8, 16))
+        assert builder.shape(builder.reshape(x, (2, 64, 16))) == (2, 64, 16)
+
+
+class TestFinish:
+    def test_finish_marks_outputs_and_validates(self, builder):
+        x = builder.input("x", (2, 16))
+        y = builder.matmul(x, 4)
+        graph = builder.finish(outputs=[y])
+        assert graph.output_names == [y]
+
+    def test_unique_names_are_generated(self, builder):
+        x = builder.input("x", (2, 16))
+        a = builder.activation(x)
+        b = builder.activation(x)
+        assert a != b

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "--workload", "resnet50"])
+        assert args.design == "tpu-v3"
+        assert args.batch_size is None
+
+    def test_search_accepts_repeated_workloads(self):
+        args = build_parser().parse_args(
+            ["search", "--workload", "resnet50", "--workload", "bert-seq128"]
+        )
+        assert args.workload == ["resnet50", "bert-seq128"]
+
+
+class TestCommands:
+    def test_list_designs(self, capsys):
+        assert main(["list-designs"]) == 0
+        out = capsys.readouterr().out
+        assert "fast-large" in out and "tpu-v3" in out
+
+    def test_simulate_small_workload(self, capsys):
+        code = main(
+            ["simulate", "--design", "fast-small", "--workload", "efficientnet-b0",
+             "--batch-size", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput (QPS)" in out
+        assert "Perf/TDP" in out
+
+    def test_simulate_unknown_design_fails(self, capsys):
+        assert main(["simulate", "--design", "gpu-v100", "--workload", "resnet50"]) == 1
+        assert "unknown design" in capsys.readouterr().out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "--workload", "efficientnet-b0"]) == 0
+        out = capsys.readouterr().out
+        assert "op intensity (no fusion)" in out
+        assert "max working set" in out
+
+    def test_roi(self, capsys):
+        assert main(["roi", "--speedup", "3.9", "--volume", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "break-even volume" in out
+
+    def test_reproduce_list(self, capsys):
+        assert main(["reproduce", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig13" in out
+
+    def test_reproduce_table1(self, capsys):
+        assert main(["reproduce", "table1"]) == 0
+        assert "efficientnet-b0" in capsys.readouterr().out
+
+    def test_reproduce_bad_option_format(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "table1", "--option", "badoption"])
+
+    def test_search_writes_outputs(self, tmp_path, capsys):
+        result_path = tmp_path / "result.json"
+        config_path = tmp_path / "design.json"
+        code = main(
+            [
+                "search",
+                "--workload", "efficientnet-b0",
+                "--trials", "4",
+                "--optimizer", "random",
+                "--output", str(result_path),
+                "--save-config", str(config_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        # A 4-trial random search may find nothing feasible; both outcomes are
+        # valid CLI behaviour, but the process must not crash.
+        assert code in (0, 1)
+        if code == 0:
+            assert "Best design found" in out
+            assert json.loads(result_path.read_text())["num_trials"] == 4
+            assert config_path.exists()

@@ -1,0 +1,162 @@
+"""Tests for the core package: problem, trial evaluation, designs, FAST search."""
+
+import math
+
+import pytest
+
+from repro.core.designs import FAST_LARGE, FAST_SMALL, NAMED_DESIGNS, TPU_V3
+from repro.core.fast import FASTSearch
+from repro.core.problem import ObjectiveKind, SearchProblem, geometric_mean
+from repro.core.trial import TrialEvaluator
+from repro.hardware.search_space import DatapathSearchSpace
+from repro.hardware.tpu import EvaluationConstraints
+
+
+class TestProblem:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([1.0, 0.0]) == 0.0
+
+    def test_requires_workloads(self):
+        with pytest.raises(ValueError):
+            SearchProblem([])
+
+    def test_default_constraints_created(self):
+        problem = SearchProblem(["efficientnet-b0"])
+        assert problem.constraints is not None
+        assert problem.constraints.max_tdp_w > 0
+
+    def test_multi_workload_flag(self):
+        assert SearchProblem(["efficientnet-b0", "resnet50"]).is_multi_workload
+        assert not SearchProblem(["resnet50"]).is_multi_workload
+
+    def test_objective_kinds(self):
+        assert ObjectiveKind.PERF_PER_TDP.higher_is_better
+        assert not ObjectiveKind.LATENCY.higher_is_better
+
+    def test_workload_score_perf_per_tdp(self):
+        problem = SearchProblem(["resnet50"], ObjectiveKind.PERF_PER_TDP)
+        assert problem.workload_score("resnet50", qps=100.0, tdp_w=50.0, area_mm2=100.0) == 2.0
+
+    def test_workload_score_uses_baseline(self):
+        problem = SearchProblem(
+            ["resnet50"], ObjectiveKind.THROUGHPUT, baseline_qps={"resnet50": 50.0}
+        )
+        assert problem.workload_score("resnet50", qps=100.0, tdp_w=1.0, area_mm2=1.0) == 2.0
+
+    def test_minimized_value_sign(self):
+        problem = SearchProblem(["resnet50"])
+        assert problem.minimized_value(10.0) == -10.0
+        assert math.isinf(problem.minimized_value(0.0))
+
+    def test_aggregate_is_geomean(self):
+        problem = SearchProblem(["a", "b"]) if False else SearchProblem(["resnet50", "efficientnet-b0"])
+        value = problem.aggregate({"resnet50": 2.0, "efficientnet-b0": 8.0})
+        assert value == pytest.approx(4.0)
+
+
+class TestNamedDesigns:
+    def test_named_designs_registered(self):
+        assert set(NAMED_DESIGNS) == {"tpu-v3", "fast-large", "fast-small"}
+
+    def test_fast_large_matches_table5(self):
+        assert FAST_LARGE.num_pes == 64
+        assert FAST_LARGE.systolic_array_x == 32 and FAST_LARGE.systolic_array_y == 32
+        assert FAST_LARGE.l3_global_buffer_mib == 128
+        assert FAST_LARGE.native_batch_size == 8
+        assert FAST_LARGE.dram_bandwidth_bytes_per_s == pytest.approx(448e9)
+        assert FAST_LARGE.peak_matrix_flops / 1e12 == pytest.approx(123, rel=0.1)
+
+    def test_fast_small_matches_table5(self):
+        assert FAST_SMALL.num_pes == 8
+        assert FAST_SMALL.systolic_array_x == 64 and FAST_SMALL.systolic_array_y == 32
+        assert FAST_SMALL.l3_global_buffer_mib == 8
+        assert FAST_SMALL.native_batch_size == 64
+        assert FAST_SMALL.peak_matrix_flops / 1e12 == pytest.approx(32, rel=0.05)
+
+    def test_tpu_is_dual_core(self):
+        assert TPU_V3.num_cores == 2
+
+
+class TestTrialEvaluator:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return SearchProblem(["efficientnet-b0"], ObjectiveKind.PERF_PER_TDP)
+
+    @pytest.fixture(scope="class")
+    def evaluator(self, problem):
+        return TrialEvaluator(problem)
+
+    def test_evaluate_feasible_design(self, evaluator):
+        metrics = evaluator.evaluate_config(FAST_SMALL)
+        assert metrics.feasible
+        assert metrics.per_workload_qps["efficientnet-b0"] > 0
+        assert metrics.aggregate_score > 0
+        assert metrics.objective_value < 0
+
+    def test_infeasible_when_constraints_tiny(self):
+        problem = SearchProblem(
+            ["efficientnet-b0"],
+            constraints=EvaluationConstraints(max_area_mm2=1.0, max_tdp_w=1.0),
+        )
+        metrics = TrialEvaluator(problem).evaluate_config(FAST_SMALL)
+        assert not metrics.feasible
+        assert "constraints" in metrics.failure_reason
+        assert math.isinf(metrics.objective_value)
+
+    def test_evaluate_params_builds_config(self, evaluator):
+        space = DatapathSearchSpace()
+        params = space.from_config(FAST_SMALL)
+        metrics = evaluator.evaluate_params(params, space)
+        assert metrics.config.systolic_array_x == FAST_SMALL.systolic_array_x
+
+    def test_perf_per_tdp_helper(self, evaluator):
+        metrics = evaluator.evaluate_config(FAST_SMALL)
+        expected = metrics.per_workload_qps["efficientnet-b0"] / metrics.tdp_w
+        assert metrics.perf_per_tdp("efficientnet-b0") == pytest.approx(expected)
+
+    def test_simulate_design_returns_full_result(self, evaluator):
+        result = evaluator.simulate_design(FAST_SMALL, "efficientnet-b0")
+        assert result.qps > 0
+
+
+class TestFASTSearch:
+    def test_small_search_finds_feasible_design(self):
+        problem = SearchProblem(["efficientnet-b0"], ObjectiveKind.PERF_PER_TDP)
+        search = FASTSearch(problem, optimizer="lcs", seed=0)
+        result = search.run(num_trials=20)
+        assert result.num_trials == 20
+        assert result.num_feasible_trials > 0
+        assert result.best_config is not None
+        assert result.best_score > 0
+        assert len(result.best_score_curve) == 20
+
+    def test_best_score_curve_monotone(self):
+        problem = SearchProblem(["efficientnet-b0"], ObjectiveKind.PERF_PER_TDP)
+        result = FASTSearch(problem, optimizer="random", seed=1).run(num_trials=15)
+        curve = result.best_score_curve
+        assert all(curve[i + 1] >= curve[i] for i in range(len(curve) - 1))
+
+    def test_callback_invoked_per_trial(self):
+        problem = SearchProblem(["efficientnet-b0"], ObjectiveKind.THROUGHPUT)
+        seen = []
+        FASTSearch(problem, optimizer="random", seed=2).run(
+            num_trials=5, callback=lambda i, m: seen.append(i)
+        )
+        assert seen == list(range(5))
+
+    def test_pareto_front_populated(self):
+        problem = SearchProblem(["efficientnet-b0"], ObjectiveKind.PERF_PER_TDP)
+        result = FASTSearch(problem, optimizer="random", seed=3).run(num_trials=15)
+        if result.num_feasible_trials:
+            assert len(result.pareto_front) >= 1
+
+    def test_search_respects_constraints(self):
+        problem = SearchProblem(["efficientnet-b0"], ObjectiveKind.PERF_PER_TDP)
+        result = FASTSearch(problem, optimizer="random", seed=4).run(num_trials=15)
+        constraints = problem.constraints
+        for metrics in result.history:
+            if metrics.feasible:
+                assert metrics.area_mm2 <= constraints.max_area_mm2 + 1e-6
+                assert metrics.tdp_w <= constraints.max_tdp_w + 1e-6

@@ -1,0 +1,131 @@
+"""Tests for the datapath configuration and its derived quantities."""
+
+import pytest
+
+from repro.hardware.datapath import (
+    BufferConfig,
+    DatapathConfig,
+    DatapathValidationError,
+    L2Config,
+    MemoryTechnology,
+)
+
+
+class TestValidation:
+    def test_default_config_is_valid(self):
+        DatapathConfig()
+
+    @pytest.mark.parametrize("value", [0, 3, 257, 512])
+    def test_rejects_bad_pe_counts(self, value):
+        with pytest.raises(DatapathValidationError):
+            DatapathConfig(pes_x_dim=value)
+
+    @pytest.mark.parametrize("value", [0, 3, 12, 300])
+    def test_rejects_bad_systolic_dims(self, value):
+        with pytest.raises(DatapathValidationError):
+            DatapathConfig(systolic_array_x=value)
+
+    def test_rejects_bad_vector_multiplier(self):
+        with pytest.raises(DatapathValidationError):
+            DatapathConfig(vector_unit_multiplier=32)
+
+    def test_rejects_bad_l1_size(self):
+        with pytest.raises(DatapathValidationError):
+            DatapathConfig(l1_input_buffer_kib=3)
+
+    def test_rejects_bad_global_buffer(self):
+        with pytest.raises(DatapathValidationError):
+            DatapathConfig(l3_global_buffer_mib=3)
+        with pytest.raises(DatapathValidationError):
+            DatapathConfig(l3_global_buffer_mib=512)
+
+    def test_zero_global_buffer_allowed(self):
+        assert DatapathConfig(l3_global_buffer_mib=0).global_buffer_bytes == 0
+
+    def test_rejects_bad_channels(self):
+        with pytest.raises(DatapathValidationError):
+            DatapathConfig(gddr6_channels=16)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(DatapathValidationError):
+            DatapathConfig(clock_ghz=0.0)
+
+    def test_rejects_bad_core_count(self):
+        with pytest.raises(DatapathValidationError):
+            DatapathConfig(num_cores=0)
+
+
+class TestDerivedQuantities:
+    def test_pe_and_mac_counts(self):
+        config = DatapathConfig(pes_x_dim=4, pes_y_dim=2, systolic_array_x=8, systolic_array_y=16)
+        assert config.num_pes == 8
+        assert config.macs_per_pe == 128
+        assert config.total_macs == 1024
+
+    def test_multi_core_scales_totals(self):
+        single = DatapathConfig(num_cores=1)
+        dual = single.evolve(num_cores=2)
+        assert dual.total_pes == 2 * single.total_pes
+        assert dual.peak_matrix_flops == pytest.approx(2 * single.peak_matrix_flops)
+
+    def test_peak_flops_formula(self):
+        config = DatapathConfig(
+            pes_x_dim=1, pes_y_dim=1, systolic_array_x=16, systolic_array_y=16, clock_ghz=1.0
+        )
+        assert config.peak_matrix_flops == pytest.approx(2 * 256 * 1e9)
+
+    def test_vpu_lanes(self):
+        config = DatapathConfig(systolic_array_x=32, vector_unit_multiplier=4)
+        assert config.vpu_lanes_per_pe == 128
+
+    def test_gddr6_bandwidth(self):
+        config = DatapathConfig(gddr6_channels=8, memory_technology=MemoryTechnology.GDDR6)
+        assert config.dram_bandwidth_bytes_per_s == pytest.approx(448e9)
+
+    def test_hbm_bandwidth(self):
+        config = DatapathConfig(gddr6_channels=2, memory_technology=MemoryTechnology.HBM2)
+        assert config.dram_bandwidth_bytes_per_s == pytest.approx(900e9)
+
+    def test_dram_bytes_per_cycle(self):
+        config = DatapathConfig(gddr6_channels=8, clock_ghz=1.0)
+        assert config.dram_bytes_per_cycle == pytest.approx(448.0)
+
+    def test_l1_capacity(self):
+        config = DatapathConfig(
+            pes_x_dim=2, pes_y_dim=2,
+            l1_input_buffer_kib=8, l1_weight_buffer_kib=4, l1_output_buffer_kib=4,
+        )
+        assert config.l1_bytes_per_pe == 16 * 1024
+        assert config.l1_total_bytes == 4 * 16 * 1024
+
+    def test_l2_disabled_has_zero_capacity(self):
+        config = DatapathConfig(l2_buffer_config=L2Config.DISABLED)
+        assert config.l2_bytes_per_pe == 0
+
+    def test_l2_enabled_uses_multipliers(self):
+        config = DatapathConfig(
+            l2_buffer_config=L2Config.SHARED,
+            l1_input_buffer_kib=4, l1_weight_buffer_kib=4, l1_output_buffer_kib=4,
+            l2_input_buffer_multiplier=4, l2_weight_buffer_multiplier=4, l2_output_buffer_multiplier=4,
+        )
+        assert config.l2_bytes_per_pe == 3 * 4 * 4 * 1024
+
+    def test_ridgepoint_matches_ratio(self):
+        config = DatapathConfig()
+        expected = config.peak_matrix_flops / config.dram_bandwidth_bytes_per_s
+        assert config.operational_intensity_ridgepoint == pytest.approx(expected)
+
+    def test_evolve_replaces_fields(self):
+        config = DatapathConfig(l3_global_buffer_mib=16)
+        changed = config.evolve(l3_global_buffer_mib=128)
+        assert changed.l3_global_buffer_mib == 128
+        assert config.l3_global_buffer_mib == 16
+
+    def test_describe_contains_key_fields(self):
+        description = DatapathConfig().describe()
+        for key in ("num_pes", "systolic_array", "peak_tflops", "global_buffer_mib"):
+            assert key in description
+
+    def test_memory_technology_properties(self):
+        assert MemoryTechnology.GDDR6.bandwidth_per_channel_gbps < MemoryTechnology.HBM2.bandwidth_per_channel_gbps
+        assert MemoryTechnology.GDDR6.energy_per_byte_pj > MemoryTechnology.HBM2.energy_per_byte_pj

@@ -1,0 +1,92 @@
+"""Tests for the TCO and ROI models (Section 5.1, Figure 6, Table 4)."""
+
+import pytest
+
+from repro.economics.roi import DEFAULT_NRE, NreParameters, RoiModel
+from repro.economics.tco import CostParameters, DGX_A100_BASELINE, total_cost_of_ownership
+
+
+class TestTco:
+    def test_baseline_capital_cost_per_accelerator(self):
+        assert DGX_A100_BASELINE.capital_cost_per_accelerator == pytest.approx(199_000 / 8)
+
+    def test_operational_cost_positive_and_smaller_than_capital(self):
+        op = DGX_A100_BASELINE.operational_cost_per_accelerator_per_year
+        assert 0 < op < DGX_A100_BASELINE.capital_cost_per_accelerator
+
+    def test_tco_scales_linearly_with_volume(self):
+        assert total_cost_of_ownership(2000) == pytest.approx(2 * total_cost_of_ownership(1000))
+
+    def test_tco_rejects_negative_volume(self):
+        with pytest.raises(ValueError):
+            total_cost_of_ownership(-1)
+
+    def test_lifetime_cost_includes_three_years_of_power(self):
+        params = CostParameters(
+            capital_cost_per_accelerator=10_000,
+            power_kw_per_accelerator=1.0,
+            electricity_cost_per_kwh=0.1,
+            datacenter_pue=1.0,
+            deployment_lifetime_years=3.0,
+        )
+        assert params.lifetime_cost_per_accelerator == pytest.approx(10_000 + 3 * 8760 * 0.1)
+
+
+class TestRoi:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return RoiModel()
+
+    def test_roi_increases_with_volume(self, model):
+        """Figure 6: deployment volume is the dominant factor."""
+        assert model.roi(8000, 2.0) > model.roi(2000, 2.0)
+
+    def test_roi_has_diminishing_returns_in_speedup(self, model):
+        """Figure 6: 8000 units at 1.5x beats 2000 units at 100x."""
+        assert model.roi(8000, 1.5) > model.roi(2000, 100.0)
+
+    def test_roi_zero_when_no_speedup(self, model):
+        assert model.roi(5000, 1.0) == pytest.approx(0.0)
+
+    def test_roi_rejects_non_positive_speedup(self, model):
+        with pytest.raises(ValueError):
+            model.roi(1000, 0.0)
+
+    def test_breakeven_volume_matches_paper_magnitude(self, model):
+        """Table 4: break-even for the B7 design (3.91x) is ~2,200 accelerators."""
+        volume = model.breakeven_volume(3.91)
+        assert 1800 < volume < 2600
+
+    def test_breakeven_ordering_matches_speedups(self, model):
+        """Table 4: lower Perf/TCO speedups need larger deployments."""
+        assert model.breakeven_volume(1.84) > model.breakeven_volume(2.7) > model.breakeven_volume(3.91)
+
+    def test_volume_scales_linearly_with_roi_target(self, model):
+        v1 = model.deployment_volume_for_roi(1.0, 2.82)
+        v8 = model.deployment_volume_for_roi(8.0, 2.82)
+        assert v8 == pytest.approx(8 * v1, rel=0.01)
+
+    def test_roi_at_breakeven_is_one(self, model):
+        volume = model.breakeven_volume(2.5)
+        assert model.roi(volume, 2.5) == pytest.approx(1.0, rel=0.01)
+
+    def test_no_finite_breakeven_without_savings(self, model):
+        assert model.breakeven_volume(1.0) > 1e12
+
+    def test_roi_curve_matches_pointwise(self, model):
+        volumes = [1000, 5000, 10000]
+        curve = model.roi_curve(volumes, 3.0)
+        assert curve == [model.roi(v, 3.0) for v in volumes]
+
+    def test_nre_total(self):
+        nre = NreParameters(
+            design_engineer_years=10, cost_per_engineer_year=100_000,
+            mask_cost=1_000_000, ip_licensing_cost=500_000,
+        )
+        assert nre.total == pytest.approx(2_500_000)
+        assert DEFAULT_NRE.total > 1e7
+
+    def test_cheaper_nre_lowers_breakeven(self):
+        cheap = RoiModel(nre=NreParameters(design_engineer_years=10))
+        default = RoiModel()
+        assert cheap.breakeven_volume(3.0) < default.breakeven_volume(3.0)

@@ -1,0 +1,157 @@
+"""Tests for FAST fusion (the Figure 8 ILP and the greedy heuristic)."""
+
+import pytest
+
+from repro.fusion.fast_fusion import FastFusionOptimizer, FusionDecision, RegionStats
+
+
+def make_chain(num_regions, weight_bytes=0, act_bytes=100, dram_cycles=10.0, busy=5.0):
+    """A linear chain of memory-bound regions where adjacent pinning helps."""
+    regions = []
+    for i in range(num_regions):
+        regions.append(
+            RegionStats(
+                index=i,
+                name=f"r{i}",
+                busy_cycles=busy,
+                t_max_cycles=busy + 3 * dram_cycles,
+                input_dram_cycles=dram_cycles,
+                weight_dram_cycles=dram_cycles if weight_bytes else 0.0,
+                output_dram_cycles=dram_cycles,
+                input_bytes=act_bytes,
+                weight_bytes=weight_bytes,
+                output_bytes=act_bytes,
+                blocking_gm_bytes=0,
+                predecessor=i - 1 if i > 0 else None,
+                is_graph_output=(i == num_regions - 1),
+            )
+        )
+    return regions
+
+
+class TestDisabledAndTrivialCases:
+    def test_zero_capacity_pins_nothing(self):
+        optimizer = FastFusionOptimizer(gm_capacity_bytes=0)
+        result = optimizer.optimize(make_chain(4))
+        assert all(not d.any for d in result.decisions)
+        assert result.total_cycles_post == pytest.approx(result.total_cycles_pre)
+        assert result.speedup == pytest.approx(1.0)
+
+    def test_empty_region_list(self):
+        result = FastFusionOptimizer(gm_capacity_bytes=1000).optimize([])
+        assert result.decisions == []
+        assert result.total_cycles_post == 0
+
+    def test_invalid_solver_rejected(self):
+        with pytest.raises(ValueError):
+            FastFusionOptimizer(gm_capacity_bytes=10, solver="magic")
+
+
+@pytest.mark.parametrize("solver", ["greedy", "ilp"])
+class TestBothBackends:
+    def test_ample_capacity_pins_whole_chain(self, solver):
+        regions = make_chain(5)
+        result = FastFusionOptimizer(gm_capacity_bytes=10_000, solver=solver).optimize(regions)
+        # Every adjacent producer/consumer pair should be pinned.
+        for i in range(len(regions) - 1):
+            assert result.decisions[i].pin_output
+            assert result.decisions[i + 1].pin_input
+        assert result.total_cycles_post < result.total_cycles_pre
+        assert result.speedup > 1.5
+
+    def test_capacity_constraint_respected(self, solver):
+        regions = make_chain(6, act_bytes=100)
+        capacity = 150  # only one activation (100 B) fits alongside another
+        result = FastFusionOptimizer(gm_capacity_bytes=capacity, solver=solver).optimize(regions)
+        for i, (region, decision) in enumerate(zip(regions, result.decisions)):
+            usage = region.blocking_gm_bytes
+            if decision.pin_input:
+                usage += region.input_bytes
+            if decision.pin_output:
+                usage += region.output_bytes
+            usage += sum(
+                r.weight_bytes for r, d in zip(regions, result.decisions) if d.pin_weights
+            )
+            assert usage <= capacity
+
+    def test_producer_consumer_consistency(self, solver):
+        regions = make_chain(5)
+        result = FastFusionOptimizer(gm_capacity_bytes=250, solver=solver).optimize(regions)
+        for i in range(len(regions) - 1):
+            if result.decisions[i + 1].pin_input:
+                assert result.decisions[i].pin_output
+            if result.decisions[i].pin_output:
+                assert result.decisions[i + 1].pin_input
+
+    def test_non_adjacent_inputs_never_pinned(self, solver):
+        regions = make_chain(4)
+        # Region 2's input is produced by region 0 (skip connection).
+        regions[2] = RegionStats(**{**regions[2].__dict__, "predecessor": 0})
+        result = FastFusionOptimizer(gm_capacity_bytes=10_000, solver=solver).optimize(regions)
+        assert not result.decisions[2].pin_input
+
+    def test_graph_output_never_pinned(self, solver):
+        regions = make_chain(3)
+        result = FastFusionOptimizer(gm_capacity_bytes=10_000, solver=solver).optimize(regions)
+        assert not result.decisions[-1].pin_output
+
+    def test_weight_pinning_when_beneficial(self, solver):
+        regions = make_chain(3, weight_bytes=50)
+        result = FastFusionOptimizer(gm_capacity_bytes=100_000, solver=solver).optimize(regions)
+        assert any(d.pin_weights for d in result.decisions)
+        assert result.pinned_weight_bytes > 0
+
+    def test_compute_bound_regions_not_pinned(self, solver):
+        """Pinning a compute-bound region's tensors yields no benefit."""
+        regions = [
+            RegionStats(
+                index=i, name=f"r{i}", busy_cycles=100.0, t_max_cycles=100.0,
+                input_dram_cycles=1.0, weight_dram_cycles=0.0, output_dram_cycles=1.0,
+                input_bytes=10, weight_bytes=0, output_bytes=10,
+                predecessor=i - 1 if i > 0 else None,
+            )
+            for i in range(3)
+        ]
+        result = FastFusionOptimizer(gm_capacity_bytes=10_000, solver=solver).optimize(regions)
+        assert result.total_cycles_post == pytest.approx(result.total_cycles_pre)
+
+    def test_region_time_never_below_busy_floor(self, solver):
+        regions = make_chain(4)
+        result = FastFusionOptimizer(gm_capacity_bytes=10_000, solver=solver).optimize(regions)
+        for region, cycles in zip(regions, result.region_cycles):
+            assert cycles >= region.busy_cycles - 1e-9
+
+
+class TestSolverSelectionAndQuality:
+    def test_auto_uses_ilp_for_small_problems(self):
+        optimizer = FastFusionOptimizer(gm_capacity_bytes=10_000, solver="auto")
+        result = optimizer.optimize(make_chain(5))
+        assert result.solver_status.startswith("ilp")
+
+    def test_auto_uses_greedy_for_large_problems(self):
+        optimizer = FastFusionOptimizer(
+            gm_capacity_bytes=10_000, solver="auto", greedy_threshold_regions=10
+        )
+        result = optimizer.optimize(make_chain(20))
+        assert result.solver_status == "greedy"
+
+    def test_ilp_at_least_as_good_as_greedy(self):
+        regions = make_chain(6, weight_bytes=40)
+        capacity = 400
+        greedy = FastFusionOptimizer(gm_capacity_bytes=capacity, solver="greedy").optimize(regions)
+        ilp = FastFusionOptimizer(gm_capacity_bytes=capacity, solver="ilp").optimize(regions)
+        assert ilp.total_cycles_post <= greedy.total_cycles_post + 1e-6
+
+    def test_weight_pinning_prefers_blocking_headroom(self):
+        """Per-region blocking usage reduces the capacity available for pinning."""
+        regions = make_chain(3, weight_bytes=500)
+        heavy_blocking = [
+            RegionStats(**{**r.__dict__, "blocking_gm_bytes": 800}) for r in regions
+        ]
+        result = FastFusionOptimizer(gm_capacity_bytes=1000, solver="greedy").optimize(heavy_blocking)
+        assert not any(d.pin_weights for d in result.decisions)
+
+    def test_dram_bytes_saved_reported(self):
+        regions = make_chain(4)
+        result = FastFusionOptimizer(gm_capacity_bytes=10_000, solver="greedy").optimize(regions)
+        assert result.dram_bytes_saved(regions, dram_bytes_per_cycle=10.0) > 0

@@ -1,0 +1,182 @@
+"""Tests for the workload graph IR."""
+
+import pytest
+
+from repro.workloads.graph import (
+    DType,
+    Graph,
+    GraphValidationError,
+    Operation,
+    Tensor,
+    TensorKind,
+)
+from repro.workloads.ops import OpType
+
+
+def make_tensor(name, shape, kind=TensorKind.ACTIVATION, dtype=DType.BFLOAT16):
+    return Tensor(name, tuple(shape), dtype, kind)
+
+
+class TestTensor:
+    def test_num_elements(self):
+        assert make_tensor("t", (2, 3, 4)).num_elements == 24
+
+    def test_scalar_shape_has_one_element(self):
+        assert make_tensor("t", ()).num_elements == 1
+
+    def test_size_bytes_bfloat16(self):
+        assert make_tensor("t", (8, 8)).size_bytes == 128
+
+    def test_size_bytes_float32(self):
+        assert make_tensor("t", (8, 8), dtype=DType.FLOAT32).size_bytes == 256
+
+    def test_size_bytes_int8(self):
+        assert make_tensor("t", (10,), dtype=DType.INT8).size_bytes == 10
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(GraphValidationError):
+            Tensor("", (2,))
+
+    def test_rejects_non_positive_dims(self):
+        with pytest.raises(GraphValidationError):
+            Tensor("t", (2, 0))
+
+    def test_with_batch_rescales_activations(self):
+        t = make_tensor("t", (4, 8, 8, 3))
+        assert t.with_batch(16).shape == (16, 8, 8, 3)
+
+    def test_with_batch_leaves_weights_unchanged(self):
+        w = make_tensor("w", (3, 3, 8, 16), kind=TensorKind.WEIGHT)
+        assert w.with_batch(16).shape == (3, 3, 8, 16)
+
+    def test_dtype_bytes(self):
+        assert DType.BFLOAT16.bytes == 2
+        assert DType.FLOAT32.bytes == 4
+        assert DType.INT8.bytes == 1
+
+
+class TestGraphConstruction:
+    def _simple_graph(self):
+        g = Graph("g", batch_size=1)
+        g.add_tensor(make_tensor("x", (1, 8)))
+        g.add_tensor(make_tensor("w", (8, 4), TensorKind.WEIGHT))
+        g.add_tensor(make_tensor("y", (1, 4)))
+        g.add_op(
+            Operation("fc", OpType.MATMUL, ["x", "w"], ["y"], {"contracting_dim": 8})
+        )
+        g.mark_input("x")
+        g.mark_output("y")
+        return g
+
+    def test_len_counts_ops(self):
+        assert len(self._simple_graph()) == 1
+
+    def test_duplicate_tensor_rejected(self):
+        g = self._simple_graph()
+        with pytest.raises(GraphValidationError):
+            g.add_tensor(make_tensor("x", (1, 8)))
+
+    def test_duplicate_op_rejected(self):
+        g = self._simple_graph()
+        with pytest.raises(GraphValidationError):
+            g.add_op(Operation("fc", OpType.MATMUL, ["x", "w"], ["y"], {}))
+
+    def test_unknown_tensor_reference_rejected(self):
+        g = self._simple_graph()
+        with pytest.raises(GraphValidationError):
+            g.add_op(Operation("bad", OpType.MATMUL, ["missing"], ["y"], {}))
+
+    def test_double_producer_rejected(self):
+        g = self._simple_graph()
+        g.add_tensor(make_tensor("x2", (1, 8)))
+        with pytest.raises(GraphValidationError):
+            g.add_op(Operation("fc2", OpType.MATMUL, ["x2", "w"], ["y"], {"contracting_dim": 8}))
+
+    def test_mark_unknown_input_rejected(self):
+        g = self._simple_graph()
+        with pytest.raises(GraphValidationError):
+            g.mark_input("nope")
+
+    def test_producer_and_consumers(self):
+        g = self._simple_graph()
+        assert g.producer("y").name == "fc"
+        assert g.producer("x") is None
+        assert [op.name for op in g.consumers("x")] == ["fc"]
+
+    def test_validate_accepts_topological_order(self):
+        self._simple_graph().validate()
+
+    def test_tensor_lookup(self):
+        g = self._simple_graph()
+        assert g.tensor("w").kind is TensorKind.WEIGHT
+        assert g.op("fc").op_type is OpType.MATMUL
+
+
+class TestGraphAccounting:
+    def test_total_flops_positive(self, tiny_graph):
+        assert tiny_graph.total_flops() > 0
+
+    def test_weight_bytes_counts_only_weights(self, tiny_graph):
+        weights = [
+            t for t in tiny_graph.tensors.values() if t.kind is TensorKind.WEIGHT
+        ]
+        assert tiny_graph.weight_bytes() == sum(t.size_bytes for t in weights)
+
+    def test_max_working_set_at_least_largest_tensor(self, tiny_graph):
+        largest = max(
+            t.size_bytes
+            for t in tiny_graph.tensors.values()
+            if t.kind is TensorKind.ACTIVATION
+        )
+        assert tiny_graph.max_working_set_bytes() >= largest
+
+    def test_matrix_flop_fraction_in_unit_interval(self, tiny_graph):
+        fraction = tiny_graph.matrix_op_flop_fraction()
+        assert 0.0 < fraction <= 1.0
+
+    def test_flops_by_op_type_sums_to_total(self, tiny_graph):
+        by_type = tiny_graph.flops_by_op_type()
+        assert sum(by_type.values()) == tiny_graph.total_flops()
+
+    def test_predecessors_and_successors(self, tiny_graph):
+        conv2 = tiny_graph.op("conv2")
+        preds = tiny_graph.predecessors(conv2)
+        assert any(op.name == "relu1" for op in preds)
+        succs = tiny_graph.successors(conv2)
+        assert any(op.name == "residual" for op in succs)
+
+    def test_summary_mentions_every_op(self, tiny_graph):
+        text = tiny_graph.summary()
+        for op in tiny_graph.ops:
+            assert op.name in text
+
+
+class TestGraphTransforms:
+    def test_with_batch_size_scales_activations(self, tiny_graph):
+        scaled = tiny_graph.with_batch_size(8)
+        assert scaled.batch_size == 8
+        assert scaled.tensor("images").shape[0] == 8
+        # Weights are unchanged.
+        assert scaled.weight_bytes() == tiny_graph.weight_bytes()
+
+    def test_with_batch_size_scales_flops_linearly(self, tiny_graph):
+        scaled = tiny_graph.with_batch_size(4)
+        assert scaled.total_flops() == pytest.approx(
+            2 * tiny_graph.total_flops(), rel=0.01
+        )
+
+    def test_with_batch_size_rejects_non_positive(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.with_batch_size(0)
+
+    def test_with_batch_preserves_op_count(self, tiny_graph):
+        assert len(tiny_graph.with_batch_size(3)) == len(tiny_graph)
+
+    def test_subgraph_extracts_named_ops(self, tiny_graph):
+        sub = tiny_graph.subgraph(["conv1", "relu1"])
+        assert len(sub) == 2
+        assert {op.name for op in sub.ops} == {"conv1", "relu1"}
+
+    def test_subgraph_flops_less_than_total(self, tiny_graph):
+        sub = tiny_graph.subgraph(["conv1"])
+        assert 0 < sub.total_flops() < tiny_graph.total_flops()

@@ -1,0 +1,130 @@
+"""Tests for the branch-and-bound 0/1 MILP solver."""
+
+import numpy as np
+import pytest
+
+from repro.fusion.ilp import BranchAndBoundSolver, IlpProblem
+
+
+def knapsack_problem(values, weights, capacity):
+    """Maximize value <=> minimize -value subject to weight <= capacity."""
+    n = len(values)
+    return IlpProblem(
+        objective=-np.asarray(values, dtype=float),
+        constraint_matrix=np.asarray(weights, dtype=float).reshape(1, n),
+        constraint_bounds=np.array([capacity], dtype=float),
+        integer_mask=np.ones(n, dtype=bool),
+        lower_bounds=np.zeros(n),
+        upper_bounds=np.ones(n),
+    )
+
+
+class TestProblemValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            IlpProblem(
+                objective=np.ones(3),
+                constraint_matrix=np.ones((1, 2)),
+                constraint_bounds=np.ones(1),
+                integer_mask=np.ones(3, dtype=bool),
+                lower_bounds=np.zeros(3),
+                upper_bounds=np.ones(3),
+            )
+
+    def test_is_feasible_checks_bounds_and_constraints(self):
+        problem = knapsack_problem([1, 1], [1, 1], capacity=1)
+        assert problem.is_feasible(np.array([1.0, 0.0]))
+        assert not problem.is_feasible(np.array([1.0, 1.0]))
+        assert not problem.is_feasible(np.array([0.5, 0.0]))  # fractional binary
+        assert not problem.is_feasible(np.array([2.0, 0.0]))  # out of bounds
+
+
+class TestKnapsack:
+    def test_simple_knapsack_optimum(self):
+        # values 10, 6, 4; weights 5, 4, 3; capacity 7 -> take items 1 and 2 (value 10)? no:
+        # best is item0 alone (10) vs items 1+2 (10, weight 7). Both optimal with value 10.
+        problem = knapsack_problem([10, 6, 4], [5, 4, 3], capacity=7)
+        solution = BranchAndBoundSolver().solve(problem)
+        assert solution.feasible
+        assert -solution.objective_value == pytest.approx(10.0)
+
+    def test_knapsack_where_greedy_by_density_fails(self):
+        # Density-greedy picks item 0 (highest value/weight) and then nothing
+        # else fits; the optimum is items 1+2 with total value 9.
+        problem = knapsack_problem([6, 4.5, 4.5], [1.2, 1.1, 0.9], capacity=2)
+        solution = BranchAndBoundSolver().solve(problem)
+        assert -solution.objective_value == pytest.approx(9.0)
+
+    def test_zero_capacity_selects_nothing(self):
+        problem = knapsack_problem([5, 5], [1, 1], capacity=0)
+        solution = BranchAndBoundSolver().solve(problem)
+        assert -solution.objective_value == pytest.approx(0.0)
+
+    def test_all_items_fit(self):
+        problem = knapsack_problem([1, 2, 3], [1, 1, 1], capacity=10)
+        solution = BranchAndBoundSolver().solve(problem)
+        assert -solution.objective_value == pytest.approx(6.0)
+
+    def test_matches_brute_force_on_random_instances(self):
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            n = 8
+            values = rng.integers(1, 20, size=n).astype(float)
+            weights = rng.integers(1, 10, size=n).astype(float)
+            capacity = float(weights.sum() * 0.4)
+            best = 0.0
+            for mask in range(1 << n):
+                chosen = [(mask >> i) & 1 for i in range(n)]
+                if np.dot(chosen, weights) <= capacity:
+                    best = max(best, float(np.dot(chosen, values)))
+            solution = BranchAndBoundSolver(max_nodes=5000).solve(
+                knapsack_problem(values, weights, capacity)
+            )
+            assert -solution.objective_value == pytest.approx(best)
+
+
+class TestMixedIntegerAndLimits:
+    def test_continuous_variables_optimized(self):
+        # min T subject to T >= 10 - 4*p, p binary, and p costs nothing: pick p=1, T=6.
+        problem = IlpProblem(
+            objective=np.array([0.0, 1.0]),
+            constraint_matrix=np.array([[-4.0, -1.0]]),
+            constraint_bounds=np.array([-10.0]),
+            integer_mask=np.array([True, False]),
+            lower_bounds=np.array([0.0, 0.0]),
+            upper_bounds=np.array([1.0, 100.0]),
+        )
+        solution = BranchAndBoundSolver().solve(problem)
+        assert solution.feasible
+        assert solution.objective_value == pytest.approx(6.0)
+        assert solution.x[0] == pytest.approx(1.0)
+
+    def test_infeasible_problem_reports_infeasible(self):
+        problem = IlpProblem(
+            objective=np.array([1.0]),
+            constraint_matrix=np.array([[1.0], [-1.0]]),
+            constraint_bounds=np.array([0.0, -2.0]),  # x <= 0 and x >= 2
+            integer_mask=np.array([True]),
+            lower_bounds=np.array([0.0]),
+            upper_bounds=np.array([1.0]),
+        )
+        solution = BranchAndBoundSolver().solve(problem)
+        assert not solution.feasible
+
+    def test_node_limit_still_returns_incumbent(self):
+        rng = np.random.default_rng(3)
+        n = 20
+        problem = knapsack_problem(
+            rng.integers(1, 30, size=n).astype(float),
+            rng.integers(1, 10, size=n).astype(float),
+            capacity=40.0,
+        )
+        solution = BranchAndBoundSolver(max_nodes=3).solve(problem)
+        assert solution.feasible
+        assert solution.status in ("incumbent", "optimal")
+
+    def test_optimal_status_when_tree_exhausted(self):
+        problem = knapsack_problem([3, 2], [2, 1], capacity=2)
+        solution = BranchAndBoundSolver().solve(problem)
+        assert solution.optimal
+        assert solution.status == "optimal"

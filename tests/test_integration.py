@@ -1,0 +1,148 @@
+"""Integration tests: cross-module behaviour that mirrors the paper's findings.
+
+These tests exercise the full stack (workload -> compiler -> mapper ->
+simulator -> fusion -> economics) and assert the *shape* of the paper's
+headline results rather than exact numbers.
+"""
+
+import pytest
+
+from repro.core.designs import FAST_LARGE, FAST_SMALL, TPU_V3
+from repro.core.problem import ObjectiveKind, SearchProblem
+from repro.core.trial import TrialEvaluator
+from repro.economics.roi import RoiModel
+from repro.hardware.area_power import AreaPowerModel
+from repro.simulator.engine import SimulationOptions, Simulator
+from repro.workloads.ops import OpType
+
+
+@pytest.fixture(scope="module")
+def area_power():
+    return AreaPowerModel()
+
+
+def perf_per_tdp(result, config, area_power):
+    return result.qps / area_power.tdp_w(config)
+
+
+class TestHeadlineShapes:
+    def test_fast_large_beats_tpu_on_efficientnet_b7_perf_per_tdp(self, area_power):
+        """Table 5 / Figure 10: FAST-Large improves Perf/TDP on EfficientNet-B7."""
+        tpu = Simulator(TPU_V3).simulate_workload("efficientnet-b7")
+        fast = Simulator(FAST_LARGE).simulate_workload("efficientnet-b7")
+        gain = perf_per_tdp(fast, FAST_LARGE, area_power) / perf_per_tdp(tpu, TPU_V3, area_power)
+        assert gain > 1.5
+
+    def test_fast_small_also_beats_tpu_on_b7(self, area_power):
+        tpu = Simulator(TPU_V3).simulate_workload("efficientnet-b7")
+        fast = Simulator(FAST_SMALL).simulate_workload("efficientnet-b7")
+        gain = perf_per_tdp(fast, FAST_SMALL, area_power) / perf_per_tdp(tpu, TPU_V3, area_power)
+        assert gain > 1.2
+
+    def test_fast_large_meets_latency_budget_fast_small_does_not(self):
+        """Table 5: FAST-Large serves B7 within the MLPerf 15 ms-class budget,
+        FAST-Small (batch 64) does not."""
+        large = Simulator(FAST_LARGE).simulate_workload("efficientnet-b7")
+        small = Simulator(FAST_SMALL).simulate_workload("efficientnet-b7")
+        assert large.latency_ms < 30
+        assert small.latency_ms > 100
+
+    def test_efficientnet_gains_exceed_ocr_gains(self, area_power):
+        """Figure 10: workloads already efficient on TPU-v3 benefit least."""
+        def gain(workload):
+            tpu = Simulator(TPU_V3).simulate_workload(workload)
+            fast = Simulator(FAST_LARGE).simulate_workload(workload)
+            return perf_per_tdp(fast, FAST_LARGE, area_power) / perf_per_tdp(
+                tpu, TPU_V3, area_power
+            )
+
+        assert gain("efficientnet-b2") > gain("ocr-rpn")
+
+    def test_tpu_utilization_low_on_efficientnet_high_on_bert128(self):
+        """Sections 4.2-4.3: EfficientNet underutilizes TPU-v3, short-sequence BERT does not."""
+        b7 = Simulator(TPU_V3).simulate_workload("efficientnet-b7")
+        bert = Simulator(TPU_V3).simulate_workload("bert-seq128")
+        assert b7.compute_utilization < 0.35
+        assert bert.compute_utilization > 0.5
+
+    def test_depthwise_runtime_share_exceeds_flop_share_on_tpu(self):
+        """Table 2 shape."""
+        result = Simulator(TPU_V3).simulate_workload("efficientnet-b7")
+        runtime = result.runtime_fraction_by_op_type()[OpType.DEPTHWISE_CONV2D]
+        flops = result.flop_fraction_by_op_type()[OpType.DEPTHWISE_CONV2D]
+        assert flops < 0.1
+        assert runtime > 0.3
+
+    def test_fusion_is_what_unlocks_the_large_global_memory(self):
+        """Figure 15: datapath improvements without fusion hit the bandwidth wall."""
+        with_fusion = Simulator(FAST_LARGE).simulate_workload("efficientnet-b7")
+        without_fusion = Simulator(
+            FAST_LARGE, SimulationOptions(enable_fast_fusion=False)
+        ).simulate_workload("efficientnet-b7")
+        assert with_fusion.qps > 1.2 * without_fusion.qps
+
+    def test_ablation_shrinking_global_memory_hurts_fast_large(self):
+        """Table 6: reverting the 128 MiB Global Memory to 16 MiB costs performance."""
+        full = Simulator(FAST_LARGE).simulate_workload("efficientnet-b7")
+        small_gm = Simulator(FAST_LARGE.evolve(l3_global_buffer_mib=16)).simulate_workload(
+            "efficientnet-b7"
+        )
+        assert full.qps > small_gm.qps
+
+    def test_ablation_large_systolic_arrays_hurt_fast_large(self, area_power):
+        """Table 6: 128x128 arrays (same peak FLOPS) lose Perf/TDP on EfficientNet."""
+        reverted = FAST_LARGE.evolve(
+            pes_x_dim=2, pes_y_dim=2, systolic_array_x=128, systolic_array_y=128
+        )
+        full = Simulator(FAST_LARGE).simulate_workload("efficientnet-b7")
+        big_arrays = Simulator(reverted).simulate_workload("efficientnet-b7")
+        assert perf_per_tdp(full, FAST_LARGE, area_power) > perf_per_tdp(
+            big_arrays, reverted, area_power
+        )
+
+    def test_bert_long_sequences_less_efficient_than_short(self):
+        """Figure 5: longer sequences shift time into softmax/self-attention."""
+        short = Simulator(TPU_V3).simulate_workload("bert-seq128")
+        long = Simulator(TPU_V3).simulate_workload("bert-seq1024")
+        assert long.compute_utilization < short.compute_utilization
+
+
+class TestSearchIntegration:
+    def test_searched_design_beats_tpu_baseline_on_perf_per_tdp(self, area_power):
+        """Figure 10: even a short search finds designs with better Perf/TDP than TPU-v3."""
+        from repro.core.fast import FASTSearch
+
+        problem = SearchProblem(["efficientnet-b0"], ObjectiveKind.PERF_PER_TDP)
+        result = FASTSearch(problem, optimizer="lcs", seed=0).run(num_trials=40)
+        assert result.best_metrics is not None
+        tpu = Simulator(TPU_V3).simulate_workload("efficientnet-b0")
+        tpu_score = tpu.qps / area_power.tdp_w(TPU_V3)
+        assert result.best_metrics.perf_per_tdp("efficientnet-b0") > tpu_score
+
+    def test_multi_workload_objective_balances_workloads(self):
+        """Figure 9: the multi-workload design is scored by geometric mean."""
+        problem = SearchProblem(
+            ["efficientnet-b0", "resnet50"],
+            ObjectiveKind.PERF_PER_TDP,
+            baseline_qps={"efficientnet-b0": 1000.0, "resnet50": 1000.0},
+        )
+        evaluator = TrialEvaluator(problem)
+        metrics = evaluator.evaluate_config(FAST_SMALL)
+        assert metrics.feasible
+        expected = (
+            (metrics.per_workload_qps["efficientnet-b0"] / 1000.0 / metrics.tdp_w)
+            * (metrics.per_workload_qps["resnet50"] / 1000.0 / metrics.tdp_w)
+        ) ** 0.5
+        assert metrics.aggregate_score == pytest.approx(expected, rel=1e-6)
+
+
+class TestEconomicsIntegration:
+    def test_simulated_speedups_imply_moderate_breakeven_volumes(self, area_power):
+        """Tables 4: measured Perf/TDP gains break even at thousands of accelerators."""
+        tpu = Simulator(TPU_V3).simulate_workload("efficientnet-b7")
+        fast = Simulator(FAST_LARGE).simulate_workload("efficientnet-b7")
+        speedup = perf_per_tdp(fast, FAST_LARGE, area_power) / perf_per_tdp(
+            tpu, TPU_V3, area_power
+        )
+        volume = RoiModel().breakeven_volume(speedup)
+        assert 1000 < volume < 20000

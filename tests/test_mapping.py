@@ -1,0 +1,278 @@
+"""Tests for the mapping engine: problem extraction, dataflows, tiling, padding, mapper."""
+
+import pytest
+
+from repro.hardware.datapath import DatapathConfig
+from repro.mapping.costmodel import OpCost
+from repro.mapping.dataflow import Dataflow, spatial_mapping
+from repro.mapping.loopnest import MatrixProblem, extract_problem
+from repro.mapping.mapper import Mapper
+from repro.mapping.padding import pad_problem
+from repro.mapping.tiling import Tiling, candidate_tilings, estimate_traffic
+from repro.workloads.builder import GraphBuilder
+from repro.workloads.graph import Operation, Tensor, TensorKind
+from repro.workloads.ops import OpType
+
+
+def build_conv_graph(batch=1, size=16, in_ch=32, out_ch=64, kernel=3, depthwise=False):
+    builder = GraphBuilder("g", batch_size=batch)
+    x = builder.input("x", (batch, size, size, in_ch))
+    if depthwise:
+        builder.depthwise_conv2d(x, (kernel, kernel), name="op")
+    else:
+        builder.conv2d(x, out_ch, (kernel, kernel), name="op")
+    return builder.graph
+
+
+def problem_of(graph):
+    return extract_problem(graph.op("op"), graph.tensors)
+
+
+class TestProblemExtraction:
+    def test_conv2d_dimensions(self):
+        graph = build_conv_graph(batch=2, size=16, in_ch=32, out_ch=64, kernel=3)
+        problem = problem_of(graph)
+        assert problem.m == 2 * 16 * 16
+        assert problem.n == 64
+        assert problem.k == 32 * 9
+        assert problem.stationary_is_weight
+        assert not problem.is_depthwise
+
+    def test_depthwise_dimensions(self):
+        graph = build_conv_graph(batch=1, size=16, in_ch=32, kernel=3, depthwise=True)
+        problem = problem_of(graph)
+        assert problem.k == 9
+        assert problem.n == 32
+        assert problem.is_depthwise
+
+    def test_matmul_dimensions(self):
+        builder = GraphBuilder("g", batch_size=4)
+        x = builder.input("x", (4, 128))
+        builder.matmul(x, 256, name="op")
+        problem = problem_of(builder.graph)
+        assert (problem.m, problem.n, problem.k) == (4, 256, 128)
+
+    def test_einsum_instances_and_not_weight_stationary(self):
+        builder = GraphBuilder("g", batch_size=2)
+        q = builder.input("q", (2, 8, 64, 32))
+        k = builder.activation_tensor("k", (2, 8, 64, 32))
+        builder.einsum(q, k, (2, 8, 64, 64), contracting_dim=32, name="op")
+        problem = problem_of(builder.graph)
+        assert problem.instances == 16
+        assert problem.m == 64 and problem.n == 64 and problem.k == 32
+        assert not problem.stationary_is_weight
+
+    def test_flops_match_op_flops(self):
+        graph = build_conv_graph()
+        problem = problem_of(graph)
+        assert problem.flops == graph.op("op").flops(graph.tensors)
+
+    def test_vector_op_rejected(self):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (1, 8))
+        builder.softmax(x, name="op")
+        with pytest.raises(ValueError):
+            problem_of(builder.graph)
+
+    def test_operational_intensity_positive(self):
+        problem = problem_of(build_conv_graph())
+        assert problem.operational_intensity > 0
+
+
+class TestSpatialMapping:
+    def _problem(self, m=1024, n=256, k=256, depthwise=False, instances=1, weight=True):
+        return MatrixProblem(
+            m=m, n=n, k=k, instances=instances,
+            stationary_is_weight=weight, is_depthwise=depthwise,
+            input_bytes=m * k * 2, stationary_bytes=k * n * 2, output_bytes=m * n * 2,
+        )
+
+    def test_full_utilization_when_dims_divide(self):
+        mapping = spatial_mapping(self._problem(m=100000, n=256, k=256), 128, 128)
+        assert mapping.quantization_efficiency == pytest.approx(1.0)
+        assert mapping.utilization > 0.9
+
+    def test_partial_tiles_lower_utilization(self):
+        aligned = spatial_mapping(self._problem(n=256, k=256), 128, 128)
+        ragged = spatial_mapping(self._problem(n=257, k=256), 128, 128)
+        assert ragged.quantization_efficiency < aligned.quantization_efficiency
+
+    def test_small_reduction_dim_limits_utilization(self):
+        """Section 3.2: few input features waste most of the array rows."""
+        mapping = spatial_mapping(self._problem(k=27), 128, 128)
+        assert mapping.quantization_efficiency < 27 / 128 + 0.01
+
+    def test_depthwise_far_worse_on_large_arrays(self):
+        """Table 5 / Section 4.2: depthwise utilization collapses on 128-wide arrays."""
+        dw = self._problem(m=50000, n=512, k=9, depthwise=True)
+        on_128 = spatial_mapping(dw, 128, 128)
+        on_32 = spatial_mapping(dw, 32, 32)
+        assert on_128.utilization < 0.02
+        assert on_32.utilization > 0.1
+        assert on_32.utilization > 5 * on_128.utilization
+
+    def test_short_streams_pay_latch_overhead(self):
+        """Section 4.3: activation x activation matmuls cannot amortize latching."""
+        long_stream = spatial_mapping(self._problem(m=8192), 128, 128)
+        short_stream = spatial_mapping(self._problem(m=128), 128, 128)
+        assert short_stream.latch_efficiency < long_stream.latch_efficiency
+
+    def test_output_stationary_swaps_roles(self):
+        problem = self._problem(m=64, n=256, k=4096)
+        ws = spatial_mapping(problem, 128, 128, Dataflow.WEIGHT_STATIONARY)
+        os = spatial_mapping(problem, 128, 128, Dataflow.OUTPUT_STATIONARY)
+        assert os.dataflow is Dataflow.OUTPUT_STATIONARY
+        assert os.cycles_per_instance != ws.cycles_per_instance
+
+    def test_utilization_bounded_by_one(self):
+        mapping = spatial_mapping(self._problem(m=10**6, n=1024, k=1024), 8, 8)
+        assert 0 < mapping.utilization <= 1.0
+
+
+class TestTilingAndTraffic:
+    def _problem(self, m=4096, n=512, k=512):
+        return MatrixProblem(
+            m=m, n=n, k=k, instances=1, stationary_is_weight=True, is_depthwise=False,
+            input_bytes=m * k * 2, stationary_bytes=k * n * 2, output_bytes=m * n * 2,
+        )
+
+    def test_candidates_respect_limit(self):
+        problem = self._problem()
+        candidates = list(candidate_tilings(problem, 32, 32, max_candidates=10))
+        assert 1 <= len(candidates) <= 10
+
+    def test_full_problem_tiling_included(self):
+        problem = self._problem(m=256, n=64, k=64)
+        tilings = list(candidate_tilings(problem, 32, 32))
+        assert any(t.m_tile == 256 and t.n_tile == 64 and t.k_tile == 64 for t in tilings)
+
+    def test_buffer_bytes_formula(self):
+        tiling = Tiling(m_tile=64, n_tile=32, k_tile=16)
+        assert tiling.buffer_bytes(2) == (64 * 16 + 16 * 32 + 64 * 32) * 2
+
+    def test_ample_capacity_gives_minimum_traffic(self):
+        problem = self._problem()
+        tiling = Tiling(problem.m, problem.n, problem.k)
+        traffic, fits = estimate_traffic(problem, tiling, blocking_capacity_bytes=1 << 30)
+        assert fits
+        assert traffic.total_bytes == pytest.approx(problem.total_bytes)
+
+    def test_tiny_capacity_amplifies_traffic(self):
+        problem = self._problem()
+        tiling = Tiling(128, 64, 64)
+        small_capacity = tiling.buffer_bytes(2) + 1024
+        traffic, fits = estimate_traffic(problem, tiling, small_capacity)
+        assert fits
+        assert traffic.total_bytes > problem.total_bytes
+
+    def test_oversized_tiling_does_not_fit(self):
+        problem = self._problem()
+        tiling = Tiling(problem.m, problem.n, problem.k)
+        _, fits = estimate_traffic(problem, tiling, blocking_capacity_bytes=1024)
+        assert not fits
+
+    def test_depthwise_never_rereads_input(self):
+        problem = MatrixProblem(
+            m=100000, n=1024, k=9, instances=1, stationary_is_weight=True, is_depthwise=True,
+            input_bytes=100000 * 9 * 2, stationary_bytes=9 * 1024 * 2, output_bytes=100000 * 1024 * 2,
+        )
+        tiling = Tiling(1024, 32, 9)
+        traffic, _ = estimate_traffic(problem, tiling, blocking_capacity_bytes=256 * 1024)
+        assert traffic.input_bytes == pytest.approx(problem.input_bytes)
+
+
+class TestPadding:
+    def _problem(self, n, k, depthwise=False):
+        return MatrixProblem(
+            m=1024, n=n, k=k, instances=1, stationary_is_weight=True, is_depthwise=depthwise,
+            input_bytes=1024 * k * 2, stationary_bytes=k * n * 2, output_bytes=1024 * n * 2,
+        )
+
+    def test_no_padding_when_aligned(self):
+        decision = pad_problem(self._problem(n=256, k=128), 32, 32)
+        assert not decision.padded_n and not decision.padded_k
+        assert decision.extra_flops == 0
+
+    def test_pads_cheap_ragged_dims(self):
+        decision = pad_problem(self._problem(n=250, k=120), 32, 32)
+        assert decision.padded_n and decision.padded_k
+        assert decision.problem.n == 256 and decision.problem.k == 128
+        assert decision.extra_flops > 0
+
+    def test_skips_expensive_padding(self):
+        decision = pad_problem(self._problem(n=33, k=128), 32, 32, max_overhead=0.2)
+        assert not decision.padded_n
+
+    def test_never_pads_depthwise_reduction(self):
+        decision = pad_problem(self._problem(n=256, k=9, depthwise=True), 128, 128)
+        assert not decision.padded_k
+
+    def test_padding_increases_stationary_bytes(self):
+        decision = pad_problem(self._problem(n=250, k=128), 32, 32)
+        assert decision.problem.stationary_bytes > self._problem(n=250, k=128).stationary_bytes
+
+
+class TestMapper:
+    def test_maps_conv_successfully(self, small_config):
+        graph = build_conv_graph(batch=2)
+        cost = Mapper(small_config).map_op(graph.op("op"), graph.tensors)
+        assert not cost.schedule_failed
+        assert cost.compute_cycles > 0
+        assert cost.dram_bytes > 0
+        assert 0 < cost.utilization <= 1.0
+
+    def test_cache_reuses_identical_problems(self, small_config):
+        mapper = Mapper(small_config)
+        graph = build_conv_graph(batch=2)
+        first = mapper.map_op(graph.op("op"), graph.tensors)
+        second = mapper.map_op(graph.op("op"), graph.tensors)
+        assert first.compute_cycles == second.compute_cycles
+
+    def test_rejects_vector_ops(self, small_config):
+        builder = GraphBuilder("g")
+        x = builder.input("x", (1, 8))
+        builder.softmax(x, name="sm")
+        with pytest.raises(ValueError):
+            Mapper(small_config).map_op(builder.graph.op("sm"), builder.graph.tensors)
+
+    def test_schedule_failure_with_tiny_buffers(self):
+        config = DatapathConfig(
+            systolic_array_x=256, systolic_array_y=256,
+            l1_input_buffer_kib=1, l1_weight_buffer_kib=1, l1_output_buffer_kib=1,
+            l1_buffer_config=__import__("repro.hardware.datapath", fromlist=["BufferConfig"]).BufferConfig.PRIVATE,
+        )
+        graph = build_conv_graph()
+        cost = Mapper(config).map_op(graph.op("op"), graph.tensors)
+        assert cost.schedule_failed
+
+    def test_more_pes_reduce_compute_cycles(self):
+        graph = build_conv_graph(batch=4, size=32, in_ch=64, out_ch=128)
+        few = DatapathConfig(pes_x_dim=1, pes_y_dim=1, systolic_array_x=32, systolic_array_y=32)
+        many = DatapathConfig(pes_x_dim=8, pes_y_dim=8, systolic_array_x=32, systolic_array_y=32)
+        cost_few = Mapper(few).map_op(graph.op("op"), graph.tensors)
+        cost_many = Mapper(many).map_op(graph.op("op"), graph.tensors)
+        assert cost_many.compute_cycles < cost_few.compute_cycles
+
+    def test_depthwise_prefers_smaller_arrays(self):
+        """The core EfficientNet observation: small arrays run depthwise better."""
+        graph = build_conv_graph(batch=8, size=32, in_ch=256, depthwise=True)
+        big = DatapathConfig(pes_x_dim=1, pes_y_dim=1, systolic_array_x=128, systolic_array_y=128)
+        small = DatapathConfig(pes_x_dim=4, pes_y_dim=4, systolic_array_x=32, systolic_array_y=32)
+        cost_big = Mapper(big).map_op(graph.op("op"), graph.tensors)
+        cost_small = Mapper(small).map_op(graph.op("op"), graph.tensors)
+        assert cost_small.utilization > cost_big.utilization
+
+    def test_execution_cycles_excludes_pinned_tensors(self, small_config):
+        graph = build_conv_graph(batch=2)
+        cost = Mapper(small_config).map_op(graph.op("op"), graph.tensors)
+        full = cost.execution_cycles(dram_bytes_per_cycle=8.0)
+        reduced = cost.execution_cycles(dram_bytes_per_cycle=8.0, exclude_input=True, exclude_weight=True)
+        assert reduced <= full
+
+    def test_opcost_traffic_scaling(self):
+        cost = OpCost(
+            op_name="x", op_type=OpType.CONV2D,
+            dram_input_bytes=100.0, dram_weight_bytes=50.0, dram_output_bytes=25.0,
+        )
+        scaled = cost.with_traffic_scaled(2.0)
+        assert scaled.dram_bytes == pytest.approx(350.0)

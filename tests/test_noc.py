@@ -1,0 +1,116 @@
+"""Tests for the mesh network-on-chip model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.designs import FAST_LARGE, TPU_V3
+from repro.hardware.datapath import DatapathConfig
+from repro.hardware.noc import MeshNocModel, NocParameters
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MeshNocModel()
+
+
+def grid(pes_x, pes_y):
+    return DatapathConfig(pes_x_dim=pes_x, pes_y_dim=pes_y)
+
+
+class TestTopology:
+    def test_router_count_matches_pe_grid(self, model):
+        noc = model.characterize(grid(8, 4))
+        assert noc.num_routers == 32
+        assert noc.mesh_x == 8 and noc.mesh_y == 4
+
+    def test_link_count_of_mesh(self, model):
+        # A 3x... mesh is not expressible (powers of two only); use 4x2:
+        # links = 4*(2-1) + 2*(4-1) = 10.
+        noc = model.characterize(grid(4, 2))
+        assert noc.num_links == 10
+
+    def test_single_pe_degenerates_gracefully(self, model):
+        noc = model.characterize(grid(1, 1))
+        assert noc.num_routers == 1
+        assert noc.num_links == 0
+        assert noc.average_hops == 0.0
+
+    def test_as_dict_roundtrip_keys(self, model):
+        data = model.characterize(FAST_LARGE).as_dict()
+        assert data["num_routers"] == FAST_LARGE.num_pes
+        assert data["area_mm2"] > 0
+
+
+class TestScaling:
+    def test_area_grows_with_grid_size(self, model):
+        small = model.characterize(grid(2, 2))
+        large = model.characterize(grid(16, 16))
+        assert large.area_mm2 > small.area_mm2
+        assert large.static_power_w > small.static_power_w
+
+    def test_bisection_bandwidth_scales_with_narrow_dimension(self, model):
+        narrow = model.characterize(grid(16, 2))
+        wide = model.characterize(grid(16, 16))
+        assert wide.bisection_bandwidth_bytes_per_cycle > narrow.bisection_bandwidth_bytes_per_cycle
+
+    def test_multi_core_multiplies_area(self, model):
+        single = model.characterize(grid(4, 4))
+        dual = model.characterize(grid(4, 4).evolve(num_cores=2))
+        assert dual.area_mm2 == pytest.approx(2 * single.area_mm2)
+
+    def test_energy_per_byte_grows_with_hop_count(self, model):
+        small = model.characterize(grid(2, 2))
+        large = model.characterize(grid(32, 32))
+        assert large.energy_pj_per_byte > small.energy_pj_per_byte
+
+    def test_noc_is_small_fraction_of_chip(self, model):
+        """The mesh should not dominate die area for paper-scale designs."""
+        from repro.hardware.area_power import AreaPowerModel
+
+        for config in (TPU_V3, FAST_LARGE):
+            noc_area = model.characterize(config).area_mm2
+            chip_area = AreaPowerModel().area_mm2(config)
+            assert noc_area < 0.1 * chip_area
+
+
+class TestTrafficPatterns:
+    def test_broadcast_at_least_unicast(self, model):
+        config = grid(8, 8)
+        assert model.broadcast_cycles(config, 4096) >= model.unicast_cycles(config, 4096)
+
+    def test_serialization_dominates_large_payloads(self, model):
+        config = grid(4, 4)
+        small = model.broadcast_cycles(config, 64)
+        large = model.broadcast_cycles(config, 64 * 1024)
+        assert large > 100 * small / 10  # grows roughly with payload size
+
+    def test_reduction_scales_with_mesh_height(self, model):
+        short = model.reduction_cycles(grid(8, 2), 256)
+        tall = model.reduction_cycles(grid(8, 32), 256)
+        assert tall > short
+
+    def test_distribution_bound_flags_oversubscription(self, model):
+        config = grid(16, 16)
+        noc = model.characterize(config)
+        fine = model.distribution_bandwidth_bound(config, noc.bisection_bandwidth_bytes_per_cycle / 2)
+        over = model.distribution_bandwidth_bound(config, noc.bisection_bandwidth_bytes_per_cycle * 4)
+        assert fine == 1.0
+        assert over == pytest.approx(4.0)
+
+    def test_dynamic_power_positive_and_monotone(self, model):
+        config = grid(8, 8)
+        low = model.dynamic_power_w(config, 1e9)
+        high = model.dynamic_power_w(config, 1e11)
+        assert 0 < low < high
+
+
+class TestParameters:
+    def test_invalid_link_width_rejected(self):
+        with pytest.raises(ValueError):
+            NocParameters(link_width_bytes=0)
+
+    def test_wider_links_raise_bisection_bandwidth(self):
+        narrow = MeshNocModel(NocParameters(link_width_bytes=32)).characterize(grid(8, 8))
+        wide = MeshNocModel(NocParameters(link_width_bytes=128)).characterize(grid(8, 8))
+        assert wide.bisection_bandwidth_bytes_per_cycle > narrow.bisection_bandwidth_bytes_per_cycle

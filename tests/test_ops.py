@@ -1,0 +1,177 @@
+"""Tests for per-op FLOP accounting."""
+
+import pytest
+
+from repro.workloads.graph import DType, Operation, Tensor, TensorKind
+from repro.workloads.ops import (
+    MATRIX_OP_TYPES,
+    VECTOR_OP_TYPES,
+    OpType,
+    is_matrix_op,
+    op_flops,
+)
+
+
+def tensors_for(**shapes):
+    result = {}
+    for name, (shape, kind) in shapes.items():
+        result[name] = Tensor(name, tuple(shape), DType.BFLOAT16, kind)
+    return result
+
+
+class TestTaxonomy:
+    def test_matrix_and_vector_partition_op_types(self):
+        assert MATRIX_OP_TYPES | VECTOR_OP_TYPES == set(OpType)
+        assert not (MATRIX_OP_TYPES & VECTOR_OP_TYPES)
+
+    @pytest.mark.parametrize(
+        "op_type", [OpType.CONV2D, OpType.DEPTHWISE_CONV2D, OpType.MATMUL, OpType.EINSUM]
+    )
+    def test_matrix_ops(self, op_type):
+        assert is_matrix_op(op_type)
+
+    @pytest.mark.parametrize("op_type", [OpType.SOFTMAX, OpType.ACTIVATION, OpType.POOLING])
+    def test_vector_ops(self, op_type):
+        assert not is_matrix_op(op_type)
+
+
+class TestConvFlops:
+    def test_conv2d_formula(self):
+        # 2 * B * OH * OW * OF * IF * KH * KW
+        ts = tensors_for(
+            x=((1, 8, 8, 4), TensorKind.ACTIVATION),
+            w=((3, 3, 4, 16), TensorKind.WEIGHT),
+            y=((1, 8, 8, 16), TensorKind.ACTIVATION),
+        )
+        op = Operation(
+            "c", OpType.CONV2D, ["x", "w"], ["y"],
+            {"kernel": (3, 3), "stride": 1, "in_features": 4, "out_features": 16},
+        )
+        assert op_flops(op, ts) == 2 * 1 * 8 * 8 * 16 * 4 * 3 * 3
+
+    def test_conv2d_scales_with_batch(self):
+        def flops(batch):
+            ts = tensors_for(
+                x=((batch, 8, 8, 4), TensorKind.ACTIVATION),
+                w=((3, 3, 4, 16), TensorKind.WEIGHT),
+                y=((batch, 8, 8, 16), TensorKind.ACTIVATION),
+            )
+            op = Operation(
+                "c", OpType.CONV2D, ["x", "w"], ["y"],
+                {"kernel": (3, 3), "stride": 1, "in_features": 4, "out_features": 16},
+            )
+            return op_flops(op, ts)
+
+        assert flops(4) == 4 * flops(1)
+
+    def test_depthwise_formula(self):
+        # 2 * B * OH * OW * C * KH * KW
+        ts = tensors_for(
+            x=((2, 8, 8, 32), TensorKind.ACTIVATION),
+            w=((3, 3, 32, 1), TensorKind.WEIGHT),
+            y=((2, 8, 8, 32), TensorKind.ACTIVATION),
+        )
+        op = Operation(
+            "dw", OpType.DEPTHWISE_CONV2D, ["x", "w"], ["y"],
+            {"kernel": (3, 3), "stride": 1, "in_features": 32, "out_features": 32},
+        )
+        assert op_flops(op, ts) == 2 * 2 * 8 * 8 * 32 * 3 * 3
+
+    def test_depthwise_much_cheaper_than_conv(self):
+        """A 3x3 depthwise-separable block uses ~8-9x fewer FLOPs (Section 3.2)."""
+        channels = 64
+        ts_conv = tensors_for(
+            x=((1, 16, 16, channels), TensorKind.ACTIVATION),
+            w=((3, 3, channels, channels), TensorKind.WEIGHT),
+            y=((1, 16, 16, channels), TensorKind.ACTIVATION),
+        )
+        conv = Operation(
+            "c", OpType.CONV2D, ["x", "w"], ["y"],
+            {"kernel": (3, 3), "stride": 1, "in_features": channels, "out_features": channels},
+        )
+        ts_dw = tensors_for(
+            x=((1, 16, 16, channels), TensorKind.ACTIVATION),
+            w=((3, 3, channels, 1), TensorKind.WEIGHT),
+            y=((1, 16, 16, channels), TensorKind.ACTIVATION),
+        )
+        dw = Operation(
+            "d", OpType.DEPTHWISE_CONV2D, ["x", "w"], ["y"],
+            {"kernel": (3, 3), "stride": 1, "in_features": channels, "out_features": channels},
+        )
+        ts_pw = tensors_for(
+            x=((1, 16, 16, channels), TensorKind.ACTIVATION),
+            w=((1, 1, channels, channels), TensorKind.WEIGHT),
+            y=((1, 16, 16, channels), TensorKind.ACTIVATION),
+        )
+        pw = Operation(
+            "p", OpType.CONV2D, ["x", "w"], ["y"],
+            {"kernel": (1, 1), "stride": 1, "in_features": channels, "out_features": channels},
+        )
+        separable = op_flops(dw, ts_dw) + op_flops(pw, ts_pw)
+        ratio = op_flops(conv, ts_conv) / separable
+        assert 7.0 < ratio < 9.5
+
+
+class TestMatmulFlops:
+    def test_matmul_formula(self):
+        ts = tensors_for(
+            x=((4, 128), TensorKind.ACTIVATION),
+            w=((128, 256), TensorKind.WEIGHT),
+            y=((4, 256), TensorKind.ACTIVATION),
+        )
+        op = Operation("m", OpType.MATMUL, ["x", "w"], ["y"], {"contracting_dim": 128})
+        assert op_flops(op, ts) == 2 * 4 * 256 * 128
+
+    def test_matmul_folds_leading_dims(self):
+        ts = tensors_for(
+            x=((2, 16, 64), TensorKind.ACTIVATION),
+            w=((64, 32), TensorKind.WEIGHT),
+            y=((2, 16, 32), TensorKind.ACTIVATION),
+        )
+        op = Operation("m", OpType.MATMUL, ["x", "w"], ["y"], {"contracting_dim": 64})
+        assert op_flops(op, ts) == 2 * 2 * 16 * 32 * 64
+
+    def test_einsum_formula(self):
+        ts = tensors_for(
+            q=((1, 4, 16, 8), TensorKind.ACTIVATION),
+            k=((1, 4, 16, 8), TensorKind.ACTIVATION),
+            s=((1, 4, 16, 16), TensorKind.ACTIVATION),
+        )
+        op = Operation("e", OpType.EINSUM, ["q", "k"], ["s"], {"contracting_dim": 8})
+        assert op_flops(op, ts) == 2 * (1 * 4 * 16 * 16) * 8
+
+
+class TestVectorFlops:
+    def test_elementwise_add_one_flop_per_element(self):
+        ts = tensors_for(
+            a=((2, 32), TensorKind.ACTIVATION),
+            b=((2, 32), TensorKind.ACTIVATION),
+            y=((2, 32), TensorKind.ACTIVATION),
+        )
+        op = Operation("add", OpType.ELEMENTWISE_ADD, ["a", "b"], ["y"], {})
+        assert op_flops(op, ts) == 64
+
+    def test_softmax_more_expensive_than_add(self):
+        ts = tensors_for(
+            x=((2, 32), TensorKind.ACTIVATION),
+            y=((2, 32), TensorKind.ACTIVATION),
+        )
+        softmax = Operation("s", OpType.SOFTMAX, ["x"], ["y"], {})
+        add = Operation("a", OpType.ELEMENTWISE_ADD, ["x"], ["y"], {})
+        assert op_flops(softmax, ts) > op_flops(add, ts)
+
+    def test_pooling_charges_kernel_window(self):
+        ts = tensors_for(
+            x=((1, 8, 8, 4), TensorKind.ACTIVATION),
+            y=((1, 4, 4, 4), TensorKind.ACTIVATION),
+        )
+        op = Operation("p", OpType.POOLING, ["x"], ["y"], {"kernel": (2, 2), "stride": 2})
+        assert op_flops(op, ts) == 4 * 4 * 4 * 4
+
+    def test_reshape_is_free(self):
+        ts = tensors_for(
+            x=((4, 16), TensorKind.ACTIVATION),
+            y=((64,), TensorKind.ACTIVATION),
+        )
+        op = Operation("r", OpType.RESHAPE, ["x"], ["y"], {})
+        assert op_flops(op, ts) == 0

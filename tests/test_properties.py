@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import geometric_mean
+from repro.fusion.fast_fusion import FastFusionOptimizer, RegionStats
+from repro.fusion.ilp import BranchAndBoundSolver, IlpProblem
+from repro.hardware.datapath import DatapathConfig
+from repro.hardware.search_space import DatapathSearchSpace
+from repro.mapping.dataflow import Dataflow, spatial_mapping
+from repro.mapping.loopnest import MatrixProblem
+from repro.mapping.padding import pad_problem
+from repro.mapping.tiling import Tiling, estimate_traffic
+from repro.search.pareto import ParetoFront, dominates
+
+_SPACE = DatapathSearchSpace()
+
+pow2 = lambda lo, hi: st.sampled_from([2**i for i in range(lo, hi + 1)])
+
+
+def matrix_problems():
+    return st.builds(
+        lambda m, n, k, inst, dw: MatrixProblem(
+            m=m, n=n, k=k, instances=inst,
+            stationary_is_weight=not dw, is_depthwise=dw,
+            input_bytes=m * k * 2 * inst,
+            stationary_bytes=k * n * 2 * inst,
+            output_bytes=m * n * 2 * inst,
+        ),
+        m=st.integers(1, 100_000),
+        n=st.integers(1, 4096),
+        k=st.integers(1, 4096),
+        inst=st.integers(1, 64),
+        dw=st.booleans(),
+    )
+
+
+class TestMappingProperties:
+    @given(problem=matrix_problems(), ax=pow2(0, 8), ay=pow2(0, 8),
+           dataflow=st.sampled_from(list(Dataflow)))
+    @settings(max_examples=60, deadline=None)
+    def test_spatial_mapping_utilization_bounded(self, problem, ax, ay, dataflow):
+        mapping = spatial_mapping(problem, ax, ay, dataflow)
+        assert 0.0 < mapping.quantization_efficiency <= 1.0
+        assert 0.0 < mapping.latch_efficiency <= 1.0
+        assert 0.0 < mapping.utilization <= 1.0
+        assert mapping.cycles_per_instance > 0
+
+    @given(problem=matrix_problems(), ax=pow2(2, 7), ay=pow2(2, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_padding_never_shrinks_problem(self, problem, ax, ay):
+        decision = pad_problem(problem, ax, ay)
+        assert decision.problem.n >= problem.n
+        assert decision.problem.k >= problem.k
+        assert decision.extra_flops >= 0
+        assert decision.problem.flops == problem.flops + decision.extra_flops
+
+    @given(problem=matrix_problems(), capacity=st.integers(1024, 1 << 28))
+    @settings(max_examples=60, deadline=None)
+    def test_traffic_at_least_compulsory(self, problem, capacity):
+        """DRAM traffic can never fall below the compulsory (cold) traffic."""
+        tiling = Tiling(
+            m_tile=min(problem.m, 256), n_tile=min(problem.n, 64), k_tile=min(problem.k, 64)
+        )
+        traffic, _ = estimate_traffic(problem, tiling, capacity)
+        assert traffic.total_bytes >= problem.total_bytes - 1e-6
+
+    @given(problem=matrix_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_bigger_capacity_never_increases_traffic(self, problem):
+        tiling = Tiling(
+            m_tile=min(problem.m, 128), n_tile=min(problem.n, 32), k_tile=min(problem.k, 32)
+        )
+        small, _ = estimate_traffic(problem, tiling, 64 * 1024)
+        large, _ = estimate_traffic(problem, tiling, 1 << 30)
+        assert large.total_bytes <= small.total_bytes + 1e-6
+
+
+class TestSearchSpaceProperties:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_sampled_configs_always_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        params = _SPACE.sample(rng)
+        config = _SPACE.to_config(params)
+        assert isinstance(config, DatapathConfig)
+        assert config.peak_matrix_flops > 0
+
+    @given(seed=st.integers(0, 10_000), mutations=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_mutation_stays_in_space(self, seed, mutations):
+        rng = np.random.default_rng(seed)
+        params = _SPACE.sample(rng)
+        mutated = _SPACE.mutate(params, rng, num_mutations=mutations)
+        for spec in _SPACE.specs:
+            assert mutated[spec.name] in spec.choices
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_encode_decode_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        params = _SPACE.sample(rng)
+        assert _SPACE.decode(_SPACE.encode(params)) == params
+
+
+class TestParetoProperties:
+    @given(
+        points=st.lists(
+            st.tuples(st.floats(0.1, 100), st.floats(0.1, 100)), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_front_points_mutually_non_dominated(self, points):
+        front = ParetoFront()
+        for p in points:
+            front.add(p)
+        frontier = front.points
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not dominates(a.objectives, b.objectives)
+
+    @given(
+        points=st.lists(
+            st.tuples(st.floats(0.1, 100), st.floats(0.1, 100)), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_every_point_dominated_by_or_on_front(self, points):
+        front = ParetoFront()
+        for p in points:
+            front.add(p)
+        for point in front.all_points:
+            on_front = any(point.objectives == f.objectives for f in front.points)
+            dominated = any(
+                dominates(f.objectives, point.objectives) for f in front.points
+            )
+            assert on_front or dominated
+
+
+class TestFusionProperties:
+    @given(
+        num_regions=st.integers(2, 12),
+        capacity=st.integers(0, 4000),
+        act_bytes=st.integers(10, 800),
+        dram_cycles=st.floats(0.5, 50.0),
+        busy=st.floats(0.5, 200.0),
+    )
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_greedy_fusion_never_slows_down_and_respects_capacity(
+        self, num_regions, capacity, act_bytes, dram_cycles, busy
+    ):
+        regions = []
+        for i in range(num_regions):
+            t_max = busy + 3 * dram_cycles
+            regions.append(
+                RegionStats(
+                    index=i, name=f"r{i}", busy_cycles=busy, t_max_cycles=t_max,
+                    input_dram_cycles=dram_cycles, weight_dram_cycles=dram_cycles,
+                    output_dram_cycles=dram_cycles,
+                    input_bytes=act_bytes, weight_bytes=act_bytes // 2, output_bytes=act_bytes,
+                    predecessor=i - 1 if i > 0 else None,
+                    is_graph_output=(i == num_regions - 1),
+                )
+            )
+        result = FastFusionOptimizer(gm_capacity_bytes=capacity, solver="greedy").optimize(regions)
+        assert result.total_cycles_post <= result.total_cycles_pre + 1e-6
+        weight_total = sum(
+            r.weight_bytes for r, d in zip(regions, result.decisions) if d.pin_weights
+        )
+        for region, decision in zip(regions, result.decisions):
+            usage = weight_total + region.blocking_gm_bytes
+            if decision.pin_input:
+                usage += region.input_bytes
+            if decision.pin_output:
+                usage += region.output_bytes
+            if capacity > 0:
+                assert usage <= capacity + 1e-6
+        for region, cycles in zip(regions, result.region_cycles):
+            assert cycles >= region.t_min_cycles - 1e-9
+
+
+class TestIlpProperties:
+    @given(
+        values=st.lists(st.integers(1, 30), min_size=2, max_size=10),
+        weights_seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_branch_and_bound_matches_brute_force(self, values, weights_seed):
+        rng = np.random.default_rng(weights_seed)
+        n = len(values)
+        weights = rng.integers(1, 10, size=n).astype(float)
+        capacity = float(weights.sum()) * 0.5
+        problem = IlpProblem(
+            objective=-np.asarray(values, dtype=float),
+            constraint_matrix=weights.reshape(1, n),
+            constraint_bounds=np.array([capacity]),
+            integer_mask=np.ones(n, dtype=bool),
+            lower_bounds=np.zeros(n),
+            upper_bounds=np.ones(n),
+        )
+        solution = BranchAndBoundSolver(max_nodes=4000).solve(problem)
+        best = 0.0
+        for mask in range(1 << n):
+            chosen = [(mask >> i) & 1 for i in range(n)]
+            if float(np.dot(chosen, weights)) <= capacity:
+                best = max(best, float(np.dot(chosen, values)))
+        assert -solution.objective_value == pytest.approx(best, abs=1e-6)
+
+
+class TestMiscProperties:
+    @given(values=st.lists(st.floats(0.01, 1e6), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_geometric_mean_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        tolerance = 1e-9 * max(values)
+        assert min(values) - tolerance <= gm <= max(values) + tolerance
+
+    @given(
+        a=st.tuples(st.floats(0, 10), st.floats(0, 10)),
+        b=st.tuples(st.floats(0, 10), st.floats(0, 10)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_dominance_is_antisymmetric(self, a, b):
+        assume(a != b)
+        assert not (dominates(a, b) and dominates(b, a))

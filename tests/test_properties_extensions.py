@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) for the extension modules."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fusion.blocking import blocked_region_stats
+from repro.fusion.fast_fusion import RegionStats
+from repro.hardware.datapath import DatapathConfig
+from repro.hardware.noc import MeshNocModel
+from repro.hardware.search_space import DatapathSearchSpace
+from repro.reporting.ascii_plots import sparkline
+from repro.reporting.tables import format_table, to_csv
+from repro.search import SimulatedAnnealingOptimizer
+from repro.workloads.quantization import QuantizationRecipe, quantize_graph
+
+SPACE = DatapathSearchSpace()
+NOC = MeshNocModel()
+
+pow2 = st.integers(min_value=0, max_value=6).map(lambda e: 2**e)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+# ---------------------------------------------------------------------------
+# Search space
+# ---------------------------------------------------------------------------
+class TestSearchSpaceProperties:
+    @given(seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_roundtrip(self, seed):
+        params = SPACE.sample(np.random.default_rng(seed))
+        assert SPACE.decode(SPACE.encode(params)) == params
+
+    @given(seed=seeds, num_mutations=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_mutation_stays_inside_choices(self, seed, num_mutations):
+        rng = np.random.default_rng(seed)
+        params = SPACE.sample(rng)
+        mutated = SPACE.mutate(params, rng, num_mutations=num_mutations)
+        for spec in SPACE.specs:
+            assert mutated[spec.name] in spec.choices
+
+    @given(seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_sample_converts_to_valid_config(self, seed):
+        params = SPACE.sample(np.random.default_rng(seed))
+        config = SPACE.to_config(params)
+        assert config.total_macs >= 1
+        assert SPACE.from_config(config) == params
+
+
+# ---------------------------------------------------------------------------
+# NoC model
+# ---------------------------------------------------------------------------
+class TestNocProperties:
+    @given(x=pow2, y=pow2)
+    @settings(max_examples=40, deadline=None)
+    def test_router_and_link_counts_consistent(self, x, y):
+        noc = NOC.characterize(DatapathConfig(pes_x_dim=x, pes_y_dim=y))
+        assert noc.num_routers == x * y
+        assert noc.num_links == x * (y - 1) + y * (x - 1)
+        assert noc.area_mm2 > 0
+        assert noc.bisection_bandwidth_bytes_per_cycle > 0
+
+    @given(x=pow2, y=pow2, payload=st.floats(min_value=1.0, max_value=1e7))
+    @settings(max_examples=40, deadline=None)
+    def test_broadcast_never_cheaper_than_unicast(self, x, y, payload):
+        config = DatapathConfig(pes_x_dim=x, pes_y_dim=y)
+        assert NOC.broadcast_cycles(config, payload) >= NOC.unicast_cycles(config, payload)
+
+
+# ---------------------------------------------------------------------------
+# Blocking transformation
+# ---------------------------------------------------------------------------
+region_strategy = st.builds(
+    lambda i, ib, wb, ob, busy: RegionStats(
+        index=i,
+        name=f"r{i}",
+        busy_cycles=busy,
+        t_max_cycles=busy + (ib + wb + ob) / 64.0,
+        input_dram_cycles=ib / 64.0,
+        weight_dram_cycles=wb / 64.0,
+        output_dram_cycles=ob / 64.0,
+        input_bytes=ib,
+        weight_bytes=wb,
+        output_bytes=ob,
+    ),
+    st.integers(0, 100),
+    st.integers(0, 10**8),
+    st.integers(0, 10**8),
+    st.integers(0, 10**8),
+    st.floats(min_value=1.0, max_value=1e6),
+)
+
+
+class TestBlockingProperties:
+    @given(regions=st.lists(region_strategy, min_size=1, max_size=8),
+           factor=st.sampled_from([1, 2, 4, 8, 16]))
+    @settings(max_examples=60, deadline=None)
+    def test_blocking_never_grows_footprints(self, regions, factor):
+        blocked = blocked_region_stats(regions, factor)
+        for before, after in zip(regions, blocked):
+            assert after.input_bytes <= before.input_bytes
+            assert after.output_bytes <= before.output_bytes
+            assert after.weight_bytes == before.weight_bytes
+            assert after.input_dram_cycles == before.input_dram_cycles
+
+
+# ---------------------------------------------------------------------------
+# Quantization
+# ---------------------------------------------------------------------------
+class TestQuantizationProperties:
+    @given(batch=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=8, deadline=None)
+    def test_quantization_commutes_with_batch_scaling(self, batch):
+        from repro.workloads.builder import GraphBuilder
+
+        builder = GraphBuilder("prop", batch_size=batch)
+        x = builder.input("x", (batch, 8, 8, 4))
+        y = builder.conv2d(x, 8, (3, 3), name="conv")
+        y = builder.activation(y, "relu", name="relu")
+        graph = builder.finish(outputs=[y])
+
+        quantized = quantize_graph(graph)
+        assert quantized.total_flops() == graph.total_flops()
+        assert quantized.weight_bytes() * 2 == graph.weight_bytes()
+        assert quantized.max_working_set_bytes() * 2 == graph.max_working_set_bytes()
+
+    def test_weight_only_never_larger_than_full_int8(self, tiny_graph):
+        full = quantize_graph(tiny_graph)
+        weight_only = quantize_graph(tiny_graph, QuantizationRecipe.weight_only())
+        assert full.activation_bytes_total() <= weight_only.activation_bytes_total()
+        assert full.weight_bytes() == weight_only.weight_bytes()
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+printable = st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=12)
+
+
+class TestReportingProperties:
+    @given(
+        headers=st.lists(printable, min_size=1, max_size=5, unique=True),
+        num_rows=st.integers(min_value=0, max_value=6),
+        seed=seeds,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_format_table_line_count_and_width(self, headers, num_rows, seed):
+        rng = np.random.default_rng(seed)
+        rows = [[float(rng.random()) for _ in headers] for _ in range(num_rows)]
+        text = format_table(headers, rows)
+        lines = text.splitlines()
+        assert len(lines) == 2 + num_rows
+        assert len(to_csv(headers, rows).splitlines()) == 1 + num_rows
+
+    @given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                     allow_nan=False), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_sparkline_length_matches_series(self, values):
+        assert len(sparkline(values)) == len(values)
+
+
+# ---------------------------------------------------------------------------
+# Annealing temperature schedule
+# ---------------------------------------------------------------------------
+class TestAnnealingProperties:
+    @given(num_trials=st.integers(min_value=0, max_value=200),
+           initial=st.floats(min_value=0.01, max_value=2.0),
+           cooling=st.floats(min_value=0.5, max_value=0.999))
+    @settings(max_examples=50, deadline=None)
+    def test_temperature_bounded_and_monotone(self, num_trials, initial, cooling):
+        optimizer = SimulatedAnnealingOptimizer(
+            SPACE, initial_temperature=initial, cooling_rate=cooling
+        )
+        temps = []
+        for _ in range(min(num_trials, 30)):
+            params = SPACE.sample(optimizer.rng)
+            optimizer.tell(params, 1.0)
+            temps.append(optimizer.temperature)
+        assert all(optimizer.min_temperature <= t <= initial for t in temps)
+        assert temps == sorted(temps, reverse=True)

@@ -1,0 +1,157 @@
+"""Tests for the black-box optimizers and Pareto tracking."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hardware.search_space import DatapathSearchSpace
+from repro.search import (
+    BayesianOptimizer,
+    LinearCombinationSwarmOptimizer,
+    RandomSearchOptimizer,
+    make_optimizer,
+)
+from repro.search.pareto import ParetoFront, dominates
+
+
+@pytest.fixture(scope="module")
+def space():
+    return DatapathSearchSpace()
+
+
+def synthetic_objective(space, params):
+    """A smooth synthetic objective over the encoded space (lower is better).
+
+    The optimum is at the all-ones corner of the encoding, i.e. the largest
+    value of every parameter.
+    """
+    vector = space.encode(params)
+    return float(np.sum((1.0 - vector) ** 2))
+
+
+def run_optimizer(optimizer, space, trials):
+    for _ in range(trials):
+        params = optimizer.ask()
+        objective = synthetic_objective(space, params)
+        optimizer.tell(params, objective, feasible=True)
+    return optimizer
+
+
+class TestOptimizerInterface:
+    def test_make_optimizer_by_name(self, space):
+        assert isinstance(make_optimizer("random", space), RandomSearchOptimizer)
+        assert isinstance(make_optimizer("bayesian", space), BayesianOptimizer)
+        assert isinstance(make_optimizer("lcs", space), LinearCombinationSwarmOptimizer)
+        with pytest.raises(ValueError):
+            make_optimizer("gradient-descent", space)
+
+    def test_tell_records_observations(self, space):
+        optimizer = RandomSearchOptimizer(space, seed=0)
+        params = optimizer.ask()
+        optimizer.tell(params, 1.0, feasible=True)
+        optimizer.tell(optimizer.ask(), 2.0, feasible=False)
+        assert optimizer.num_trials == 2
+        assert len(optimizer.feasible_observations) == 1
+
+    def test_best_observation_ignores_infeasible(self, space):
+        optimizer = RandomSearchOptimizer(space, seed=0)
+        optimizer.tell(optimizer.ask(), 0.1, feasible=False)
+        optimizer.tell(optimizer.ask(), 5.0, feasible=True)
+        assert optimizer.best_observation().objective == 5.0
+
+    def test_best_objective_curve_monotone(self, space):
+        optimizer = run_optimizer(RandomSearchOptimizer(space, seed=1), space, 30)
+        curve = optimizer.best_objective_curve()
+        assert len(curve) == 30
+        assert all(curve[i + 1] <= curve[i] for i in range(len(curve) - 1))
+
+    def test_ask_returns_complete_assignments(self, space):
+        for name in ("random", "bayesian", "lcs"):
+            optimizer = make_optimizer(name, space, seed=3)
+            params = optimizer.ask()
+            assert set(params) == set(space.parameter_names)
+
+
+class TestOptimizerQuality:
+    def test_random_search_is_reproducible(self, space):
+        a = RandomSearchOptimizer(space, seed=42).ask()
+        b = RandomSearchOptimizer(space, seed=42).ask()
+        assert a == b
+
+    def test_lcs_beats_random_on_synthetic_objective(self, space):
+        """Figure 11: guided search converges faster than random sampling."""
+        trials = 120
+        random_best = run_optimizer(
+            RandomSearchOptimizer(space, seed=0), space, trials
+        ).best_observation().objective
+        lcs_best = run_optimizer(
+            LinearCombinationSwarmOptimizer(space, seed=0), space, trials
+        ).best_observation().objective
+        assert lcs_best <= random_best
+
+    def test_bayesian_improves_over_its_random_phase(self, space):
+        optimizer = BayesianOptimizer(space, seed=0, num_initial_random=10)
+        run_optimizer(optimizer, space, 40)
+        curve = optimizer.best_objective_curve()
+        assert curve[-1] <= curve[9]
+
+    def test_lcs_handles_all_infeasible_gracefully(self, space):
+        optimizer = LinearCombinationSwarmOptimizer(space, seed=0)
+        for _ in range(10):
+            optimizer.tell(optimizer.ask(), math.inf, feasible=False)
+        params = optimizer.ask()
+        assert set(params) == set(space.parameter_names)
+
+    def test_bayesian_handles_mixed_feasibility(self, space):
+        optimizer = BayesianOptimizer(space, seed=0, num_initial_random=4)
+        for i in range(12):
+            params = optimizer.ask()
+            optimizer.tell(params, synthetic_objective(space, params), feasible=(i % 3 != 0))
+        assert set(optimizer.ask()) == set(space.parameter_names)
+
+
+class TestPareto:
+    def test_dominates_basic(self):
+        assert dominates((1, 1), (2, 2))
+        assert dominates((1, 2), (1, 3))
+        assert not dominates((1, 3), (2, 1))
+        assert not dominates((1, 1), (1, 1))
+
+    def test_dominates_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+    def test_front_keeps_non_dominated_points(self):
+        front = ParetoFront()
+        assert front.add((1.0, 5.0))
+        assert front.add((5.0, 1.0))
+        assert not front.add((6.0, 6.0))  # dominated by both
+        assert len(front) == 2
+
+    def test_front_evicts_dominated_points(self):
+        front = ParetoFront()
+        front.add((5.0, 5.0))
+        front.add((1.0, 1.0))
+        assert len(front) == 1
+        assert (1.0, 1.0) in front
+
+    def test_all_points_recorded(self):
+        front = ParetoFront()
+        front.add((1.0, 1.0))
+        front.add((2.0, 2.0))
+        assert len(front.all_points) == 2
+        assert len(front) == 1
+
+    def test_sorted_by_axis(self):
+        front = ParetoFront()
+        front.add((1.0, 5.0))
+        front.add((5.0, 1.0))
+        front.add((3.0, 3.0))
+        xs = [p.objectives[0] for p in front.sorted_by(0)]
+        assert xs == sorted(xs)
+
+    def test_payload_preserved(self):
+        front = ParetoFront()
+        front.add((1.0, 2.0), payload={"name": "design-a"})
+        assert front.points[0].payload["name"] == "design-a"

@@ -1,0 +1,250 @@
+"""Tests for the additional optimizers: annealing, coordinate descent, safe search, transfer."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hardware.search_space import DatapathSearchSpace
+from repro.search import (
+    CoordinateDescentOptimizer,
+    SafeSearchOptimizer,
+    SimulatedAnnealingOptimizer,
+    TransferWarmStartOptimizer,
+    make_optimizer,
+    top_configurations,
+)
+from repro.search.optimizer import Observation
+
+
+@pytest.fixture(scope="module")
+def space():
+    return DatapathSearchSpace()
+
+
+@pytest.fixture(scope="module")
+def target_objective(space):
+    """A smooth synthetic objective: squared distance to a fixed target point."""
+    rng = np.random.default_rng(1234)
+    target = space.encode(space.sample(rng))
+
+    def objective(params):
+        return float(np.sum((space.encode(params) - target) ** 2))
+
+    return objective
+
+
+def run_optimizer(optimizer, objective, num_trials, feasible_fn=None):
+    for _ in range(num_trials):
+        params = optimizer.ask()
+        feasible = True if feasible_fn is None else feasible_fn(params)
+        value = objective(params) if feasible else math.inf
+        optimizer.tell(params, value, feasible=feasible)
+    return optimizer
+
+
+# ---------------------------------------------------------------------------
+# Factory
+# ---------------------------------------------------------------------------
+class TestMakeOptimizer:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("annealing", SimulatedAnnealingOptimizer),
+            ("sa", SimulatedAnnealingOptimizer),
+            ("coordinate", CoordinateDescentOptimizer),
+            ("cd", CoordinateDescentOptimizer),
+        ],
+    )
+    def test_new_names_resolve(self, space, name, cls):
+        assert isinstance(make_optimizer(name, space), cls)
+
+    def test_safe_prefix_wraps_inner(self, space):
+        optimizer = make_optimizer("safe:random", space)
+        assert isinstance(optimizer, SafeSearchOptimizer)
+
+    def test_unknown_name_raises(self, space):
+        with pytest.raises(ValueError):
+            make_optimizer("gradient-descent", space)
+
+
+# ---------------------------------------------------------------------------
+# Simulated annealing
+# ---------------------------------------------------------------------------
+class TestSimulatedAnnealing:
+    def test_proposals_are_valid_configurations(self, space):
+        optimizer = SimulatedAnnealingOptimizer(space, seed=0)
+        for _ in range(20):
+            params = optimizer.ask()
+            for spec in space.specs:
+                assert params[spec.name] in spec.choices
+            optimizer.tell(params, 1.0)
+
+    def test_improves_over_random_initialization(self, space, target_objective):
+        optimizer = run_optimizer(
+            SimulatedAnnealingOptimizer(space, seed=3), target_objective, 120
+        )
+        curve = optimizer.best_objective_curve()
+        assert curve[-1] <= curve[10]
+        assert optimizer.best_observation().objective == pytest.approx(curve[-1])
+
+    def test_temperature_decays(self, space):
+        optimizer = SimulatedAnnealingOptimizer(space, seed=0, initial_temperature=0.5)
+        start = optimizer.temperature
+        run_optimizer(optimizer, lambda p: 1.0, 30)
+        assert optimizer.temperature < start
+        assert optimizer.temperature >= optimizer.min_temperature
+
+    def test_incumbent_tracks_accepted_point(self, space, target_objective):
+        optimizer = run_optimizer(
+            SimulatedAnnealingOptimizer(space, seed=5), target_objective, 40
+        )
+        assert optimizer.incumbent is not None
+        for spec in space.specs:
+            assert optimizer.incumbent[spec.name] in spec.choices
+
+    def test_infeasible_trials_never_become_incumbent(self, space):
+        optimizer = SimulatedAnnealingOptimizer(space, seed=2, num_initial_random=1)
+        params = optimizer.ask()
+        optimizer.tell(params, math.inf, feasible=False)
+        assert optimizer.incumbent is None
+
+    def test_deterministic_with_same_seed(self, space, target_objective):
+        a = run_optimizer(SimulatedAnnealingOptimizer(space, seed=7), target_objective, 30)
+        b = run_optimizer(SimulatedAnnealingOptimizer(space, seed=7), target_objective, 30)
+        assert [o.objective for o in a.observations] == [o.objective for o in b.observations]
+
+    def test_invalid_hyperparameters_rejected(self, space):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingOptimizer(space, initial_temperature=0.0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingOptimizer(space, cooling_rate=1.5)
+
+
+# ---------------------------------------------------------------------------
+# Coordinate descent
+# ---------------------------------------------------------------------------
+class TestCoordinateDescent:
+    def test_sweeps_one_axis_at_a_time(self, space, target_objective):
+        optimizer = CoordinateDescentOptimizer(space, seed=0, num_initial_random=2)
+        run_optimizer(optimizer, target_objective, 2)
+        incumbent = optimizer.best_params
+        proposal = optimizer.ask()
+        changed = [
+            spec.name for spec in space.specs if proposal[spec.name] != incumbent[spec.name]
+        ]
+        assert len(changed) == 1
+
+    def test_finds_improvement_on_synthetic_objective(self, space, target_objective):
+        optimizer = run_optimizer(
+            CoordinateDescentOptimizer(space, seed=1), target_objective, 150
+        )
+        curve = optimizer.best_objective_curve()
+        assert curve[-1] < curve[8]
+
+    def test_best_params_is_feasible_minimum(self, space, target_objective):
+        optimizer = run_optimizer(
+            CoordinateDescentOptimizer(space, seed=4), target_objective, 60
+        )
+        best = optimizer.best_observation()
+        assert target_objective(optimizer.best_params) == pytest.approx(best.objective)
+
+    def test_handles_all_infeasible_gracefully(self, space):
+        optimizer = CoordinateDescentOptimizer(space, seed=0)
+        run_optimizer(optimizer, lambda p: math.inf, 10, feasible_fn=lambda p: False)
+        assert optimizer.best_params is None
+        # Still proposes valid random points without crashing.
+        params = optimizer.ask()
+        assert set(params) == set(space.parameter_names)
+
+
+# ---------------------------------------------------------------------------
+# Safe search
+# ---------------------------------------------------------------------------
+class TestSafeSearch:
+    def test_infeasible_trials_become_finite_penalties(self, space):
+        optimizer = SafeSearchOptimizer(space, seed=0, inner="random")
+        params = optimizer.ask()
+        optimizer.tell(params, 2.0, feasible=True)
+        params = optimizer.ask()
+        optimizer.tell(params, math.inf, feasible=False)
+        inner_objectives = [obs.objective for obs in optimizer.inner.observations]
+        assert all(math.isfinite(v) for v in inner_objectives)
+        assert max(inner_objectives) > 2.0
+
+    def test_outer_history_preserves_true_feasibility(self, space):
+        optimizer = SafeSearchOptimizer(space, seed=0, inner="random")
+        params = optimizer.ask()
+        optimizer.tell(params, math.inf, feasible=False)
+        assert optimizer.observations[0].feasible is False
+        assert optimizer.best_observation() is None
+
+    def test_penalty_exceeds_worst_feasible(self, space):
+        optimizer = SafeSearchOptimizer(space, seed=0, inner="random")
+        for value in (1.0, 3.0, 2.0):
+            optimizer.tell(optimizer.ask(), value, feasible=True)
+        assert optimizer.penalty_objective() > 3.0
+
+    def test_penalty_without_feasible_history_is_finite(self, space):
+        optimizer = SafeSearchOptimizer(space, seed=0, inner="random")
+        assert math.isfinite(optimizer.penalty_objective())
+
+    def test_requires_shared_space(self, space):
+        other_space = DatapathSearchSpace()
+        inner = make_optimizer("random", other_space)
+        with pytest.raises(ValueError):
+            SafeSearchOptimizer(space, inner=inner)
+
+
+# ---------------------------------------------------------------------------
+# Transfer warm start
+# ---------------------------------------------------------------------------
+class TestTransferWarmStart:
+    def _prior(self, space, num=5, seed=0):
+        rng = np.random.default_rng(seed)
+        observations = []
+        for i in range(num):
+            params = space.sample(rng)
+            observations.append(
+                Observation(params=params, objective=float(i), feasible=True, trial_index=i)
+            )
+        return observations
+
+    def test_replays_prior_best_first(self, space):
+        prior = self._prior(space)
+        optimizer = TransferWarmStartOptimizer(
+            space, seed=0, inner="random", prior_observations=prior, num_warm_start=3
+        )
+        first = optimizer.ask()
+        assert first == prior[0].params  # objective 0.0 was the prior best
+        assert optimizer.num_pending_warm_starts == 2
+
+    def test_delegates_after_queue_drains(self, space, target_objective):
+        prior = self._prior(space, num=2)
+        optimizer = TransferWarmStartOptimizer(
+            space, seed=0, inner="random", prior_observations=prior
+        )
+        run_optimizer(optimizer, target_objective, 10)
+        assert optimizer.num_pending_warm_starts == 0
+        assert optimizer.num_trials == 10
+        assert optimizer.inner.num_trials == 10
+
+    def test_top_configurations_orders_and_filters(self, space):
+        prior = self._prior(space, num=4)
+        prior.append(
+            Observation(params=space.sample(np.random.default_rng(9)), objective=-5.0,
+                        feasible=False, trial_index=4)
+        )
+        top = top_configurations(prior, 2)
+        assert len(top) == 2
+        assert top[0] == prior[0].params
+
+    def test_duplicate_priors_deduplicated(self, space):
+        rng = np.random.default_rng(0)
+        params = space.sample(rng)
+        optimizer = TransferWarmStartOptimizer(
+            space, seed=0, inner="random", prior_params=[params, dict(params)]
+        )
+        assert optimizer.num_pending_warm_starts == 1

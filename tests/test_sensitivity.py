@@ -1,0 +1,70 @@
+"""Tests for the design-sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    DEFAULT_PARAMETERS,
+    SensitivityEntry,
+    sensitivity_analysis,
+)
+from repro.core.designs import FAST_SMALL
+
+
+@pytest.fixture(scope="module")
+def report():
+    return sensitivity_analysis(
+        FAST_SMALL,
+        "efficientnet-b0",
+        parameters=("systolic_array_x", "l3_global_buffer_mib", "native_batch_size"),
+        neighbourhood=1,
+    )
+
+
+class TestSensitivityAnalysis:
+    def test_one_entry_per_requested_parameter(self, report):
+        assert {e.parameter for e in report.entries} == {
+            "systolic_array_x",
+            "l3_global_buffer_mib",
+            "native_batch_size",
+        }
+
+    def test_base_score_positive_and_consistent(self, report):
+        assert report.base_perf_per_tdp > 0
+        for entry in report.entries:
+            assert entry.base_perf_per_tdp == pytest.approx(report.base_perf_per_tdp)
+
+    def test_best_at_least_worst(self, report):
+        for entry in report.entries:
+            assert entry.best_perf_per_tdp >= entry.worst_perf_per_tdp
+            assert entry.swing >= 1.0
+            assert entry.headroom >= entry.best_perf_per_tdp / entry.base_perf_per_tdp * 0.999
+
+    def test_ranked_orders_by_swing(self, report):
+        swings = [e.swing for e in report.ranked()]
+        assert swings == sorted(swings, reverse=True)
+        assert report.most_sensitive().swing == swings[0]
+
+    def test_best_and_worst_values_are_parameter_choices(self, report):
+        from repro.hardware.search_space import DatapathSearchSpace
+
+        space = DatapathSearchSpace()
+        for entry in report.entries:
+            choices = space.spec(entry.parameter).choices
+            assert entry.best_value in choices
+            assert entry.worst_value in choices
+
+    def test_default_parameter_list_is_valid(self):
+        from repro.hardware.search_space import DatapathSearchSpace
+
+        space = DatapathSearchSpace()
+        for name in DEFAULT_PARAMETERS:
+            assert space.spec(name).cardinality > 1
+
+    def test_entry_handles_zero_worst_gracefully(self):
+        entry = SensitivityEntry(
+            parameter="x", base_value=1, best_value=2, worst_value=4,
+            base_perf_per_tdp=1.0, best_perf_per_tdp=2.0, worst_perf_per_tdp=0.0,
+        )
+        assert entry.swing == float("inf")

@@ -1,0 +1,180 @@
+"""Tests for the workload extensions: quantization, training graphs, MobileNetV2, BERT-Large."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.engine import Simulator
+from repro.workloads.graph import DType, TensorKind
+from repro.workloads.mobilenet import MOBILENET_V2_BLOCKS, build_mobilenet_v2
+from repro.workloads.ops import OpType
+from repro.workloads.quantization import QuantizationRecipe, memory_savings, quantize_graph
+from repro.workloads.registry import available_workloads, build_workload
+from repro.workloads.training import TrainingOptions, build_training_graph, training_flops_ratio
+
+
+# ---------------------------------------------------------------------------
+# Quantization
+# ---------------------------------------------------------------------------
+class TestQuantization:
+    def test_structure_preserved(self, tiny_graph):
+        quantized = quantize_graph(tiny_graph)
+        assert len(quantized) == len(tiny_graph)
+        assert [op.name for op in quantized.ops] == [op.name for op in tiny_graph.ops]
+        assert quantized.input_names == tiny_graph.input_names
+        assert quantized.output_names == tiny_graph.output_names
+
+    def test_int8_halves_bf16_footprints(self, tiny_graph):
+        quantized = quantize_graph(tiny_graph)
+        savings = memory_savings(tiny_graph, quantized)
+        assert savings["weight_reduction"] == pytest.approx(2.0)
+        assert savings["working_set_reduction"] == pytest.approx(2.0)
+        assert savings["activation_reduction"] == pytest.approx(2.0)
+
+    def test_weight_only_recipe_keeps_activations(self, tiny_graph):
+        quantized = quantize_graph(tiny_graph, QuantizationRecipe.weight_only())
+        for tensor in quantized.tensors.values():
+            if tensor.kind is TensorKind.ACTIVATION:
+                assert tensor.dtype is DType.BFLOAT16
+            else:
+                assert tensor.dtype is DType.INT8
+
+    def test_flops_unchanged(self, tiny_graph):
+        quantized = quantize_graph(tiny_graph)
+        assert quantized.total_flops() == tiny_graph.total_flops()
+
+    def test_quantized_graph_simulates_faster_or_equal(self, tiny_graph, small_config):
+        baseline = Simulator(small_config).simulate(tiny_graph)
+        quantized = Simulator(small_config).simulate(quantize_graph(tiny_graph))
+        assert quantized.dram_bytes_pre_fusion < baseline.dram_bytes_pre_fusion
+        assert quantized.total_cycles <= baseline.total_cycles
+
+    def test_efficientnet_b0_quantization_raises_intensity(self, efficientnet_b0):
+        from repro.analysis.intensity import operational_intensity
+
+        quantized = quantize_graph(efficientnet_b0)
+        assert operational_intensity(quantized, "none") > operational_intensity(
+            efficientnet_b0, "none"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Training graphs
+# ---------------------------------------------------------------------------
+class TestTrainingGraph:
+    def test_training_graph_is_valid_and_larger(self, tiny_graph):
+        train = build_training_graph(tiny_graph)
+        train.validate()
+        assert len(train) > len(tiny_graph)
+        assert train.name.endswith("-train")
+
+    def test_flops_ratio_in_expected_band(self, tiny_graph):
+        train = build_training_graph(tiny_graph)
+        ratio = training_flops_ratio(tiny_graph, train)
+        # Forward + grad-input + grad-weight: roughly 2x-4x the forward FLOPs.
+        assert 1.5 < ratio < 5.0
+
+    def test_loss_is_an_output(self, tiny_graph):
+        train = build_training_graph(tiny_graph)
+        assert "loss" in train.output_names
+
+    def test_backward_ops_generated_per_matrix_op(self, tiny_graph):
+        train = build_training_graph(tiny_graph)
+        names = [op.name for op in train.ops]
+        for op in tiny_graph.ops:
+            if op.is_matrix_op:
+                assert any(n.startswith(f"{op.name}.bwd") for n in names)
+
+    def test_optimizer_choice_controls_update_ops(self, tiny_graph):
+        sgd = build_training_graph(tiny_graph, TrainingOptions(optimizer="sgd"))
+        adam = build_training_graph(tiny_graph, TrainingOptions(optimizer="adam"))
+        assert len(adam) > len(sgd)
+
+    def test_no_weight_update_option(self, tiny_graph):
+        bare = build_training_graph(tiny_graph, TrainingOptions(include_weight_update=False))
+        assert not any("optimizer_step" in op.name for op in bare.ops)
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingOptions(optimizer="lion")
+
+    def test_training_graph_simulates(self, tiny_graph, small_config):
+        train = build_training_graph(tiny_graph)
+        result = Simulator(small_config).simulate(train)
+        assert not result.schedule_failed
+        assert result.total_cycles > Simulator(small_config).simulate(tiny_graph).total_cycles
+
+    def test_bert_training_ratio(self):
+        bert = build_workload("bert-seq128", batch_size=1)
+        train = build_training_graph(bert)
+        assert training_flops_ratio(bert, train) > 2.0
+
+
+# ---------------------------------------------------------------------------
+# MobileNetV2
+# ---------------------------------------------------------------------------
+class TestMobileNetV2:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_mobilenet_v2(batch_size=1)
+
+    def test_registered_in_registry(self):
+        assert "mobilenet-v2" in available_workloads()
+
+    def test_block_structure(self, graph):
+        total_blocks = sum(repeats for _, _, repeats, _ in MOBILENET_V2_BLOCKS)
+        depthwise_ops = [op for op in graph.ops if op.op_type is OpType.DEPTHWISE_CONV2D]
+        assert len(depthwise_ops) == total_blocks
+
+    def test_flop_count_in_published_range(self, graph):
+        # MobileNetV2 (1.0, 224) is ~300M MACs = ~0.6 GFLOPs; the cost model
+        # counts multiply+add so allow a generous band around 0.6e9.
+        flops = graph.total_flops()
+        assert 0.4e9 < flops < 1.2e9
+
+    def test_parameter_count_in_published_range(self, graph):
+        # ~3.5M parameters at bf16 = ~7 MiB.
+        weight_mib = graph.weight_bytes() / (1024 * 1024)
+        assert 4 < weight_mib < 12
+
+    def test_width_multiplier_scales_model(self):
+        slim = build_mobilenet_v2(width_multiplier=0.5)
+        wide = build_mobilenet_v2(width_multiplier=1.4)
+        assert slim.total_flops() < wide.total_flops()
+        assert slim.weight_bytes() < wide.weight_bytes()
+
+    def test_invalid_width_multiplier(self):
+        with pytest.raises(ValueError):
+            build_mobilenet_v2(width_multiplier=0.0)
+
+    def test_batch_scaling(self):
+        b1 = build_mobilenet_v2(batch_size=1)
+        b4 = build_mobilenet_v2(batch_size=4)
+        assert b4.total_flops() == pytest.approx(4 * b1.total_flops(), rel=0.01)
+        assert b4.weight_bytes() == b1.weight_bytes()
+
+    def test_simulates_on_tpu_baseline(self, tpu_config):
+        result = Simulator(tpu_config).simulate_workload("mobilenet-v2", batch_size=1)
+        assert not result.schedule_failed
+        assert result.qps > 0
+
+
+# ---------------------------------------------------------------------------
+# BERT-Large registry entries
+# ---------------------------------------------------------------------------
+class TestBertLarge:
+    def test_registered(self):
+        names = available_workloads()
+        assert "bert-large-seq128" in names
+        assert "bert-large-seq512" in names
+
+    def test_larger_than_base(self):
+        base = build_workload("bert-seq128")
+        large = build_workload("bert-large-seq128")
+        assert large.total_flops() > 2 * base.total_flops()
+        assert large.weight_bytes() > 2 * base.weight_bytes()
+
+    def test_sequence_length_scaling(self):
+        short = build_workload("bert-large-seq128")
+        long = build_workload("bert-large-seq512")
+        assert long.total_flops() > 3 * short.total_flops()

@@ -1,0 +1,192 @@
+"""Tests for the benchmark workload builders (EfficientNet, BERT, ResNet, OCR)."""
+
+import pytest
+
+from repro.workloads.bert import BERT_BASE, BERT_LARGE, BertConfig, build_bert, op_component
+from repro.workloads.efficientnet import (
+    EFFICIENTNET_TOP1_ACCURACY,
+    EFFICIENTNET_VARIANTS,
+    build_efficientnet,
+    round_filters,
+    round_repeats,
+)
+from repro.workloads.graph import TensorKind
+from repro.workloads.ocr import build_ocr_recognizer, build_ocr_rpn
+from repro.workloads.ops import OpType
+from repro.workloads.registry import (
+    FULL_SUITE,
+    MULTI_WORKLOAD_SUITE,
+    available_workloads,
+    build_workload,
+)
+from repro.workloads.resnet import build_resnet50
+
+
+class TestEfficientNet:
+    def test_all_variants_defined(self):
+        assert len(EFFICIENTNET_VARIANTS) == 8
+        assert set(EFFICIENTNET_TOP1_ACCURACY) == set(EFFICIENTNET_VARIANTS)
+
+    def test_round_filters_multiple_of_divisor(self):
+        assert round_filters(32, 1.0) == 32
+        assert round_filters(32, 1.4) % 8 == 0
+        assert round_filters(32, 2.0) == 64
+
+    def test_round_repeats_ceils(self):
+        assert round_repeats(1, 3.1) == 4
+        assert round_repeats(2, 1.0) == 2
+
+    def test_b0_flops_in_published_range(self, efficientnet_b0):
+        # EfficientNet-B0 is ~0.39 GMACs = ~0.78 GFLOPs.
+        gflops = efficientnet_b0.total_flops() / 1e9
+        assert 0.6 < gflops < 1.1
+
+    def test_b0_contains_depthwise_convolutions(self, efficientnet_b0):
+        types = {op.op_type for op in efficientnet_b0.ops}
+        assert OpType.DEPTHWISE_CONV2D in types
+
+    def test_larger_variants_have_more_flops_and_weights(self):
+        b0 = build_efficientnet("efficientnet-b0")
+        b3 = build_efficientnet("efficientnet-b3")
+        assert b3.total_flops() > 1.5 * b0.total_flops()
+        assert b3.weight_bytes() > b0.weight_bytes()
+
+    def test_working_set_grows_with_variant(self):
+        """Table 1: larger EfficientNets have larger working sets."""
+        b0 = build_efficientnet("efficientnet-b0")
+        b4 = build_efficientnet("efficientnet-b4")
+        assert b4.max_working_set_bytes() > b0.max_working_set_bytes()
+
+    def test_accuracy_monotonically_increases(self):
+        accuracies = [
+            EFFICIENTNET_TOP1_ACCURACY[f"efficientnet-b{i}"] for i in range(8)
+        ]
+        assert accuracies == sorted(accuracies)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            build_efficientnet("efficientnet-b9")
+
+    def test_batch_size_scales_activations_not_weights(self):
+        b1 = build_efficientnet("efficientnet-b0", batch_size=1)
+        b4 = build_efficientnet("efficientnet-b0", batch_size=4)
+        assert b4.weight_bytes() == b1.weight_bytes()
+        assert b4.total_flops() == pytest.approx(4 * b1.total_flops(), rel=0.01)
+
+    def test_depthwise_flop_share_is_small(self, efficientnet_b0):
+        """Table 2: depthwise convs are a small share of FLOPs."""
+        by_type = efficientnet_b0.flops_by_op_type()
+        total = efficientnet_b0.total_flops()
+        dw_share = by_type.get(OpType.DEPTHWISE_CONV2D, 0) / total
+        assert 0.01 < dw_share < 0.2
+
+
+class TestBert:
+    def test_default_config_is_base(self):
+        assert BERT_BASE.num_layers == 12
+        assert BERT_BASE.hidden_size == 768
+        assert BERT_BASE.head_dim == 64
+        assert BERT_LARGE.num_layers == 24
+
+    def test_flops_scale_roughly_linearly_at_short_lengths(self):
+        g128 = build_bert(seq_len=128)
+        g256 = build_bert(seq_len=256)
+        ratio = g256.total_flops() / g128.total_flops()
+        assert 1.9 < ratio < 2.4
+
+    def test_attention_grows_quadratically(self):
+        """Figure 5: attention scores scale as O(N^2) with sequence length."""
+        def attention_flops(graph):
+            return sum(
+                op.flops(graph.tensors)
+                for op in graph.ops
+                if op.op_type is OpType.EINSUM
+            )
+
+        g128 = build_bert(seq_len=128)
+        g512 = build_bert(seq_len=512)
+        ratio = attention_flops(g512) / attention_flops(g128)
+        assert 14 < ratio < 18  # 4x seq -> 16x attention FLOPs
+
+    def test_contains_softmax_and_layernorm(self, bert_seq128):
+        types = {op.op_type for op in bert_seq128.ops}
+        assert OpType.SOFTMAX in types
+        assert OpType.LAYERNORM in types
+
+    def test_weight_bytes_close_to_published(self, bert_seq128):
+        # BERT-Base has ~110M parameters; encoder weights alone are ~85M.
+        # In bfloat16 the full model is ~220 MB.
+        mib = bert_seq128.weight_bytes() / (1 << 20)
+        assert 150 < mib < 260
+
+    def test_rejects_non_positive_seq_len(self):
+        with pytest.raises(ValueError):
+            build_bert(seq_len=0)
+
+    def test_op_component_classification(self):
+        assert op_component("layer3.attention.query") == "qkv_projection"
+        assert op_component("layer3.attention.softmax") == "softmax"
+        assert op_component("layer3.attention.scores") == "self_attention"
+        assert op_component("layer3.ffn.intermediate") == "feed_forward"
+        assert op_component("embeddings.layernorm") == "other"
+
+    def test_custom_config(self):
+        small = BertConfig(num_layers=2, hidden_size=128, num_heads=4, intermediate_size=512)
+        graph = build_bert(seq_len=32, config=small)
+        assert graph.total_flops() < build_bert(seq_len=32).total_flops()
+
+
+class TestResNetAndOcr:
+    def test_resnet_flops_in_published_range(self, resnet50):
+        # ResNet-50 is ~4.1 GMACs = ~8.2 GFLOPs at 224x224.
+        gflops = resnet50.total_flops() / 1e9
+        assert 6.5 < gflops < 10.0
+
+    def test_resnet_has_no_depthwise(self, resnet50):
+        types = {op.op_type for op in resnet50.ops}
+        assert OpType.DEPTHWISE_CONV2D not in types
+
+    def test_resnet_weight_bytes_reasonable(self, resnet50):
+        # ~25.5M parameters in bfloat16 is ~49 MiB.
+        mib = resnet50.weight_bytes() / (1 << 20)
+        assert 40 < mib < 60
+
+    def test_ocr_rpn_is_conv_dominated(self):
+        rpn = build_ocr_rpn(batch_size=1, image_size=256)
+        by_type = rpn.flops_by_op_type()
+        assert by_type[OpType.CONV2D] / rpn.total_flops() > 0.95
+
+    def test_ocr_recognizer_contains_matmuls_and_activations(self):
+        rec = build_ocr_recognizer(batch_size=1, sequence_length=16)
+        types = {op.op_type for op in rec.ops}
+        assert OpType.MATMUL in types
+        assert OpType.ACTIVATION in types
+
+    def test_ocr_recognizer_scales_with_sequence_length(self):
+        short = build_ocr_recognizer(sequence_length=16)
+        long = build_ocr_recognizer(sequence_length=32)
+        assert long.total_flops() > short.total_flops()
+
+
+class TestRegistry:
+    def test_full_suite_registered(self):
+        for name in FULL_SUITE:
+            assert name in available_workloads()
+
+    def test_multi_workload_suite_is_subset(self):
+        assert set(MULTI_WORKLOAD_SUITE) <= set(FULL_SUITE)
+        assert len(MULTI_WORKLOAD_SUITE) == 5
+
+    def test_build_workload_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_workload("alexnet")
+
+    def test_build_workload_batch_size(self):
+        graph = build_workload("resnet50", batch_size=2)
+        assert graph.batch_size == 2
+
+    def test_all_workloads_validate(self):
+        for name in available_workloads():
+            graph = build_workload(name, batch_size=1)
+            graph.validate()
+            assert graph.total_flops() > 0
