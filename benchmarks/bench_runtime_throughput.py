@@ -1,0 +1,99 @@
+"""Runtime throughput: trials/sec for serial vs parallel executors, cold vs warm cache.
+
+Measures the ``repro.runtime`` execution engine on a small EfficientNet-B0
+search: the serial baseline, 2- and 4-worker process pools, and a persistent
+trial cache first cold (every trial simulated and stored) then warm (every
+trial served from disk).  Results are reported as a table and as JSON
+(``benchmarks/results/runtime_throughput.json``) like the other benches.
+
+Speedup assertions are gated on the available CPU count — a 4-worker pool
+cannot beat serial on a single-core runner — while the warm-cache speedup is
+hardware-independent and always asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR, bench_trials, format_table, report
+
+from repro.core.fast import FASTSearch
+from repro.core.problem import ObjectiveKind, SearchProblem
+from repro.core.trial import clear_graph_cache
+from repro.runtime import ParallelExecutor, SerialExecutor, TrialCache
+
+_WORKLOAD = "efficientnet-b0"
+_BATCH_SIZE = 8
+_SEED = 0
+
+
+def _run_search(trials: int, executor=None, cache=None) -> float:
+    """Run one fixed-trajectory search; returns trials/sec."""
+    problem = SearchProblem([_WORKLOAD], ObjectiveKind.PERF_PER_TDP)
+    search = FASTSearch(
+        problem, optimizer="lcs", seed=_SEED, executor=executor, cache=cache
+    )
+    started = time.monotonic()
+    result = search.run(num_trials=trials, batch_size=_BATCH_SIZE)
+    elapsed = time.monotonic() - started
+    assert result.num_trials == trials
+    return trials / elapsed if elapsed > 0 else float("inf")
+
+
+def _measure(trials: int, cache_path) -> dict:
+    rates = {}
+    clear_graph_cache()
+    rates["serial"] = _run_search(trials)
+    for workers in (2, 4):
+        with ParallelExecutor(num_workers=workers) as executor:
+            rates[f"parallel-{workers}"] = _run_search(trials, executor=executor)
+    # Cold cache: every trial simulated and appended to the store.
+    rates["cache-cold"] = _run_search(trials, cache=TrialCache(cache_path))
+    # Warm cache: a fresh process-equivalent cache over the same file; the
+    # identical seed/batch trajectory means every trial is a disk hit.
+    warm_cache = TrialCache(cache_path)
+    rates["cache-warm"] = _run_search(trials, cache=warm_cache)
+    assert warm_cache.stats.hits == trials, "warm re-run should be served entirely from cache"
+    return rates
+
+
+def test_runtime_throughput(benchmark, tmp_path):
+    trials = bench_trials(default=48)
+    cache_path = tmp_path / "trials.jsonl"
+    rates = benchmark.pedantic(_measure, args=(trials, cache_path), rounds=1, iterations=1)
+
+    serial = rates["serial"]
+    rows = [
+        [mode, f"{rate:.1f}", f"{rate / serial:.2f}x"] for mode, rate in rates.items()
+    ]
+    report(
+        "runtime_throughput",
+        format_table(["Mode", "Trials/sec", "vs serial"], rows)
+        + f"\n({trials} trials, batch={_BATCH_SIZE}, {_WORKLOAD}, {os.cpu_count()} CPUs; "
+        "identical search trajectory in every mode)",
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "runtime_throughput.json").write_text(
+        json.dumps(
+            {
+                "workload": _WORKLOAD,
+                "trials": trials,
+                "batch_size": _BATCH_SIZE,
+                "cpus": os.cpu_count(),
+                "trials_per_second": rates,
+                "speedup_vs_serial": {m: r / serial for m, r in rates.items()},
+            },
+            indent=2,
+        )
+    )
+
+    # A warm cache skips the simulator entirely — hardware-independent win.
+    assert rates["cache-warm"] >= 5.0 * serial
+    # Parallel speedups need the cores to exist (and a margin for pool overhead).
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        assert rates["parallel-4"] >= 2.0 * serial
+    if cpus >= 2:
+        assert rates["parallel-2"] >= 1.2 * serial

@@ -14,6 +14,34 @@ Examples::
     python -m repro search --workload efficientnet-b0 --trials 50 --optimizer lcs
     python -m repro roi --speedup 3.9 --volume 4000
     python -m repro reproduce table1
+
+Scaling searches
+----------------
+``repro search`` runs on the :mod:`repro.runtime` subsystem, which adds four
+independent scaling knobs:
+
+* ``--workers N`` evaluates trial batches on ``N`` worker processes.  Trial
+  ordering is preserved, so the search history depends only on the seed and
+  batch size — ``--workers 4`` finds the same designs as ``--workers 1``.
+* ``--batch-size B`` (default 8) controls how many proposals are asked from
+  the optimizer per step.  Larger batches expose more parallelism; smaller
+  batches give the optimizer fresher feedback.
+* ``--cache PATH`` memoizes trial metrics in a JSON-lines file keyed by the
+  configuration and problem fingerprint.  Repeated configurations — across
+  restarts, sweeps, and benchmarks — skip the simulator entirely.
+* ``--checkpoint PATH`` saves the optimizer state and history every
+  ``--checkpoint-every`` trials; ``--resume PATH`` continues an interrupted
+  search from that file to the full trial budget.
+
+``--progress`` streams live per-trial progress lines (trial outcomes, cache
+hits, new best-so-far, checkpoint saves).  Example::
+
+    python -m repro search --workload efficientnet-b0 --trials 200 \
+        --workers 4 --batch-size 8 --cache trials.jsonl \
+        --checkpoint search.ckpt --progress
+    # interrupted? continue where it stopped:
+    python -m repro search --workload efficientnet-b0 --trials 200 \
+        --workers 4 --batch-size 8 --cache trials.jsonl --resume search.ckpt
 """
 
 from __future__ import annotations
@@ -127,28 +155,62 @@ def _cmd_characterize(args) -> int:
 
 
 def _cmd_search(args) -> int:
+    from repro.runtime import ProgressBus, ProgressPrinter, SearchCheckpoint, TrialCache, make_executor
+
     problem = SearchProblem(
         workloads=list(args.workload),
         objective=ObjectiveKind(args.objective),
     )
-    search = FASTSearch(problem, optimizer=args.optimizer, seed=args.seed)
-    result = search.run(num_trials=args.trials)
+    cache = TrialCache(args.cache) if args.cache else None
+    checkpoint_path = args.resume or args.checkpoint
+    checkpoint = (
+        SearchCheckpoint(checkpoint_path, interval=args.checkpoint_every)
+        if checkpoint_path
+        else None
+    )
+    progress = None
+    if args.progress:
+        progress = ProgressBus()
+        progress.subscribe(ProgressPrinter())
+    with make_executor(args.workers) as executor:
+        search = FASTSearch(
+            problem,
+            optimizer=args.optimizer,
+            seed=args.seed,
+            executor=executor,
+            cache=cache,
+            checkpoint=checkpoint,
+            progress=progress,
+        )
+        try:
+            result = search.run(
+                num_trials=args.trials,
+                batch_size=args.batch_size,
+                resume=bool(args.resume),
+            )
+        except ValueError as error:  # e.g. checkpoint/problem mismatch
+            print(f"error: {error}")
+            return 1
     if result.best_metrics is None:
         print("search found no feasible design within the trial budget")
         return 1
     print(format_kv(result.best_config.describe(), title="Best design found"))
     print()
-    print(format_kv(
-        {
-            "trials": result.num_trials,
-            "feasible trials": result.num_feasible_trials,
-            "best score": result.best_score,
-            **{f"QPS ({w})": q for w, q in result.best_metrics.per_workload_qps.items()},
-            "TDP (W)": result.best_metrics.tdp_w,
-            "area (mm2)": result.best_metrics.area_mm2,
-        },
-        title="Search summary",
-    ))
+    summary = {
+        "trials": result.num_trials,
+        "feasible trials": result.num_feasible_trials,
+        "best score": result.best_score,
+        **{f"QPS ({w})": q for w, q in result.best_metrics.per_workload_qps.items()},
+        "TDP (W)": result.best_metrics.tdp_w,
+        "area (mm2)": result.best_metrics.area_mm2,
+    }
+    if result.runtime is not None:
+        summary["trials/sec"] = result.runtime.trials_per_second
+        if cache is not None:
+            summary["cache hits"] = result.runtime.cache_hits
+        if result.runtime.resumed_trials:
+            summary["resumed trials"] = result.runtime.resumed_trials
+    print(format_kv(summary, title="Search summary"))
     if args.output:
         save_search_result(result, args.output)
         print(f"\nsearch result written to {args.output}")
@@ -258,6 +320,21 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--objective", default="perf_per_tdp",
                         choices=[kind.value for kind in ObjectiveKind])
     search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--workers", type=int, default=1,
+                        help="Worker processes for trial evaluation (1 = serial)")
+    search.add_argument("--batch-size", type=int, default=8,
+                        help="Proposals per ask/tell batch; fixes the search "
+                             "trajectory independently of --workers")
+    search.add_argument("--cache", default=None, metavar="PATH",
+                        help="Persistent trial cache (JSON-lines file)")
+    search.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="Write periodic checkpoints to this file")
+    search.add_argument("--checkpoint-every", type=int, default=25,
+                        help="Trials between checkpoint saves")
+    search.add_argument("--resume", default=None, metavar="PATH",
+                        help="Resume from this checkpoint file (implies --checkpoint PATH)")
+    search.add_argument("--progress", action="store_true",
+                        help="Stream live per-trial progress lines")
     search.add_argument("--output", default=None, help="Write the search result JSON here")
     search.add_argument("--save-config", default=None, help="Write the best design JSON here")
     search.set_defaults(func=_cmd_search)

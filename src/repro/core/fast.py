@@ -6,13 +6,21 @@ proposes a datapath, the simulator schedules the target workloads onto it
 (tensor padding + Timeloop-style mapping), the FAST fusion ILP assigns
 tensors to the Global Memory, and the resulting performance/TDP feeds back
 into the optimizer — the loop of Figure 1.
+
+The search runs on top of the :mod:`repro.runtime` subsystem: proposals are
+asked in batches, evaluated through a pluggable :class:`TrialExecutor`
+(serial or process-pool parallel), memoized in an optional persistent
+:class:`TrialCache`, and periodically checkpointed for ``--resume``.  Results
+are told back to the optimizer in proposal order, so for a fixed seed and
+batch size the history is identical no matter how many workers evaluate it.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Union
+from typing import TYPE_CHECKING, Callable, List, Optional, Union
 
 from repro.core.problem import SearchProblem
 from repro.core.trial import TrialEvaluator, TrialMetrics
@@ -21,7 +29,31 @@ from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
 from repro.search import Optimizer, make_optimizer
 from repro.search.pareto import ParetoFront
 
-__all__ = ["FASTSearchResult", "FASTSearch"]
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.runtime.cache import TrialCache
+    from repro.runtime.checkpoint import SearchCheckpoint
+    from repro.runtime.executor import TrialExecutor
+    from repro.runtime.progress import ProgressBus
+
+__all__ = ["RuntimeStats", "FASTSearchResult", "FASTSearch"]
+
+
+@dataclass
+class RuntimeStats:
+    """Execution statistics of one search run."""
+
+    trials_evaluated: int = 0
+    cache_hits: int = 0
+    batches: int = 0
+    duplicates_avoided: int = 0
+    resumed_trials: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def trials_per_second(self) -> float:
+        """Completed trials (evaluated + cached) per wall-clock second."""
+        total = self.trials_evaluated + self.cache_hits
+        return total / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
 
 
 @dataclass
@@ -35,6 +67,7 @@ class FASTSearchResult:
     history: List[TrialMetrics] = field(default_factory=list)
     best_score_curve: List[float] = field(default_factory=list)
     pareto_front: Optional[ParetoFront] = None
+    runtime: Optional[RuntimeStats] = None
 
     @property
     def num_trials(self) -> int:
@@ -48,9 +81,13 @@ class FASTSearchResult:
 
     @property
     def best_score(self) -> float:
-        """Best aggregate objective score found (higher is better)."""
+        """Best aggregate objective score found (higher is better).
+
+        ``nan`` when no feasible trial exists — distinguishable from a true
+        zero score; use :attr:`best_metrics` (``None``-safe) to branch.
+        """
         if self.best_metrics is None:
-            return 0.0
+            return float("nan")
         return self.best_metrics.aggregate_score
 
 
@@ -65,6 +102,10 @@ class FASTSearch:
         evaluator: Optional[TrialEvaluator] = None,
         seed: int = 0,
         seed_configs: Optional[List[DatapathConfig]] = None,
+        executor: Optional["TrialExecutor"] = None,
+        cache: Optional["TrialCache"] = None,
+        checkpoint: Optional["SearchCheckpoint"] = None,
+        progress: Optional["ProgressBus"] = None,
     ) -> None:
         """Create a search instance.
 
@@ -79,11 +120,23 @@ class FASTSearch:
                 The paper runs 5000 Vizier trials per experiment; warm
                 starting lets much smaller budgets reach representative
                 designs.
+            executor: Trial executor; defaults to in-process serial
+                evaluation.  Pass a :class:`~repro.runtime.executor.ParallelExecutor`
+                to fan batches out to worker processes.
+            cache: Optional persistent trial cache; repeated configurations
+                (within a run or across restarts) skip simulation entirely.
+            checkpoint: Optional checkpoint manager; the run saves
+                periodically and :meth:`run` can resume from the saved state.
+            progress: Optional event bus receiving trial/cache/best events.
         """
         self.problem = problem
         self.space = space or DatapathSearchSpace()
         self.evaluator = evaluator or TrialEvaluator(problem)
         self.seed_configs = list(seed_configs or [])
+        self.executor = executor
+        self.cache = cache
+        self.checkpoint = checkpoint
+        self.progress = progress
         if isinstance(optimizer, str):
             self.optimizer = make_optimizer(optimizer, self.space, seed=seed)
         else:
@@ -94,43 +147,84 @@ class FASTSearch:
         self,
         num_trials: int,
         callback: Optional[Callable[[int, TrialMetrics], None]] = None,
+        batch_size: int = 1,
+        resume: bool = False,
     ) -> FASTSearchResult:
         """Run the search for a fixed trial budget.
 
         Args:
-            num_trials: Number of candidate designs to evaluate.
+            num_trials: Total number of candidate designs to evaluate
+                (including any trials restored by ``resume``).
             callback: Optional per-trial hook ``callback(trial_index, metrics)``.
+            batch_size: Proposals asked (and evaluated) per inner-loop step.
+                The optimizer trajectory depends on the batch size but *not*
+                on the executor, so serial and parallel runs with the same
+                batch size produce identical histories for a fixed seed.
+            resume: Continue from the checkpoint file if one exists
+                (requires a ``checkpoint=`` manager).  Resuming an
+                interrupted run reproduces the uninterrupted trajectory
+                bit-for-bit; extending a *completed* run whose budget was
+                not a multiple of ``batch_size`` continues validly but may
+                diverge from a single larger-budget run (see
+                :mod:`repro.runtime.checkpoint`).
 
         Returns:
             The search result with the best design, full history, the
-            best-so-far score curve, and the (latency, TDP, area) Pareto
-            frontier across all feasible trials.
+            best-so-far score curve, the (latency, TDP, area) Pareto
+            frontier across all feasible trials, and runtime statistics.
         """
+        from repro.runtime.batching import BatchedOptimizer
+        from repro.runtime.cache import problem_fingerprint
+        from repro.runtime.checkpoint import (
+            CheckpointState,
+            optimizer_state_to_dict,
+            restore_optimizer,
+        )
+        from repro.runtime.executor import SerialExecutor
+        from repro.runtime.progress import (
+            BATCH_STARTED,
+            BEST_IMPROVED,
+            CACHE_HIT,
+            CHECKPOINT_SAVED,
+            SEARCH_FINISHED,
+            SEARCH_RESUMED,
+            SEARCH_STARTED,
+            ProgressBus,
+            TRIAL_FINISHED,
+        )
+
+        batch_size = max(1, int(batch_size))
+        executor = self.executor or SerialExecutor()
+        bus = self.progress or ProgressBus()
+        started_at = time.monotonic()
+        stats = RuntimeStats()
+
         history: List[TrialMetrics] = []
+        proposals_log: List[ParameterValues] = []
         best_metrics: Optional[TrialMetrics] = None
         best_params: Optional[ParameterValues] = None
         best_curve: List[float] = []
         pareto = ParetoFront()
 
-        seed_params = [self.space.from_config(config) for config in self.seed_configs]
+        batched = BatchedOptimizer(self.optimizer, self.space)
+        fingerprint = problem_fingerprint(self.problem, self.evaluator, self.space)
 
-        for trial_index in range(num_trials):
-            if trial_index < len(seed_params):
-                params = seed_params[trial_index]
-            else:
-                params = self.optimizer.ask()
-            metrics = self.evaluator.evaluate_params(params, self.space)
-            self.optimizer.tell(
-                params,
-                metrics.objective_value,
-                feasible=metrics.feasible and math.isfinite(metrics.objective_value),
-            )
+        def _absorb(
+            trial_index: int,
+            params: ParameterValues,
+            metrics: TrialMetrics,
+            replay: bool = False,
+        ) -> None:
+            """Fold one completed trial into history/best/Pareto state."""
+            nonlocal best_metrics, best_params
             history.append(metrics)
-
+            proposals_log.append(dict(params))
             if metrics.feasible and math.isfinite(metrics.objective_value):
                 if best_metrics is None or metrics.aggregate_score > best_metrics.aggregate_score:
                     best_metrics = metrics
                     best_params = dict(params)
+                    if not replay:
+                        bus.emit(BEST_IMPROVED, trial_index, score=metrics.aggregate_score)
                 mean_latency = _mean(metrics.per_workload_latency_ms.values())
                 pareto.add(
                     (mean_latency, metrics.tdp_w, metrics.area_mm2),
@@ -138,8 +232,127 @@ class FASTSearch:
                 )
             best_curve.append(best_metrics.aggregate_score if best_metrics else 0.0)
 
-            if callback is not None:
-                callback(trial_index, metrics)
+        # -------------------------------------------------- resume
+        if resume:
+            if self.checkpoint is None:
+                raise ValueError("resume=True requires a checkpoint manager")
+            if self.checkpoint.exists():
+                state = self.checkpoint.load(self.space)
+                if state.fingerprint != fingerprint:
+                    raise ValueError(
+                        "checkpoint was written for a different problem/space "
+                        f"(fingerprint {state.fingerprint} != {fingerprint})"
+                    )
+                restore_optimizer(self.optimizer, self.space, state.optimizer_state)
+                for trial_index, (params, metrics) in enumerate(
+                    zip(state.proposals, state.history)
+                ):
+                    batched.note_proposed(params)
+                    _absorb(trial_index, params, metrics, replay=True)
+                stats.resumed_trials = len(state.history)
+                bus.emit(SEARCH_RESUMED, num_completed=stats.resumed_trials)
+
+        seed_params = [self.space.from_config(config) for config in self.seed_configs]
+        bus.emit(
+            SEARCH_STARTED,
+            num_trials=num_trials,
+            batch_size=batch_size,
+            executor=executor.name,
+        )
+
+        # -------------------------------------------------- batched loop
+        completed = len(history)
+        while completed < num_trials:
+            want = min(batch_size, num_trials - completed)
+            batch: List[ParameterValues] = []
+            while len(batch) < want and completed + len(batch) < len(seed_params):
+                seed = seed_params[completed + len(batch)]
+                batched.note_proposed(seed)
+                batch.append(seed)
+            if len(batch) < want:
+                batch.extend(batched.ask_batch(want - len(batch)))
+            bus.emit(BATCH_STARTED, size=len(batch), completed=completed)
+
+            results: List[Optional[TrialMetrics]] = [None] * len(batch)
+            keys: List[Optional[str]] = [None] * len(batch)
+            miss_indices: List[int] = []
+            if self.cache is not None:
+                for i, params in enumerate(batch):
+                    keys[i] = self.cache.key_for(params, fingerprint)
+                    cached = self.cache.get(keys[i])
+                    if cached is not None:
+                        results[i] = cached
+                        stats.cache_hits += 1
+                        bus.emit(CACHE_HIT, completed + i)
+                    else:
+                        miss_indices.append(i)
+            else:
+                miss_indices = list(range(len(batch)))
+
+            if miss_indices:
+                evaluated = executor.evaluate_batch(
+                    self.evaluator, self.space, [batch[i] for i in miss_indices]
+                )
+                for i, metrics in zip(miss_indices, evaluated):
+                    results[i] = metrics
+                    if self.cache is not None:
+                        self.cache.put(keys[i], metrics)
+                stats.trials_evaluated += len(miss_indices)
+            stats.batches += 1
+
+            # Tell + bookkeeping strictly in proposal order.
+            for offset, (params, metrics) in enumerate(zip(batch, results)):
+                trial_index = completed + offset
+                self.optimizer.tell(
+                    params,
+                    metrics.objective_value,
+                    feasible=metrics.feasible and math.isfinite(metrics.objective_value),
+                )
+                _absorb(trial_index, params, metrics)
+                bus.emit(
+                    TRIAL_FINISHED,
+                    trial_index,
+                    score=metrics.aggregate_score,
+                    best_score=best_curve[-1],
+                    feasible=metrics.feasible,
+                )
+                if callback is not None:
+                    callback(trial_index, metrics)
+            completed += len(batch)
+
+            if self.checkpoint is not None:
+                saved = self.checkpoint.maybe_save(
+                    CheckpointState(
+                        fingerprint=fingerprint,
+                        proposals=proposals_log,
+                        history=history,
+                        optimizer_state=optimizer_state_to_dict(self.optimizer),
+                    )
+                )
+                if saved is not None:
+                    bus.emit(CHECKPOINT_SAVED, num_completed=completed, path=str(saved))
+
+        if self.checkpoint is not None and completed:
+            saved = self.checkpoint.save(
+                CheckpointState(
+                    fingerprint=fingerprint,
+                    proposals=proposals_log,
+                    history=history,
+                    optimizer_state=optimizer_state_to_dict(self.optimizer),
+                )
+            )
+            bus.emit(CHECKPOINT_SAVED, num_completed=completed, path=str(saved))
+
+        stats.elapsed_seconds = time.monotonic() - started_at
+        stats.duplicates_avoided = batched.num_duplicates_avoided
+        bus.emit(
+            SEARCH_FINISHED,
+            num_trials=completed,
+            cache_hits=stats.cache_hits,
+            best_score=(
+                best_metrics.aggregate_score if best_metrics is not None else float("nan")
+            ),
+        )
 
         return FASTSearchResult(
             problem=self.problem,
@@ -149,6 +362,7 @@ class FASTSearch:
             history=history,
             best_score_curve=best_curve,
             pareto_front=pareto,
+            runtime=stats,
         )
 
 

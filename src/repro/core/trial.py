@@ -10,6 +10,7 @@ minimizes — the three-phase flow of Figure 1.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -22,18 +23,35 @@ from repro.simulator.result import SimulationResult
 from repro.workloads.graph import Graph
 from repro.workloads.registry import build_workload
 
-__all__ = ["TrialMetrics", "TrialEvaluator"]
+__all__ = ["TrialMetrics", "TrialEvaluator", "clear_graph_cache"]
 
 # Workload graphs are immutable and expensive-ish to build, so they are cached
-# per (workload, batch) across all evaluators in the process.
+# per (workload, batch) across all evaluators in the process.  The cache is
+# strictly per-process: it is guarded by the owning PID so that executor
+# worker processes (forked or spawned) never reuse — and never need to
+# pickle — graphs built in the parent; each worker rebuilds lazily on first
+# use instead.
 _GRAPH_CACHE: Dict[tuple, Graph] = {}
+_GRAPH_CACHE_PID: Optional[int] = None
 
 
 def _cached_graph(workload: str, batch_size: int) -> Graph:
+    global _GRAPH_CACHE_PID
+    pid = os.getpid()
+    if _GRAPH_CACHE_PID != pid:
+        _GRAPH_CACHE.clear()
+        _GRAPH_CACHE_PID = pid
     key = (workload, batch_size)
     if key not in _GRAPH_CACHE:
         _GRAPH_CACHE[key] = build_workload(workload, batch_size=batch_size)
     return _GRAPH_CACHE[key]
+
+
+def clear_graph_cache() -> None:
+    """Drop all cached workload graphs (for tests and memory-sensitive runs)."""
+    global _GRAPH_CACHE_PID
+    _GRAPH_CACHE.clear()
+    _GRAPH_CACHE_PID = None
 
 
 @dataclass

@@ -238,26 +238,47 @@ def _fig13(workload: str = "efficientnet-b0", **_options) -> ExperimentReport:
 # ---------------------------------------------------------------------------
 # Search-driven experiments (small default budgets)
 # ---------------------------------------------------------------------------
-def _fig11(workload: str = "efficientnet-b0", trials: int = 24, **_options) -> ExperimentReport:
+# Batch size used by the search-driven smoke experiments regardless of the
+# `workers` option: the optimizer trajectory depends on the batch size, so
+# worker count must only affect wall-clock time, not the reported figures.
+_SMOKE_BATCH_SIZE = 4
+def _fig11(
+    workload: str = "efficientnet-b0", trials: int = 24, workers: int = 1, **_options
+) -> ExperimentReport:
+    from repro.runtime import make_executor
+
     curves = {}
-    for optimizer in ("random", "bayesian", "lcs"):
-        problem = SearchProblem([workload], ObjectiveKind.PERF_PER_TDP)
-        result = FASTSearch(problem, optimizer=optimizer, seed=0).run(num_trials=trials)
-        curves[optimizer] = result.best_score_curve
+    with make_executor(workers) as executor:
+        for optimizer in ("random", "bayesian", "lcs"):
+            problem = SearchProblem([workload], ObjectiveKind.PERF_PER_TDP)
+            search = FASTSearch(problem, optimizer=optimizer, seed=0, executor=executor)
+            # Fixed batch size: the search trajectory depends on the batch
+            # size, so `workers` must only change the wall-clock, never the
+            # curves being compared.
+            result = search.run(num_trials=trials, batch_size=_SMOKE_BATCH_SIZE)
+            curves[optimizer] = result.best_score_curve
     chart = line_plot(curves, title=f"best Perf/TDP score vs trial ({workload}, {trials} trials)")
     return ExperimentReport(
         "fig11",
         "Search convergence: Bayesian vs random vs LCS",
         chart,
         notes="The paper's separation between heuristics appears at thousands of trials; "
-        "this is a smoke-scale run (use --option trials=N and the fig11 benchmark for more).",
+        "this is a smoke-scale run (use --option trials=N / workers=N and the fig11 "
+        "benchmark for more).",
     )
 
 
-def _fig9_quick(workload: str = "efficientnet-b0", trials: int = 30, **_options) -> ExperimentReport:
+def _fig9_quick(
+    workload: str = "efficientnet-b0", trials: int = 30, workers: int = 1, **_options
+) -> ExperimentReport:
+    from repro.runtime import make_executor
+
     problem = SearchProblem([workload], ObjectiveKind.THROUGHPUT)
-    search = FASTSearch(problem, optimizer="lcs", seed=0, seed_configs=[FAST_LARGE])
-    result = search.run(num_trials=trials)
+    with make_executor(workers) as executor:
+        search = FASTSearch(
+            problem, optimizer="lcs", seed=0, seed_configs=[FAST_LARGE], executor=executor
+        )
+        result = search.run(num_trials=trials, batch_size=_SMOKE_BATCH_SIZE)
     baseline = Simulator(TPU_V3).simulate_workload(workload, batch_size=TPU_V3.native_batch_size)
     speedup = result.best_metrics.per_workload_qps[workload] / baseline.qps
     chart = bar_chart({"TPU-v3": 1.0, "FAST search": speedup}, unit="x")

@@ -7,20 +7,27 @@ ablation, or deployment studies without re-running the search.
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import math
+from enum import Enum
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.core.fast import FASTSearchResult
 from repro.core.trial import TrialMetrics
 from repro.hardware.datapath import BufferConfig, DatapathConfig, L2Config, MemoryTechnology
+from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
 
 __all__ = [
     "config_to_dict",
     "config_from_dict",
     "save_config",
     "load_config",
+    "params_to_jsonable",
+    "params_from_jsonable",
     "trial_metrics_to_dict",
+    "trial_metrics_from_dict",
     "search_result_to_dict",
     "save_search_result",
 ]
@@ -64,6 +71,45 @@ def load_config(path: Union[str, Path]) -> DatapathConfig:
     return config_from_dict(json.loads(Path(path).read_text()))
 
 
+def params_to_jsonable(params: ParameterValues) -> Dict[str, object]:
+    """Encode a search-space parameter assignment as plain JSON values.
+
+    Enum-valued parameters (buffer/L2 configurations, memory technology) are
+    replaced by their ``.value``; everything else in the space is already a
+    JSON scalar.  Keys are sorted so the output doubles as a canonical form
+    for hashing (see :mod:`repro.runtime.cache`).
+    """
+    encoded: Dict[str, object] = {}
+    for name in sorted(params):
+        value = params[name]
+        encoded[name] = value.value if isinstance(value, Enum) else value
+    return encoded
+
+
+def params_from_jsonable(
+    data: Dict[str, object], space: DatapathSearchSpace
+) -> ParameterValues:
+    """Inverse of :func:`params_to_jsonable`, resolved against a search space.
+
+    Each raw value is matched back to the spec's choice object (so enums are
+    restored); unknown parameters are passed through untouched.
+    """
+    params: ParameterValues = {}
+    spec_by_name = {spec.name: spec for spec in space.specs}
+    for name, raw in data.items():
+        spec = spec_by_name.get(name)
+        if spec is None:
+            params[name] = raw
+            continue
+        for choice in spec.choices:
+            if choice == raw or (isinstance(choice, Enum) and choice.value == raw):
+                params[name] = choice
+                break
+        else:
+            raise ValueError(f"value {raw!r} is not a choice of parameter {name!r}")
+    return params
+
+
 def trial_metrics_to_dict(metrics: TrialMetrics) -> Dict[str, object]:
     """Convert trial metrics (one evaluated design) to a JSON-compatible dict."""
     return {
@@ -76,7 +122,29 @@ def trial_metrics_to_dict(metrics: TrialMetrics) -> Dict[str, object]:
         "per_workload_latency_ms": dict(metrics.per_workload_latency_ms),
         "per_workload_utilization": dict(metrics.per_workload_utilization),
         "aggregate_score": metrics.aggregate_score,
+        "objective_value": metrics.objective_value,
     }
+
+
+def trial_metrics_from_dict(data: Dict[str, object]) -> TrialMetrics:
+    """Rebuild trial metrics from :func:`trial_metrics_to_dict` output.
+
+    Used by the runtime's persistent trial cache and checkpoint files; older
+    records without ``objective_value`` get the infeasible default (``inf``).
+    """
+    config = data.get("config")
+    return TrialMetrics(
+        config=config_from_dict(config) if config is not None else None,
+        area_mm2=float(data["area_mm2"]),
+        tdp_w=float(data["tdp_w"]),
+        feasible=bool(data["feasible"]),
+        failure_reason=data.get("failure_reason"),
+        per_workload_qps=dict(data.get("per_workload_qps") or {}),
+        per_workload_latency_ms=dict(data.get("per_workload_latency_ms") or {}),
+        per_workload_utilization=dict(data.get("per_workload_utilization") or {}),
+        aggregate_score=float(data.get("aggregate_score", 0.0)),
+        objective_value=float(data.get("objective_value", math.inf)),
+    )
 
 
 def search_result_to_dict(
@@ -88,7 +156,9 @@ def search_result_to_dict(
         "objective": result.problem.objective.value,
         "num_trials": result.num_trials,
         "num_feasible_trials": result.num_feasible_trials,
-        "best_score": result.best_score,
+        # best_score is NaN when nothing feasible was found; JSON has no NaN,
+        # so the "no best" case serializes as null.
+        "best_score": None if result.best_metrics is None else result.best_score,
         "best_config": (
             config_to_dict(result.best_config) if result.best_config is not None else None
         ),
@@ -99,6 +169,19 @@ def search_result_to_dict(
         ),
         "best_score_curve": list(result.best_score_curve),
     }
+    if result.runtime is not None:
+        payload["runtime"] = dataclasses.asdict(result.runtime)
+    if result.pareto_front is not None and len(result.pareto_front):
+        payload["pareto_front"] = [
+            {
+                "objectives": list(point.objectives),
+                "payload": {
+                    key: params_to_jsonable(value) if isinstance(value, dict) else value
+                    for key, value in point.payload.items()
+                },
+            }
+            for point in result.pareto_front.sorted_by(0)
+        ]
     if include_history:
         payload["history"] = [trial_metrics_to_dict(m) for m in result.history]
     return payload

@@ -1,0 +1,44 @@
+"""Parallel search runtime: batched execution, trial caching, checkpointing.
+
+This package turns the serial FAST search loop into a scalable execution
+engine, layered as:
+
+* :mod:`repro.runtime.executor` — serial / process-pool batch evaluation,
+* :mod:`repro.runtime.batching` — batched ask/tell over any optimizer,
+* :mod:`repro.runtime.cache` — persistent memoization of trial metrics,
+* :mod:`repro.runtime.checkpoint` — periodic save + ``--resume`` support,
+* :mod:`repro.runtime.progress` — event bus for live progress reporting.
+
+:class:`~repro.core.fast.FASTSearch` accepts instances of these pieces via
+its ``executor=``, ``cache=``, ``checkpoint=``, and ``progress=`` arguments;
+the ``repro search`` CLI exposes them as ``--workers``, ``--cache``,
+``--checkpoint``/``--resume``, and ``--progress``.
+"""
+
+from repro.runtime.batching import BatchedOptimizer, proposal_key
+from repro.runtime.cache import CacheStats, TrialCache, problem_fingerprint
+from repro.runtime.checkpoint import CheckpointState, SearchCheckpoint
+from repro.runtime.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    TrialExecutor,
+    make_executor,
+)
+from repro.runtime.progress import ProgressBus, ProgressPrinter, SearchEvent
+
+__all__ = [
+    "BatchedOptimizer",
+    "CacheStats",
+    "CheckpointState",
+    "ParallelExecutor",
+    "ProgressBus",
+    "ProgressPrinter",
+    "SearchCheckpoint",
+    "SearchEvent",
+    "SerialExecutor",
+    "TrialCache",
+    "TrialExecutor",
+    "make_executor",
+    "problem_fingerprint",
+    "proposal_key",
+]

@@ -1,0 +1,110 @@
+"""Batched ask/tell adapter over the single-proposal optimizer interface.
+
+Evaluating trials in parallel requires asking the optimizer for several
+proposals *before* any of their results are known.  :class:`BatchedOptimizer`
+adapts any :class:`~repro.search.optimizer.Optimizer` to that pattern:
+
+* ``ask_batch(n)`` uses the optimizer's native ``ask_batch`` when it has one,
+  and otherwise falls back to repeated ``ask()`` calls with tabu-style
+  de-duplication — a proposal identical to anything already proposed in this
+  run is re-asked a few times and finally diversified with a local mutation,
+  so a batch never wastes parallel slots on duplicate configurations.
+* ``tell_batch`` replays the measured outcomes in proposal order, which keeps
+  the optimizer's observation log — and therefore its future trajectory —
+  independent of the order in which workers happened to finish.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
+from repro.reporting.serialization import params_to_jsonable
+from repro.search.optimizer import Observation, Optimizer
+
+__all__ = ["proposal_key", "BatchedOptimizer"]
+
+
+def proposal_key(params: ParameterValues) -> str:
+    """Canonical string identity of a parameter assignment."""
+    return json.dumps(params_to_jsonable(params), sort_keys=True)
+
+
+class BatchedOptimizer:
+    """Ask/tell batching wrapper for a black-box optimizer.
+
+    Args:
+        optimizer: The wrapped optimizer (its ``rng`` drives diversification,
+            so the batched trajectory stays deterministic for a fixed seed).
+        space: Search space used for fallback mutations; defaults to the
+            optimizer's own space.
+        max_retries: Times a duplicate proposal is re-asked before falling
+            back to mutation.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        space: DatapathSearchSpace = None,
+        max_retries: int = 8,
+    ) -> None:
+        self.optimizer = optimizer
+        self.space = space or optimizer.space
+        self.max_retries = max(0, int(max_retries))
+        self._seen_keys = set()
+        self.num_duplicates_avoided = 0
+
+    # ------------------------------------------------------------------
+    def note_proposed(self, params: ParameterValues) -> None:
+        """Mark a proposal as used without asking for it (seeds, resumed runs)."""
+        self._seen_keys.add(proposal_key(params))
+
+    def ask_batch(self, n: int) -> List[ParameterValues]:
+        """Propose ``n`` de-duplicated parameter assignments."""
+        native = getattr(self.optimizer, "ask_batch", None)
+        if callable(native):
+            proposals = list(native(n))
+            for params in proposals:
+                self.note_proposed(params)
+            return proposals
+
+        proposals: List[ParameterValues] = []
+        for _ in range(n):
+            proposals.append(self._ask_unique())
+        return proposals
+
+    def _ask_unique(self) -> ParameterValues:
+        params = self.optimizer.ask()
+        key = proposal_key(params)
+        retries = 0
+        while key in self._seen_keys and retries < self.max_retries:
+            self.num_duplicates_avoided += 1
+            # Alternate re-asking with local mutations: re-asks let guided
+            # optimizers move on their own, mutations guarantee progress for
+            # optimizers stuck on a single incumbent.
+            if retries % 2 == 0:
+                params = self.optimizer.ask()
+            else:
+                params = self.space.mutate(params, self.optimizer.rng, num_mutations=2)
+            key = proposal_key(params)
+            retries += 1
+        self._seen_keys.add(key)
+        return params
+
+    # ------------------------------------------------------------------
+    def tell_batch(
+        self,
+        proposals: Sequence[ParameterValues],
+        outcomes: Iterable[Tuple[float, bool]],
+    ) -> List[Observation]:
+        """Report ``(objective, feasible)`` outcomes in proposal order."""
+        observations = []
+        for params, (objective, feasible) in zip(proposals, outcomes):
+            observations.append(self.optimizer.tell(params, objective, feasible=feasible))
+        return observations
+
+    def tell(self, params: ParameterValues, objective: float, feasible: bool = True) -> Observation:
+        """Single-result passthrough (also records the proposal as seen)."""
+        self.note_proposed(params)
+        return self.optimizer.tell(params, objective, feasible=feasible)

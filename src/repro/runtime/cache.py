@@ -1,0 +1,164 @@
+"""Persistent trial cache: skip re-simulating configurations already seen.
+
+A full trial (mapper + fusion ILP across every workload) is the dominant cost
+of a search, yet sweeps, repeated benchmarks, and restarted runs evaluate
+many identical configurations.  :class:`TrialCache` memoizes
+:class:`~repro.core.trial.TrialMetrics` keyed by a canonical hash of the
+parameter assignment *and* a fingerprint of the evaluation context
+(workloads, objective, constraints, simulation options, search space), so a
+hit is only possible when the result would be identical.
+
+The cache is two-level: an in-memory LRU front for the current process and an
+optional JSON-lines file that persists across restarts.  Disk records are
+loaded as raw dicts at open time and decoded to metrics lazily on first hit;
+writes are O(1) appends, so concurrent sweeps can share one cache file
+(append-only, last record wins on duplicate keys).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.problem import SearchProblem
+from repro.core.trial import TrialEvaluator, TrialMetrics
+from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
+from repro.reporting.serialization import (
+    params_to_jsonable,
+    trial_metrics_from_dict,
+    trial_metrics_to_dict,
+)
+
+__all__ = ["problem_fingerprint", "CacheStats", "TrialCache"]
+
+
+def problem_fingerprint(
+    problem: SearchProblem,
+    evaluator: Optional[TrialEvaluator] = None,
+    space: Optional[DatapathSearchSpace] = None,
+) -> str:
+    """Stable hash of everything besides the parameters that shapes a trial.
+
+    Two searches share cache entries only when this fingerprint matches:
+    same workloads, objective, constraints, baseline normalization, simulator
+    options, core count, and search-space choice lists.
+    """
+    payload: Dict[str, object] = {
+        "workloads": list(problem.workloads),
+        "objective": problem.objective.value,
+        "constraints": [problem.constraints.max_area_mm2, problem.constraints.max_tdp_w],
+        "baseline_qps": sorted(problem.baseline_qps.items()),
+    }
+    if evaluator is not None:
+        payload["num_cores"] = evaluator.num_cores
+        payload["simulation_options"] = {
+            key: getattr(value, "value", value)
+            for key, value in sorted(vars(evaluator.simulation_options).items())
+        }
+    if space is not None:
+        payload["space"] = [
+            [spec.name, [getattr(choice, "value", choice) for choice in spec.choices]]
+            for spec in space.specs
+        ]
+    digest = hashlib.sha256(json.dumps(payload, sort_keys=True, default=str).encode())
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    disk_entries_loaded: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class TrialCache:
+    """Two-level (memory LRU + JSONL file) cache of trial metrics.
+
+    Args:
+        path: Optional JSON-lines file for persistence; created on first put.
+        max_memory_entries: LRU capacity of the in-memory front.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        max_memory_entries: int = 4096,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.max_memory_entries = max(1, int(max_memory_entries))
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, TrialMetrics]" = OrderedDict()
+        self._disk_index: Dict[str, dict] = {}
+        if self.path is not None and self.path.exists():
+            self._load_disk_index()
+
+    # ------------------------------------------------------------------
+    def _load_disk_index(self) -> None:
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                self._disk_index[record["key"]] = record["metrics"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue  # tolerate truncated/corrupt lines from killed runs
+        self.stats.disk_entries_loaded = len(self._disk_index)
+
+    # ------------------------------------------------------------------
+    def key_for(self, params: ParameterValues, fingerprint: str) -> str:
+        """Cache key for a parameter assignment under an evaluation context."""
+        canonical = json.dumps(params_to_jsonable(params), sort_keys=True)
+        return hashlib.sha256(f"{fingerprint}|{canonical}".encode()).hexdigest()
+
+    def get(self, key: str) -> Optional[TrialMetrics]:
+        """Look up cached metrics; returns None on a miss."""
+        metrics = self._memory.get(key)
+        if metrics is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return metrics
+        raw = self._disk_index.get(key)
+        if raw is not None:
+            metrics = trial_metrics_from_dict(raw)
+            self._remember(key, metrics)
+            self.stats.hits += 1
+            return metrics
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, metrics: TrialMetrics) -> None:
+        """Store metrics in memory and (when configured) append to disk."""
+        self._remember(key, metrics)
+        self.stats.puts += 1
+        if self.path is not None:
+            record = {"key": key, "metrics": trial_metrics_to_dict(metrics)}
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a") as handle:
+                handle.write(json.dumps(record) + "\n")
+
+    def _remember(self, key: str, metrics: TrialMetrics) -> None:
+        self._memory[key] = metrics
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memory.keys() | self._disk_index.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or key in self._disk_index

@@ -1,0 +1,155 @@
+"""Trial executors: evaluate batches of proposals serially or in parallel.
+
+A :class:`TrialExecutor` turns a batch of search-space proposals into
+:class:`~repro.core.trial.TrialMetrics`, decoupling *how* trials run from the
+search loop that proposes them.  :class:`SerialExecutor` evaluates in-process;
+:class:`ParallelExecutor` fans the batch out to a pool of worker processes
+(the evaluator and space are shipped to each worker once, at pool start).
+
+Both executors return results **in proposal order**, so a parallel run feeds
+the optimizer the exact same tell sequence as a serial run and the search
+history is bit-for-bit reproducible for a fixed seed and batch size.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence
+
+from repro.core.trial import TrialEvaluator, TrialMetrics
+from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
+
+__all__ = ["TrialExecutor", "SerialExecutor", "ParallelExecutor", "make_executor"]
+
+
+# ---------------------------------------------------------------------------
+# Worker-process plumbing.  The evaluator/space are installed once per worker
+# by the pool initializer; per-task payloads are just the parameter dicts.
+# Workload graphs are *not* shipped — each worker rebuilds its graph cache
+# lazily (see repro.core.trial._cached_graph).
+# ---------------------------------------------------------------------------
+_WORKER_EVALUATOR: Optional[TrialEvaluator] = None
+_WORKER_SPACE: Optional[DatapathSearchSpace] = None
+
+
+def _init_worker(evaluator: TrialEvaluator, space: DatapathSearchSpace) -> None:
+    global _WORKER_EVALUATOR, _WORKER_SPACE
+    _WORKER_EVALUATOR = evaluator
+    _WORKER_SPACE = space
+
+
+def _evaluate_in_worker(params: ParameterValues) -> TrialMetrics:
+    if _WORKER_EVALUATOR is None or _WORKER_SPACE is None:
+        raise RuntimeError("worker process was not initialized with an evaluator")
+    return _WORKER_EVALUATOR.evaluate_params(params, _WORKER_SPACE)
+
+
+# ---------------------------------------------------------------------------
+class TrialExecutor(ABC):
+    """Evaluates batches of proposals; results come back in proposal order."""
+
+    name: str = "executor"
+
+    @abstractmethod
+    def evaluate_batch(
+        self,
+        evaluator: TrialEvaluator,
+        space: DatapathSearchSpace,
+        batch: Sequence[ParameterValues],
+    ) -> List[TrialMetrics]:
+        """Evaluate every proposal in ``batch``, preserving order."""
+
+    def close(self) -> None:
+        """Release any resources (worker processes, ...)."""
+
+    # Executors can be used as context managers: ``with ParallelExecutor(4) as ex``.
+    def __enter__(self) -> "TrialExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(TrialExecutor):
+    """Evaluates trials one at a time in the calling process."""
+
+    name = "serial"
+
+    def evaluate_batch(
+        self,
+        evaluator: TrialEvaluator,
+        space: DatapathSearchSpace,
+        batch: Sequence[ParameterValues],
+    ) -> List[TrialMetrics]:
+        return [evaluator.evaluate_params(params, space) for params in batch]
+
+
+class ParallelExecutor(TrialExecutor):
+    """Evaluates trials on a pool of worker processes.
+
+    The pool is created lazily on the first batch and reused across batches;
+    it is re-created only if the evaluator or space object changes.  Results
+    are collected with an order-preserving ``map``, so trial ordering (and
+    hence the optimizer trajectory) is identical to a serial run.
+
+    Args:
+        num_workers: Worker process count (defaults to the CPU count).
+        chunk_size: Proposals per worker task; 1 gives the best load balance
+            for heterogeneous trial costs.
+    """
+
+    name = "parallel"
+
+    def __init__(self, num_workers: Optional[int] = None, chunk_size: int = 1) -> None:
+        self.num_workers = max(1, int(num_workers or os.cpu_count() or 1))
+        self.chunk_size = max(1, int(chunk_size))
+        self._pool: Optional[ProcessPoolExecutor] = None
+        # Strong references to the objects the pool was initialized with;
+        # identity is checked with ``is`` (never id() of possibly-collected
+        # objects, whose addresses can be reused by new allocations).
+        self._pool_args: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(
+        self, evaluator: TrialEvaluator, space: DatapathSearchSpace
+    ) -> ProcessPoolExecutor:
+        if self._pool is not None and (
+            self._pool_args is None
+            or self._pool_args[0] is not evaluator
+            or self._pool_args[1] is not space
+        ):
+            self.close()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.num_workers,
+                initializer=_init_worker,
+                initargs=(evaluator, space),
+            )
+            self._pool_args = (evaluator, space)
+        return self._pool
+
+    def evaluate_batch(
+        self,
+        evaluator: TrialEvaluator,
+        space: DatapathSearchSpace,
+        batch: Sequence[ParameterValues],
+    ) -> List[TrialMetrics]:
+        if not batch:
+            return []
+        pool = self._ensure_pool(evaluator, space)
+        return list(pool.map(_evaluate_in_worker, batch, chunksize=self.chunk_size))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_args = None
+
+
+def make_executor(workers: int = 1, chunk_size: int = 1) -> TrialExecutor:
+    """Build an executor for a worker count (1 or less means serial)."""
+    if workers and workers > 1:
+        return ParallelExecutor(num_workers=workers, chunk_size=chunk_size)
+    return SerialExecutor()

@@ -90,6 +90,29 @@ class SimulatedAnnealingOptimizer(Optimizer):
         return observation
 
     # ------------------------------------------------------------------
+    def extra_checkpoint_state(self) -> dict:
+        """The incumbent is chosen with random Metropolis draws, so ``tell``
+        replay with a fresh RNG can land on a different one — save it."""
+        from repro.reporting.serialization import params_to_jsonable
+
+        return {
+            "incumbent": (
+                params_to_jsonable(self._incumbent) if self._incumbent is not None else None
+            ),
+            "incumbent_objective": self._incumbent_objective,
+        }
+
+    def restore_extra_checkpoint_state(self, state: dict) -> None:
+        from repro.reporting.serialization import params_from_jsonable
+
+        if not state:
+            return
+        incumbent = state["incumbent"]
+        self._incumbent = (
+            params_from_jsonable(incumbent, self.space) if incumbent is not None else None
+        )
+        self._incumbent_objective = float(state["incumbent_objective"])
+
     def _accept(self, params: ParameterValues, objective: float) -> None:
         self._incumbent = dict(params)
         self._incumbent_objective = objective

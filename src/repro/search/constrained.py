@@ -65,6 +65,14 @@ class SafeSearchOptimizer(Optimizer):
         return observation
 
     # ------------------------------------------------------------------
+    def extra_checkpoint_state(self) -> dict:
+        """Delegate ask-side state to the wrapped optimizer."""
+        return {"inner": self.inner.extra_checkpoint_state()}
+
+    def restore_extra_checkpoint_state(self, state: dict) -> None:
+        self.inner.restore_extra_checkpoint_state(state.get("inner", {}))
+
+    # ------------------------------------------------------------------
     def penalty_objective(self) -> float:
         """Finite objective assigned to infeasible trials.
 

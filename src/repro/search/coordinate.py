@@ -78,6 +78,33 @@ class CoordinateDescentOptimizer(Optimizer):
             candidate[spec.name] = choice
             self._queue.append(candidate)
 
+    # ------------------------------------------------------------------
+    def extra_checkpoint_state(self) -> dict:
+        """Sweep state that ``tell`` replay cannot rebuild (advances in ``ask``)."""
+        from repro.reporting.serialization import params_to_jsonable
+
+        return {
+            "parameter_order": list(self._parameter_order),
+            "axis_index": self._axis_index,
+            "queue": [params_to_jsonable(p) for p in self._queue],
+            "best_params": (
+                params_to_jsonable(self._best_params) if self._best_params is not None else None
+            ),
+            "best_objective": self._best_objective,
+        }
+
+    def restore_extra_checkpoint_state(self, state: dict) -> None:
+        from repro.reporting.serialization import params_from_jsonable
+
+        if not state:
+            return
+        self._parameter_order = list(state["parameter_order"])
+        self._axis_index = int(state["axis_index"])
+        self._queue = [params_from_jsonable(p, self.space) for p in state["queue"]]
+        best = state["best_params"]
+        self._best_params = params_from_jsonable(best, self.space) if best is not None else None
+        self._best_objective = float(state["best_objective"])
+
     @property
     def sweep_parameter(self) -> str:
         """Name of the parameter axis that will be swept next."""

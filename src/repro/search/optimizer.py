@@ -66,6 +66,20 @@ class Optimizer(ABC):
         return observation
 
     # ------------------------------------------------------------------
+    # Checkpoint hooks (see repro.runtime.checkpoint).  Most optimizers
+    # derive their internal state entirely from the observation log plus the
+    # RNG, which the checkpoint already captures; optimizers with ask-side
+    # state that ``tell`` replay cannot rebuild (sweep queues, incumbents
+    # accepted with random draws) override these with JSON-compatible data.
+    # ------------------------------------------------------------------
+    def extra_checkpoint_state(self) -> dict:
+        """JSON-compatible state beyond observations + RNG (default: none)."""
+        return {}
+
+    def restore_extra_checkpoint_state(self, state: dict) -> None:
+        """Restore :meth:`extra_checkpoint_state` output (default: no-op)."""
+
+    # ------------------------------------------------------------------
     @property
     def num_trials(self) -> int:
         """Number of completed trials."""

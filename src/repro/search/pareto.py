@@ -11,7 +11,7 @@ better* on every axis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = ["ParetoPoint", "ParetoFront", "dominates"]
 
@@ -53,6 +53,31 @@ class ParetoFront:
         ]
         self._points.append(point)
         return True
+
+    def add_batch(
+        self,
+        batch: Iterable[Tuple[Sequence[float], Optional[Dict[str, object]]]],
+    ) -> int:
+        """Add ``(objectives, payload)`` pairs; returns how many joined the frontier.
+
+        Convenience for the batched search runtime: a whole batch of trial
+        outcomes can be folded into the frontier in one call.
+        """
+        joined = 0
+        for objectives, payload in batch:
+            if self.add(objectives, payload):
+                joined += 1
+        return joined
+
+    def merge(self, other: "ParetoFront") -> "ParetoFront":
+        """Fold another frontier into this one (for sharded/parallel sweeps).
+
+        All of ``other``'s points (including dominated ones) are replayed so
+        ``all_points`` stays the union; returns ``self`` for chaining.
+        """
+        for point in other.all_points:
+            self.add(point.objectives, point.payload)
+        return self
 
     @property
     def points(self) -> List[ParetoPoint]:

@@ -25,6 +25,15 @@ class TestParser:
         )
         assert args.workload == ["resnet50", "bert-seq128"]
 
+    def test_search_runtime_defaults(self):
+        args = build_parser().parse_args(["search", "--workload", "resnet50"])
+        assert args.workers == 1
+        assert args.batch_size == 8
+        assert args.cache is None
+        assert args.checkpoint is None
+        assert args.resume is None
+        assert not args.progress
+
 
 class TestCommands:
     def test_list_designs(self, capsys):
@@ -91,3 +100,29 @@ class TestCommands:
             assert "Best design found" in out
             assert json.loads(result_path.read_text())["num_trials"] == 4
             assert config_path.exists()
+
+    def test_search_parallel_cache_and_resume(self, tmp_path, capsys):
+        cache_path = tmp_path / "cache.jsonl"
+        ckpt_path = tmp_path / "search.ckpt"
+        base = [
+            "search",
+            "--workload", "efficientnet-b0",
+            "--optimizer", "lcs",
+            "--seed", "0",
+            "--workers", "2",
+            "--batch-size", "4",
+            "--cache", str(cache_path),
+        ]
+        code = main(base + ["--trials", "8", "--checkpoint", str(ckpt_path), "--progress"])
+        assert code in (0, 1)
+        assert ckpt_path.exists()
+        capsys.readouterr()
+        # Resume to a larger budget; earlier trials are restored, later ones
+        # come from the checkpointed optimizer state (and hit the cache only
+        # if re-proposed).
+        code = main(base + ["--trials", "12", "--resume", str(ckpt_path)])
+        assert code in (0, 1)
+        out = capsys.readouterr().out
+        if code == 0:
+            assert "trials/sec" in out
+            assert "resumed trials" in out

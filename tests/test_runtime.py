@@ -1,0 +1,399 @@
+"""Tests for the parallel search runtime: executors, batching, cache, checkpoint."""
+
+import json
+import math
+
+import pytest
+
+import repro.core.trial as trial_module
+from repro.core.fast import FASTSearch
+from repro.core.problem import ObjectiveKind, SearchProblem
+from repro.core.trial import TrialEvaluator, clear_graph_cache
+from repro.hardware.search_space import DatapathSearchSpace
+from repro.hardware.tpu import EvaluationConstraints
+from repro.reporting.serialization import (
+    params_from_jsonable,
+    params_to_jsonable,
+    trial_metrics_from_dict,
+    trial_metrics_to_dict,
+)
+from repro.runtime import (
+    BatchedOptimizer,
+    ParallelExecutor,
+    ProgressBus,
+    SearchCheckpoint,
+    SerialExecutor,
+    TrialCache,
+    make_executor,
+    problem_fingerprint,
+    proposal_key,
+)
+from repro.runtime.progress import (
+    CACHE_HIT,
+    SEARCH_FINISHED,
+    SEARCH_STARTED,
+    TRIAL_FINISHED,
+    ProgressPrinter,
+)
+from repro.search import RandomSearchOptimizer
+
+
+def _problem():
+    return SearchProblem(["efficientnet-b0"], ObjectiveKind.PERF_PER_TDP)
+
+
+def _history_dicts(result):
+    return [trial_metrics_to_dict(m) for m in result.history]
+
+
+class CountingEvaluator(TrialEvaluator):
+    """Evaluator that counts evaluate_params calls (serial executor only)."""
+
+    def __init__(self, problem):
+        super().__init__(problem)
+        self.calls = 0
+
+    def evaluate_params(self, params, space):
+        self.calls += 1
+        return super().evaluate_params(params, space)
+
+
+# ---------------------------------------------------------------------------
+class TestExecutors:
+    def test_parallel_reproduces_serial_history_bitwise(self):
+        serial = FASTSearch(_problem(), optimizer="lcs", seed=7).run(16, batch_size=4)
+        with ParallelExecutor(num_workers=2) as executor:
+            parallel = FASTSearch(
+                _problem(), optimizer="lcs", seed=7, executor=executor
+            ).run(16, batch_size=4)
+        assert _history_dicts(serial) == _history_dicts(parallel)
+        assert serial.best_params == parallel.best_params
+        assert serial.best_score_curve == parallel.best_score_curve
+
+    def test_batch_size_one_matches_legacy_loop(self):
+        a = FASTSearch(_problem(), optimizer="random", seed=2).run(8)
+        b = FASTSearch(_problem(), optimizer="random", seed=2).run(8, batch_size=1)
+        assert _history_dicts(a) == _history_dicts(b)
+
+    def test_serial_executor_preserves_order(self):
+        space = DatapathSearchSpace()
+        evaluator = TrialEvaluator(_problem())
+        optimizer = RandomSearchOptimizer(space, seed=0)
+        batch = [optimizer.ask() for _ in range(4)]
+        results = SerialExecutor().evaluate_batch(evaluator, space, batch)
+        expected = [evaluator.evaluate_params(p, space) for p in batch]
+        assert [trial_metrics_to_dict(m) for m in results] == [
+            trial_metrics_to_dict(m) for m in expected
+        ]
+
+    def test_make_executor(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        parallel = make_executor(3)
+        assert isinstance(parallel, ParallelExecutor)
+        assert parallel.num_workers == 3
+        parallel.close()
+
+    def test_parallel_executor_empty_batch(self):
+        with ParallelExecutor(num_workers=2) as executor:
+            assert executor.evaluate_batch(TrialEvaluator(_problem()), DatapathSearchSpace(), []) == []
+
+    def test_reused_executor_tracks_evaluator_changes(self):
+        """One executor across searches with different problems must not
+        keep evaluating with the first search's (stale) evaluator."""
+        other_problem = SearchProblem(["efficientnet-b0"], ObjectiveKind.THROUGHPUT)
+        with ParallelExecutor(num_workers=2) as executor:
+            FASTSearch(_problem(), optimizer="random", seed=6, executor=executor).run(
+                4, batch_size=2
+            )
+            reused = FASTSearch(
+                other_problem, optimizer="random", seed=6, executor=executor
+            ).run(4, batch_size=2)
+        fresh = FASTSearch(other_problem, optimizer="random", seed=6).run(4, batch_size=2)
+        assert _history_dicts(reused) == _history_dicts(fresh)
+
+
+# ---------------------------------------------------------------------------
+class TestBatchedOptimizer:
+    def test_ask_batch_deduplicates_proposals(self):
+        space = DatapathSearchSpace()
+
+        class StuckOptimizer(RandomSearchOptimizer):
+            """Always proposes the same configuration."""
+
+            def ask(self):
+                return dict(self.fixed)
+
+        optimizer = StuckOptimizer(space, seed=0)
+        optimizer.fixed = space.sample(optimizer.rng)
+        batched = BatchedOptimizer(optimizer, space)
+        proposals = batched.ask_batch(4)
+        keys = {proposal_key(p) for p in proposals}
+        assert len(keys) == 4
+        assert batched.num_duplicates_avoided > 0
+
+    def test_ask_batch_avoids_previous_batches(self):
+        space = DatapathSearchSpace()
+        optimizer = RandomSearchOptimizer(space, seed=0)
+        batched = BatchedOptimizer(optimizer, space)
+        first = batched.ask_batch(6)
+        second = batched.ask_batch(6)
+        keys = [proposal_key(p) for p in first + second]
+        assert len(set(keys)) == len(keys)
+
+    def test_tell_batch_replays_in_proposal_order(self):
+        space = DatapathSearchSpace()
+        optimizer = RandomSearchOptimizer(space, seed=1)
+        batched = BatchedOptimizer(optimizer, space)
+        proposals = batched.ask_batch(3)
+        batched.tell_batch(proposals, [(1.0, True), (2.0, False), (3.0, True)])
+        assert [obs.objective for obs in optimizer.observations] == [1.0, 2.0, 3.0]
+        assert [obs.feasible for obs in optimizer.observations] == [True, False, True]
+        assert [obs.params for obs in optimizer.observations] == proposals
+
+
+# ---------------------------------------------------------------------------
+class TestTrialCache:
+    def test_warm_cache_short_circuits_simulation(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cold = FASTSearch(
+            _problem(), optimizer="random", seed=3, cache=TrialCache(path)
+        ).run(10, batch_size=2)
+
+        evaluator = CountingEvaluator(_problem())
+        warm_cache = TrialCache(path)
+        warm = FASTSearch(
+            _problem(),
+            optimizer="random",
+            seed=3,
+            evaluator=evaluator,
+            cache=warm_cache,
+        ).run(10, batch_size=2)
+
+        assert evaluator.calls == 0  # every trial served from the cache
+        assert warm.runtime.cache_hits == 10
+        assert warm.runtime.trials_evaluated == 0
+        assert _history_dicts(cold) == _history_dicts(warm)
+
+    def test_in_memory_hits_within_one_run(self):
+        cache = TrialCache()
+        space = DatapathSearchSpace()
+        evaluator = TrialEvaluator(_problem())
+        fingerprint = problem_fingerprint(_problem(), evaluator, space)
+        params = space.from_config(
+            __import__("repro.core.designs", fromlist=["FAST_SMALL"]).FAST_SMALL
+        )
+        key = cache.key_for(params, fingerprint)
+        assert cache.get(key) is None
+        cache.put(key, evaluator.evaluate_params(params, space))
+        assert cache.get(key) is not None
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_fingerprint_isolates_different_problems(self):
+        space = DatapathSearchSpace()
+        evaluator = TrialEvaluator(_problem())
+        other = SearchProblem(["efficientnet-b0"], ObjectiveKind.THROUGHPUT)
+        fp_a = problem_fingerprint(_problem(), evaluator, space)
+        fp_b = problem_fingerprint(other, TrialEvaluator(other), space)
+        assert fp_a != fp_b
+        cache = TrialCache()
+        params = space.sample(RandomSearchOptimizer(space, seed=0).rng)
+        assert cache.key_for(params, fp_a) != cache.key_for(params, fp_b)
+
+    def test_lru_eviction_bounds_memory(self):
+        cache = TrialCache(max_memory_entries=2)
+        evaluator = TrialEvaluator(_problem())
+        space = DatapathSearchSpace()
+        metrics = evaluator.evaluate_params(
+            space.from_config(
+                __import__("repro.core.designs", fromlist=["FAST_SMALL"]).FAST_SMALL
+            ),
+            space,
+        )
+        for key in ("a", "b", "c"):
+            cache.put(key, metrics)
+        assert len(cache._memory) == 2
+        assert "a" not in cache and "c" in cache
+
+    def test_corrupt_disk_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        path.write_text('not json\n{"key": "x"}\n')
+        cache = TrialCache(path)
+        assert cache.stats.disk_entries_loaded == 0
+
+
+# ---------------------------------------------------------------------------
+class TestCheckpoint:
+    @pytest.mark.parametrize(
+        "optimizer", ["random", "lcs", "bayesian", "annealing", "coordinate", "safe:annealing"]
+    )
+    def test_resume_matches_uninterrupted_run(self, tmp_path, optimizer):
+        full = FASTSearch(_problem(), optimizer=optimizer, seed=5).run(20, batch_size=4)
+
+        path = tmp_path / "search.ckpt"
+        FASTSearch(
+            _problem(),
+            optimizer=optimizer,
+            seed=5,
+            checkpoint=SearchCheckpoint(path, interval=4),
+        ).run(12, batch_size=4)
+        resumed = FASTSearch(
+            _problem(),
+            optimizer=optimizer,
+            seed=5,
+            checkpoint=SearchCheckpoint(path, interval=4),
+        ).run(20, batch_size=4, resume=True)
+
+        assert resumed.runtime.resumed_trials == 12
+        assert _history_dicts(full) == _history_dicts(resumed)
+        assert full.best_params == resumed.best_params
+        assert full.best_score_curve == resumed.best_score_curve
+
+    def test_resume_requires_checkpoint_manager(self):
+        with pytest.raises(ValueError):
+            FASTSearch(_problem(), optimizer="random", seed=0).run(4, resume=True)
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "search.ckpt"
+        FASTSearch(
+            _problem(), optimizer="random", seed=0, checkpoint=SearchCheckpoint(path)
+        ).run(4)
+        other = SearchProblem(["efficientnet-b0"], ObjectiveKind.THROUGHPUT)
+        with pytest.raises(ValueError):
+            FASTSearch(
+                other, optimizer="random", seed=0, checkpoint=SearchCheckpoint(path)
+            ).run(8, resume=True)
+
+    def test_checkpoint_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "search.ckpt"
+        FASTSearch(
+            _problem(), optimizer="random", seed=1, checkpoint=SearchCheckpoint(path, interval=2)
+        ).run(6, batch_size=2)
+        payload = json.loads(path.read_text())
+        assert payload["num_completed"] == 6
+        assert len(payload["proposals"]) == 6
+        assert len(payload["history"]) == 6
+        assert len(payload["optimizer"]["observations"]) == 6
+
+
+# ---------------------------------------------------------------------------
+class TestProgress:
+    def test_events_emitted_during_search(self):
+        bus = ProgressBus()
+        events = []
+        bus.subscribe(lambda event: events.append(event))
+        FASTSearch(_problem(), optimizer="random", seed=0, progress=bus).run(
+            4, batch_size=2
+        )
+        kinds = [event.kind for event in events]
+        assert kinds[0] == SEARCH_STARTED
+        assert kinds[-1] == SEARCH_FINISHED
+        assert kinds.count(TRIAL_FINISHED) == 4
+
+    def test_cache_hit_events(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        FASTSearch(
+            _problem(), optimizer="random", seed=4, cache=TrialCache(path)
+        ).run(6, batch_size=3)
+        bus = ProgressBus()
+        events = []
+        bus.subscribe(lambda event: events.append(event))
+        FASTSearch(
+            _problem(), optimizer="random", seed=4, cache=TrialCache(path), progress=bus
+        ).run(6, batch_size=3)
+        assert sum(1 for event in events if event.kind == CACHE_HIT) == 6
+
+    def test_subscriber_errors_do_not_abort_search(self):
+        bus = ProgressBus()
+
+        def broken(_event):
+            raise RuntimeError("boom")
+
+        bus.subscribe(broken)
+        result = FASTSearch(_problem(), optimizer="random", seed=0, progress=bus).run(3)
+        assert result.num_trials == 3
+        assert bus.errors
+
+    def test_progress_printer_formats_lines(self, capsys):
+        bus = ProgressBus()
+        bus.subscribe(ProgressPrinter())
+        FASTSearch(_problem(), optimizer="random", seed=0, progress=bus).run(3)
+        out = capsys.readouterr().out
+        assert "search:" in out and "done:" in out
+
+
+# ---------------------------------------------------------------------------
+class TestGraphCache:
+    def test_clear_graph_cache(self):
+        evaluator = TrialEvaluator(_problem())
+        space = DatapathSearchSpace()
+        evaluator.evaluate_params(
+            space.from_config(
+                __import__("repro.core.designs", fromlist=["FAST_SMALL"]).FAST_SMALL
+            ),
+            space,
+        )
+        assert trial_module._GRAPH_CACHE
+        clear_graph_cache()
+        assert not trial_module._GRAPH_CACHE
+        assert trial_module._GRAPH_CACHE_PID is None
+
+    def test_cache_invalidated_on_pid_change(self):
+        trial_module._cached_graph("efficientnet-b0", 1)
+        assert trial_module._GRAPH_CACHE
+        # Simulate a forked worker inheriting the parent's cache dict.
+        trial_module._GRAPH_CACHE_PID = -1
+        trial_module._cached_graph("efficientnet-b0", 2)
+        assert list(trial_module._GRAPH_CACHE) == [("efficientnet-b0", 2)]
+        clear_graph_cache()
+
+
+# ---------------------------------------------------------------------------
+class TestBestScoreAndSerialization:
+    def test_best_score_nan_when_nothing_feasible(self):
+        problem = SearchProblem(
+            ["efficientnet-b0"],
+            constraints=EvaluationConstraints(max_area_mm2=1.0, max_tdp_w=1.0),
+        )
+        result = FASTSearch(problem, optimizer="random", seed=0).run(3)
+        assert result.best_metrics is None
+        assert math.isnan(result.best_score)
+
+    def test_search_result_serializes_nan_best_as_null(self):
+        from repro.reporting.serialization import search_result_to_dict
+
+        problem = SearchProblem(
+            ["efficientnet-b0"],
+            constraints=EvaluationConstraints(max_area_mm2=1.0, max_tdp_w=1.0),
+        )
+        result = FASTSearch(problem, optimizer="random", seed=0).run(3)
+        payload = search_result_to_dict(result)
+        assert payload["best_score"] is None
+        json.dumps(payload)  # strictly JSON-compatible
+
+    def test_runtime_stats_serialized(self):
+        from repro.reporting.serialization import search_result_to_dict
+
+        result = FASTSearch(_problem(), optimizer="random", seed=0).run(4, batch_size=2)
+        payload = search_result_to_dict(result)
+        assert payload["runtime"]["batches"] == 2
+        assert payload["runtime"]["trials_evaluated"] == 4
+
+    def test_params_jsonable_round_trip(self):
+        space = DatapathSearchSpace()
+        params = space.sample(RandomSearchOptimizer(space, seed=9).rng)
+        encoded = params_to_jsonable(params)
+        json.dumps(encoded)
+        assert params_from_jsonable(encoded, space) == params
+
+    def test_trial_metrics_round_trip(self):
+        evaluator = TrialEvaluator(_problem())
+        space = DatapathSearchSpace()
+        metrics = evaluator.evaluate_params(
+            space.from_config(
+                __import__("repro.core.designs", fromlist=["FAST_SMALL"]).FAST_SMALL
+            ),
+            space,
+        )
+        data = trial_metrics_to_dict(metrics)
+        restored = trial_metrics_from_dict(data)
+        assert trial_metrics_to_dict(restored) == data

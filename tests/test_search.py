@@ -155,3 +155,23 @@ class TestPareto:
         front = ParetoFront()
         front.add((1.0, 2.0), payload={"name": "design-a"})
         assert front.points[0].payload["name"] == "design-a"
+
+    def test_add_batch_counts_joins(self):
+        front = ParetoFront()
+        joined = front.add_batch(
+            [((1.0, 5.0), None), ((5.0, 1.0), {"name": "b"}), ((6.0, 6.0), None)]
+        )
+        assert joined == 2
+        assert len(front) == 2
+
+    def test_merge_combines_sharded_fronts(self):
+        a = ParetoFront()
+        a.add((1.0, 5.0))
+        a.add((4.0, 4.0))
+        b = ParetoFront()
+        b.add((5.0, 1.0))
+        b.add((2.0, 2.0))  # dominates (4.0, 4.0) from the other shard
+        a.merge(b)
+        assert len(a) == 3
+        assert (4.0, 4.0) not in a
+        assert len(a.all_points) == 4
