@@ -42,6 +42,34 @@ hits, new best-so-far, checkpoint saves).  Example::
     # interrupted? continue where it stopped:
     python -m repro search --workload efficientnet-b0 --trials 200 \
         --workers 4 --batch-size 8 --cache trials.jsonl --resume search.ckpt
+
+Beyond one process, ``repro sweep`` shards a single search across ``N``
+independent shards (decorrelated seed streams, or disjoint slices of one
+parameter axis with ``--mode space --partition-axis <name>``) and merges
+their Pareto fronts, trial histories, and runtime stats into one
+deduplicated result.  Everything is deterministic for a fixed seed, so the
+merged sweep equals the same shard searches run back-to-back in a single
+process.  Run it all in one go::
+
+    python -m repro sweep --workload efficientnet-b0 --trials 200 --shards 4 \
+        --workers 4 --cache trials.jsonl --output sweep.json
+
+or run shards on separate hosts and merge their files afterwards::
+
+    # on host k (k = 0..3):
+    python -m repro sweep --workload efficientnet-b0 --trials 200 --shards 4 \
+        --shard-index $K --output shard-$K.json
+    # anywhere, afterwards:
+    python -m repro sweep --merge shard-0.json shard-1.json shard-2.json \
+        shard-3.json --output sweep.json
+
+Shards sharing one ``--cache`` path append to per-shard sidecar files, so
+concurrent writers never corrupt the store.  ``repro cache compact`` folds
+the sidecars back into the base file, keeps the best record per key, and
+evicts the least-recently-written entries beyond ``--max-entries`` (compact
+between sweeps, not while one is writing — merged sidecars are deleted)::
+
+    python -m repro cache compact --cache trials.jsonl --max-entries 10000
 """
 
 from __future__ import annotations
@@ -220,6 +248,149 @@ def _cmd_search(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    import json
+
+    from repro.runtime import make_executor
+    from repro.runtime.sharding import (
+        load_shard_result,
+        merge_shard_results,
+        plan_shards,
+        run_shard,
+        save_shard_result,
+        sweep_result_to_dict,
+    )
+
+    if args.merge:
+        try:
+            shard_results = [load_shard_result(path) for path in args.merge]
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(f"error: cannot load shard file: {error}")
+            return 1
+    else:
+        if not args.workload:
+            print("error: --workload is required unless --merge is given")
+            return 1
+        problem = SearchProblem(
+            workloads=list(args.workload),
+            objective=ObjectiveKind(args.objective),
+        )
+        try:
+            specs = plan_shards(
+                args.trials,
+                args.shards,
+                seed=args.seed,
+                mode=args.mode,
+                partition_axis=args.partition_axis,
+            )
+            if args.mode == "space":
+                from repro.hardware.search_space import DatapathSearchSpace
+                from repro.runtime.sharding import shard_space
+
+                space = DatapathSearchSpace()
+                if args.partition_axis not in space.parameter_names:
+                    known = ", ".join(space.parameter_names)
+                    raise ValueError(
+                        f"unknown partition axis {args.partition_axis!r}; "
+                        f"available: {known}"
+                    )
+                for spec in specs:
+                    shard_space(space, spec)  # validates the shard count fits
+        except (KeyError, ValueError) as error:
+            print(f"error: {error}")
+            return 1
+        with make_executor(args.workers) as executor:
+            if args.shard_index is not None:
+                if not 0 <= args.shard_index < args.shards:
+                    print(f"error: --shard-index must be in [0, {args.shards})")
+                    return 1
+                spec = specs[args.shard_index]
+                result = run_shard(
+                    problem, spec, optimizer=args.optimizer, batch_size=args.batch_size,
+                    executor=executor, cache_path=args.cache,
+                )
+                out = args.output or f"shard-{spec.shard_id}.json"
+                save_shard_result(result, out)
+                print(format_kv(
+                    {
+                        "shard": f"{spec.shard_id} of {spec.num_shards}",
+                        "seed": spec.seed,
+                        "trials": result.num_trials,
+                        "written to": out,
+                    },
+                    title="Shard complete (merge with `repro sweep --merge`)",
+                ))
+                return 0
+            shard_results = [
+                run_shard(
+                    problem, spec, optimizer=args.optimizer, batch_size=args.batch_size,
+                    executor=executor, cache_path=args.cache,
+                )
+                for spec in specs
+            ]
+        if args.shard_dir:
+            for shard in shard_results:
+                save_shard_result(
+                    shard, f"{args.shard_dir}/shard-{shard.spec.shard_id}.json"
+                )
+
+    sweep = merge_shard_results(shard_results)
+    rows = []
+    for spec in sweep.shards:
+        best = sweep.shard_best_scores.get(spec.shard_id, float("nan"))
+        rows.append([
+            spec.shard_id,
+            spec.seed,
+            spec.num_trials,
+            "-" if best != best else f"{best:.3f}",
+        ])
+    print(format_table(["Shard", "Seed", "Trials", "Best score"], rows))
+    print()
+    summary = {
+        "shards": len(sweep.shards),
+        "unique trials": sweep.num_trials,
+        "duplicates removed": sweep.duplicates_removed,
+        "Pareto-front size": len(sweep.pareto_front),
+        "best score": sweep.best_score,
+    }
+    if sweep.best_trial is not None:
+        summary["best shard"] = sweep.best_trial.shard_id
+    if sweep.runtime is not None and sweep.runtime.cache_hits:
+        summary["cache hits"] = sweep.runtime.cache_hits
+    print(format_kv(summary, title="Merged sweep"))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(sweep_result_to_dict(sweep), handle, indent=2)
+        print(f"\nmerged sweep written to {args.output}")
+    if sweep.best_trial is None:
+        print("sweep found no feasible design within the trial budget")
+        return 1
+    return 0
+
+
+def _cmd_cache_compact(args) -> int:
+    from pathlib import Path
+
+    from repro.runtime import TrialCache
+
+    cache = TrialCache(args.cache)
+    if not cache.disk_files():
+        print(f"error: no cache store at {args.cache}")
+        return 1
+    stats = cache.compact(args.max_entries)
+    print(format_kv(
+        {
+            "files merged": stats.files_merged,
+            "entries kept": stats.kept,
+            "duplicates dropped": stats.duplicates_dropped,
+            "entries evicted": stats.evicted,
+            "store": str(Path(args.cache)),
+        },
+        title="Cache compaction",
+    ))
+    return 0
+
+
 def _cmd_roi(args) -> int:
     model = RoiModel()
     value = model.roi(args.volume, args.speedup)
@@ -338,6 +509,53 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--output", default=None, help="Write the search result JSON here")
     search.add_argument("--save-config", default=None, help="Write the best design JSON here")
     search.set_defaults(func=_cmd_search)
+
+    sweep = sub.add_parser(
+        "sweep", help="Sharded sweep: run N independent search shards and merge them"
+    )
+    sweep.add_argument("--workload", action="append",
+                       help="Repeat for multi-workload sweeps (required unless --merge)")
+    sweep.add_argument("--trials", type=int, default=48,
+                       help="Total trial budget split across all shards")
+    sweep.add_argument("--shards", type=int, default=4, help="Number of shards")
+    sweep.add_argument("--shard-index", type=int, default=None, metavar="K",
+                       help="Run only shard K and write its JSON (multi-host workflow)")
+    sweep.add_argument("--merge", nargs="+", default=None, metavar="SHARD_JSON",
+                       help="Merge previously written shard files instead of searching")
+    sweep.add_argument("--mode", choices=["seed", "space"], default="seed",
+                       help="Shard by decorrelated seed streams or by a space partition")
+    sweep.add_argument("--partition-axis", default=None, metavar="PARAM",
+                       help="Search-space axis split across shards (mode=space)")
+    sweep.add_argument("--optimizer", default="lcs",
+                       help="random / bayesian / lcs / annealing / coordinate / safe:<name>")
+    sweep.add_argument("--objective", default="perf_per_tdp",
+                       choices=[kind.value for kind in ObjectiveKind])
+    sweep.add_argument("--seed", type=int, default=0, help="Base seed of the sweep")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="Worker processes for trial evaluation within each shard")
+    sweep.add_argument("--batch-size", type=int, default=8,
+                       help="Proposals per ask/tell batch within each shard")
+    sweep.add_argument("--cache", default=None, metavar="PATH",
+                       help="Shared trial cache; shards append to per-shard sidecars")
+    sweep.add_argument("--shard-dir", default=None, metavar="DIR",
+                       help="Also write each shard's JSON into this directory")
+    sweep.add_argument("--output", default=None, metavar="PATH",
+                       help="Write the merged sweep JSON (or the shard JSON with "
+                            "--shard-index) here")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    cache = sub.add_parser("cache", help="Trial-cache maintenance")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    compact = cache_sub.add_parser(
+        "compact",
+        help="Merge shard sidecars, keep the best record per key, cap the store "
+             "size (run only while no sweep is writing to the store)",
+    )
+    compact.add_argument("--cache", required=True, metavar="PATH",
+                         help="Cache store to compact")
+    compact.add_argument("--max-entries", type=int, default=None,
+                         help="Evict least-recently-written entries beyond this count")
+    compact.set_defaults(func=_cmd_cache_compact)
 
     roi = sub.add_parser("roi", help="Return-on-investment estimate (Eq. 1-2)")
     roi.add_argument("--speedup", type=float, required=True, help="Perf/TCO speedup vs baseline")

@@ -65,6 +65,7 @@ class FASTSearchResult:
     best_config: Optional[DatapathConfig]
     best_metrics: Optional[TrialMetrics]
     history: List[TrialMetrics] = field(default_factory=list)
+    proposals: List[ParameterValues] = field(default_factory=list)
     best_score_curve: List[float] = field(default_factory=list)
     pareto_front: Optional[ParetoFront] = None
     runtime: Optional[RuntimeStats] = None
@@ -360,6 +361,7 @@ class FASTSearch:
             best_config=best_metrics.config if best_metrics else None,
             best_metrics=best_metrics,
             history=history,
+            proposals=proposals_log,
             best_score_curve=best_curve,
             pareto_front=pareto,
             runtime=stats,

@@ -290,6 +290,50 @@ def _fig9_quick(
     )
 
 
+def _sweep_smoke(
+    workload: str = "efficientnet-b0",
+    trials: int = 24,
+    shards: int = 2,
+    workers: int = 1,
+    optimizer: str = "lcs",
+    **_options,
+) -> ExperimentReport:
+    from repro.runtime import make_executor
+    from repro.runtime.sharding import run_sharded_sweep
+
+    problem = SearchProblem([workload], ObjectiveKind.PERF_PER_TDP)
+    with make_executor(workers) as executor:
+        sweep = run_sharded_sweep(
+            problem,
+            total_trials=trials,
+            num_shards=shards,
+            optimizer=optimizer,
+            seed=0,
+            batch_size=_SMOKE_BATCH_SIZE,
+            executor=executor,
+        )
+    rows = []
+    for spec in sweep.shards:
+        best = sweep.shard_best_scores.get(spec.shard_id, float("nan"))
+        rows.append(
+            [spec.shard_id, spec.seed, spec.num_trials,
+             "-" if best != best else f"{best:.3f}"]
+        )
+    summary = (
+        f"unique trials: {sweep.num_trials}   duplicates removed: "
+        f"{sweep.duplicates_removed}   Pareto-front size: {len(sweep.pareto_front)}\n"
+        f"best score: {sweep.best_score:.3f}"
+        + (f" (shard {sweep.best_trial.shard_id})" if sweep.best_trial else "")
+    )
+    return ExperimentReport(
+        "sweep",
+        f"Sharded sweep over {workload} ({shards} shards, {trials} trials total)",
+        format_table(["Shard", "Seed", "Trials", "Best score"], rows) + "\n\n" + summary,
+        notes="Shards are decorrelated seed streams of one search; the merged front "
+        "equals the union of the per-shard fronts (see `repro sweep`).",
+    )
+
+
 EXPERIMENTS: Dict[str, ExperimentSpec] = {
     spec.name: spec
     for spec in [
@@ -315,6 +359,8 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
                        description="Random vs Bayesian vs LCS best-so-far curves."),
         ExperimentSpec("fig9", "Single-workload search speedup (smoke)", _fig9_quick, expensive=True,
                        description="Small-budget FAST search vs the TPU-v3 baseline."),
+        ExperimentSpec("sweep", "Sharded sweep (smoke)", _sweep_smoke, expensive=True,
+                       description="N-shard sweep merged into one deduplicated result."),
     ]
 }
 

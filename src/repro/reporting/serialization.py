@@ -184,6 +184,7 @@ def search_result_to_dict(
         ]
     if include_history:
         payload["history"] = [trial_metrics_to_dict(m) for m in result.history]
+        payload["proposals"] = [params_to_jsonable(p) for p in result.proposals]
     return payload
 
 

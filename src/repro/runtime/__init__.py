@@ -5,9 +5,13 @@ engine, layered as:
 
 * :mod:`repro.runtime.executor` — serial / process-pool batch evaluation,
 * :mod:`repro.runtime.batching` — batched ask/tell over any optimizer,
-* :mod:`repro.runtime.cache` — persistent memoization of trial metrics,
+* :mod:`repro.runtime.cache` — persistent memoization of trial metrics with
+  shard-safe concurrent writers and compaction,
 * :mod:`repro.runtime.checkpoint` — periodic save + ``--resume`` support,
-* :mod:`repro.runtime.progress` — event bus for live progress reporting.
+* :mod:`repro.runtime.progress` — event bus for live progress reporting,
+* :mod:`repro.runtime.sharding` — sharded sweep orchestration: split one
+  search into N shards (seed stream or design-space partition) and merge
+  their Pareto fronts, histories, and stats into one deduplicated result.
 
 :class:`~repro.core.fast.FASTSearch` accepts instances of these pieces via
 its ``executor=``, ``cache=``, ``checkpoint=``, and ``progress=`` arguments;
@@ -16,7 +20,13 @@ the ``repro search`` CLI exposes them as ``--workers``, ``--cache``,
 """
 
 from repro.runtime.batching import BatchedOptimizer, proposal_key
-from repro.runtime.cache import CacheStats, TrialCache, problem_fingerprint
+from repro.runtime.cache import (
+    CacheStats,
+    CompactionStats,
+    TrialCache,
+    compact_cache,
+    problem_fingerprint,
+)
 from repro.runtime.checkpoint import CheckpointState, SearchCheckpoint
 from repro.runtime.executor import (
     ParallelExecutor,
@@ -25,20 +35,46 @@ from repro.runtime.executor import (
     make_executor,
 )
 from repro.runtime.progress import ProgressBus, ProgressPrinter, SearchEvent
+from repro.runtime.sharding import (
+    ShardResult,
+    ShardSpec,
+    SweepResult,
+    SweepTrial,
+    load_shard_result,
+    merge_shard_results,
+    plan_shards,
+    run_shard,
+    run_sharded_sweep,
+    save_shard_result,
+    sweep_result_to_dict,
+)
 
 __all__ = [
     "BatchedOptimizer",
     "CacheStats",
     "CheckpointState",
+    "CompactionStats",
     "ParallelExecutor",
     "ProgressBus",
     "ProgressPrinter",
     "SearchCheckpoint",
     "SearchEvent",
     "SerialExecutor",
+    "ShardResult",
+    "ShardSpec",
+    "SweepResult",
+    "SweepTrial",
     "TrialCache",
     "TrialExecutor",
+    "compact_cache",
+    "load_shard_result",
     "make_executor",
+    "merge_shard_results",
+    "plan_shards",
     "problem_fingerprint",
     "proposal_key",
+    "run_shard",
+    "run_sharded_sweep",
+    "save_shard_result",
+    "sweep_result_to_dict",
 ]

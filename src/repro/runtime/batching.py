@@ -4,11 +4,14 @@ Evaluating trials in parallel requires asking the optimizer for several
 proposals *before* any of their results are known.  :class:`BatchedOptimizer`
 adapts any :class:`~repro.search.optimizer.Optimizer` to that pattern:
 
-* ``ask_batch(n)`` uses the optimizer's native ``ask_batch`` when it has one,
-  and otherwise falls back to repeated ``ask()`` calls with tabu-style
-  de-duplication — a proposal identical to anything already proposed in this
-  run is re-asked a few times and finally diversified with a local mutation,
-  so a batch never wastes parallel slots on duplicate configurations.
+* ``ask_batch(n)`` prefers the optimizer's native ``ask_batch`` (population /
+  neighborhood / acquisition-ranked proposals generated in one pass, see
+  :meth:`repro.search.optimizer.Optimizer.ask_batch`) and falls back to
+  repeated ``ask()`` calls for duck-typed optimizers without one.  Either
+  way every proposal passes tabu-style de-duplication — a proposal identical
+  to anything already proposed in this run is re-asked a few times and
+  finally diversified with a local mutation, so a batch never wastes
+  parallel slots on duplicate configurations.
 * ``tell_batch`` replays the measured outcomes in proposal order, which keeps
   the optimizer's observation log — and therefore its future trajectory —
   independent of the order in which workers happened to finish.
@@ -64,29 +67,25 @@ class BatchedOptimizer:
         """Propose ``n`` de-duplicated parameter assignments."""
         native = getattr(self.optimizer, "ask_batch", None)
         if callable(native):
-            proposals = list(native(n))
-            for params in proposals:
-                self.note_proposed(params)
-            return proposals
+            raw = list(native(n))
+        else:
+            raw = [self.optimizer.ask() for _ in range(n)]
+        return [self._dedup(params) for params in raw]
 
-        proposals: List[ParameterValues] = []
-        for _ in range(n):
-            proposals.append(self._ask_unique())
-        return proposals
-
-    def _ask_unique(self) -> ParameterValues:
-        params = self.optimizer.ask()
+    def _dedup(self, params: ParameterValues) -> ParameterValues:
         key = proposal_key(params)
         retries = 0
         while key in self._seen_keys and retries < self.max_retries:
             self.num_duplicates_avoided += 1
-            # Alternate re-asking with local mutations: re-asks let guided
-            # optimizers move on their own, mutations guarantee progress for
-            # optimizers stuck on a single incumbent.
+            # Mutate first, re-ask only for persistent duplicates: a local
+            # mutation usually suffices and costs nothing, while a re-ask can
+            # be expensive (e.g. a full surrogate refit for the Bayesian
+            # optimizer) but lets guided optimizers move on their own when
+            # mutations keep landing on seen configurations.
             if retries % 2 == 0:
-                params = self.optimizer.ask()
-            else:
                 params = self.space.mutate(params, self.optimizer.rng, num_mutations=2)
+            else:
+                params = self.optimizer.ask()
             key = proposal_key(params)
             retries += 1
         self._seen_keys.add(key)

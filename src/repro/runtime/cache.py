@@ -9,20 +9,30 @@ parameter assignment *and* a fingerprint of the evaluation context
 hit is only possible when the result would be identical.
 
 The cache is two-level: an in-memory LRU front for the current process and an
-optional JSON-lines file that persists across restarts.  Disk records are
+optional JSON-lines store that persists across restarts.  Disk records are
 loaded as raw dicts at open time and decoded to metrics lazily on first hit;
-writes are O(1) appends, so concurrent sweeps can share one cache file
-(append-only, last record wins on duplicate keys).
+writes are O(1) appends, last record wins on duplicate keys.
+
+Sharded sweeps write safely to one logical store by giving each concurrent
+writer its own sidecar file: a cache opened with ``writer_id=k`` appends to
+``<path>.shard-<k>`` while *reading* the union of the base file and every
+sidecar.  Interleaved appends from different shards (or hosts sharing a
+filesystem) therefore can never corrupt each other's lines.  :meth:`compact`
+folds the sidecars back into the base file, drops duplicate keys (keeping the
+best record per key), and evicts the least-recently-written records beyond a
+size cap so multi-shard sweeps don't grow the store unboundedly.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.core.problem import SearchProblem
 from repro.core.trial import TrialEvaluator, TrialMetrics
@@ -33,7 +43,13 @@ from repro.reporting.serialization import (
     trial_metrics_to_dict,
 )
 
-__all__ = ["problem_fingerprint", "CacheStats", "TrialCache"]
+__all__ = [
+    "problem_fingerprint",
+    "CacheStats",
+    "CompactionStats",
+    "TrialCache",
+    "compact_cache",
+]
 
 
 def problem_fingerprint(
@@ -84,38 +100,86 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
+@dataclass
+class CompactionStats:
+    """Outcome of one :meth:`TrialCache.compact` pass."""
+
+    kept: int = 0
+    duplicates_dropped: int = 0
+    evicted: int = 0
+    files_merged: int = 0
+
+
+def _record_rank(metrics: dict) -> tuple:
+    """Orderable quality of a disk record (feasible beats infeasible, then score)."""
+    try:
+        score = float(metrics.get("aggregate_score", 0.0))
+    except (TypeError, ValueError):
+        score = 0.0
+    if score != score:  # NaN
+        score = float("-inf")
+    return (1 if metrics.get("feasible") else 0, score)
+
+
 class TrialCache:
-    """Two-level (memory LRU + JSONL file) cache of trial metrics.
+    """Two-level (memory LRU + JSONL store) cache of trial metrics.
 
     Args:
-        path: Optional JSON-lines file for persistence; created on first put.
+        path: Optional JSON-lines store for persistence; created on first put.
         max_memory_entries: LRU capacity of the in-memory front.
+        writer_id: Concurrent-writer tag.  When set, appends go to the
+            sidecar file ``<path>.shard-<writer_id>`` instead of ``path``
+            while reads cover the base file plus every sidecar.  Each
+            concurrent writer (shard, host) must use a distinct id.
+        max_disk_entries: Default size cap applied by :meth:`compact`.
     """
 
     def __init__(
         self,
         path: Optional[Union[str, Path]] = None,
         max_memory_entries: int = 4096,
+        writer_id: Optional[Union[int, str]] = None,
+        max_disk_entries: Optional[int] = None,
     ) -> None:
         self.path = Path(path) if path is not None else None
         self.max_memory_entries = max(1, int(max_memory_entries))
+        self.writer_id = writer_id
+        self.max_disk_entries = max_disk_entries
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, TrialMetrics]" = OrderedDict()
         self._disk_index: Dict[str, dict] = {}
-        if self.path is not None and self.path.exists():
+        if self.path is not None:
             self._load_disk_index()
 
     # ------------------------------------------------------------------
+    @property
+    def write_path(self) -> Optional[Path]:
+        """File this instance appends to (sidecar when ``writer_id`` is set)."""
+        if self.path is None:
+            return None
+        if self.writer_id is None:
+            return self.path
+        return self.path.with_name(f"{self.path.name}.shard-{self.writer_id}")
+
+    def disk_files(self) -> List[Path]:
+        """Base file plus every shard sidecar, in a deterministic order."""
+        if self.path is None:
+            return []
+        files = [self.path] if self.path.exists() else []
+        files.extend(sorted(self.path.parent.glob(f"{self.path.name}.shard-*")))
+        return files
+
     def _load_disk_index(self) -> None:
-        for line in self.path.read_text().splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-                self._disk_index[record["key"]] = record["metrics"]
-            except (json.JSONDecodeError, KeyError, TypeError):
-                continue  # tolerate truncated/corrupt lines from killed runs
+        for file in self.disk_files():
+            for line in file.read_text().splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    self._disk_index[record["key"]] = record["metrics"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue  # tolerate truncated/corrupt lines from killed runs
         self.stats.disk_entries_loaded = len(self._disk_index)
 
     # ------------------------------------------------------------------
@@ -144,10 +208,17 @@ class TrialCache:
         """Store metrics in memory and (when configured) append to disk."""
         self._remember(key, metrics)
         self.stats.puts += 1
-        if self.path is not None:
-            record = {"key": key, "metrics": trial_metrics_to_dict(metrics)}
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self.path.open("a") as handle:
+        write_path = self.write_path
+        if write_path is not None:
+            record = {
+                "key": key,
+                "ts": time.time(),
+                "metrics": trial_metrics_to_dict(metrics),
+            }
+            write_path.parent.mkdir(parents=True, exist_ok=True)
+            # One write call per record: a line can never be split across
+            # appends, so a reader (or a later compaction) sees whole lines.
+            with write_path.open("a") as handle:
                 handle.write(json.dumps(record) + "\n")
 
     def _remember(self, key: str, metrics: TrialMetrics) -> None:
@@ -157,8 +228,93 @@ class TrialCache:
             self._memory.popitem(last=False)
 
     # ------------------------------------------------------------------
+    def compact(self, max_entries: Optional[int] = None) -> CompactionStats:
+        """Merge the store into one deduplicated, optionally size-capped file.
+
+        All shard sidecars are folded into the base file and removed.  For
+        each key the *best* record survives (feasible beats infeasible, then
+        higher aggregate score, then the later write).  When the survivor
+        count exceeds ``max_entries`` (default: ``max_disk_entries``), the
+        least-recently-written records are evicted first — recency comes
+        from each record's ``ts`` stamp, falling back to the mtime of the
+        file it was read from.  The rewrite is atomic (temp file + rename).
+
+        Compact only while no sweep is appending to this store: sidecar
+        files are deleted after merging, so records a live shard writes to
+        an already-unlinked sidecar would be lost.
+        """
+        if self.path is None:
+            raise ValueError("compaction requires a cache path")
+        if max_entries is None:
+            max_entries = self.max_disk_entries
+
+        files = self.disk_files()
+        stats = CompactionStats(files_merged=len(files))
+        survivors: Dict[str, list] = {}  # key -> [record, ts, order]
+        order = 0
+        for file in files:
+            try:
+                file_mtime = file.stat().st_mtime
+            except OSError:
+                file_mtime = 0.0
+            for line in file.read_text().splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                    metrics = record["metrics"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue
+                ts = float(record.get("ts", file_mtime) or file_mtime)
+                incumbent = survivors.get(key)
+                if incumbent is None:
+                    survivors[key] = [record, ts, order]
+                else:
+                    stats.duplicates_dropped += 1
+                    if _record_rank(metrics) >= _record_rank(incumbent[0]["metrics"]):
+                        incumbent[0] = record
+                    # A duplicate write is a *use* of the key: bump recency
+                    # so hot entries survive eviction (LRU semantics).
+                    incumbent[1] = max(incumbent[1], ts)
+                    incumbent[2] = order
+                order += 1
+
+        kept = list(survivors.values())
+        if max_entries is not None and len(kept) > max_entries:
+            kept.sort(key=lambda item: (item[1], item[2]))  # oldest first
+            stats.evicted = len(kept) - int(max_entries)
+            kept = kept[stats.evicted :]
+        else:
+            kept.sort(key=lambda item: item[2])
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp_path = self.path.with_name(self.path.name + ".tmp")
+        with tmp_path.open("w") as handle:
+            for record, ts, _ in kept:
+                record.setdefault("ts", ts)
+                handle.write(json.dumps(record) + "\n")
+        os.replace(tmp_path, self.path)
+        for file in files:
+            if file != self.path:
+                file.unlink(missing_ok=True)
+
+        self._disk_index = {}
+        self._load_disk_index()
+        stats.kept = len(kept)
+        return stats
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._memory.keys() | self._disk_index.keys())
 
     def __contains__(self, key: str) -> bool:
         return key in self._memory or key in self._disk_index
+
+
+def compact_cache(
+    path: Union[str, Path], max_entries: Optional[int] = None
+) -> CompactionStats:
+    """Compact a cache store on disk (see :meth:`TrialCache.compact`)."""
+    return TrialCache(path).compact(max_entries)

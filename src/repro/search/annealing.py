@@ -12,7 +12,7 @@ for ablating the choice of black-box optimizer.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import List, Optional
 
 from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
 from repro.search.optimizer import Observation, Optimizer
@@ -67,6 +67,25 @@ class SimulatedAnnealingOptimizer(Optimizer):
         hot_fraction = self.temperature / self.initial_temperature
         num_mutations = 1 + int(round(hot_fraction * (self.max_mutations - 1)))
         return self.space.mutate(self._incumbent, self.rng, num_mutations=num_mutations)
+
+    def ask_batch(self, n: int) -> List[ParameterValues]:
+        """Propose a neighborhood of ``n`` mutations around the incumbent.
+
+        The temperature (and hence the mutation width) is computed once for
+        the whole batch.  Under deferred feedback this is identical to ``n``
+        repeated asks — the incumbent and trial count cannot change between
+        asks of one batch — but differs from interleaved ask/tell, where an
+        accepted move would recentre the neighborhood mid-batch.
+        """
+        n = max(0, int(n))
+        if self._incumbent is None or self.num_trials < self.num_initial_random:
+            return [self.space.sample(self.rng) for _ in range(n)]
+        hot_fraction = self.temperature / self.initial_temperature
+        num_mutations = 1 + int(round(hot_fraction * (self.max_mutations - 1)))
+        return [
+            self.space.mutate(self._incumbent, self.rng, num_mutations=num_mutations)
+            for _ in range(n)
+        ]
 
     def tell(
         self,

@@ -11,6 +11,7 @@ objective so the surrogate learns to avoid constraint-violating regions
 
 from __future__ import annotations
 
+import json
 import math
 from typing import List, Optional
 
@@ -55,6 +56,49 @@ class BayesianOptimizer(Optimizer):
         mean, std = self._gp_posterior(train_x, train_y, encoded)
         ei = self._expected_improvement(mean, std, best_y)
         return candidates[int(np.argmax(ei))]
+
+    def ask_batch(self, n: int) -> List[ParameterValues]:
+        """Propose the top-``n`` distinct candidates by expected improvement.
+
+        The surrogate is fitted and the candidate pool generated *once* per
+        batch, and the ``n`` proposals are the EI-ranked distinct candidates.
+        This intentionally differs from ``n`` repeated asks (which would
+        refit and regenerate per proposal and return ``n`` copies of the
+        same argmax under deferred feedback): one posterior amortizes the
+        O(m^3) GP solve across the batch and the rank cutoff guarantees
+        distinct proposals.  The first proposal always equals what a single
+        :meth:`ask` would return from the same state.  During the initial
+        space-filling phase the batch is ``n`` random samples, identical to
+        repeated asks.
+        """
+        # Imported lazily: serialization reaches repro.core.fast, which pulls
+        # the repro.search package back in while it is still initializing.
+        from repro.reporting.serialization import params_to_jsonable
+
+        n = max(0, int(n))
+        usable = [obs for obs in self.observations if math.isfinite(obs.objective)]
+        if len(usable) < self.num_initial_random:
+            return [self.space.sample(self.rng) for _ in range(n)]
+
+        train_x, train_y, best_y = self._training_data(usable)
+        candidates = self._generate_candidates()
+        encoded = np.stack([self.space.encode(c) for c in candidates])
+        mean, std = self._gp_posterior(train_x, train_y, encoded)
+        ei = self._expected_improvement(mean, std, best_y)
+        proposals: List[ParameterValues] = []
+        seen = set()
+        for idx in np.argsort(-ei, kind="stable"):
+            candidate = candidates[int(idx)]
+            key = json.dumps(params_to_jsonable(candidate), sort_keys=True)
+            if key in seen:
+                continue
+            seen.add(key)
+            proposals.append(candidate)
+            if len(proposals) == n:
+                break
+        while len(proposals) < n:  # candidate pool had fewer distinct points
+            proposals.append(self.space.sample(self.rng))
+        return proposals
 
     # ------------------------------------------------------------------
     def _training_data(self, usable: List[Observation]):

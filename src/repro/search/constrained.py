@@ -15,7 +15,7 @@ ordered" points and steer away from them smoothly.
 from __future__ import annotations
 
 import math
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
 from repro.search.optimizer import Observation, Optimizer
@@ -48,6 +48,10 @@ class SafeSearchOptimizer(Optimizer):
     def ask(self) -> ParameterValues:
         """Delegate proposal generation to the inner optimizer."""
         return self.inner.ask()
+
+    def ask_batch(self, n: int) -> List[ParameterValues]:
+        """Delegate batch proposal generation to the inner optimizer."""
+        return self.inner.ask_batch(n)
 
     def tell(
         self,

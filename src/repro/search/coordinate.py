@@ -51,6 +51,31 @@ class CoordinateDescentOptimizer(Optimizer):
             return self.space.mutate(self._best_params, self.rng)
         return self._queue.pop()
 
+    def ask_batch(self, n: int) -> List[ParameterValues]:
+        """Drain up to ``n`` sweep points in one call, refilling across axes.
+
+        A batch pulls whole chunks of the per-axis sweep queue (one batch
+        can cover an entire parameter axis), filling the queue from the next
+        axis whenever it runs dry.  The proposals and queue/axis state are
+        exactly what ``n`` repeated asks produce under deferred feedback;
+        interleaved tells could instead recentre the sweep on an improved
+        incumbent between proposals.
+        """
+        n = max(0, int(n))
+        proposals: List[ParameterValues] = []
+        while len(proposals) < n:
+            if self._best_params is None or self.num_trials < self.num_initial_random:
+                proposals.append(self.space.sample(self.rng))
+                continue
+            if not self._queue:
+                self._fill_queue()
+            if not self._queue:  # every axis has a single choice
+                proposals.append(self.space.mutate(self._best_params, self.rng))
+                continue
+            for _ in range(min(n - len(proposals), len(self._queue))):
+                proposals.append(self._queue.pop())
+        return proposals
+
     def tell(
         self,
         params: ParameterValues,

@@ -57,6 +57,34 @@ class LinearCombinationSwarmOptimizer(Optimizer):
             child = self.space.mutate(child, self.rng, num_mutations=int(self.rng.integers(1, 3)))
         return child
 
+    def ask_batch(self, n: int) -> List[ParameterValues]:
+        """Propose one generation of ``n`` children from the current population.
+
+        The elite population is ranked once and all ``n`` children are bred
+        from it — the classic generational move.  Under deferred feedback
+        this consumes the RNG exactly as ``n`` repeated asks would (the
+        population cannot change between asks of one batch), so the batch
+        trajectory is identical; it differs from *interleaved* ask/tell,
+        where each tell could promote a new parent mid-batch.
+        """
+        n = max(0, int(n))
+        population = self._population()
+        if len(population) < 2 or self.num_trials < self.num_initial_random:
+            return [self.space.sample(self.rng) for _ in range(n)]
+        children: List[ParameterValues] = []
+        for _ in range(n):
+            parent_a, parent_b = self._select_parents(population)
+            child_vector = self._linear_combination(
+                self.space.encode(parent_a.params), self.space.encode(parent_b.params)
+            )
+            child = self.space.decode(child_vector)
+            if self.rng.random() < self.mutation_probability:
+                child = self.space.mutate(
+                    child, self.rng, num_mutations=int(self.rng.integers(1, 3))
+                )
+            children.append(child)
+        return children
+
     # ------------------------------------------------------------------
     def _population(self) -> List[Observation]:
         feasible = self.feasible_observations

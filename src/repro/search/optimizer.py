@@ -47,6 +47,21 @@ class Optimizer(ABC):
     def ask(self) -> ParameterValues:
         """Propose the next parameter assignment to evaluate."""
 
+    def ask_batch(self, n: int) -> List[ParameterValues]:
+        """Propose ``n`` parameter assignments in one call.
+
+        Batch proposals are generated *before* any of their outcomes are
+        known: the runtime evaluates the whole batch and only then replays
+        the results through :meth:`tell` in proposal order.  The base
+        implementation simply repeats :meth:`ask`; optimizers with a natural
+        batch move (populations, neighborhoods, sweep queues, acquisition
+        maximization) override it to produce the batch in a single pass.
+        Because no tells are interleaved, a native batch must match what
+        ``n`` repeated asks would produce *under deferred feedback* — or
+        document (and test) where it intentionally differs.
+        """
+        return [self.ask() for _ in range(max(0, int(n)))]
+
     def tell(
         self,
         params: ParameterValues,

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
 from repro.search.optimizer import Optimizer
 
@@ -14,3 +16,13 @@ class RandomSearchOptimizer(Optimizer):
     def ask(self) -> ParameterValues:
         """Propose a uniformly random configuration."""
         return self.space.sample(self.rng)
+
+    def ask_batch(self, n: int) -> List[ParameterValues]:
+        """Propose ``n`` i.i.d. uniform samples in one call.
+
+        Random search ignores feedback, so the native batch is exactly the
+        sequence ``n`` repeated asks would draw — including under
+        interleaved tells.  Routed through :meth:`ask` so subclasses that
+        override the single-proposal rule keep their behaviour in batches.
+        """
+        return [self.ask() for _ in range(max(0, int(n)))]

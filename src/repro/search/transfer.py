@@ -77,6 +77,16 @@ class TransferWarmStartOptimizer(Optimizer):
             return self._warm_start_queue.pop(0)
         return self.inner.ask()
 
+    def ask_batch(self, n: int) -> List[ParameterValues]:
+        """Drain pending warm starts first, then batch-ask the inner optimizer."""
+        n = max(0, int(n))
+        proposals: List[ParameterValues] = []
+        while self._warm_start_queue and len(proposals) < n:
+            proposals.append(self._warm_start_queue.pop(0))
+        if len(proposals) < n:
+            proposals.extend(self.inner.ask_batch(n - len(proposals)))
+        return proposals
+
     def tell(
         self,
         params: ParameterValues,

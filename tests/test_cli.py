@@ -34,6 +34,21 @@ class TestParser:
         assert args.resume is None
         assert not args.progress
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "--workload", "resnet50"])
+        assert args.shards == 4
+        assert args.trials == 48
+        assert args.shard_index is None
+        assert args.merge is None
+        assert args.mode == "seed"
+
+    def test_cache_compact_requires_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "compact"])
+        args = build_parser().parse_args(["cache", "compact", "--cache", "x.jsonl"])
+        assert args.cache == "x.jsonl"
+        assert args.max_entries is None
+
 
 class TestCommands:
     def test_list_designs(self, capsys):
@@ -100,6 +115,103 @@ class TestCommands:
             assert "Best design found" in out
             assert json.loads(result_path.read_text())["num_trials"] == 4
             assert config_path.exists()
+
+    def test_sweep_smoke_golden_output(self, tmp_path, capsys):
+        out_path = tmp_path / "sweep.json"
+        code = main(
+            [
+                "sweep",
+                "--workload", "efficientnet-b0",
+                "--trials", "8",
+                "--shards", "2",
+                "--optimizer", "random",
+                "--batch-size", "4",
+                "--cache", str(tmp_path / "cache.jsonl"),
+                "--output", str(out_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        # A tiny random sweep may find nothing feasible; either way the
+        # per-shard table and merged summary must render.
+        assert code in (0, 1)
+        assert "Shard" in out and "Best score" in out
+        assert "Merged sweep" in out
+        assert "unique trials       8" in out
+        assert "duplicates removed" in out
+        payload = json.loads(out_path.read_text())
+        assert len(payload["shards"]) == 2
+        assert payload["num_trials"] == 8
+        # the shared cache produced one sidecar per shard
+        assert sorted(p.name for p in tmp_path.glob("cache.jsonl.shard-*")) == [
+            "cache.jsonl.shard-0", "cache.jsonl.shard-1",
+        ]
+
+    def test_sweep_shard_index_then_merge(self, tmp_path, capsys):
+        shard_files = []
+        for k in range(2):
+            path = tmp_path / f"shard-{k}.json"
+            code = main(
+                [
+                    "sweep",
+                    "--workload", "efficientnet-b0",
+                    "--trials", "8",
+                    "--shards", "2",
+                    "--shard-index", str(k),
+                    "--optimizer", "random",
+                    "--batch-size", "4",
+                    "--output", str(path),
+                ]
+            )
+            assert code == 0
+            assert path.exists()
+            shard_files.append(str(path))
+        out = capsys.readouterr().out
+        assert "Shard complete" in out
+
+        code = main(["sweep", "--merge"] + shard_files)
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "Merged sweep" in out
+        assert "unique trials       8" in out
+
+    def test_sweep_requires_workload_or_merge(self, capsys):
+        assert main(["sweep", "--trials", "4"]) == 1
+        assert "--workload is required" in capsys.readouterr().out
+
+    def test_sweep_rejects_bad_space_partition(self, capsys):
+        base = ["sweep", "--workload", "efficientnet-b0", "--trials", "4",
+                "--mode", "space"]
+        assert main(base + ["--shards", "2", "--partition-axis", "nope"]) == 1
+        assert "unknown partition axis" in capsys.readouterr().out
+        assert main(base + ["--shards", "99", "--partition-axis", "l1_buffer_config"]) == 1
+        assert "cannot split axis" in capsys.readouterr().out
+
+    def test_cache_compact_golden_output(self, tmp_path, capsys):
+        cache_path = tmp_path / "cache.jsonl"
+        code = main(
+            [
+                "search",
+                "--workload", "efficientnet-b0",
+                "--trials", "4",
+                "--optimizer", "random",
+                "--batch-size", "2",
+                "--cache", str(cache_path),
+            ]
+        )
+        assert code in (0, 1)
+        capsys.readouterr()
+        code = main(["cache", "compact", "--cache", str(cache_path), "--max-entries", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Cache compaction" in out
+        assert "entries kept        2" in out
+        assert "entries evicted     2" in out
+        assert len(cache_path.read_text().splitlines()) == 2
+
+    def test_cache_compact_missing_store_fails(self, tmp_path, capsys):
+        code = main(["cache", "compact", "--cache", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        assert "no cache store" in capsys.readouterr().out
 
     def test_search_parallel_cache_and_resume(self, tmp_path, capsys):
         cache_path = tmp_path / "cache.jsonl"
