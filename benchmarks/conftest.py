@@ -29,6 +29,16 @@ def bench_trials(default: int = 120) -> int:
     return int(os.environ.get("REPRO_BENCH_TRIALS", default))
 
 
+def timing_asserts_enabled() -> bool:
+    """Whether benchmarks should assert speedup ratios.
+
+    CI smoke runs set ``REPRO_BENCH_NO_TIMING_ASSERTS=1`` so a benchmark
+    fails on crashes and equivalence breaks but not on shared-runner timing
+    noise.
+    """
+    return not os.environ.get("REPRO_BENCH_NO_TIMING_ASSERTS")
+
+
 def report(experiment: str, text: str) -> None:
     """Print a regenerated table/figure and persist it under results/."""
     banner = f"\n===== {experiment} =====\n"

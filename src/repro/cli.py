@@ -70,6 +70,46 @@ evicts the least-recently-written entries beyond ``--max-entries`` (compact
 between sweeps, not while one is writing — merged sidecars are deleted)::
 
     python -m repro cache compact --cache trials.jsonl --max-entries 10000
+
+A cache opened with a ``max_disk_entries`` cap also auto-compacts itself
+once the store overshoots the cap by a slack margin, so long exclusive-writer
+runs never grow the store unboundedly.
+
+Performance
+-----------
+Trial evaluation itself — the Figure-1 pipeline of mapper, VPU cost model,
+and FAST fusion — runs on two complementary fast paths, both bit-for-bit
+equivalent to the reference implementation:
+
+* **Vectorized mapping engine** (default).  The mapper's
+  ``dataflow x (m, n, k)-tiling`` candidate sweep is evaluated as NumPy
+  arrays in one pass instead of a Python loop.  ``--scalar-mapper`` selects
+  the scalar reference implementation (mainly for verification and
+  profiling baselines); the chosen tilings, cycles, and DRAM bytes are
+  identical either way.
+* **Cross-trial op-cost cache** (default).  Mapped op costs are memoized
+  across trials keyed by the op's problem shape and the mapping-relevant
+  slice of the datapath, so neighboring design points — and repeated,
+  swept, or sharded searches — skip the candidate sweep entirely.
+  ``--no-op-cache`` disables it; ``--op-cache PATH`` additionally persists
+  the cache as JSON lines shared across processes and restarts.  Hit/miss
+  counters appear in the search summary, progress lines, and
+  ``RuntimeStats``.
+
+``repro profile`` measures all of this on a fixed-seed search: trials/sec
+and a per-stage time breakdown (mapper / vector / fusion / other) for the
+scalar, vectorized, and vectorized+op-cache modes, verifying along the way
+that every mode reproduces the same trial history::
+
+    python -m repro profile --workload efficientnet-b0 --trials 48 \
+        --warm-op-cache --output profile.json
+
+When to prefer which knob: ``--workers N`` helps when single trials are
+expensive (large workloads, many workloads per trial) and cores are
+plentiful; vectorization + the op cache accelerate every trial from within
+and compose with workers, caching, sweeps, and checkpointing.  Start with
+the defaults (vectorized, op cache on, serial) and add ``--workers`` when a
+profile shows the evaluator saturating one core.
 """
 
 from __future__ import annotations
@@ -183,11 +223,22 @@ def _cmd_characterize(args) -> int:
 
 
 def _cmd_search(args) -> int:
+    from repro.core.trial import TrialEvaluator
     from repro.runtime import ProgressBus, ProgressPrinter, SearchCheckpoint, TrialCache, make_executor
+    from repro.simulator.engine import SimulationOptions
 
     problem = SearchProblem(
         workloads=list(args.workload),
         objective=ObjectiveKind(args.objective),
+    )
+    evaluator = TrialEvaluator(
+        problem,
+        simulation_options=SimulationOptions(
+            fusion_solver="greedy",
+            vectorized_mapper=not args.scalar_mapper,
+            op_cache_enabled=not args.no_op_cache,
+            op_cache_path=args.op_cache,
+        ),
     )
     cache = TrialCache(args.cache) if args.cache else None
     checkpoint_path = args.resume or args.checkpoint
@@ -205,6 +256,7 @@ def _cmd_search(args) -> int:
             problem,
             optimizer=args.optimizer,
             seed=args.seed,
+            evaluator=evaluator,
             executor=executor,
             cache=cache,
             checkpoint=checkpoint,
@@ -236,6 +288,12 @@ def _cmd_search(args) -> int:
         summary["trials/sec"] = result.runtime.trials_per_second
         if cache is not None:
             summary["cache hits"] = result.runtime.cache_hits
+        if result.runtime.op_cache_hits or result.runtime.op_cache_misses:
+            summary["op-cache hits"] = result.runtime.op_cache_hits
+            summary["op-cache hit rate"] = result.runtime.op_cache_hit_rate
+        if result.runtime.eval_seconds:
+            summary["mapper seconds"] = result.runtime.mapper_seconds
+            summary["fusion seconds"] = result.runtime.fusion_seconds
         if result.runtime.resumed_trials:
             summary["resumed trials"] = result.runtime.resumed_trials
     print(format_kv(summary, title="Search summary"))
@@ -366,6 +424,54 @@ def _cmd_sweep(args) -> int:
         print("sweep found no feasible design within the trial budget")
         return 1
     return 0
+
+
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro.runtime.profiling import profile_search
+
+    report = profile_search(
+        list(args.workload),
+        trials=args.trials,
+        optimizer=args.optimizer,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        objective=ObjectiveKind(args.objective),
+        warm_op_cache=args.warm_op_cache,
+    )
+    rows = []
+    for record in report.records:
+        stages = record.stage_seconds
+        rows.append([
+            record.mode,
+            f"{record.trials_per_second:.1f}",
+            f"{report.speedup(record.mode):.2f}x",
+            f"{stages.get('mapper', 0.0) * 1e3:.0f}",
+            f"{stages.get('vector', 0.0) * 1e3:.0f}",
+            f"{stages.get('fusion', 0.0) * 1e3:.0f}",
+            f"{stages.get('other', 0.0) * 1e3:.0f}",
+            f"{record.op_cache_hit_rate:.2f}" if record.op_cache_hits else "-",
+        ])
+    print(format_table(
+        ["Mode", "Trials/s", "vs scalar", "Mapper ms", "Vector ms",
+         "Fusion ms", "Other ms", "Op-cache hit rate"],
+        rows,
+    ))
+    print(
+        f"\n{report.trials} trials, batch={report.batch_size}, "
+        f"optimizer={report.optimizer}, seed={report.seed}, "
+        f"workloads={','.join(report.workloads)}"
+    )
+    if report.histories_match:
+        print("equivalence: all modes reproduced the reference trial history bit-for-bit")
+    else:
+        print("equivalence FAILED: some mode diverged from the reference trial history")
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"profile written to {args.output}")
+    return 0 if report.histories_match else 1
 
 
 def _cmd_cache_compact(args) -> int:
@@ -506,9 +612,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="Resume from this checkpoint file (implies --checkpoint PATH)")
     search.add_argument("--progress", action="store_true",
                         help="Stream live per-trial progress lines")
+    search.add_argument("--op-cache", default=None, metavar="PATH",
+                        help="Persist the cross-trial per-op cost cache to this "
+                             "JSON-lines file (shared across processes and restarts)")
+    search.add_argument("--no-op-cache", action="store_true",
+                        help="Disable the in-process cross-trial op-cost cache")
+    search.add_argument("--scalar-mapper", action="store_true",
+                        help="Use the scalar reference mapping engine instead of "
+                             "the vectorized one (identical results, slower)")
     search.add_argument("--output", default=None, help="Write the search result JSON here")
     search.add_argument("--save-config", default=None, help="Write the best design JSON here")
     search.set_defaults(func=_cmd_search)
+
+    profile = sub.add_parser(
+        "profile",
+        help="Profile trial evaluation: per-stage times and trials/sec for the "
+             "scalar, vectorized, and op-cached modes (verifies equivalence)",
+    )
+    profile.add_argument("--workload", action="append", required=True,
+                         help="Repeat for multi-workload profiles")
+    profile.add_argument("--trials", type=int, default=48)
+    profile.add_argument("--optimizer", default="lcs",
+                         help="random / bayesian / lcs / annealing / coordinate / safe:<name>")
+    profile.add_argument("--objective", default="perf_per_tdp",
+                         choices=[kind.value for kind in ObjectiveKind])
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--batch-size", type=int, default=8)
+    profile.add_argument("--warm-op-cache", action="store_true",
+                         help="Also warm the op cache and time its steady state "
+                              "(the sweep / repeated-search regime)")
+    profile.add_argument("--output", default=None, metavar="PATH",
+                         help="Write the profile report JSON here")
+    profile.set_defaults(func=_cmd_profile)
 
     sweep = sub.add_parser(
         "sweep", help="Sharded sweep: run N independent search shards and merge them"

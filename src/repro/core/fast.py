@@ -40,7 +40,15 @@ __all__ = ["RuntimeStats", "FASTSearchResult", "FASTSearch"]
 
 @dataclass
 class RuntimeStats:
-    """Execution statistics of one search run."""
+    """Execution statistics of one search run.
+
+    ``op_cache_hits``/``op_cache_misses`` count per-op cost lookups served by
+    the cross-trial :mod:`repro.runtime.opcache`; the ``*_seconds`` fields
+    break evaluation wall-clock time down by pipeline stage (mapper / VPU
+    cost model / fusion ILP / whole-trial evaluation).  Both are collected
+    from this process's evaluator and op cache, so with a parallel executor
+    (whose evaluation happens in worker processes) they remain zero.
+    """
 
     trials_evaluated: int = 0
     cache_hits: int = 0
@@ -48,12 +56,24 @@ class RuntimeStats:
     duplicates_avoided: int = 0
     resumed_trials: int = 0
     elapsed_seconds: float = 0.0
+    op_cache_hits: int = 0
+    op_cache_misses: int = 0
+    mapper_seconds: float = 0.0
+    vector_seconds: float = 0.0
+    fusion_seconds: float = 0.0
+    eval_seconds: float = 0.0
 
     @property
     def trials_per_second(self) -> float:
         """Completed trials (evaluated + cached) per wall-clock second."""
         total = self.trials_evaluated + self.cache_hits
         return total / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
+
+    @property
+    def op_cache_hit_rate(self) -> float:
+        """Fraction of per-op cost lookups served by the op cache."""
+        total = self.op_cache_hits + self.op_cache_misses
+        return self.op_cache_hits / total if total else 0.0
 
 
 @dataclass
@@ -199,6 +219,12 @@ class FASTSearch:
         bus = self.progress or ProgressBus()
         started_at = time.monotonic()
         stats = RuntimeStats()
+        stage_start = dict(getattr(self.evaluator, "stage_seconds", None) or {})
+        # Op-cache counters only move in this process, i.e. under a serial
+        # executor; with a parallel executor the cache lives in the workers,
+        # so don't force-load a possibly large persistent store here.
+        op_cache = self._op_cache() if isinstance(executor, SerialExecutor) else None
+        op_cache_start = op_cache.snapshot_counters() if op_cache is not None else (0, 0)
 
         history: List[TrialMetrics] = []
         proposals_log: List[ParameterValues] = []
@@ -346,10 +372,20 @@ class FASTSearch:
 
         stats.elapsed_seconds = time.monotonic() - started_at
         stats.duplicates_avoided = batched.num_duplicates_avoided
+        stage_now = getattr(self.evaluator, "stage_seconds", None) or {}
+        stats.mapper_seconds = stage_now.get("mapper", 0.0) - stage_start.get("mapper", 0.0)
+        stats.vector_seconds = stage_now.get("vector", 0.0) - stage_start.get("vector", 0.0)
+        stats.fusion_seconds = stage_now.get("fusion", 0.0) - stage_start.get("fusion", 0.0)
+        stats.eval_seconds = stage_now.get("evaluate", 0.0) - stage_start.get("evaluate", 0.0)
+        if op_cache is not None:
+            hits, misses = op_cache.snapshot_counters()
+            stats.op_cache_hits = hits - op_cache_start[0]
+            stats.op_cache_misses = misses - op_cache_start[1]
         bus.emit(
             SEARCH_FINISHED,
             num_trials=completed,
             cache_hits=stats.cache_hits,
+            op_cache_hits=stats.op_cache_hits,
             best_score=(
                 best_metrics.aggregate_score if best_metrics is not None else float("nan")
             ),
@@ -366,6 +402,16 @@ class FASTSearch:
             pareto_front=pareto,
             runtime=stats,
         )
+
+    # ------------------------------------------------------------------
+    def _op_cache(self):
+        """This process's shared op-cost cache, when the evaluator uses one."""
+        options = getattr(self.evaluator, "simulation_options", None)
+        if options is None or not getattr(options, "op_cache_enabled", False):
+            return None
+        from repro.runtime.opcache import get_op_cache
+
+        return get_op_cache(getattr(options, "op_cache_path", None))
 
 
 def _mean(values) -> float:

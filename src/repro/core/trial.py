@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -84,7 +85,15 @@ class TrialMetrics:
 
 
 class TrialEvaluator:
-    """Evaluates candidate datapaths for a search problem."""
+    """Evaluates candidate datapaths for a search problem.
+
+    ``stage_seconds`` accumulates wall-clock seconds per pipeline stage
+    (``mapper`` / ``vector`` / ``fusion`` from the simulator, plus the
+    all-inclusive ``evaluate``) across every trial this instance evaluates in
+    this process; the search loop and ``repro profile`` report deltas of it.
+    Parallel executors evaluate on worker-process copies, so the parent's
+    counters stay at zero there.
+    """
 
     def __init__(
         self,
@@ -97,6 +106,12 @@ class TrialEvaluator:
         self.area_power_model = area_power_model or AreaPowerModel()
         self.simulation_options = simulation_options or SimulationOptions(fusion_solver="greedy")
         self.num_cores = num_cores
+        self.stage_seconds: Dict[str, float] = {
+            "mapper": 0.0,
+            "vector": 0.0,
+            "fusion": 0.0,
+            "evaluate": 0.0,
+        }
 
     # ------------------------------------------------------------------
     def evaluate_params(
@@ -117,6 +132,13 @@ class TrialEvaluator:
 
     def evaluate_config(self, config: DatapathConfig) -> TrialMetrics:
         """Evaluate a concrete datapath configuration."""
+        started = time.perf_counter()
+        try:
+            return self._evaluate_config(config)
+        finally:
+            self.stage_seconds["evaluate"] += time.perf_counter() - started
+
+    def _evaluate_config(self, config: DatapathConfig) -> TrialMetrics:
         breakdown = self.area_power_model.evaluate(config)
         area = breakdown.total_area_mm2
         tdp = breakdown.total_tdp_w
@@ -140,19 +162,23 @@ class TrialEvaluator:
 
         simulator = Simulator(config, self.simulation_options)
         per_workload_scores: Dict[str, float] = {}
-        for workload in self.problem.workloads:
-            graph = _cached_graph(workload, config.native_batch_size)
-            result = simulator.simulate(graph)
-            if result.schedule_failed:
-                metrics.feasible = False
-                metrics.failure_reason = f"schedule failure on {workload}"
-                return metrics
-            metrics.per_workload_qps[workload] = result.qps
-            metrics.per_workload_latency_ms[workload] = result.latency_ms
-            metrics.per_workload_utilization[workload] = result.compute_utilization
-            per_workload_scores[workload] = self.problem.workload_score(
-                workload, result.qps, tdp, area
-            )
+        try:
+            for workload in self.problem.workloads:
+                graph = _cached_graph(workload, config.native_batch_size)
+                result = simulator.simulate(graph)
+                if result.schedule_failed:
+                    metrics.feasible = False
+                    metrics.failure_reason = f"schedule failure on {workload}"
+                    return metrics
+                metrics.per_workload_qps[workload] = result.qps
+                metrics.per_workload_latency_ms[workload] = result.latency_ms
+                metrics.per_workload_utilization[workload] = result.compute_utilization
+                per_workload_scores[workload] = self.problem.workload_score(
+                    workload, result.qps, tdp, area
+                )
+        finally:
+            for stage, seconds in simulator.stage_seconds.items():
+                self.stage_seconds[stage] += seconds
 
         metrics.aggregate_score = self.problem.aggregate(per_workload_scores)
         metrics.objective_value = self.problem.minimized_value(metrics.aggregate_score)

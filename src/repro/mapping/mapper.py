@@ -19,63 +19,148 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.hardware.datapath import BufferConfig, DatapathConfig
 from repro.hardware.memory import MemoryHierarchy
 from repro.mapping.costmodel import OpCost
 from repro.mapping.dataflow import Dataflow, SpatialMapping, spatial_mapping
 from repro.mapping.loopnest import MatrixProblem, extract_problem
 from repro.mapping.padding import pad_problem
-from repro.mapping.tiling import Tiling, candidate_tilings, estimate_traffic
+from repro.mapping.tiling import (
+    Tiling,
+    candidate_tilings,
+    estimate_traffic,
+    estimate_traffic_batch,
+    tiling_candidate_arrays,
+)
 from repro.workloads.graph import Operation, Tensor
 from repro.workloads.ops import is_matrix_op
 
-__all__ = ["Mapper", "MapperOptions"]
+__all__ = ["Mapper", "MapperOptions", "clear_problem_memo"]
 
 _DTYPE_BYTES = 2  # bfloat16 throughout, matching the paper's evaluation.
 _MIN_STREAM_CHUNK = 128  # Minimum rows per PE when splitting the streamed dim.
 
+# Problem extraction is pure and ops belong to immutable built graphs, so the
+# lowered MatrixProblem is memoized per op object across Mapper instances
+# (every trial builds a fresh Mapper but maps the same cached graphs).  Keys
+# are object ids; the stored strong reference both validates identity and
+# prevents id reuse.  The memo is cleared wholesale when it overflows.
+_PROBLEM_MEMO: Dict[int, Tuple[Operation, MatrixProblem]] = {}
+_PROBLEM_MEMO_MAX = 16384
+
+
+def _memoized_problem(op: Operation, tensors: Dict[str, Tensor]) -> MatrixProblem:
+    entry = _PROBLEM_MEMO.get(id(op))
+    if entry is not None and entry[0] is op:
+        return entry[1]
+    problem = extract_problem(op, tensors)
+    if len(_PROBLEM_MEMO) >= _PROBLEM_MEMO_MAX:
+        _PROBLEM_MEMO.clear()
+    _PROBLEM_MEMO[id(op)] = (op, problem)
+    return problem
+
+
+def clear_problem_memo() -> None:
+    """Drop all memoized problem extractions (for tests)."""
+    _PROBLEM_MEMO.clear()
+
 
 class MapperOptions:
-    """Tunable knobs of the mapper search."""
+    """Tunable knobs of the mapper search.
+
+    ``vectorize`` selects the NumPy candidate-sweep engine; the scalar loop is
+    kept as the reference implementation (``vectorize=False``) and the two are
+    bit-for-bit equivalent — same chosen tiling, cycles, and DRAM bytes.
+    """
 
     def __init__(
         self,
         dataflows: Tuple[Dataflow, ...] = (Dataflow.WEIGHT_STATIONARY, Dataflow.OUTPUT_STATIONARY),
         max_tiling_candidates: int = 48,
         padding_max_overhead: float = 0.2,
+        vectorize: bool = True,
     ) -> None:
         self.dataflows = dataflows
         self.max_tiling_candidates = max_tiling_candidates
         self.padding_max_overhead = padding_max_overhead
+        self.vectorize = vectorize
 
 
 class Mapper:
-    """Maps matrix operations onto a single core of a datapath."""
+    """Maps matrix operations onto a single core of a datapath.
+
+    ``op_cache`` is an optional shared (cross-trial, optionally persistent)
+    :class:`~repro.runtime.opcache.OpCostCache`; mapping results are keyed by
+    the problem fingerprint *and* the mapping-relevant slice of the datapath
+    configuration, so two trials that agree on that slice — no matter how
+    their fusion/memory/batch parameters differ — reuse each other's op costs.
+    """
 
     def __init__(
         self,
         config: DatapathConfig,
         hierarchy: Optional[MemoryHierarchy] = None,
         options: Optional[MapperOptions] = None,
+        op_cache=None,
     ) -> None:
         self.config = config
         self.hierarchy = hierarchy or MemoryHierarchy(config)
         self.options = options or MapperOptions()
+        self.op_cache = op_cache
         self._cache: Dict[Tuple, OpCost] = {}
+        self._config_key = self.mapping_config_key() if op_cache is not None else None
+
+    # ------------------------------------------------------------------
+    def mapping_config_key(self) -> Tuple:
+        """The slice of the configuration that determines mapping results.
+
+        Everything the mapper search reads — array geometry, PE count, L1
+        scratchpad layout (schedulability), blocking capacity, DRAM bandwidth
+        per cycle (candidate ranking), and the mapper options themselves.
+        ``vectorize`` is deliberately excluded: both engines are bit-for-bit
+        equivalent, so their results are interchangeable.
+        """
+        config = self.config
+        options = self.options
+        return (
+            config.systolic_array_x,
+            config.systolic_array_y,
+            config.num_pes,
+            config.l1_buffer_config.value,
+            config.l1_input_buffer_kib,
+            config.l1_weight_buffer_kib,
+            config.l1_output_buffer_kib,
+            self.hierarchy.blocking_capacity_bytes,
+            config.dram_bytes_per_cycle,
+            tuple(d.value for d in options.dataflows),
+            options.max_tiling_candidates,
+            options.padding_max_overhead,
+        )
 
     # ------------------------------------------------------------------
     def map_op(self, op: Operation, tensors: Dict[str, Tensor]) -> OpCost:
         """Map a matrix op; returns its cost (cached by problem signature)."""
         if not is_matrix_op(op.op_type):
             raise ValueError(f"mapper only handles matrix ops, got {op.op_type}")
-        problem = extract_problem(op, tensors)
+        problem = _memoized_problem(op, tensors)
         key = self._problem_key(problem)
         cached = self._cache.get(key)
         if cached is not None:
             # Re-label the cached cost for this op name.
             return OpCost(**{**cached.__dict__, "op_name": op.name, "op_type": op.op_type})
+        if self.op_cache is not None:
+            shared = self.op_cache.get((self._config_key, key))
+            if shared is not None:
+                self._cache[key] = shared
+                return OpCost(
+                    **{**shared.__dict__, "op_name": op.name, "op_type": op.op_type}
+                )
         cost = self._map_problem(op, problem)
         self._cache[key] = cost
+        if self.op_cache is not None:
+            self.op_cache.put((self._config_key, key), cost)
         return cost
 
     # ------------------------------------------------------------------
@@ -132,37 +217,12 @@ class Mapper:
         blocking_capacity = self.hierarchy.blocking_capacity_bytes
         dram_bpc = config.dram_bytes_per_cycle
 
-        # Candidates are ranked lexicographically: execution time first (with a
-        # small tolerance so near-ties compare equal), then DRAM traffic, then
-        # on-chip buffer footprint.  Preferring small footprints among equal
-        # mappings leaves Global Memory headroom for FAST fusion, mirroring
-        # the paper's "leftover capacity unused by Timeloop".
-        best: Optional[Tuple[Tuple[float, float, float], SpatialMapping, Tiling, object]] = None
-        for dataflow in self.options.dataflows:
-            mapping = spatial_mapping(
-                problem, config.systolic_array_x, config.systolic_array_y, dataflow
-            )
-            compute_cycles = self._compute_cycles(problem, mapping)
-            for tiling in candidate_tilings(
-                problem,
-                config.systolic_array_x,
-                config.systolic_array_y,
-                self.options.max_tiling_candidates,
-            ):
-                traffic, fits = estimate_traffic(
-                    problem, tiling, blocking_capacity, _DTYPE_BYTES
-                )
-                if not fits:
-                    continue
-                dram_cycles = traffic.total_bytes / dram_bpc if dram_bpc > 0 else 0.0
-                objective = max(compute_cycles, dram_cycles)
-                rank = (
-                    round(objective, 3),
-                    round(traffic.total_bytes),
-                    tiling.buffer_bytes(_DTYPE_BYTES),
-                )
-                if best is None or rank < best[0]:
-                    best = (rank, mapping, tiling, traffic)
+        search = (
+            self._search_candidates_vectorized
+            if self.options.vectorize
+            else self._search_candidates_scalar
+        )
+        best = search(problem, blocking_capacity, dram_bpc)
 
         if best is None:
             return OpCost(
@@ -191,6 +251,119 @@ class Mapper:
             tiling=tiling,
             schedule_failed=False,
         )
+
+    # ------------------------------------------------------------------
+    # Candidate search engines.  Both return the winning
+    # ``(rank, mapping, tiling, traffic)`` tuple (or None when no candidate
+    # fits) and are bit-for-bit equivalent; the scalar loop is the reference.
+    # ------------------------------------------------------------------
+    def _search_candidates_scalar(
+        self, problem: MatrixProblem, blocking_capacity: int, dram_bpc: float
+    ):
+        # Candidates are ranked lexicographically: execution time first (with a
+        # small tolerance so near-ties compare equal), then DRAM traffic, then
+        # on-chip buffer footprint.  Preferring small footprints among equal
+        # mappings leaves Global Memory headroom for FAST fusion, mirroring
+        # the paper's "leftover capacity unused by Timeloop".
+        config = self.config
+        best: Optional[Tuple[Tuple[float, float, float], SpatialMapping, Tiling, object]] = None
+        for dataflow in self.options.dataflows:
+            mapping = spatial_mapping(
+                problem, config.systolic_array_x, config.systolic_array_y, dataflow
+            )
+            compute_cycles = self._compute_cycles(problem, mapping)
+            for tiling in candidate_tilings(
+                problem,
+                config.systolic_array_x,
+                config.systolic_array_y,
+                self.options.max_tiling_candidates,
+            ):
+                traffic, fits = estimate_traffic(
+                    problem, tiling, blocking_capacity, _DTYPE_BYTES
+                )
+                if not fits:
+                    continue
+                dram_cycles = traffic.total_bytes / dram_bpc if dram_bpc > 0 else 0.0
+                objective = max(compute_cycles, dram_cycles)
+                rank = (
+                    round(objective, 3),
+                    round(traffic.total_bytes),
+                    tiling.buffer_bytes(_DTYPE_BYTES),
+                )
+                if best is None or rank < best[0]:
+                    best = (rank, mapping, tiling, traffic)
+        return best
+
+    def _search_candidates_vectorized(
+        self, problem: MatrixProblem, blocking_capacity: int, dram_bpc: float
+    ):
+        """NumPy twin of the scalar search: one array pass over all candidates.
+
+        The candidate grid and its DRAM traffic are dataflow-independent, so
+        they are computed once and shared by every dataflow (the scalar loop
+        recomputes identical estimates per dataflow).  Only the final
+        lexicographic ranking runs in Python, over the (few) fitting
+        candidates, because ``round(x, 3)`` must be Python's
+        correctly-rounded builtin for the rank to match the scalar reference
+        exactly.  First-wins tie-breaking mirrors the scalar ``rank <
+        best[0]`` comparison across the same enumeration order.
+        """
+        config = self.config
+        m_tiles, n_tiles, k_tiles = tiling_candidate_arrays(
+            problem,
+            config.systolic_array_x,
+            config.systolic_array_y,
+            self.options.max_tiling_candidates,
+        )
+        arrays = estimate_traffic_batch(
+            problem, m_tiles, n_tiles, k_tiles, blocking_capacity, _DTYPE_BYTES
+        )
+        fit_indices = np.flatnonzero(arrays.fits)
+        if fit_indices.size == 0:
+            return None
+        totals = arrays.total_bytes[fit_indices]
+        # np.rint rounds half-to-even exactly like Python's round(float) -> int.
+        rounded_totals = np.rint(totals).tolist()
+        buffer_list = arrays.buffer_bytes[fit_indices].tolist()
+        index_list = fit_indices.tolist()
+        if dram_bpc > 0:
+            # round() is monotone, so round(max(cc, dram), 3) equals
+            # max(round(cc, 3), round(dram, 3)) — rounding the shared DRAM
+            # cycles once lets the per-dataflow loop use plain float max.
+            rounded_dram = [round(d, 3) for d in (totals / dram_bpc).tolist()]
+        else:
+            rounded_dram = [0.0] * len(index_list)
+
+        best = None
+        for dataflow in self.options.dataflows:
+            mapping = spatial_mapping(
+                problem, config.systolic_array_x, config.systolic_array_y, dataflow
+            )
+            compute_cycles = self._compute_cycles(problem, mapping)
+            rounded_cc = round(max(compute_cycles, 0.0), 3)
+            # Manual lexicographic argmin with strict-< (first wins on ties),
+            # mirroring the scalar loop's ``rank < best[0]`` comparison.
+            best_obj = best_total = best_buffer = best_position = None
+            for position, rounded_d in enumerate(rounded_dram):
+                objective = rounded_cc if rounded_cc >= rounded_d else rounded_d
+                if best_position is not None:
+                    if objective > best_obj:
+                        continue
+                    if objective == best_obj:
+                        total = rounded_totals[position]
+                        if total > best_total:
+                            continue
+                        if total == best_total and buffer_list[position] >= best_buffer:
+                            continue
+                best_obj = objective
+                best_total = rounded_totals[position]
+                best_buffer = buffer_list[position]
+                best_position = position
+            rank = (best_obj, best_total, best_buffer)
+            if best is None or rank < best[0]:
+                index = index_list[best_position]
+                best = (rank, mapping, arrays.tiling(index), arrays.traffic(index))
+        return best
 
     # ------------------------------------------------------------------
     def _compute_cycles(self, problem: MatrixProblem, mapping: SpatialMapping) -> float:

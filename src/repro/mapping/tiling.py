@@ -20,11 +20,22 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from itertools import islice, product
 from typing import Iterable, Iterator, List, Tuple
+
+import numpy as np
 
 from repro.mapping.loopnest import MatrixProblem
 
-__all__ = ["Tiling", "TrafficEstimate", "candidate_tilings", "estimate_traffic"]
+__all__ = [
+    "Tiling",
+    "TrafficEstimate",
+    "TrafficArrays",
+    "candidate_tilings",
+    "estimate_traffic",
+    "tiling_candidate_arrays",
+    "estimate_traffic_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -147,4 +158,141 @@ def estimate_traffic(
             output_bytes=float(output_traffic),
         ),
         fits,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized candidate sweep
+#
+# The functions below are the array-programming twin of ``candidate_tilings``
+# + ``estimate_traffic``: the whole candidate grid is materialized as NumPy
+# arrays and costed in a handful of vector operations instead of a Python
+# loop.  Every arithmetic step mirrors the scalar reference operation for
+# operation (same int products, same float divisions, same left-to-right
+# additions), so the per-candidate results are bit-for-bit identical to the
+# scalar path — a property the mapper's equivalence tests assert.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrafficArrays:
+    """Per-candidate traffic/feasibility arrays for one problem.
+
+    Index ``i`` of every array describes the candidate ``Tiling(m_tiles[i],
+    n_tiles[i], k_tiles[i])``; float arrays are ``float64`` and match the
+    scalar :func:`estimate_traffic` output bitwise.
+    """
+
+    m_tiles: np.ndarray
+    n_tiles: np.ndarray
+    k_tiles: np.ndarray
+    input_bytes: np.ndarray
+    stationary_bytes: np.ndarray
+    output_bytes: np.ndarray
+    total_bytes: np.ndarray
+    buffer_bytes: np.ndarray
+    fits: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.m_tiles.shape[0])
+
+    def tiling(self, index: int) -> Tiling:
+        """Materialize the ``Tiling`` dataclass for one candidate."""
+        return Tiling(
+            int(self.m_tiles[index]), int(self.n_tiles[index]), int(self.k_tiles[index])
+        )
+
+    def traffic(self, index: int) -> TrafficEstimate:
+        """Materialize the ``TrafficEstimate`` for one candidate."""
+        return TrafficEstimate(
+            input_bytes=float(self.input_bytes[index]),
+            stationary_bytes=float(self.stationary_bytes[index]),
+            output_bytes=float(self.output_bytes[index]),
+        )
+
+
+def tiling_candidate_arrays(
+    problem: MatrixProblem,
+    array_x: int,
+    array_y: int,
+    max_candidates: int = 48,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All candidate tile sizes as ``int64`` arrays.
+
+    The arrays enumerate exactly the tilings :func:`candidate_tilings` yields,
+    in the same (m-major) order and truncated at the same candidate cap, so an
+    argmin over them selects the same winner as the scalar loop.
+    """
+    m_steps = _geometric_steps(problem.m, minimum=min(problem.m, 128))
+    n_steps = _geometric_steps(problem.n, minimum=min(problem.n, array_y))
+    k_steps = _geometric_steps(problem.k, minimum=min(problem.k, array_x))
+    grid = np.array(
+        list(islice(product(m_steps, n_steps, k_steps), max_candidates)),
+        dtype=np.int64,
+    )
+    return grid[:, 0], grid[:, 1], grid[:, 2]
+
+
+def estimate_traffic_batch(
+    problem: MatrixProblem,
+    m_tiles: np.ndarray,
+    n_tiles: np.ndarray,
+    k_tiles: np.ndarray,
+    blocking_capacity_bytes: int,
+    dtype_bytes: int = 2,
+) -> TrafficArrays:
+    """Vectorized :func:`estimate_traffic` over a whole candidate grid.
+
+    Buffer footprints stay in ``int64`` (exact); traffic is computed in
+    ``float64`` with the same correctly-rounded operations the scalar path
+    performs, so every candidate's traffic matches the scalar estimate
+    bitwise (see the inline notes on why each float step is exact).
+    """
+    buffer_bytes = (m_tiles * k_tiles + k_tiles * n_tiles + m_tiles * n_tiles) * dtype_bytes
+    fits = buffer_bytes <= blocking_capacity_bytes
+
+    headroom = blocking_capacity_bytes - buffer_bytes
+    instances = max(problem.instances, 1)
+
+    # One stacked pass over the three tensor roles (rows: input / stationary /
+    # output, whose re-read multipliers come from the n / m / k outer loop
+    # trip counts respectively).  Numeric notes, candidate by candidate:
+    #
+    # * float division of ints < 2**53 is correctly rounded, exactly like
+    #   Python's ``a / b``, and the ceil results are exact integers in
+    #   float64 — keeping them as floats loses nothing;
+    # * ``bytes * multiplier`` multiplies two exactly-representable values,
+    #   so the float64 product is the correctly-rounded true product —
+    #   identical to the scalar path's exact-int product followed by
+    #   ``float()`` conversion;
+    # * the output spill multiplier ``2*k_outer - 1`` equals the scalar
+    #   path's ``1 + 2*(k_outer - 1)`` exactly (small integers in float64).
+    dims = np.array([[problem.n], [problem.m], [problem.k]], dtype=np.int64)
+    tiles = np.stack((n_tiles, m_tiles, k_tiles))
+    outer = np.ceil(dims / tiles)
+    role_bytes = np.array(
+        [[problem.input_bytes], [problem.stationary_bytes], [problem.output_bytes]],
+        dtype=np.float64,
+    )
+    resident = (role_bytes / instances) <= headroom
+    multipliers = outer.copy()
+    multipliers[2] = 2.0 * outer[2] - 1.0
+    multipliers = np.where((outer == 1.0) | resident, 1.0, multipliers)
+    traffic = role_bytes * multipliers
+    input_traffic, stationary_traffic, output_traffic = traffic
+    if problem.is_depthwise:
+        # Depthwise convolutions never re-read their input.
+        input_traffic = np.full(m_tiles.shape, float(problem.input_bytes))
+
+    total = input_traffic + stationary_traffic + output_traffic
+    return TrafficArrays(
+        m_tiles=m_tiles,
+        n_tiles=n_tiles,
+        k_tiles=k_tiles,
+        input_bytes=input_traffic,
+        stationary_bytes=stationary_traffic,
+        output_bytes=output_traffic,
+        total_bytes=total,
+        buffer_bytes=buffer_bytes,
+        fits=fits,
     )

@@ -14,7 +14,7 @@ from enum import Enum
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from repro.core.fast import FASTSearchResult
+from repro.core.fast import FASTSearchResult, RuntimeStats
 from repro.core.trial import TrialMetrics
 from repro.hardware.datapath import BufferConfig, DatapathConfig, L2Config, MemoryTechnology
 from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
@@ -28,6 +28,8 @@ __all__ = [
     "params_from_jsonable",
     "trial_metrics_to_dict",
     "trial_metrics_from_dict",
+    "runtime_stats_to_dict",
+    "runtime_stats_from_dict",
     "search_result_to_dict",
     "save_search_result",
 ]
@@ -147,6 +149,21 @@ def trial_metrics_from_dict(data: Dict[str, object]) -> TrialMetrics:
     )
 
 
+def runtime_stats_to_dict(stats: RuntimeStats) -> Dict[str, object]:
+    """Convert runtime statistics (counters + per-stage timings) to a dict."""
+    return dataclasses.asdict(stats)
+
+
+def runtime_stats_from_dict(data: Dict[str, object]) -> RuntimeStats:
+    """Rebuild runtime statistics from :func:`runtime_stats_to_dict` output.
+
+    Unknown keys are ignored and missing ones get their defaults, so records
+    written before the op-cache / per-stage-timing fields existed still load.
+    """
+    known = {field.name for field in dataclasses.fields(RuntimeStats)}
+    return RuntimeStats(**{key: value for key, value in data.items() if key in known})
+
+
 def search_result_to_dict(
     result: FASTSearchResult, include_history: bool = False
 ) -> Dict[str, object]:
@@ -170,7 +187,7 @@ def search_result_to_dict(
         "best_score_curve": list(result.best_score_curve),
     }
     if result.runtime is not None:
-        payload["runtime"] = dataclasses.asdict(result.runtime)
+        payload["runtime"] = runtime_stats_to_dict(result.runtime)
     if result.pareto_front is not None and len(result.pareto_front):
         payload["pareto_front"] = [
             {

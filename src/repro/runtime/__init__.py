@@ -6,9 +6,14 @@ engine, layered as:
 * :mod:`repro.runtime.executor` — serial / process-pool batch evaluation,
 * :mod:`repro.runtime.batching` — batched ask/tell over any optimizer,
 * :mod:`repro.runtime.cache` — persistent memoization of trial metrics with
-  shard-safe concurrent writers and compaction,
+  shard-safe concurrent writers, compaction, and size-cap auto-compaction,
+* :mod:`repro.runtime.opcache` — cross-trial memoization of per-op mapping
+  and vector costs, keyed by problem fingerprint + mapping-relevant
+  sub-config, optionally persisted as JSON lines,
 * :mod:`repro.runtime.checkpoint` — periodic save + ``--resume`` support,
 * :mod:`repro.runtime.progress` — event bus for live progress reporting,
+* :mod:`repro.runtime.profiling` — per-stage timing harness comparing the
+  scalar, vectorized, and op-cached evaluation modes (``repro profile``),
 * :mod:`repro.runtime.sharding` — sharded sweep orchestration: split one
   search into N shards (seed stream or design-space partition) and merge
   their Pareto fronts, histories, and stats into one deduplicated result.
@@ -34,6 +39,19 @@ from repro.runtime.executor import (
     TrialExecutor,
     make_executor,
 )
+from repro.runtime.opcache import (
+    OpCacheStats,
+    OpCostCache,
+    get_op_cache,
+    reset_op_caches,
+)
+from repro.runtime.profiling import (
+    PROFILE_MODES,
+    ProfileMode,
+    ProfileRecord,
+    ProfileReport,
+    profile_search,
+)
 from repro.runtime.progress import ProgressBus, ProgressPrinter, SearchEvent
 from repro.runtime.sharding import (
     ShardResult,
@@ -54,7 +72,13 @@ __all__ = [
     "CacheStats",
     "CheckpointState",
     "CompactionStats",
+    "OpCacheStats",
+    "OpCostCache",
+    "PROFILE_MODES",
     "ParallelExecutor",
+    "ProfileMode",
+    "ProfileRecord",
+    "ProfileReport",
     "ProgressBus",
     "ProgressPrinter",
     "SearchCheckpoint",
@@ -67,12 +91,15 @@ __all__ = [
     "TrialCache",
     "TrialExecutor",
     "compact_cache",
+    "get_op_cache",
     "load_shard_result",
     "make_executor",
     "merge_shard_results",
     "plan_shards",
     "problem_fingerprint",
+    "profile_search",
     "proposal_key",
+    "reset_op_caches",
     "run_shard",
     "run_sharded_sweep",
     "save_shard_result",

@@ -52,6 +52,16 @@ __all__ = [
 ]
 
 
+#: Simulation options that only affect *how fast* a trial evaluates, never
+#: what it computes (the vectorized mapper and the op cache are bit-for-bit
+#: equivalent to the scalar, uncached path).  They are excluded from the
+#: problem fingerprint so runs with different performance knobs share trial
+#: cache entries and checkpoints.
+_PERF_ONLY_SIMULATION_OPTIONS = frozenset(
+    {"vectorized_mapper", "op_cache_enabled", "op_cache_path"}
+)
+
+
 def problem_fingerprint(
     problem: SearchProblem,
     evaluator: Optional[TrialEvaluator] = None,
@@ -61,7 +71,8 @@ def problem_fingerprint(
 
     Two searches share cache entries only when this fingerprint matches:
     same workloads, objective, constraints, baseline normalization, simulator
-    options, core count, and search-space choice lists.
+    options (performance-only knobs excluded), core count, and search-space
+    choice lists.
     """
     payload: Dict[str, object] = {
         "workloads": list(problem.workloads),
@@ -74,6 +85,7 @@ def problem_fingerprint(
         payload["simulation_options"] = {
             key: getattr(value, "value", value)
             for key, value in sorted(vars(evaluator.simulation_options).items())
+            if key not in _PERF_ONLY_SIMULATION_OPTIONS
         }
     if space is not None:
         payload["space"] = [
@@ -92,6 +104,7 @@ class CacheStats:
     misses: int = 0
     puts: int = 0
     disk_entries_loaded: int = 0
+    auto_compactions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -131,7 +144,13 @@ class TrialCache:
             sidecar file ``<path>.shard-<writer_id>`` instead of ``path``
             while reads cover the base file plus every sidecar.  Each
             concurrent writer (shard, host) must use a distinct id.
-        max_disk_entries: Default size cap applied by :meth:`compact`.
+        max_disk_entries: Default size cap applied by :meth:`compact`.  When
+            set, the cache also *auto-compacts*: once the store grows a
+            slack margin (a quarter of the cap, at least 16 records) past
+            the cap, :meth:`put` triggers a compaction down to the cap.
+            Auto-compaction only fires for exclusive writers — it is skipped
+            when ``writer_id`` is set or shard sidecar files exist, because
+            compaction deletes sidecars that live shards may still append to.
     """
 
     def __init__(
@@ -148,8 +167,12 @@ class TrialCache:
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, TrialMetrics]" = OrderedDict()
         self._disk_index: Dict[str, dict] = {}
+        # Approximate on-disk record count (deduplicated at load, then +1 per
+        # append) driving the auto-compaction trigger.
+        self._approx_disk_records = 0
         if self.path is not None:
             self._load_disk_index()
+            self._approx_disk_records = len(self._disk_index)
 
     # ------------------------------------------------------------------
     @property
@@ -220,6 +243,27 @@ class TrialCache:
             # appends, so a reader (or a later compaction) sees whole lines.
             with write_path.open("a") as handle:
                 handle.write(json.dumps(record) + "\n")
+            self._approx_disk_records += 1
+            self._maybe_auto_compact()
+
+    def _maybe_auto_compact(self) -> None:
+        """Compact once the store overshoots ``max_disk_entries`` by a slack.
+
+        The slack (a quarter of the cap, at least 16 records) keeps the
+        amortized cost low: each O(store) compaction pays for many O(1)
+        appends.  Skipped for sharded writers and whenever sidecars exist —
+        see the class docstring.
+        """
+        if self.max_disk_entries is None or self.writer_id is not None:
+            return
+        slack = max(16, int(self.max_disk_entries) // 4)
+        if self._approx_disk_records <= int(self.max_disk_entries) + slack:
+            return
+        files = self.disk_files()
+        if any(file != self.path for file in files):
+            return  # sidecars present: another writer may be live
+        self.compact(self.max_disk_entries)
+        self.stats.auto_compactions += 1
 
     def _remember(self, key: str, metrics: TrialMetrics) -> None:
         self._memory[key] = metrics
@@ -302,6 +346,7 @@ class TrialCache:
 
         self._disk_index = {}
         self._load_disk_index()
+        self._approx_disk_records = len(self._disk_index)
         stats.kept = len(kept)
         return stats
 

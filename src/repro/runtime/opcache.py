@@ -1,0 +1,267 @@
+"""Cross-trial memoization of per-op mapping costs.
+
+The second-level cache of the mapping engine: while each
+:class:`~repro.mapping.mapper.Mapper` memoizes problems *within* one trial,
+an :class:`OpCostCache` is shared across trials (and, when persistent, across
+processes and restarts) and keyed by the pair
+
+``(mapping-relevant datapath sub-config, op shape fingerprint)``
+
+so neighboring design points that agree on the mapping-relevant slice of the
+configuration — no matter how their fusion, memory, or batch parameters
+differ — reuse each other's mapped op costs instead of re-running the
+candidate sweep.  Vector-op costs are cached the same way under a
+``(graph fingerprint, op, VPU lanes, softmax factors)`` key built by
+:func:`repro.simulator.vector_ops.vector_cost_cache_key`.
+
+Caches are process-local singletons obtained through :func:`get_op_cache`;
+worker processes of a :class:`~repro.runtime.executor.ParallelExecutor` each
+build their own lazily (the evaluator ships only the cache *settings*, never
+the cache), exactly like the per-process workload-graph cache.  Persistence
+is an append-only JSON-lines store: records are written with a single
+``write`` call each, so concurrent appends from multiple processes sharing a
+path never interleave partial lines on POSIX filesystems.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.mapping.costmodel import OpCost
+from repro.mapping.dataflow import Dataflow
+from repro.mapping.tiling import Tiling
+from repro.workloads.ops import OpType
+
+__all__ = [
+    "OpCacheStats",
+    "OpCostCache",
+    "get_op_cache",
+    "reset_op_caches",
+    "opcost_to_dict",
+    "opcost_from_dict",
+]
+
+
+@dataclass
+class OpCacheStats:
+    """Hit/miss counters for one op-cost cache."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    disk_entries_loaded: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def opcost_to_dict(cost: OpCost) -> Dict[str, object]:
+    """JSON-compatible encoding of an :class:`OpCost` (exact float round-trip)."""
+    return {
+        "op_name": cost.op_name,
+        "op_type": cost.op_type.value,
+        "flops": cost.flops,
+        "padded_flops": cost.padded_flops,
+        "compute_cycles": cost.compute_cycles,
+        "vector_cycles": cost.vector_cycles,
+        "dram_input_bytes": cost.dram_input_bytes,
+        "dram_weight_bytes": cost.dram_weight_bytes,
+        "dram_output_bytes": cost.dram_output_bytes,
+        "utilization": cost.utilization,
+        "dataflow": cost.dataflow.value if cost.dataflow is not None else None,
+        "tiling": (
+            [cost.tiling.m_tile, cost.tiling.n_tile, cost.tiling.k_tile]
+            if cost.tiling is not None
+            else None
+        ),
+        "schedule_failed": cost.schedule_failed,
+    }
+
+
+def opcost_from_dict(data: Dict[str, object]) -> OpCost:
+    """Inverse of :func:`opcost_to_dict`."""
+    tiling = data.get("tiling")
+    dataflow = data.get("dataflow")
+    return OpCost(
+        op_name=str(data["op_name"]),
+        op_type=OpType(data["op_type"]),
+        flops=int(data["flops"]),
+        padded_flops=int(data["padded_flops"]),
+        compute_cycles=float(data["compute_cycles"]),
+        vector_cycles=float(data["vector_cycles"]),
+        dram_input_bytes=float(data["dram_input_bytes"]),
+        dram_weight_bytes=float(data["dram_weight_bytes"]),
+        dram_output_bytes=float(data["dram_output_bytes"]),
+        utilization=float(data["utilization"]),
+        dataflow=Dataflow(dataflow) if dataflow is not None else None,
+        tiling=Tiling(*tiling) if tiling is not None else None,
+        schedule_failed=bool(data["schedule_failed"]),
+    )
+
+
+class OpCostCache:
+    """Two-level (memory LRU + optional JSONL store) cache of op costs.
+
+    Keys are hashable tuples built by the mapper / vector-op cost model; the
+    persistent store indexes them by a SHA-256 digest of their canonical JSON
+    form, so any process that derives the same key reads the same record.
+
+    Args:
+        path: Optional JSON-lines store; created on first put.
+        max_memory_entries: LRU capacity of the in-memory front.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        max_memory_entries: int = 65536,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.max_memory_entries = max(1, int(max_memory_entries))
+        self.stats = OpCacheStats()
+        self._memory: "OrderedDict[Tuple, OpCost]" = OrderedDict()
+        self._disk_index: Dict[str, dict] = {}
+        if self.path is not None and self.path.exists():
+            self._load_disk_index()
+
+    # ------------------------------------------------------------------
+    def _load_disk_index(self) -> None:
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                self._disk_index[record["key"]] = record["cost"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue  # tolerate truncated lines from killed runs
+        self.stats.disk_entries_loaded = len(self._disk_index)
+
+    @staticmethod
+    def digest(key: Tuple) -> str:
+        """Stable string form of a cache key (for the persistent store)."""
+        canonical = json.dumps(key, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    def get(self, key: Tuple) -> Optional[OpCost]:
+        """Look up a cached op cost; returns None on a miss."""
+        cost = self._memory.get(key)
+        if cost is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return cost
+        if self._disk_index:
+            raw = self._disk_index.get(self.digest(key))
+            if raw is not None:
+                cost = opcost_from_dict(raw)
+                self._remember(key, cost)
+                self.stats.hits += 1
+                return cost
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: Tuple, cost: OpCost) -> None:
+        """Store an op cost in memory and (when configured) append to disk.
+
+        Op costs are a deterministic function of their key, so a key already
+        present in the disk index is never re-appended — the store only grows
+        by records this process has not seen, keeping it duplicate-free for
+        a single writer (concurrent processes can still race the same key;
+        :meth:`compact` folds such duplicates away).
+        """
+        self._remember(key, cost)
+        self.stats.puts += 1
+        if self.path is not None:
+            digest = self.digest(key)
+            if digest in self._disk_index:
+                return
+            record_cost = opcost_to_dict(cost)
+            record = {"key": digest, "cost": record_cost}
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # One write call per record: appends from concurrent processes
+            # can never split a line.
+            with self.path.open("a") as handle:
+                handle.write(json.dumps(record) + "\n")
+            self._disk_index[digest] = record_cost
+
+    def compact(self) -> int:
+        """Rewrite the store with one record per key; returns records kept.
+
+        Records are deterministic per key, so compaction simply keeps the
+        first occurrence of each key.  The rewrite is atomic (temp file +
+        rename).  Run it only while no other process is appending to the
+        store — appends racing the rename window would be lost.
+        """
+        if self.path is None:
+            raise ValueError("compaction requires a cache path")
+        self._disk_index = {}
+        if self.path.exists():
+            self._load_disk_index()
+        tmp_path = self.path.with_name(self.path.name + ".tmp")
+        with tmp_path.open("w") as handle:
+            for digest, cost in self._disk_index.items():
+                handle.write(json.dumps({"key": digest, "cost": cost}) + "\n")
+        os.replace(tmp_path, self.path)
+        return len(self._disk_index)
+
+    def _remember(self, key: Tuple, cost: OpCost) -> None:
+        self._memory[key] = cost
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memory) if not self._disk_index else len(
+            {self.digest(k) for k in self._memory} | set(self._disk_index)
+        )
+
+    def snapshot_counters(self) -> Tuple[int, int]:
+        """(hits, misses) counters, for delta accounting across a run."""
+        return self.stats.hits, self.stats.misses
+
+
+# ---------------------------------------------------------------------------
+# Process-local registry.  Keyed by store path (None = anonymous in-memory
+# cache) and guarded by the owning PID so forked/spawned executor workers
+# never double-count the parent's statistics.
+# ---------------------------------------------------------------------------
+_CACHES: Dict[Optional[str], OpCostCache] = {}
+_CACHES_PID: Optional[int] = None
+
+
+def get_op_cache(path: Optional[Union[str, Path]] = None) -> OpCostCache:
+    """The process-local shared op-cost cache for a store path.
+
+    Every caller passing the same ``path`` (or ``None``) within one process
+    receives the same instance, which is what makes op costs flow between
+    trials, shards, and sequential searches.
+    """
+    global _CACHES_PID
+    pid = os.getpid()
+    if _CACHES_PID != pid:
+        _CACHES.clear()
+        _CACHES_PID = pid
+    key = str(Path(path)) if path is not None else None
+    cache = _CACHES.get(key)
+    if cache is None:
+        cache = OpCostCache(path=path)
+        _CACHES[key] = cache
+    return cache
+
+
+def reset_op_caches() -> None:
+    """Drop every process-local op cache (for tests and benchmarks)."""
+    global _CACHES_PID
+    _CACHES.clear()
+    _CACHES_PID = None

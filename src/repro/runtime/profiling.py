@@ -1,0 +1,202 @@
+"""Profiling harness for the trial-evaluation pipeline.
+
+``repro profile`` (and the ``bench_mapper_throughput`` benchmark) run the
+same fixed-seed search under several evaluator configurations — the scalar
+reference mapping engine, the vectorized engine, and the vectorized engine
+with the cross-trial op-cost cache — and report trials/sec plus a per-stage
+wall-clock breakdown (mapper / VPU cost model / fusion ILP / other).  Because
+every mode is bit-for-bit equivalent by design, the harness also verifies
+that all modes reproduce the reference trial history and flags any
+divergence: it doubles as an end-to-end equivalence check in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.fast import FASTSearch, RuntimeStats
+from repro.core.problem import ObjectiveKind, SearchProblem
+from repro.core.trial import TrialEvaluator
+from repro.reporting.serialization import trial_metrics_to_dict
+from repro.runtime.opcache import reset_op_caches
+from repro.simulator.engine import SimulationOptions
+
+__all__ = ["ProfileMode", "ProfileRecord", "ProfileReport", "PROFILE_MODES", "profile_search"]
+
+
+@dataclass(frozen=True)
+class ProfileMode:
+    """One evaluator configuration to profile."""
+
+    name: str
+    vectorized_mapper: bool
+    op_cache: bool
+
+
+#: The standard comparison ladder, slowest first; the first mode is the
+#: reference whose history every other mode must reproduce bit-for-bit.
+PROFILE_MODES = (
+    ProfileMode("scalar", vectorized_mapper=False, op_cache=False),
+    ProfileMode("vectorized", vectorized_mapper=True, op_cache=False),
+    ProfileMode("vectorized+op-cache", vectorized_mapper=True, op_cache=True),
+)
+
+
+@dataclass
+class ProfileRecord:
+    """Measured outcome of one profiled mode."""
+
+    mode: str
+    trials: int
+    elapsed_seconds: float
+    trials_per_second: float
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    op_cache_hits: int = 0
+    op_cache_misses: int = 0
+    op_cache_hit_rate: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible form of this record."""
+        return {
+            "mode": self.mode,
+            "trials": self.trials,
+            "elapsed_seconds": self.elapsed_seconds,
+            "trials_per_second": self.trials_per_second,
+            "stage_seconds": dict(self.stage_seconds),
+            "op_cache_hits": self.op_cache_hits,
+            "op_cache_misses": self.op_cache_misses,
+            "op_cache_hit_rate": self.op_cache_hit_rate,
+        }
+
+
+@dataclass
+class ProfileReport:
+    """All profiled modes plus the cross-mode equivalence verdict."""
+
+    workloads: List[str]
+    trials: int
+    batch_size: int
+    optimizer: str
+    seed: int
+    records: List[ProfileRecord] = field(default_factory=list)
+    histories_match: bool = True
+
+    def record(self, mode: str) -> ProfileRecord:
+        """Look up a mode's record by name."""
+        for record in self.records:
+            if record.mode == mode:
+                return record
+        raise KeyError(f"no profiled mode named {mode!r}")
+
+    def speedup(self, mode: str, baseline: str = "scalar") -> float:
+        """Throughput of ``mode`` relative to ``baseline``."""
+        base = self.record(baseline).trials_per_second
+        return self.record(mode).trials_per_second / base if base > 0 else float("inf")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible form of the whole report."""
+        return {
+            "workloads": list(self.workloads),
+            "trials": self.trials,
+            "batch_size": self.batch_size,
+            "optimizer": self.optimizer,
+            "seed": self.seed,
+            "histories_match": self.histories_match,
+            "records": [record.to_dict() for record in self.records],
+            "speedups_vs_scalar": {
+                record.mode: self.speedup(record.mode) for record in self.records
+            },
+        }
+
+
+def _mode_options(mode: ProfileMode) -> SimulationOptions:
+    return SimulationOptions(
+        fusion_solver="greedy",
+        vectorized_mapper=mode.vectorized_mapper,
+        op_cache_enabled=mode.op_cache,
+    )
+
+
+def profile_search(
+    workloads: Sequence[str],
+    trials: int = 48,
+    optimizer: str = "lcs",
+    seed: int = 0,
+    batch_size: int = 8,
+    objective: ObjectiveKind = ObjectiveKind.PERF_PER_TDP,
+    modes: Sequence[ProfileMode] = PROFILE_MODES,
+    warm_op_cache: bool = False,
+) -> ProfileReport:
+    """Run the same fixed-seed search under every mode and time each stage.
+
+    A throwaway warm-up pass populates the process-level workload-graph and
+    compiled-graph caches first, so no mode is charged for one-time graph
+    building and ordering does not bias the comparison.  The op cache is
+    reset before each mode (cold by default; ``warm_op_cache=True`` measures
+    the steady-state regime of sweeps and repeated searches by running each
+    op-cache-enabled mode twice and timing the second run).
+
+    Every mode must reproduce the first mode's trial history bit-for-bit;
+    ``histories_match`` records the verdict.
+    """
+    modes = list(modes)
+    if not modes:
+        raise ValueError("at least one profile mode is required")
+    report = ProfileReport(
+        workloads=list(workloads),
+        trials=int(trials),
+        batch_size=int(batch_size),
+        optimizer=optimizer,
+        seed=int(seed),
+    )
+
+    def run_once(mode: ProfileMode):
+        problem = SearchProblem(list(workloads), objective)
+        evaluator = TrialEvaluator(problem, simulation_options=_mode_options(mode))
+        search = FASTSearch(
+            problem, optimizer=optimizer, seed=seed, evaluator=evaluator
+        )
+        return search.run(num_trials=trials, batch_size=batch_size)
+
+    # Warm-up: populate graph/compile caches shared by every mode.
+    reset_op_caches()
+    run_once(modes[0])
+
+    reference_history = None
+    for mode in modes:
+        reset_op_caches()
+        result = run_once(mode)
+        if mode.op_cache and warm_op_cache:
+            result = run_once(mode)  # second run: steady-state op cache
+        stats: RuntimeStats = result.runtime
+        record = ProfileRecord(
+            mode=mode.name,
+            trials=result.num_trials,
+            elapsed_seconds=stats.elapsed_seconds,
+            trials_per_second=stats.trials_per_second,
+            stage_seconds={
+                "mapper": stats.mapper_seconds,
+                "vector": stats.vector_seconds,
+                "fusion": stats.fusion_seconds,
+                "evaluate": stats.eval_seconds,
+                "other": max(
+                    0.0,
+                    stats.eval_seconds
+                    - stats.mapper_seconds
+                    - stats.vector_seconds
+                    - stats.fusion_seconds,
+                ),
+            },
+            op_cache_hits=stats.op_cache_hits,
+            op_cache_misses=stats.op_cache_misses,
+            op_cache_hit_rate=stats.op_cache_hit_rate,
+        )
+        report.records.append(record)
+        history = [trial_metrics_to_dict(m) for m in result.history]
+        if reference_history is None:
+            reference_history = history
+        elif history != reference_history:
+            report.histories_match = False
+    reset_op_caches()
+    return report

@@ -136,9 +136,12 @@ class ProgressPrinter:
             rate = ""
             if elapsed and payload.get("num_trials"):
                 rate = f" ({payload['num_trials'] / elapsed:.1f} trials/s)"
+            op_hits = payload.get("op_cache_hits", 0)
+            op_part = f"{op_hits} op-cache hits, " if op_hits else ""
             return (
                 f"done: {payload.get('num_trials', '?')} trials, "
                 f"{payload.get('cache_hits', 0)} cache hits, "
+                f"{op_part}"
                 f"best={payload.get('best_score', float('nan')):.4g}{rate}"
             )
         return None

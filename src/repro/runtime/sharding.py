@@ -49,6 +49,8 @@ from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
 from repro.reporting.serialization import (
     params_from_jsonable,
     params_to_jsonable,
+    runtime_stats_from_dict,
+    runtime_stats_to_dict,
     trial_metrics_from_dict,
     trial_metrics_to_dict,
 )
@@ -344,6 +346,12 @@ def merge_shard_results(shard_results: Sequence[ShardResult]) -> SweepResult:
             total.duplicates_avoided += shard.runtime.duplicates_avoided
             total.resumed_trials += shard.runtime.resumed_trials
             total.elapsed_seconds += shard.runtime.elapsed_seconds
+            total.op_cache_hits += shard.runtime.op_cache_hits
+            total.op_cache_misses += shard.runtime.op_cache_misses
+            total.mapper_seconds += shard.runtime.mapper_seconds
+            total.vector_seconds += shard.runtime.vector_seconds
+            total.fusion_seconds += shard.runtime.fusion_seconds
+            total.eval_seconds += shard.runtime.eval_seconds
     merged.best_trial = best
     merged.runtime = total
     return merged
@@ -401,7 +409,7 @@ def shard_result_to_dict(result: ShardResult) -> Dict[str, object]:
         "spec": dataclasses.asdict(result.spec),
         "proposals": [params_to_jsonable(p) for p in result.proposals],
         "history": [trial_metrics_to_dict(m) for m in result.history],
-        "runtime": dataclasses.asdict(result.runtime) if result.runtime is not None else None,
+        "runtime": runtime_stats_to_dict(result.runtime) if result.runtime is not None else None,
     }
 
 
@@ -424,7 +432,7 @@ def shard_result_from_dict(
         spec=spec,
         proposals=[params_from_jsonable(p, space) for p in data.get("proposals", [])],
         history=[trial_metrics_from_dict(m) for m in data.get("history", [])],
-        runtime=RuntimeStats(**runtime) if runtime else None,
+        runtime=runtime_stats_from_dict(runtime) if runtime else None,
     )
 
 
@@ -479,5 +487,5 @@ def sweep_result_to_dict(result: SweepResult) -> Dict[str, object]:
         ],
     }
     if result.runtime is not None:
-        payload["runtime"] = dataclasses.asdict(result.runtime)
+        payload["runtime"] = runtime_stats_to_dict(result.runtime)
     return payload

@@ -15,8 +15,10 @@ separate accelerator serving its own batch.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.compiler.passes import CompiledModel, compile_graph
 from repro.compiler.xla_fusion import FusionRegion
@@ -26,25 +28,83 @@ from repro.hardware.memory import MemoryHierarchy
 from repro.mapping.costmodel import OpCost
 from repro.mapping.mapper import Mapper, MapperOptions
 from repro.simulator.result import RegionPerformance, SimulationResult
-from repro.simulator.vector_ops import vector_op_cost
+from repro.simulator.vector_ops import vector_cost_cache_key, vector_op_cost
 from repro.workloads.graph import Graph, Operation, TensorKind
 from repro.workloads.ops import OpType, is_matrix_op
 from repro.workloads.registry import build_workload
 
-__all__ = ["SimulationOptions", "Simulator"]
+__all__ = ["SimulationOptions", "Simulator", "clear_compiled_cache"]
 
 
 @dataclass
 class SimulationOptions:
-    """Knobs controlling a simulation run."""
+    """Knobs controlling a simulation run.
+
+    The last three fields are performance knobs that never change results
+    (the vectorized and scalar mapping engines are bit-for-bit equivalent,
+    and op-cache hits return exactly what a fresh mapping would compute):
+
+    * ``vectorized_mapper`` — select the NumPy mapping engine (None follows
+      ``mapper_options``, whose default is vectorized; False forces the
+      scalar reference implementation).
+    * ``op_cache_enabled`` — share per-op mapping/vector costs across trials
+      through the process-local :func:`repro.runtime.opcache.get_op_cache`.
+    * ``op_cache_path`` — optionally persist that cache as JSON lines.
+    """
 
     enable_fast_fusion: Optional[bool] = None  # None: follow the datapath config
     fusion_solver: str = "auto"
     mapper_options: Optional[MapperOptions] = None
+    vectorized_mapper: Optional[bool] = None
+    op_cache_enabled: bool = True
+    op_cache_path: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# Compiled-graph cache.  Lowering a graph into fusion regions is identical
+# for every trial that simulates the same graph object with the same softmax
+# lowering, so the result is memoized per process.  Entries are keyed by
+# object identity + op count (guarding against post-build mutation) and the
+# cache is PID-guarded like the workload-graph cache so executor workers
+# never share parent entries.
+# ---------------------------------------------------------------------------
+_COMPILED_CACHE: Dict[Tuple[int, bool], Tuple[Graph, int, CompiledModel]] = {}
+_COMPILED_CACHE_PID: Optional[int] = None
+_COMPILED_CACHE_MAX = 64
+
+
+def _compile_cached(graph: Graph, use_two_pass_softmax: bool) -> CompiledModel:
+    global _COMPILED_CACHE_PID
+    pid = os.getpid()
+    if _COMPILED_CACHE_PID != pid:
+        _COMPILED_CACHE.clear()
+        _COMPILED_CACHE_PID = pid
+    key = (id(graph), use_two_pass_softmax)
+    entry = _COMPILED_CACHE.get(key)
+    if entry is not None and entry[0] is graph and entry[1] == len(graph):
+        return entry[2]
+    compiled = compile_graph(graph, use_two_pass_softmax=use_two_pass_softmax)
+    _COMPILED_CACHE[key] = (graph, len(graph), compiled)
+    while len(_COMPILED_CACHE) > _COMPILED_CACHE_MAX:
+        _COMPILED_CACHE.pop(next(iter(_COMPILED_CACHE)))
+    return compiled
+
+
+def clear_compiled_cache() -> None:
+    """Drop all memoized compiled graphs (for tests and memory-sensitive runs)."""
+    global _COMPILED_CACHE_PID
+    _COMPILED_CACHE.clear()
+    _COMPILED_CACHE_PID = None
 
 
 class Simulator:
-    """Evaluates workloads on a datapath configuration."""
+    """Evaluates workloads on a datapath configuration.
+
+    ``stage_seconds`` accumulates wall-clock time spent in the mapper, the
+    VPU cost model, and the fusion ILP across every ``simulate`` call on this
+    instance — the raw material for ``repro profile`` and
+    :class:`~repro.core.fast.RuntimeStats` per-stage timings.
+    """
 
     def __init__(
         self,
@@ -55,8 +115,24 @@ class Simulator:
         self.options = options or SimulationOptions()
         self._core_config = self._derive_core_config(config)
         self.hierarchy = MemoryHierarchy(self._core_config)
+        self.stage_seconds: Dict[str, float] = {"mapper": 0.0, "vector": 0.0, "fusion": 0.0}
+        self.op_cache = None
+        if self.options.op_cache_enabled:
+            # Imported lazily: repro.runtime imports this module at package
+            # import time, so a module-level import would be circular.
+            from repro.runtime.opcache import get_op_cache
+
+            self.op_cache = get_op_cache(self.options.op_cache_path)
+        mapper_options = self.options.mapper_options or MapperOptions()
+        if self.options.vectorized_mapper is not None:
+            mapper_options = MapperOptions(
+                dataflows=mapper_options.dataflows,
+                max_tiling_candidates=mapper_options.max_tiling_candidates,
+                padding_max_overhead=mapper_options.padding_max_overhead,
+                vectorize=self.options.vectorized_mapper,
+            )
         self.mapper = Mapper(
-            self._core_config, self.hierarchy, self.options.mapper_options
+            self._core_config, self.hierarchy, mapper_options, op_cache=self.op_cache
         )
 
     # ------------------------------------------------------------------
@@ -78,7 +154,7 @@ class Simulator:
     def simulate(self, graph: Graph) -> SimulationResult:
         """Simulate a prepared graph (already at the desired batch size)."""
         core = self._core_config
-        compiled = compile_graph(graph, use_two_pass_softmax=core.use_two_pass_softmax)
+        compiled = _compile_cached(graph, core.use_two_pass_softmax)
         dram_bpc = core.dram_bytes_per_cycle
 
         region_perf: List[RegionPerformance] = []
@@ -114,7 +190,9 @@ class Simulator:
                 gm_capacity_bytes=core.global_buffer_bytes,
                 solver=self.options.fusion_solver,
             )
+            started = time.perf_counter()
             fusion_result = optimizer.optimize(region_stats)
+            self.stage_seconds["fusion"] += time.perf_counter() - started
             for record, cycles, decision in zip(
                 region_perf, fusion_result.region_cycles, fusion_result.decisions
             ):
@@ -149,9 +227,13 @@ class Simulator:
         anchor_cost: Optional[OpCost] = None
         vector_costs: List[OpCost] = []
         op_busy_cycles: Dict[str, float] = {}
+        op_cache = self.op_cache
+        stage_seconds = self.stage_seconds
         for op in region.ops:
             if is_matrix_op(op.op_type):
+                started = time.perf_counter()
                 cost = self.mapper.map_op(op, tensors)
+                stage_seconds["mapper"] += time.perf_counter() - started
                 if cost.schedule_failed:
                     return None, None
                 matrix_costs.append(cost)
@@ -159,7 +241,18 @@ class Simulator:
                 if region.matrix_op is not None and op.name == region.matrix_op.name:
                     anchor_cost = cost
             else:
-                cost = vector_op_cost(op, tensors, core, compiled.softmax_factors)
+                started = time.perf_counter()
+                cost = None
+                if op_cache is not None:
+                    vector_key = vector_cost_cache_key(
+                        graph, op, core, compiled.softmax_factors
+                    )
+                    cost = op_cache.get(vector_key)
+                if cost is None:
+                    cost = vector_op_cost(op, tensors, core, compiled.softmax_factors)
+                    if op_cache is not None:
+                        op_cache.put(vector_key, cost)
+                stage_seconds["vector"] += time.perf_counter() - started
                 vector_costs.append(cost)
                 op_busy_cycles[op.name] = cost.vector_cycles
         if anchor_cost is None and matrix_costs:

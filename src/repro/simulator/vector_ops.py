@@ -15,10 +15,10 @@ from typing import Dict
 from repro.compiler.softmax import SoftmaxCostFactors, THREE_PASS_SOFTMAX
 from repro.hardware.datapath import DatapathConfig
 from repro.mapping.costmodel import OpCost
-from repro.workloads.graph import Operation, Tensor, TensorKind
+from repro.workloads.graph import Graph, Operation, Tensor, TensorKind
 from repro.workloads.ops import OpType, op_flops
 
-__all__ = ["vector_op_cost", "vpu_lanes_per_core"]
+__all__ = ["vector_op_cost", "vector_cost_cache_key", "vpu_lanes_per_core"]
 
 # Ops that are pure metadata transforms and move no data at execution time.
 _ZERO_COST_TYPES = {OpType.RESHAPE, OpType.SLICE}
@@ -27,6 +27,30 @@ _ZERO_COST_TYPES = {OpType.RESHAPE, OpType.SLICE}
 def vpu_lanes_per_core(config: DatapathConfig) -> int:
     """Total VPU lanes available in one core."""
     return config.num_pes * config.vpu_lanes_per_pe
+
+
+def vector_cost_cache_key(
+    graph: Graph,
+    op: Operation,
+    config: DatapathConfig,
+    softmax_factors: SoftmaxCostFactors,
+) -> tuple:
+    """Cross-trial cache key for :func:`vector_op_cost`.
+
+    A vector op's cost is a pure function of the op structure (captured by
+    the graph's content fingerprint plus the op name), the core's VPU lane
+    count, and the softmax lowering factors — everything else about the
+    datapath is irrelevant to the VPU model.
+    """
+    return (
+        "vector",
+        graph.fingerprint(),
+        op.name,
+        vpu_lanes_per_core(config),
+        softmax_factors.input_traffic_factor,
+        softmax_factors.output_traffic_factor,
+        softmax_factors.flops_factor,
+    )
 
 
 def vector_op_cost(

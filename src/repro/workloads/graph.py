@@ -75,6 +75,12 @@ class Tensor:
             raise GraphValidationError(
                 f"tensor {self.name!r} has non-positive dimension: {self.shape}"
             )
+        # size_bytes is read millions of times across a search (every region's
+        # traffic attribution touches it); precompute once per tensor.  The
+        # slot is set with object.__setattr__ because the dataclass is frozen;
+        # it is not a field, so repr/eq/pickling are unaffected.
+        elements = int(math.prod(self.shape)) if self.shape else 1
+        object.__setattr__(self, "_size_bytes", elements * self.dtype.bytes)
 
     @property
     def num_elements(self) -> int:
@@ -84,7 +90,7 @@ class Tensor:
     @property
     def size_bytes(self) -> int:
         """Storage footprint in bytes."""
-        return self.num_elements * self.dtype.bytes
+        return self._size_bytes
 
     def with_batch(self, batch: int) -> "Tensor":
         """Return a copy with the leading (batch) dimension replaced.
@@ -219,6 +225,42 @@ class Graph:
 
     def __iter__(self) -> Iterator[Operation]:
         return iter(self._ops)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph structure.
+
+        Covers every op (name, type, operands, attributes) and every tensor
+        (name, shape, dtype, kind), so two graphs share a fingerprint only
+        when per-op cost models would produce identical results for them.
+        Used as a cache key component by the cross-trial op-cost cache; the
+        digest is computed once and memoized (graphs are append-only while
+        being built, and built graphs are treated as immutable everywhere).
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None and cached[0] == len(self._ops):
+            return cached[1]
+        import hashlib
+        import json
+
+        payload = {
+            "name": self.name,
+            "batch_size": self.batch_size,
+            "ops": [
+                [op.name, op.op_type.value, list(op.inputs), list(op.outputs),
+                 sorted((k, str(v)) for k, v in op.attrs.items())]
+                for op in self._ops
+            ],
+            "tensors": [
+                [t.name, list(t.shape), t.dtype.value, t.kind.value]
+                for t in self._tensors.values()
+            ],
+            "outputs": list(self.output_names),
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()[:24]
+        self.__dict__["_fingerprint"] = (len(self._ops), digest)
+        return digest
 
     def producer(self, tensor_name: str) -> Optional[Operation]:
         """Return the op producing ``tensor_name`` or None for graph inputs."""

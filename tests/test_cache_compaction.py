@@ -128,6 +128,71 @@ class TestCompaction:
 
 
 # ---------------------------------------------------------------------------
+class TestAutoCompaction:
+    def test_put_triggers_compaction_past_cap_plus_slack(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cap = 8
+        cache = TrialCache(path, max_disk_entries=cap)
+        slack = max(16, cap // 4)
+        for i in range(cap + slack + 1):
+            cache.put(f"k{i}", _metrics(float(i)))
+        assert cache.stats.auto_compactions >= 1
+        assert len(path.read_text().splitlines()) <= cap
+
+    def test_store_stays_bounded_over_many_puts(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cap = 10
+        cache = TrialCache(path, max_disk_entries=cap)
+        for i in range(120):
+            cache.put(f"k{i}", _metrics(float(i)))
+        lines = len(path.read_text().splitlines())
+        assert lines <= cap + max(16, cap // 4)
+        assert cache.stats.auto_compactions >= 2
+        # The most recent entries survive (LRU-by-recency eviction).
+        surviving = {json.loads(line)["key"] for line in path.read_text().splitlines()}
+        assert f"k119" in surviving or "k119" in cache._memory
+
+    def test_no_auto_compaction_without_cap(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = TrialCache(path)
+        for i in range(64):
+            cache.put(f"k{i}", _metrics(float(i)))
+        assert cache.stats.auto_compactions == 0
+        assert len(path.read_text().splitlines()) == 64
+
+    def test_sharded_writers_never_auto_compact(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = TrialCache(path, writer_id=0, max_disk_entries=4)
+        for i in range(64):
+            cache.put(f"k{i}", _metrics(float(i)))
+        assert cache.stats.auto_compactions == 0
+        sidecar = tmp_path / "cache.jsonl.shard-0"
+        assert len(sidecar.read_text().splitlines()) == 64
+
+    def test_exclusive_writer_skips_when_sidecars_exist(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        shard = TrialCache(path, writer_id=1)
+        shard.put("shard-key", _metrics(1.0))
+        exclusive = TrialCache(path, max_disk_entries=4)
+        for i in range(64):
+            exclusive.put(f"k{i}", _metrics(float(i)))
+        # A live shard sidecar blocks auto-compaction entirely.
+        assert exclusive.stats.auto_compactions == 0
+        assert (tmp_path / "cache.jsonl.shard-1").exists()
+
+    def test_entries_remain_readable_after_auto_compaction(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = TrialCache(path, max_disk_entries=8, max_memory_entries=1)
+        for i in range(60):
+            cache.put(f"k{i}", _metrics(float(i)))
+        assert cache.stats.auto_compactions >= 1
+        reloaded = TrialCache(path)
+        hit = reloaded.get("k59")
+        assert hit is not None
+        assert trial_metrics_to_dict(hit) == trial_metrics_to_dict(_metrics(59.0))
+
+
+# ---------------------------------------------------------------------------
 class TestShardSafeWrites:
     def test_writer_id_appends_to_sidecar(self, tmp_path):
         path = tmp_path / "cache.jsonl"

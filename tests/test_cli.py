@@ -116,6 +116,52 @@ class TestCommands:
             assert json.loads(result_path.read_text())["num_trials"] == 4
             assert config_path.exists()
 
+    def test_search_op_cache_and_scalar_mapper_flags(self, tmp_path, capsys):
+        store = tmp_path / "opcache.jsonl"
+        code = main(
+            [
+                "search",
+                "--workload", "mobilenet-v2",
+                "--trials", "4",
+                "--optimizer", "random",
+                "--op-cache", str(store),
+            ]
+        )
+        assert code in (0, 1)
+        capsys.readouterr()
+        code = main(
+            [
+                "search",
+                "--workload", "mobilenet-v2",
+                "--trials", "4",
+                "--optimizer", "random",
+                "--scalar-mapper",
+                "--no-op-cache",
+            ]
+        )
+        assert code in (0, 1)
+        capsys.readouterr()
+
+    def test_profile_smoke_writes_json(self, tmp_path, capsys):
+        out_path = tmp_path / "profile.json"
+        code = main(
+            [
+                "profile",
+                "--workload", "mobilenet-v2",
+                "--trials", "4",
+                "--batch-size", "2",
+                "--output", str(out_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "vs scalar" in out
+        assert "equivalence: all modes reproduced" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["histories_match"] is True
+        modes = [record["mode"] for record in payload["records"]]
+        assert modes == ["scalar", "vectorized", "vectorized+op-cache"]
+
     def test_sweep_smoke_golden_output(self, tmp_path, capsys):
         out_path = tmp_path / "sweep.json"
         code = main(

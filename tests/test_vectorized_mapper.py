@@ -1,0 +1,395 @@
+"""Tests for the vectorized mapping engine and the cross-trial op-cost cache.
+
+The contract under test is *bit-for-bit equivalence*: the NumPy candidate
+sweep, the scalar reference loop, and any op-cache configuration must all
+produce identical op costs and identical search histories.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.fast import FASTSearch
+from repro.core.problem import ObjectiveKind, SearchProblem
+from repro.core.trial import TrialEvaluator
+from repro.hardware.datapath import DatapathConfig
+from repro.hardware.search_space import DatapathSearchSpace
+from repro.mapping.loopnest import MatrixProblem, extract_problem
+from repro.mapping.mapper import Mapper, MapperOptions
+from repro.mapping.tiling import (
+    candidate_tilings,
+    estimate_traffic,
+    estimate_traffic_batch,
+    tiling_candidate_arrays,
+)
+from repro.reporting.serialization import (
+    runtime_stats_from_dict,
+    runtime_stats_to_dict,
+    trial_metrics_to_dict,
+)
+from repro.runtime.opcache import (
+    OpCostCache,
+    get_op_cache,
+    opcost_from_dict,
+    opcost_to_dict,
+    reset_op_caches,
+)
+from repro.simulator.engine import SimulationOptions, Simulator
+from repro.workloads.ops import is_matrix_op
+from repro.workloads.registry import available_workloads, build_workload
+
+
+@pytest.fixture(autouse=True)
+def _fresh_op_caches():
+    reset_op_caches()
+    yield
+    reset_op_caches()
+
+
+def _random_configs(count: int, seed: int = 7):
+    """Random datapaths drawn from the Table 3 search space."""
+    space = DatapathSearchSpace()
+    rng = np.random.default_rng(seed)
+    configs = []
+    while len(configs) < count:
+        params = {
+            spec.name: spec.choices[int(rng.integers(len(spec.choices)))]
+            for spec in space.specs
+        }
+        try:
+            configs.append(space.to_config(params))
+        except Exception:
+            continue  # invalid combination; draw again
+    return configs
+
+
+def _matrix_ops(graph):
+    return [op for op in graph.ops if is_matrix_op(op.op_type)]
+
+
+class TestTilingBatch:
+    def _problem(self, m=4096, n=512, k=512, instances=1, depthwise=False):
+        return MatrixProblem(
+            m=m, n=n, k=k, instances=instances,
+            stationary_is_weight=True, is_depthwise=depthwise,
+            input_bytes=m * k * 2, stationary_bytes=k * n * 2, output_bytes=m * n * 2,
+        )
+
+    def test_candidate_arrays_match_scalar_enumeration(self):
+        problem = self._problem(m=5000, n=300, k=700)
+        scalar = list(candidate_tilings(problem, 32, 32, max_candidates=48))
+        m_tiles, n_tiles, k_tiles = tiling_candidate_arrays(problem, 32, 32, 48)
+        assert len(scalar) == len(m_tiles)
+        for i, tiling in enumerate(scalar):
+            assert (tiling.m_tile, tiling.n_tile, tiling.k_tile) == (
+                m_tiles[i], n_tiles[i], k_tiles[i]
+            )
+
+    @pytest.mark.parametrize("capacity", [1 << 14, 1 << 20, 1 << 30])
+    @pytest.mark.parametrize("depthwise", [False, True])
+    def test_traffic_batch_matches_scalar_bitwise(self, capacity, depthwise):
+        problem = self._problem(m=100000, n=257, k=9 if depthwise else 384,
+                                instances=3, depthwise=depthwise)
+        tiles = tiling_candidate_arrays(problem, 32, 32, 48)
+        arrays = estimate_traffic_batch(problem, *tiles, capacity)
+        for i in range(len(arrays)):
+            tiling = arrays.tiling(i)
+            traffic, fits = estimate_traffic(problem, tiling, capacity)
+            assert bool(arrays.fits[i]) == fits
+            assert int(arrays.buffer_bytes[i]) == tiling.buffer_bytes(2)
+            assert float(arrays.input_bytes[i]) == traffic.input_bytes
+            assert float(arrays.stationary_bytes[i]) == traffic.stationary_bytes
+            assert float(arrays.output_bytes[i]) == traffic.output_bytes
+            assert float(arrays.total_bytes[i]) == traffic.total_bytes
+
+
+class TestVectorizedEquivalence:
+    """Property sweep: random datapaths x all registered workloads."""
+
+    def test_vectorized_equals_scalar_on_all_workloads(self):
+        configs = _random_configs(4)
+        mismatches = []
+        for workload in available_workloads():
+            graph = build_workload(workload, batch_size=1)
+            tensors = graph.tensors
+            for index, config in enumerate(configs):
+                scalar = Mapper(config, options=MapperOptions(vectorize=False))
+                vectorized = Mapper(config, options=MapperOptions(vectorize=True))
+                for op in _matrix_ops(graph):
+                    scalar_cost = scalar.map_op(op, tensors)
+                    vector_cost = vectorized.map_op(op, tensors)
+                    if scalar_cost != vector_cost:
+                        mismatches.append((workload, index, op.name))
+        assert mismatches == []
+
+    def test_equivalence_covers_chosen_tiling_cycles_and_bytes(self, small_config):
+        graph = build_workload("efficientnet-b0", batch_size=2)
+        tensors = graph.tensors
+        scalar = Mapper(small_config, options=MapperOptions(vectorize=False))
+        vectorized = Mapper(small_config, options=MapperOptions(vectorize=True))
+        checked = 0
+        for op in _matrix_ops(graph):
+            a = scalar.map_op(op, tensors)
+            b = vectorized.map_op(op, tensors)
+            assert a.tiling == b.tiling
+            assert a.dataflow is b.dataflow
+            assert a.compute_cycles == b.compute_cycles
+            assert a.dram_bytes == b.dram_bytes
+            assert a.utilization == b.utilization
+            checked += 1
+        assert checked > 0
+
+    def test_schedule_failure_identical(self):
+        config = DatapathConfig(
+            systolic_array_x=256, systolic_array_y=256,
+            l1_input_buffer_kib=1, l1_weight_buffer_kib=1, l1_output_buffer_kib=1,
+            l1_buffer_config=__import__(
+                "repro.hardware.datapath", fromlist=["BufferConfig"]
+            ).BufferConfig.PRIVATE,
+        )
+        graph = build_workload("mobilenet-v2", batch_size=1)
+        tensors = graph.tensors
+        op = _matrix_ops(graph)[0]
+        a = Mapper(config, options=MapperOptions(vectorize=False)).map_op(op, tensors)
+        b = Mapper(config, options=MapperOptions(vectorize=True)).map_op(op, tensors)
+        assert a.schedule_failed and a == b
+
+
+class TestOpCostCache:
+    def test_shared_across_mapper_instances(self, small_config):
+        graph = build_workload("mobilenet-v2", batch_size=1)
+        tensors = graph.tensors
+        cache = OpCostCache()
+        first = Mapper(small_config, op_cache=cache)
+        for op in _matrix_ops(graph):
+            first.map_op(op, tensors)
+        puts = cache.stats.puts
+        assert puts > 0
+        second = Mapper(small_config, op_cache=cache)
+        for op in _matrix_ops(graph):
+            second.map_op(op, tensors)
+        assert cache.stats.puts == puts  # every lookup served from the cache
+        assert cache.stats.hits >= puts
+
+    def test_different_mapping_config_does_not_collide(self, small_config):
+        graph = build_workload("mobilenet-v2", batch_size=1)
+        tensors = graph.tensors
+        op = _matrix_ops(graph)[0]
+        cache = OpCostCache()
+        Mapper(small_config, op_cache=cache).map_op(op, tensors)
+        other = small_config.evolve(systolic_array_x=64, systolic_array_y=64)
+        mapper = Mapper(other, op_cache=cache)
+        before = cache.stats.misses
+        cost = mapper.map_op(op, tensors)
+        assert cache.stats.misses > before
+        assert cost == Mapper(other).map_op(op, tensors)
+
+    def test_cached_costs_are_relabeled_per_op(self, small_config):
+        graph = build_workload("efficientnet-b0", batch_size=1)
+        tensors = graph.tensors
+        cache = OpCostCache()
+        mapper = Mapper(small_config, op_cache=cache)
+        costs = {op.name: mapper.map_op(op, tensors) for op in _matrix_ops(graph)}
+        fresh = Mapper(small_config, op_cache=cache)
+        for op in _matrix_ops(graph):
+            cost = fresh.map_op(op, tensors)
+            assert cost.op_name == op.name
+            assert cost == costs[op.name]
+
+    def test_persistence_round_trip(self, small_config, tmp_path):
+        graph = build_workload("mobilenet-v2", batch_size=1)
+        tensors = graph.tensors
+        store = tmp_path / "opcache.jsonl"
+        writer = OpCostCache(path=store)
+        mapper = Mapper(small_config, op_cache=writer)
+        expected = {op.name: mapper.map_op(op, tensors) for op in _matrix_ops(graph)}
+        assert store.exists()
+
+        reader = OpCostCache(path=store)
+        assert reader.stats.disk_entries_loaded == writer.stats.puts
+        mapper = Mapper(small_config, op_cache=reader)
+        for op in _matrix_ops(graph):
+            assert mapper.map_op(op, tensors) == expected[op.name]
+        assert reader.stats.misses == 0
+
+    def test_opcost_dict_round_trip(self, small_config):
+        graph = build_workload("efficientnet-b0", batch_size=1)
+        tensors = graph.tensors
+        for op in _matrix_ops(graph)[:5]:
+            cost = Mapper(small_config).map_op(op, tensors)
+            assert opcost_from_dict(opcost_to_dict(cost)) == cost
+
+    def test_disk_store_never_reappends_known_keys(self, small_config, tmp_path):
+        graph = build_workload("mobilenet-v2", batch_size=1)
+        tensors = graph.tensors
+        store = tmp_path / "opcache.jsonl"
+        # Tiny memory front forces evictions; re-puts of evicted keys must
+        # still not grow the disk store.
+        cache = OpCostCache(path=store, max_memory_entries=1)
+        for _ in range(3):
+            mapper = Mapper(small_config, op_cache=cache)
+            for op in _matrix_ops(graph):
+                mapper.map_op(op, tensors)
+        lines = store.read_text().splitlines()
+        assert len(lines) == len(set(json.loads(l)["key"] for l in lines))
+
+        reopened = OpCostCache(path=store, max_memory_entries=1)
+        mapper = Mapper(small_config, op_cache=reopened)
+        for op in _matrix_ops(graph):
+            mapper.map_op(op, tensors)
+        assert store.read_text().splitlines() == lines
+
+    def test_compact_folds_duplicate_records(self, small_config, tmp_path):
+        store = tmp_path / "opcache.jsonl"
+        from repro.mapping.costmodel import OpCost
+        from repro.workloads.ops import OpType
+
+        cost = OpCost(op_name="op", op_type=OpType.MATMUL, compute_cycles=5.0)
+        record = {"key": OpCostCache.digest(("k",)), "cost": opcost_to_dict(cost)}
+        # Simulate two racing writers appending the same key.
+        store.write_text((json.dumps(record) + "\n") * 3)
+        cache = OpCostCache(path=store)
+        kept = cache.compact()
+        assert kept == 1
+        assert len(store.read_text().splitlines()) == 1
+        assert cache.get(("k",)) == cost
+
+    def test_memory_lru_bounded(self):
+        cache = OpCostCache(max_memory_entries=4)
+        from repro.mapping.costmodel import OpCost
+        from repro.workloads.ops import OpType
+
+        for i in range(10):
+            cache.put(("key", i), OpCost(op_name=f"op{i}", op_type=OpType.MATMUL))
+        assert len(cache._memory) == 4
+
+    def test_process_registry_shares_instances(self, tmp_path):
+        assert get_op_cache() is get_op_cache()
+        path = tmp_path / "store.jsonl"
+        assert get_op_cache(path) is get_op_cache(path)
+        assert get_op_cache(path) is not get_op_cache()
+
+
+class TestSearchEquivalence:
+    def _run(self, vectorized, op_cache, trials=10, seed=3):
+        problem = SearchProblem(["efficientnet-b0"], ObjectiveKind.PERF_PER_TDP)
+        evaluator = TrialEvaluator(
+            problem,
+            simulation_options=SimulationOptions(
+                fusion_solver="greedy",
+                vectorized_mapper=vectorized,
+                op_cache_enabled=op_cache,
+            ),
+        )
+        search = FASTSearch(problem, optimizer="lcs", seed=seed, evaluator=evaluator)
+        return search.run(num_trials=trials, batch_size=4)
+
+    @staticmethod
+    def _history(result):
+        return [trial_metrics_to_dict(m) for m in result.history]
+
+    def test_fast_path_reproduces_scalar_history_bitwise(self):
+        reference = self._run(vectorized=False, op_cache=False)
+        fast = self._run(vectorized=True, op_cache=True)
+        assert self._history(fast) == self._history(reference)
+        assert fast.best_params == reference.best_params
+        assert fast.best_score_curve == reference.best_score_curve
+
+    def test_op_cache_on_off_identical_histories(self):
+        without = self._run(vectorized=True, op_cache=False)
+        reset_op_caches()
+        with_cache = self._run(vectorized=True, op_cache=True)
+        rerun = self._run(vectorized=True, op_cache=True)  # warm, same process
+        assert self._history(with_cache) == self._history(without)
+        assert self._history(rerun) == self._history(without)
+        assert rerun.runtime.op_cache_hits > 0
+
+    def test_runtime_stats_surface_op_cache_and_stage_times(self):
+        result = self._run(vectorized=True, op_cache=True)
+        stats = result.runtime
+        assert stats.op_cache_hits + stats.op_cache_misses > 0
+        assert stats.eval_seconds > 0
+        assert stats.mapper_seconds > 0
+        assert 0.0 <= stats.op_cache_hit_rate <= 1.0
+
+
+class TestRuntimeStatsSerialization:
+    def test_round_trip(self):
+        from repro.core.fast import RuntimeStats
+
+        stats = RuntimeStats(
+            trials_evaluated=12, cache_hits=3, batches=2, duplicates_avoided=1,
+            resumed_trials=0, elapsed_seconds=1.5, op_cache_hits=40,
+            op_cache_misses=8, mapper_seconds=0.5, vector_seconds=0.1,
+            fusion_seconds=0.2, eval_seconds=0.9,
+        )
+        data = runtime_stats_to_dict(stats)
+        assert data["op_cache_hits"] == 40
+        assert runtime_stats_from_dict(data) == stats
+
+    def test_from_dict_tolerates_old_and_unknown_keys(self):
+        from repro.core.fast import RuntimeStats
+
+        old = {"trials_evaluated": 5, "cache_hits": 1, "batches": 2,
+               "duplicates_avoided": 0, "resumed_trials": 0,
+               "elapsed_seconds": 0.1, "not_a_field": 99}
+        stats = runtime_stats_from_dict(old)
+        assert stats.trials_evaluated == 5
+        assert stats.op_cache_hits == 0
+        assert isinstance(stats, RuntimeStats)
+
+    def test_search_result_payload_includes_new_fields(self):
+        from repro.reporting.serialization import search_result_to_dict
+
+        problem = SearchProblem(["mobilenet-v2"], ObjectiveKind.PERF_PER_TDP)
+        evaluator = TrialEvaluator(problem)
+        search = FASTSearch(problem, optimizer="random", seed=0, evaluator=evaluator)
+        result = search.run(num_trials=3, batch_size=2)
+        payload = search_result_to_dict(result)
+        assert "op_cache_hits" in payload["runtime"]
+        assert "mapper_seconds" in payload["runtime"]
+
+
+class TestSimulatorIntegration:
+    def test_simulator_modes_identical_results(self, small_config, tiny_graph):
+        results = []
+        for vectorized, op_cache in [(False, False), (True, False), (True, True)]:
+            simulator = Simulator(small_config, SimulationOptions(
+                fusion_solver="greedy",
+                vectorized_mapper=vectorized,
+                op_cache_enabled=op_cache,
+            ))
+            results.append(simulator.simulate(tiny_graph))
+        base = results[0]
+        for other in results[1:]:
+            assert other.latency_ms == base.latency_ms
+            assert other.qps == base.qps
+            assert [r.pre_fusion_cycles for r in other.regions] == [
+                r.pre_fusion_cycles for r in base.regions
+            ]
+
+    def test_stage_seconds_accumulate(self, small_config, tiny_graph):
+        simulator = Simulator(small_config, SimulationOptions(fusion_solver="greedy"))
+        simulator.simulate(tiny_graph)
+        assert simulator.stage_seconds["mapper"] > 0
+        assert simulator.stage_seconds["vector"] > 0
+
+    def test_problem_memo_is_correct_across_graphs(self, small_config):
+        """Two ops with identical names in different graphs must not collide."""
+        from repro.workloads.builder import GraphBuilder
+
+        def build(features):
+            builder = GraphBuilder("g", batch_size=1)
+            x = builder.input("x", (1, 64))
+            builder.matmul(x, features, name="op")
+            return builder.graph
+
+        a, b = build(64), build(256)
+        mapper = Mapper(small_config)
+        cost_a = mapper.map_op(a.op("op"), a.tensors)
+        cost_b = mapper.map_op(b.op("op"), b.tensors)
+        assert extract_problem(b.op("op"), b.tensors).n == 256
+        assert cost_a != cost_b
