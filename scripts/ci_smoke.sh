@@ -1,0 +1,172 @@
+#!/usr/bin/env bash
+# CI smoke suite — the exact invocations CI runs, runnable locally:
+#
+#   scripts/ci_smoke.sh [all|search|sweep|profile|bench|remote|coverage]
+#
+# `all` (the default) runs every smoke except `coverage`, which is its own
+# CI job.  Artifacts land in $SMOKE_DIR (default: a fresh temp dir); CI sets
+# SMOKE_DIR to a fixed path and uploads the JSON artifacts from there.
+#
+# Smokes fail on crashes, non-zero exits, and equivalence breaks — never on
+# timing, so they stay reliable on loaded CI runners.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+SMOKE_DIR="${SMOKE_DIR:-$(mktemp -d /tmp/repro-smoke.XXXXXX)}"
+mkdir -p "$SMOKE_DIR"
+
+log() { printf '\n=== %s ===\n' "$*"; }
+
+# --------------------------------------------------------------------------
+# 1. Parallel search smoke (runtime subsystem: workers, cache, checkpoint)
+# --------------------------------------------------------------------------
+smoke_search() {
+    log "search smoke: 2 workers, cache, checkpoint, progress"
+    python -m repro search \
+        --workload efficientnet-b0 --trials 20 \
+        --workers 2 --batch-size 4 \
+        --cache "$SMOKE_DIR/trials.jsonl" --checkpoint "$SMOKE_DIR/search.ckpt" \
+        --progress
+}
+
+# --------------------------------------------------------------------------
+# 2. Sharded sweep smoke (2 shards, shared cache, compaction)
+# --------------------------------------------------------------------------
+smoke_sweep() {
+    log "sweep smoke: 2 shards, shared cache, exchange, compaction"
+    python -m repro sweep \
+        --workload efficientnet-b0 --trials 16 --shards 2 \
+        --optimizer random --batch-size 4 \
+        --cache "$SMOKE_DIR/sweep-trials.jsonl" \
+        --exchange "$SMOKE_DIR/sweep-scores.json" \
+        --output "$SMOKE_DIR/sweep.json"
+    python -m repro cache compact \
+        --cache "$SMOKE_DIR/sweep-trials.jsonl" --max-entries 12
+}
+
+# --------------------------------------------------------------------------
+# 3. Mapper profile smoke (fails on crash or equivalence break, not timing)
+# --------------------------------------------------------------------------
+smoke_profile() {
+    log "profile smoke: scalar vs vectorized vs op-cached equivalence"
+    python -m repro profile \
+        --workload mobilenet-v2 --trials 8 --batch-size 4 \
+        --warm-op-cache --output "$SMOKE_DIR/mapper-profile.json"
+}
+
+# --------------------------------------------------------------------------
+# 4. Mapper throughput benchmark smoke (tiny budget, no timing asserts)
+# --------------------------------------------------------------------------
+smoke_bench() {
+    log "bench smoke: mapper throughput benchmark, tiny budget"
+    (cd benchmarks && REPRO_BENCH_TRIALS=16 REPRO_BENCH_NO_TIMING_ASSERTS=1 \
+        PYTHONPATH="../src" python -m pytest bench_mapper_throughput.py -q)
+}
+
+# --------------------------------------------------------------------------
+# 5. Remote-executor smoke: serve in the background, search against it,
+#    assert the history equals the serial run bit-for-bit, export the
+#    RuntimeStats JSON as a CI artifact.
+# --------------------------------------------------------------------------
+smoke_remote() {
+    log "remote smoke: repro serve + --executor remote, history equivalence"
+    local serve_log="$SMOKE_DIR/serve.log"
+    python -m repro serve --port 0 --workers 1 >"$serve_log" 2>&1 &
+    local serve_pid=$!
+    trap 'kill "$serve_pid" 2>/dev/null || true' RETURN
+
+    local url=""
+    for _ in $(seq 1 60); do
+        url=$(sed -n 's/.*\(http:\/\/[0-9.]*:[0-9]*\).*/\1/p' "$serve_log" | head -1)
+        if [ -n "$url" ] && python - "$url" <<'PY'
+import json, sys, urllib.request
+with urllib.request.urlopen(sys.argv[1] + "/health", timeout=2) as r:
+    assert json.loads(r.read())["status"] == "ok"
+PY
+        then break; fi
+        url=""
+        sleep 0.5
+    done
+    [ -n "$url" ] || { echo "repro serve never became healthy"; cat "$serve_log"; exit 1; }
+    echo "service healthy at $url"
+
+    python -m repro search \
+        --workload efficientnet-b0 --trials 16 --batch-size 4 --seed 0 \
+        --output "$SMOKE_DIR/serial-search.json" --history
+    python -m repro search \
+        --workload efficientnet-b0 --trials 16 --batch-size 4 --seed 0 \
+        --executor remote --endpoints "$url" \
+        --output "$SMOKE_DIR/remote-search.json" --history --progress
+
+    python - "$SMOKE_DIR/serial-search.json" "$SMOKE_DIR/remote-search.json" \
+        "$SMOKE_DIR/remote-runtime-stats.json" <<'PY'
+import json, sys
+serial = json.load(open(sys.argv[1]))
+remote = json.load(open(sys.argv[2]))
+for key in ("proposals", "history", "best_score_curve", "best_score"):
+    if serial.get(key) != remote.get(key):
+        raise SystemExit(f"remote run diverged from serial run on {key!r}")
+stats = remote.get("runtime") or {}
+json.dump(stats, open(sys.argv[3], "w"), indent=2)
+print("remote == serial bit-for-bit over", len(remote.get("history") or []), "trials")
+print("remote runtime stats:",
+      {k: v for k, v in stats.items() if k.startswith("remote_")})
+PY
+
+    kill "$serve_pid" 2>/dev/null || true
+    wait "$serve_pid" 2>/dev/null || true
+    trap - RETURN
+}
+
+# --------------------------------------------------------------------------
+# Coverage job: ratcheted floor + drift check.  The floor lives in ci.yml
+# (COV_FLOOR env of the coverage job); raise it as coverage grows, never
+# lower it.  The drift check fails the job when the floor lags measured
+# coverage by more than 5 points — i.e. when someone forgot the ratchet.
+# --------------------------------------------------------------------------
+smoke_coverage() {
+    log "coverage: branch coverage with ratcheted floor"
+    if ! python -c "import pytest_cov" 2>/dev/null; then
+        echo "pytest-cov is not installed; skipping the coverage smoke"
+        return 0
+    fi
+    local floor="${COV_FLOOR:-$(sed -n 's/.*COV_FLOOR: "\([0-9]*\)".*/\1/p' .github/workflows/ci.yml | head -1)}"
+    [ -n "$floor" ] || { echo "no COV_FLOOR found (env or ci.yml)"; exit 1; }
+    local report="$SMOKE_DIR/coverage.txt"
+    python -m pytest -q \
+        --cov=repro --cov-branch \
+        --cov-report=term-missing:skip-covered \
+        --cov-fail-under="$floor" | tee "$report"
+    local measured
+    measured=$(grep -E '^TOTAL' "$report" | awk '{print $NF}' | tr -d '%' | cut -d. -f1)
+    echo "coverage floor: ${floor}%, measured: ${measured}%"
+    if [ "$((measured - floor))" -gt 5 ]; then
+        echo "ratchet drift: measured coverage (${measured}%) exceeds the floor" \
+             "(${floor}%) by more than 5 points — raise COV_FLOOR in ci.yml"
+        exit 1
+    fi
+}
+
+# --------------------------------------------------------------------------
+case "${1:-all}" in
+    search)   smoke_search ;;
+    sweep)    smoke_sweep ;;
+    profile)  smoke_profile ;;
+    bench)    smoke_bench ;;
+    remote)   smoke_remote ;;
+    coverage) smoke_coverage ;;
+    all)
+        smoke_search
+        smoke_sweep
+        smoke_profile
+        smoke_bench
+        smoke_remote
+        log "all smokes passed; artifacts in $SMOKE_DIR"
+        ;;
+    *)
+        echo "usage: $0 [all|search|sweep|profile|bench|remote|coverage]" >&2
+        exit 2
+        ;;
+esac

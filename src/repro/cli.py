@@ -73,7 +73,54 @@ between sweeps, not while one is writing — merged sidecars are deleted)::
 
 A cache opened with a ``max_disk_entries`` cap also auto-compacts itself
 once the store overshoots the cap by a slack margin, so long exclusive-writer
-runs never grow the store unboundedly.
+runs never grow the store unboundedly.  Sharded writers claim their sidecar
+with a pid/host owner marker: compaction folds in sidecars orphaned by
+crashed (or finished) writers while never touching one a live foreign
+process still appends to, so ``repro cache compact`` is safe even when a
+previous sweep died mid-write.
+
+Remote evaluation
+~~~~~~~~~~~~~~~~~
+Beyond one machine, trial evaluation itself can move to a fleet of
+evaluation services.  ``repro serve`` starts a stdlib-only HTTP service that
+accepts batches of trial parameters plus a problem fingerprint and returns
+the evaluated metrics (``--workers N`` parallelizes each batch server-side;
+``--op-cache`` keeps a warm persistent op-cost cache across requests)::
+
+    # on each evaluator host:
+    python -m repro serve --port 8642 --workers 4
+
+    # on the search host:
+    python -m repro search --workload efficientnet-b0 --trials 200 \
+        --executor remote --endpoints http://hostA:8642 \
+        --endpoints http://hostB:8642 --progress
+
+The remote executor fans each batch out to the endpoints concurrently with
+a per-request ``--remote-timeout``, bounded retry with exponential backoff,
+hedged re-dispatch of stragglers (after ``--hedge-after`` seconds without
+progress the still-pending chunks are duplicated onto other endpoints;
+first result wins), and graceful blacklisting of endpoints that keep
+failing.  **Equivalence guarantee:** results are reassembled in proposal
+order and evaluation is deterministic, so a remote search reproduces the
+serial executor's trial history bit-for-bit for the same seed and batch
+size — and injected faults (timeouts, errors, stragglers) can delay a
+batch but never corrupt or reorder the merged history (a batch that cannot
+be evaluated raises instead of returning partial results).  Per-endpoint
+request/retry/hedge/latency counters land in the ``RuntimeStats`` of the
+search summary and ``--output`` JSON.
+
+The service also hosts the cross-shard scoreboard used by ``repro sweep
+--exchange``: pass a file prefix (shared filesystem) or a service URL and
+every shard publishes its best-so-far between batches while guided
+optimizers (annealing incumbents, Bayesian EI) fold the best score found by
+*other* shards into their proposals::
+
+    python -m repro sweep --workload efficientnet-b0 --trials 200 --shards 4 \
+        --exchange /tmp/scores.json        # or --exchange http://hostA:8642
+
+``--exchange`` is off by default, excludes a shard's own records, and a
+1-shard sweep is bit-for-bit identical with or without it — cross-shard
+coupling is strictly opt-in.
 
 Performance
 -----------
@@ -251,7 +298,16 @@ def _cmd_search(args) -> int:
     if args.progress:
         progress = ProgressBus()
         progress.subscribe(ProgressPrinter())
-    with make_executor(args.workers) as executor:
+    if args.executor == "remote" and not args.endpoints:
+        print("error: --executor remote requires at least one --endpoints URL")
+        return 1
+    with make_executor(
+        args.workers,
+        kind=args.executor,
+        endpoints=args.endpoints,
+        timeout=args.remote_timeout,
+        hedge_after=args.hedge_after,
+    ) as executor:
         search = FASTSearch(
             problem,
             optimizer=args.optimizer,
@@ -296,9 +352,25 @@ def _cmd_search(args) -> int:
             summary["fusion seconds"] = result.runtime.fusion_seconds
         if result.runtime.resumed_trials:
             summary["resumed trials"] = result.runtime.resumed_trials
+        if result.runtime.remote_requests:
+            summary["remote requests"] = result.runtime.remote_requests
+            summary["remote retries"] = result.runtime.remote_retries
+            summary["remote hedges"] = result.runtime.remote_hedges
+            for url, counters in sorted(result.runtime.endpoint_stats.items()):
+                successes = counters.get("successes", 0)
+                mean_ms = (
+                    1e3 * counters.get("latency_seconds", 0.0) / successes
+                    if successes
+                    else 0.0
+                )
+                summary[f"endpoint {url}"] = (
+                    f"{int(counters.get('requests', 0))} req, "
+                    f"{int(counters.get('retries', 0))} retries, "
+                    f"{mean_ms:.0f} ms mean"
+                )
     print(format_kv(summary, title="Search summary"))
     if args.output:
-        save_search_result(result, args.output)
+        save_search_result(result, args.output, include_history=args.history)
         print(f"\nsearch result written to {args.output}")
     if args.save_config:
         save_config(result.best_config, args.save_config)
@@ -365,7 +437,7 @@ def _cmd_sweep(args) -> int:
                 spec = specs[args.shard_index]
                 result = run_shard(
                     problem, spec, optimizer=args.optimizer, batch_size=args.batch_size,
-                    executor=executor, cache_path=args.cache,
+                    executor=executor, cache_path=args.cache, exchange=args.exchange,
                 )
                 out = args.output or f"shard-{spec.shard_id}.json"
                 save_shard_result(result, out)
@@ -382,7 +454,7 @@ def _cmd_sweep(args) -> int:
             shard_results = [
                 run_shard(
                     problem, spec, optimizer=args.optimizer, batch_size=args.batch_size,
-                    executor=executor, cache_path=args.cache,
+                    executor=executor, cache_path=args.cache, exchange=args.exchange,
                 )
                 for spec in specs
             ]
@@ -415,6 +487,9 @@ def _cmd_sweep(args) -> int:
         summary["best shard"] = sweep.best_trial.shard_id
     if sweep.runtime is not None and sweep.runtime.cache_hits:
         summary["cache hits"] = sweep.runtime.cache_hits
+    if sweep.runtime is not None and sweep.runtime.exchange_published:
+        summary["exchange publishes"] = sweep.runtime.exchange_published
+        summary["exchange adoptions"] = sweep.runtime.exchange_adopted
     print(format_kv(summary, title="Merged sweep"))
     if args.output:
         with open(args.output, "w") as handle:
@@ -474,6 +549,30 @@ def _cmd_profile(args) -> int:
     return 0 if report.histories_match else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.runtime.service import serve
+
+    service = serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        op_cache_path=args.op_cache,
+    )
+    host, port = service.address
+    print(
+        f"serving trial evaluation on http://{host}:{port} "
+        f"(workers={args.workers}) — Ctrl-C to stop",
+        flush=True,
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        service.close()
+    return 0
+
+
 def _cmd_cache_compact(args) -> int:
     from pathlib import Path
 
@@ -484,16 +583,16 @@ def _cmd_cache_compact(args) -> int:
         print(f"error: no cache store at {args.cache}")
         return 1
     stats = cache.compact(args.max_entries)
-    print(format_kv(
-        {
-            "files merged": stats.files_merged,
-            "entries kept": stats.kept,
-            "duplicates dropped": stats.duplicates_dropped,
-            "entries evicted": stats.evicted,
-            "store": str(Path(args.cache)),
-        },
-        title="Cache compaction",
-    ))
+    summary = {
+        "files merged": stats.files_merged,
+        "entries kept": stats.kept,
+        "duplicates dropped": stats.duplicates_dropped,
+        "entries evicted": stats.evicted,
+        "store": str(Path(args.cache)),
+    }
+    if stats.live_writers_skipped:
+        summary["live writers skipped"] = stats.live_writers_skipped
+    print(format_kv(summary, title="Cache compaction"))
     return 0
 
 
@@ -599,6 +698,18 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--seed", type=int, default=0)
     search.add_argument("--workers", type=int, default=1,
                         help="Worker processes for trial evaluation (1 = serial)")
+    search.add_argument("--executor", default=None,
+                        choices=["serial", "process", "remote"],
+                        help="Trial executor kind (default: serial, or process "
+                             "when --workers > 1)")
+    search.add_argument("--endpoints", action="append", default=None, metavar="URL",
+                        help="Evaluation-service URL for --executor remote "
+                             "(repeat for a fleet)")
+    search.add_argument("--remote-timeout", type=float, default=60.0,
+                        help="Per-request timeout (seconds) of the remote executor")
+    search.add_argument("--hedge-after", type=float, default=10.0,
+                        help="Seconds without progress before straggling remote "
+                             "chunks are hedged onto other endpoints")
     search.add_argument("--batch-size", type=int, default=8,
                         help="Proposals per ask/tell batch; fixes the search "
                              "trajectory independently of --workers")
@@ -621,8 +732,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="Use the scalar reference mapping engine instead of "
                              "the vectorized one (identical results, slower)")
     search.add_argument("--output", default=None, help="Write the search result JSON here")
+    search.add_argument("--history", action="store_true",
+                        help="Include the full trial history and proposals in --output "
+                             "(used by the CI equivalence check)")
     search.add_argument("--save-config", default=None, help="Write the best design JSON here")
     search.set_defaults(func=_cmd_search)
+
+    serve = sub.add_parser(
+        "serve",
+        help="Run a trial-evaluation service other hosts can target with "
+             "`repro search --executor remote --endpoints`",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="Bind address (use 0.0.0.0 to accept remote searches)")
+    serve.add_argument("--port", type=int, default=8642, help="TCP port (0 = pick free)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="Worker processes evaluating each request batch")
+    serve.add_argument("--op-cache", default=None, metavar="PATH",
+                       help="Persist the service's cross-trial op-cost cache here "
+                            "(warm across requests and clients)")
+    serve.set_defaults(func=_cmd_serve)
 
     profile = sub.add_parser(
         "profile",
@@ -672,6 +801,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Proposals per ask/tell batch within each shard")
     sweep.add_argument("--cache", default=None, metavar="PATH",
                        help="Shared trial cache; shards append to per-shard sidecars")
+    sweep.add_argument("--exchange", default=None, metavar="PATH_OR_URL",
+                       help="Live cross-shard best-score exchange: scoreboard file "
+                            "prefix or evaluation-service URL (off by default; "
+                            "guided optimizers fold in other shards' bests)")
     sweep.add_argument("--shard-dir", default=None, metavar="DIR",
                        help="Also write each shard's JSON into this directory")
     sweep.add_argument("--output", default=None, metavar="PATH",

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
 
 from repro.core.problem import SearchProblem
 from repro.core.trial import TrialEvaluator, TrialMetrics
@@ -32,6 +32,7 @@ from repro.search.pareto import ParetoFront
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
     from repro.runtime.cache import TrialCache
     from repro.runtime.checkpoint import SearchCheckpoint
+    from repro.runtime.exchange import ExchangeClient
     from repro.runtime.executor import TrialExecutor
     from repro.runtime.progress import ProgressBus
 
@@ -48,6 +49,14 @@ class RuntimeStats:
     cost model / fusion ILP / whole-trial evaluation).  Both are collected
     from this process's evaluator and op cache, so with a parallel executor
     (whose evaluation happens in worker processes) they remain zero.
+
+    The ``remote_*`` counters and per-endpoint ``endpoint_stats`` map are
+    filled in when the run used an
+    :class:`~repro.runtime.remote.AsyncRemoteExecutor` (requests dispatched,
+    retries, hedged re-dispatches, failures, and per-endpoint latency sums);
+    ``exchange_published``/``exchange_adopted`` count cross-shard scoreboard
+    publications and adopted external bests when a sweep ran with
+    ``--exchange``.
     """
 
     trials_evaluated: int = 0
@@ -62,6 +71,15 @@ class RuntimeStats:
     vector_seconds: float = 0.0
     fusion_seconds: float = 0.0
     eval_seconds: float = 0.0
+    remote_batches: int = 0
+    remote_requests: int = 0
+    remote_retries: int = 0
+    remote_hedges: int = 0
+    remote_failures: int = 0
+    remote_blacklist_resets: int = 0
+    endpoint_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    exchange_published: int = 0
+    exchange_adopted: int = 0
 
     @property
     def trials_per_second(self) -> float:
@@ -127,6 +145,7 @@ class FASTSearch:
         cache: Optional["TrialCache"] = None,
         checkpoint: Optional["SearchCheckpoint"] = None,
         progress: Optional["ProgressBus"] = None,
+        exchange: Optional["ExchangeClient"] = None,
     ) -> None:
         """Create a search instance.
 
@@ -149,6 +168,15 @@ class FASTSearch:
             checkpoint: Optional checkpoint manager; the run saves
                 periodically and :meth:`run` can resume from the saved state.
             progress: Optional event bus receiving trial/cache/best events.
+            exchange: Optional cross-shard exchange client
+                (:class:`~repro.runtime.exchange.ExchangeClient`).  When
+                set, the run publishes its best-so-far to the shared
+                scoreboard after every batch and, before asking the next
+                batch, feeds any better score published by *other* shards to
+                the optimizer via
+                :meth:`~repro.search.optimizer.Optimizer.observe_external_best`.
+                A run that never receives an external best is bit-for-bit
+                identical to one without an exchange.
         """
         self.problem = problem
         self.space = space or DatapathSearchSpace()
@@ -158,6 +186,7 @@ class FASTSearch:
         self.cache = cache
         self.checkpoint = checkpoint
         self.progress = progress
+        self.exchange = exchange
         if isinstance(optimizer, str):
             self.optimizer = make_optimizer(optimizer, self.space, seed=seed)
         else:
@@ -207,6 +236,7 @@ class FASTSearch:
             BEST_IMPROVED,
             CACHE_HIT,
             CHECKPOINT_SAVED,
+            EXTERNAL_BEST,
             SEARCH_FINISHED,
             SEARCH_RESUMED,
             SEARCH_STARTED,
@@ -225,6 +255,10 @@ class FASTSearch:
         # so don't force-load a possibly large persistent store here.
         op_cache = self._op_cache() if isinstance(executor, SerialExecutor) else None
         op_cache_start = op_cache.snapshot_counters() if op_cache is not None else (0, 0)
+        # Remote executors expose lifetime counters; snapshot them so a run
+        # on a reused executor (e.g. across sweep shards) reports deltas.
+        collect_remote = getattr(executor, "runtime_counters", None)
+        remote_start = collect_remote() if callable(collect_remote) else None
 
         history: List[TrialMetrics] = []
         proposals_log: List[ParameterValues] = []
@@ -290,6 +324,26 @@ class FASTSearch:
         # -------------------------------------------------- batched loop
         completed = len(history)
         while completed < num_trials:
+            if self.exchange is not None:
+                external = self.exchange.poll_external_best()
+                if external is not None:
+                    params = None
+                    if external.params:
+                        try:
+                            from repro.reporting.serialization import params_from_jsonable
+
+                            params = params_from_jsonable(external.params, self.space)
+                        except (KeyError, TypeError, ValueError):
+                            params = None  # foreign space: use the score alone
+                    hook = getattr(self.optimizer, "observe_external_best", None)
+                    if callable(hook):
+                        hook(external.objective, params)
+                    bus.emit(
+                        EXTERNAL_BEST,
+                        completed,
+                        shard=external.shard_id,
+                        score=external.score,
+                    )
             want = min(batch_size, num_trials - completed)
             batch: List[ParameterValues] = []
             while len(batch) < want and completed + len(batch) < len(seed_params):
@@ -347,6 +401,18 @@ class FASTSearch:
                     callback(trial_index, metrics)
             completed += len(batch)
 
+            if self.exchange is not None and best_metrics is not None:
+                from repro.reporting.serialization import params_to_jsonable
+
+                self.exchange.publish_best(
+                    objective=best_metrics.objective_value,
+                    score=best_metrics.aggregate_score,
+                    params_jsonable=(
+                        params_to_jsonable(best_params) if best_params is not None else None
+                    ),
+                    trials=completed,
+                )
+
             if self.checkpoint is not None:
                 saved = self.checkpoint.maybe_save(
                     CheckpointState(
@@ -381,11 +447,25 @@ class FASTSearch:
             hits, misses = op_cache.snapshot_counters()
             stats.op_cache_hits = hits - op_cache_start[0]
             stats.op_cache_misses = misses - op_cache_start[1]
+        if remote_start is not None:
+            remote_now = collect_remote()
+            for key, value in remote_now.items():
+                if key == "endpoint_stats":
+                    stats.endpoint_stats = _endpoint_stats_delta(
+                        value, remote_start.get(key) or {}
+                    )
+                elif hasattr(stats, key):
+                    setattr(stats, key, value - remote_start.get(key, 0))
+        if self.exchange is not None:
+            stats.exchange_published = self.exchange.published
+            stats.exchange_adopted = self.exchange.adopted
         bus.emit(
             SEARCH_FINISHED,
             num_trials=completed,
             cache_hits=stats.cache_hits,
             op_cache_hits=stats.op_cache_hits,
+            remote_retries=stats.remote_retries,
+            remote_hedges=stats.remote_hedges,
             best_score=(
                 best_metrics.aggregate_score if best_metrics is not None else float("nan")
             ),
@@ -417,3 +497,17 @@ class FASTSearch:
 def _mean(values) -> float:
     values = list(values)
     return sum(values) / len(values) if values else 0.0
+
+
+def _endpoint_stats_delta(
+    now: Dict[str, Dict[str, float]], before: Dict[str, Dict[str, float]]
+) -> Dict[str, Dict[str, float]]:
+    """Per-endpoint counter deltas (state flags keep their current value)."""
+    delta: Dict[str, Dict[str, float]] = {}
+    for url, counters in now.items():
+        prior = before.get(url) or {}
+        delta[url] = {
+            key: value if key == "blacklisted" else value - prior.get(key, 0)
+            for key, value in counters.items()
+        }
+    return delta

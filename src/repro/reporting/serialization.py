@@ -15,9 +15,11 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.core.fast import FASTSearchResult, RuntimeStats
+from repro.core.problem import ObjectiveKind, SearchProblem
 from repro.core.trial import TrialMetrics
 from repro.hardware.datapath import BufferConfig, DatapathConfig, L2Config, MemoryTechnology
 from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
+from repro.hardware.tpu import EvaluationConstraints
 
 __all__ = [
     "config_to_dict",
@@ -26,6 +28,10 @@ __all__ = [
     "load_config",
     "params_to_jsonable",
     "params_from_jsonable",
+    "search_problem_to_dict",
+    "search_problem_from_dict",
+    "simulation_options_to_dict",
+    "simulation_options_from_dict",
     "trial_metrics_to_dict",
     "trial_metrics_from_dict",
     "runtime_stats_to_dict",
@@ -110,6 +116,78 @@ def params_from_jsonable(
         else:
             raise ValueError(f"value {raw!r} is not a choice of parameter {name!r}")
     return params
+
+
+def search_problem_to_dict(problem: SearchProblem) -> Dict[str, object]:
+    """Encode a search problem as plain JSON values (the remote wire form)."""
+    return {
+        "workloads": list(problem.workloads),
+        "objective": problem.objective.value,
+        "constraints": {
+            "max_area_mm2": problem.constraints.max_area_mm2,
+            "max_tdp_w": problem.constraints.max_tdp_w,
+        },
+        "baseline_qps": dict(problem.baseline_qps),
+    }
+
+
+def search_problem_from_dict(data: Dict[str, object]) -> SearchProblem:
+    """Inverse of :func:`search_problem_to_dict`."""
+    constraints = data.get("constraints")
+    return SearchProblem(
+        workloads=list(data["workloads"]),
+        objective=ObjectiveKind(data["objective"]),
+        constraints=(
+            EvaluationConstraints(
+                max_area_mm2=float(constraints["max_area_mm2"]),
+                max_tdp_w=float(constraints["max_tdp_w"]),
+            )
+            if constraints is not None
+            else None
+        ),
+        baseline_qps=dict(data.get("baseline_qps") or {}),
+    )
+
+
+def simulation_options_to_dict(options) -> Dict[str, object]:
+    """Encode :class:`~repro.simulator.engine.SimulationOptions` as JSON values.
+
+    ``mapper_options`` (when set) is flattened to its scalar knobs with
+    dataflow enums replaced by their values.
+    """
+    payload: Dict[str, object] = {}
+    for name, value in sorted(vars(options).items()):
+        if name == "mapper_options" and value is not None:
+            payload[name] = {
+                "dataflows": [d.value for d in value.dataflows],
+                "max_tiling_candidates": value.max_tiling_candidates,
+                "padding_max_overhead": value.padding_max_overhead,
+                "vectorize": value.vectorize,
+            }
+        else:
+            payload[name] = getattr(value, "value", value)
+    return payload
+
+
+def simulation_options_from_dict(data: Dict[str, object]):
+    """Inverse of :func:`simulation_options_to_dict` (unknown keys ignored)."""
+    import dataclasses as _dc
+
+    from repro.mapping.dataflow import Dataflow
+    from repro.mapping.mapper import MapperOptions
+    from repro.simulator.engine import SimulationOptions
+
+    known = {field.name for field in _dc.fields(SimulationOptions)}
+    kwargs = {key: value for key, value in data.items() if key in known}
+    mapper = kwargs.get("mapper_options")
+    if mapper is not None:
+        kwargs["mapper_options"] = MapperOptions(
+            dataflows=tuple(Dataflow(d) for d in mapper["dataflows"]),
+            max_tiling_candidates=int(mapper["max_tiling_candidates"]),
+            padding_max_overhead=float(mapper["padding_max_overhead"]),
+            vectorize=bool(mapper["vectorize"]),
+        )
+    return SimulationOptions(**kwargs)
 
 
 def trial_metrics_to_dict(metrics: TrialMetrics) -> Dict[str, object]:

@@ -12,6 +12,15 @@ engine, layered as:
   sub-config, optionally persisted as JSON lines,
 * :mod:`repro.runtime.checkpoint` — periodic save + ``--resume`` support,
 * :mod:`repro.runtime.progress` — event bus for live progress reporting,
+* :mod:`repro.runtime.service` — stdlib HTTP evaluation service
+  (``repro serve``): accepts batches of trial params + a problem
+  fingerprint and returns evaluated metrics,
+* :mod:`repro.runtime.remote` — :class:`AsyncRemoteExecutor`: fans batches
+  out to service endpoints with per-request timeouts, bounded retry with
+  exponential backoff, hedged re-dispatch of stragglers, and graceful
+  endpoint blacklisting, while preserving proposal order,
+* :mod:`repro.runtime.exchange` — live cross-shard best-score exchange
+  (file- or service-backed scoreboard) feeding guided optimizers,
 * :mod:`repro.runtime.profiling` — per-stage timing harness comparing the
   scalar, vectorized, and op-cached evaluation modes (``repro profile``),
 * :mod:`repro.runtime.sharding` — sharded sweep orchestration: split one
@@ -33,12 +42,24 @@ from repro.runtime.cache import (
     problem_fingerprint,
 )
 from repro.runtime.checkpoint import CheckpointState, SearchCheckpoint
+from repro.runtime.exchange import (
+    ExchangeClient,
+    FileScoreboard,
+    Scoreboard,
+    ScoreRecord,
+    ServiceScoreboard,
+    make_scoreboard,
+)
 from repro.runtime.executor import (
+    EXECUTOR_KINDS,
     ParallelExecutor,
     SerialExecutor,
     TrialExecutor,
+    executor_kinds,
     make_executor,
+    register_executor,
 )
+from repro.runtime.remote import AsyncRemoteExecutor, EndpointStats, RemoteExecutionError
 from repro.runtime.opcache import (
     OpCacheStats,
     OpCostCache,
@@ -53,6 +74,7 @@ from repro.runtime.profiling import (
     profile_search,
 )
 from repro.runtime.progress import ProgressBus, ProgressPrinter, SearchEvent
+from repro.runtime.service import EvaluationService, ServiceStats, serve
 from repro.runtime.sharding import (
     ShardResult,
     ShardSpec,
@@ -68,10 +90,16 @@ from repro.runtime.sharding import (
 )
 
 __all__ = [
+    "AsyncRemoteExecutor",
     "BatchedOptimizer",
     "CacheStats",
     "CheckpointState",
     "CompactionStats",
+    "EXECUTOR_KINDS",
+    "EndpointStats",
+    "EvaluationService",
+    "ExchangeClient",
+    "FileScoreboard",
     "OpCacheStats",
     "OpCostCache",
     "PROFILE_MODES",
@@ -81,9 +109,14 @@ __all__ = [
     "ProfileReport",
     "ProgressBus",
     "ProgressPrinter",
+    "RemoteExecutionError",
+    "Scoreboard",
+    "ScoreRecord",
     "SearchCheckpoint",
     "SearchEvent",
     "SerialExecutor",
+    "ServiceScoreboard",
+    "ServiceStats",
     "ShardResult",
     "ShardSpec",
     "SweepResult",
@@ -91,17 +124,21 @@ __all__ = [
     "TrialCache",
     "TrialExecutor",
     "compact_cache",
+    "executor_kinds",
     "get_op_cache",
     "load_shard_result",
     "make_executor",
+    "make_scoreboard",
     "merge_shard_results",
     "plan_shards",
     "problem_fingerprint",
     "profile_search",
     "proposal_key",
+    "register_executor",
     "reset_op_caches",
     "run_shard",
     "run_sharded_sweep",
     "save_shard_result",
+    "serve",
     "sweep_result_to_dict",
 ]

@@ -21,6 +21,13 @@ filesystem) therefore can never corrupt each other's lines.  :meth:`compact`
 folds the sidecars back into the base file, drops duplicate keys (keeping the
 best record per key), and evicts the least-recently-written records beyond a
 size cap so multi-shard sweeps don't grow the store unboundedly.
+
+Each sharded writer claims its sidecar with a ``<sidecar>.owner`` marker
+(pid + host).  Compaction — explicit or automatic — uses the markers to
+tell *live* writers from the stale leftovers of crashed ones: sidecars with
+a live foreign owner are never folded or deleted, while orphaned sidecars
+(dead pid, or marker removed by :meth:`release`) are folded in rather than
+blocking compaction forever.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import socket
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -121,6 +129,18 @@ class CompactionStats:
     duplicates_dropped: int = 0
     evicted: int = 0
     files_merged: int = 0
+    live_writers_skipped: int = 0
+
+
+def _pid_alive(pid: object) -> bool:
+    """Whether a pid names a live process on this host."""
+    try:
+        os.kill(int(pid), 0)
+    except (ProcessLookupError, ValueError, TypeError, OverflowError):
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
 
 
 def _record_rank(metrics: dict) -> tuple:
@@ -165,6 +185,7 @@ class TrialCache:
         self.writer_id = writer_id
         self.max_disk_entries = max_disk_entries
         self.stats = CacheStats()
+        self._owner_claimed = False
         self._memory: "OrderedDict[str, TrialMetrics]" = OrderedDict()
         self._disk_index: Dict[str, dict] = {}
         # Approximate on-disk record count (deduplicated at load, then +1 per
@@ -189,8 +210,67 @@ class TrialCache:
         if self.path is None:
             return []
         files = [self.path] if self.path.exists() else []
-        files.extend(sorted(self.path.parent.glob(f"{self.path.name}.shard-*")))
+        files.extend(
+            sorted(
+                file
+                for file in self.path.parent.glob(f"{self.path.name}.shard-*")
+                if not file.name.endswith(".owner")
+            )
+        )
         return files
+
+    # ------------------------------------------------------------------
+    # Sidecar ownership.  Each sharded writer claims its sidecar with a tiny
+    # ``<sidecar>.owner`` marker recording its pid and host, so compaction
+    # can tell a *live* concurrent writer from the stale leftovers of a
+    # crashed one and fold the orphans in instead of skipping forever.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _owner_path(sidecar: Path) -> Path:
+        return sidecar.with_name(sidecar.name + ".owner")
+
+    def _claim_sidecar(self, sidecar: Path) -> None:
+        """Record this process as the sidecar's writer (once per instance)."""
+        if self._owner_claimed:
+            return
+        try:
+            self._owner_path(sidecar).write_text(
+                json.dumps({"pid": os.getpid(), "host": socket.gethostname()})
+            )
+        except OSError:
+            pass  # ownership is advisory; appends stay safe either way
+        self._owner_claimed = True
+
+    def release(self) -> None:
+        """Drop this writer's sidecar ownership marker (call when done).
+
+        A released sidecar is treated as orphaned: the next compaction —
+        automatic or explicit, from any process — may fold it into the base
+        file.  Only meaningful for caches opened with ``writer_id``.
+        """
+        write_path = self.write_path
+        if self.writer_id is not None and write_path is not None:
+            self._owner_path(write_path).unlink(missing_ok=True)
+        self._owner_claimed = False
+
+    def _sidecar_writer_state(self, sidecar: Path) -> str:
+        """Ownership state of a sidecar: ``'self'``, ``'live'``, or ``'orphaned'``.
+
+        No owner marker (legacy file, released writer, or a writer that
+        crashed before its first append) and dead-pid owners on this host
+        are ``'orphaned'``.  Owners on *other* hosts cannot be probed and
+        are conservatively ``'live'``.
+        """
+        try:
+            owner = json.loads(self._owner_path(sidecar).read_text())
+        except (OSError, json.JSONDecodeError, ValueError):
+            return "orphaned"
+        pid = owner.get("pid")
+        if owner.get("host") != socket.gethostname():
+            return "live"
+        if pid == os.getpid():
+            return "self"
+        return "live" if _pid_alive(pid) else "orphaned"
 
     def _load_disk_index(self) -> None:
         for file in self.disk_files():
@@ -239,6 +319,8 @@ class TrialCache:
                 "metrics": trial_metrics_to_dict(metrics),
             }
             write_path.parent.mkdir(parents=True, exist_ok=True)
+            if self.writer_id is not None:
+                self._claim_sidecar(write_path)
             # One write call per record: a line can never be split across
             # appends, so a reader (or a later compaction) sees whole lines.
             with write_path.open("a") as handle:
@@ -251,17 +333,19 @@ class TrialCache:
 
         The slack (a quarter of the cap, at least 16 records) keeps the
         amortized cost low: each O(store) compaction pays for many O(1)
-        appends.  Skipped for sharded writers and whenever sidecars exist —
-        see the class docstring.
+        appends.  Skipped for sharded writers and whenever a sidecar with a
+        live (or same-process) writer exists; sidecars orphaned by crashed
+        or released writers do *not* block compaction — they are folded in
+        along with the base file (see the class docstring).
         """
         if self.max_disk_entries is None or self.writer_id is not None:
             return
         slack = max(16, int(self.max_disk_entries) // 4)
         if self._approx_disk_records <= int(self.max_disk_entries) + slack:
             return
-        files = self.disk_files()
-        if any(file != self.path for file in files):
-            return  # sidecars present: another writer may be live
+        for file in self.disk_files():
+            if file != self.path and self._sidecar_writer_state(file) != "orphaned":
+                return  # a live writer (any process, incl. ours) may append
         self.compact(self.max_disk_entries)
         self.stats.auto_compactions += 1
 
@@ -283,17 +367,27 @@ class TrialCache:
         from each record's ``ts`` stamp, falling back to the mtime of the
         file it was read from.  The rewrite is atomic (temp file + rename).
 
-        Compact only while no sweep is appending to this store: sidecar
-        files are deleted after merging, so records a live shard writes to
-        an already-unlinked sidecar would be lost.
+        Sidecars owned by a *live writer in another process* are left
+        untouched (not merged, not deleted) and counted in
+        ``live_writers_skipped``, so compacting while a sweep is appending
+        can no longer lose that sweep's records.  Sidecars whose owner
+        marker is missing or names a dead pid — the leftovers of a crashed
+        writer — are folded in like the base file, as are this process's own
+        sidecars (the caller owns them).
         """
         if self.path is None:
             raise ValueError("compaction requires a cache path")
         if max_entries is None:
             max_entries = self.max_disk_entries
 
-        files = self.disk_files()
-        stats = CompactionStats(files_merged=len(files))
+        files = []
+        live_skipped = 0
+        for file in self.disk_files():
+            if file != self.path and self._sidecar_writer_state(file) == "live":
+                live_skipped += 1
+                continue
+            files.append(file)
+        stats = CompactionStats(files_merged=len(files), live_writers_skipped=live_skipped)
         survivors: Dict[str, list] = {}  # key -> [record, ts, order]
         order = 0
         for file in files:
@@ -343,6 +437,11 @@ class TrialCache:
         for file in files:
             if file != self.path:
                 file.unlink(missing_ok=True)
+                self._owner_path(file).unlink(missing_ok=True)
+        # If this instance's own sidecar (and owner marker) was just folded,
+        # the next append must re-claim ownership — otherwise the recreated
+        # sidecar would look orphaned to other processes' compactions.
+        self._owner_claimed = False
 
         self._disk_index = {}
         self._load_disk_index()

@@ -1,0 +1,258 @@
+"""Live cross-shard best-score exchange for guided optimizers.
+
+Shards of a sweep normally search in complete isolation; guided optimizers
+(annealing, Bayesian EI) could converge faster if they knew the best score —
+and best design — any *other* shard has found so far.  This module provides
+a small shared *scoreboard* with two interchangeable backings:
+
+* :class:`FileScoreboard` — one JSON file per shard next to a common prefix
+  (``<path>.shard-<k>``), written atomically (temp file + rename) so
+  concurrent shards on one filesystem never observe torn records.
+* :class:`ServiceScoreboard` — the ``/scoreboard`` routes of a running
+  :mod:`repro.runtime.service` endpoint, for multi-host sweeps without a
+  shared filesystem.
+
+:class:`ExchangeClient` binds a scoreboard to one shard: the search loop
+publishes its best-so-far after every batch and polls the best score among
+the *other* shards before asking the next one, feeding what it finds to
+:meth:`repro.search.optimizer.Optimizer.observe_external_best` (annealing
+adopts a better external incumbent; Bayesian EI tightens its incumbent
+``best_y``).  The exchange is **off by default** and deliberately excludes
+the shard's own records, so a 1-shard sweep with exchange enabled — and any
+sweep with it disabled — reproduces the plain search bit-for-bit.
+
+All scoreboard I/O is best-effort: a missing file, unreachable service, or
+malformed record never fails a shard (errors are counted, not raised).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.error
+import urllib.request
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = [
+    "ScoreRecord",
+    "Scoreboard",
+    "FileScoreboard",
+    "ServiceScoreboard",
+    "ExchangeClient",
+    "make_scoreboard",
+]
+
+
+@dataclass(frozen=True)
+class ScoreRecord:
+    """One shard's published best result.
+
+    ``objective`` is the *minimized* value (what optimizers compare);
+    ``score`` is the human-facing aggregate score.  ``params`` is the
+    jsonable parameter assignment of the best design, so a receiving
+    optimizer can adopt it, not just know it exists.
+    """
+
+    shard_id: int
+    objective: float
+    score: float
+    params: Optional[dict] = None
+    trials: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "objective": self.objective,
+            "score": self.score,
+            "params": self.params,
+            "trials": self.trials,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScoreRecord":
+        return cls(
+            shard_id=int(data["shard_id"]),
+            objective=float(data["objective"]),
+            score=float(data.get("score", 0.0)),
+            params=data.get("params"),
+            trials=int(data.get("trials", 0)),
+        )
+
+
+class Scoreboard(ABC):
+    """Shared best-score store a sweep's shards publish to and poll."""
+
+    errors: int = 0
+
+    @abstractmethod
+    def publish(self, record: ScoreRecord) -> None:
+        """Publish one shard's best (keeps the better of old and new)."""
+
+    @abstractmethod
+    def poll(self) -> Dict[int, ScoreRecord]:
+        """Current best record per shard (may be empty)."""
+
+    def best_external(self, shard_id: int) -> Optional[ScoreRecord]:
+        """Best record among all *other* shards, or ``None``."""
+        others = [r for sid, r in self.poll().items() if sid != shard_id]
+        if not others:
+            return None
+        return min(others, key=lambda r: r.objective)
+
+
+class FileScoreboard(Scoreboard):
+    """File-backed scoreboard: one atomic JSON file per shard.
+
+    Args:
+        path: Common prefix; shard ``k`` owns ``<path>.shard-<k>``.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.errors = 0
+
+    def _shard_file(self, shard_id: int) -> Path:
+        return self.path.with_name(f"{self.path.name}.shard-{shard_id}")
+
+    def publish(self, record: ScoreRecord) -> None:
+        target = self._shard_file(record.shard_id)
+        try:
+            incumbent = self._read(target)
+            if incumbent is not None and incumbent.objective <= record.objective:
+                return
+            target.parent.mkdir(parents=True, exist_ok=True)
+            # Leading dot keeps the temp file out of the ``.shard-*`` glob.
+            tmp = target.with_name(f".{target.name}.tmp-{os.getpid()}")
+            tmp.write_text(json.dumps(record.to_dict()))
+            os.replace(tmp, target)
+        except OSError:
+            self.errors += 1
+
+    def poll(self) -> Dict[int, ScoreRecord]:
+        records: Dict[int, ScoreRecord] = {}
+        try:
+            files = sorted(self.path.parent.glob(f"{self.path.name}.shard-*"))
+        except OSError:
+            self.errors += 1
+            return records
+        for file in files:
+            record = self._read(file)
+            if record is not None:
+                records[record.shard_id] = record
+        return records
+
+    def _read(self, file: Path) -> Optional[ScoreRecord]:
+        try:
+            return ScoreRecord.from_dict(json.loads(file.read_text()))
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self.errors += 1
+            return None
+
+
+class ServiceScoreboard(Scoreboard):
+    """Scoreboard backed by a :mod:`repro.runtime.service` endpoint."""
+
+    def __init__(self, endpoint: str, timeout: float = 5.0) -> None:
+        self.endpoint = endpoint.rstrip("/")
+        self.timeout = float(timeout)
+        self.errors = 0
+
+    def publish(self, record: ScoreRecord) -> None:
+        request = urllib.request.Request(
+            self.endpoint + "/scoreboard",
+            data=json.dumps(record.to_dict()).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout):
+                pass
+        except (OSError, urllib.error.URLError):
+            self.errors += 1
+
+    def poll(self) -> Dict[int, ScoreRecord]:
+        try:
+            with urllib.request.urlopen(
+                self.endpoint + "/scoreboard", timeout=self.timeout
+            ) as response:
+                body = json.loads(response.read())
+        except (OSError, urllib.error.URLError, json.JSONDecodeError):
+            self.errors += 1
+            return {}
+        records: Dict[int, ScoreRecord] = {}
+        for raw in (body.get("scores") or {}).values():
+            try:
+                record = ScoreRecord.from_dict(raw)
+            except (KeyError, TypeError, ValueError):
+                self.errors += 1
+                continue
+            records[record.shard_id] = record
+        return records
+
+
+def make_scoreboard(spec: Union[str, Path, Scoreboard]) -> Scoreboard:
+    """Build a scoreboard from a ``--exchange`` value.
+
+    ``http(s)://...`` URLs select the service backing; anything else is a
+    file prefix.  An existing :class:`Scoreboard` instance passes through.
+    """
+    if isinstance(spec, Scoreboard):
+        return spec
+    text = str(spec)
+    if text.startswith("http://") or text.startswith("https://"):
+        return ServiceScoreboard(text)
+    return FileScoreboard(text)
+
+
+class ExchangeClient:
+    """One shard's view of the exchange: publish own best, poll the others.
+
+    The client remembers the last external objective it fed to the optimizer
+    and only re-feeds on *improvement*, so optimizers see a monotone stream
+    of external bests (at most one per batch).
+    """
+
+    def __init__(self, scoreboard: Scoreboard, shard_id: int) -> None:
+        self.scoreboard = scoreboard
+        self.shard_id = int(shard_id)
+        self.published: int = 0
+        self.adopted: int = 0
+        self._last_published_objective = float("inf")
+        self._last_external_objective = float("inf")
+
+    # ------------------------------------------------------------------
+    def publish_best(
+        self,
+        objective: float,
+        score: float,
+        params_jsonable: Optional[dict],
+        trials: int,
+    ) -> None:
+        """Publish this shard's best-so-far (no-op unless it improved)."""
+        if not objective < self._last_published_objective:
+            return
+        self._last_published_objective = objective
+        self.scoreboard.publish(
+            ScoreRecord(
+                shard_id=self.shard_id,
+                objective=objective,
+                score=score,
+                params=params_jsonable,
+                trials=trials,
+            )
+        )
+        self.published += 1
+
+    def poll_external_best(self) -> Optional[ScoreRecord]:
+        """Best *improved* record from other shards since the last poll."""
+        record = self.scoreboard.best_external(self.shard_id)
+        if record is None or not record.objective < self._last_external_objective:
+            return None
+        self._last_external_objective = record.objective
+        self.adopted += 1
+        return record

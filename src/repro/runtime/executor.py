@@ -16,12 +16,20 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.trial import TrialEvaluator, TrialMetrics
 from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
 
-__all__ = ["TrialExecutor", "SerialExecutor", "ParallelExecutor", "make_executor"]
+__all__ = [
+    "TrialExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "EXECUTOR_KINDS",
+    "register_executor",
+    "executor_kinds",
+    "make_executor",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -148,8 +156,76 @@ class ParallelExecutor(TrialExecutor):
             self._pool_args = None
 
 
-def make_executor(workers: int = 1, chunk_size: int = 1) -> TrialExecutor:
-    """Build an executor for a worker count (1 or less means serial)."""
-    if workers and workers > 1:
-        return ParallelExecutor(num_workers=workers, chunk_size=chunk_size)
+# ---------------------------------------------------------------------------
+# Registry / factory.  Executors register under a short kind name so the CLI
+# (``repro search --executor serial|process|remote``) and programmatic callers
+# build them uniformly; out-of-tree executors can plug in the same way.
+# ---------------------------------------------------------------------------
+def _make_serial(**_options) -> TrialExecutor:
     return SerialExecutor()
+
+
+def _make_process(
+    workers: int = 1, chunk_size: Optional[int] = None, **_options
+) -> TrialExecutor:
+    return ParallelExecutor(num_workers=workers, chunk_size=chunk_size or 1)
+
+
+def _make_remote(endpoints: Optional[Sequence[str]] = None, **options) -> TrialExecutor:
+    from repro.runtime.remote import AsyncRemoteExecutor  # avoid an import cycle
+
+    if not endpoints:
+        raise ValueError("the remote executor needs at least one endpoint URL")
+    known = {
+        "timeout",
+        "max_retries",
+        "backoff",
+        "backoff_cap",
+        "hedge_after",
+        "hedge_k",
+        "chunk_size",
+        "blacklist_after",
+    }
+    kwargs = {key: value for key, value in options.items() if key in known}
+    return AsyncRemoteExecutor(endpoints, **kwargs)
+
+
+EXECUTOR_KINDS: Dict[str, Callable[..., TrialExecutor]] = {
+    "serial": _make_serial,
+    "process": _make_process,
+    "remote": _make_remote,
+}
+
+
+def register_executor(kind: str, factory: Callable[..., TrialExecutor]) -> None:
+    """Register an executor factory under a kind name (overwrites)."""
+    EXECUTOR_KINDS[kind] = factory
+
+
+def executor_kinds() -> List[str]:
+    """Registered executor kind names, sorted."""
+    return sorted(EXECUTOR_KINDS)
+
+
+def make_executor(
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    kind: Optional[str] = None,
+    **options,
+) -> TrialExecutor:
+    """Build an executor by kind, or by worker count when ``kind`` is None.
+
+    Without ``kind`` this keeps the original behavior: more than one worker
+    selects the process pool, otherwise serial.  With ``kind`` the matching
+    registered factory is called with ``workers``/``chunk_size`` plus any
+    extra options (e.g. ``endpoints=[...]``, ``timeout=...`` for
+    ``kind='remote'``).
+    """
+    if kind is None:
+        kind = "process" if workers and workers > 1 else "serial"
+    factory = EXECUTOR_KINDS.get(kind)
+    if factory is None:
+        raise ValueError(
+            f"unknown executor kind {kind!r}; registered: {', '.join(executor_kinds())}"
+        )
+    return factory(workers=workers, chunk_size=chunk_size, **options)

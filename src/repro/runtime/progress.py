@@ -24,6 +24,7 @@ __all__ = [
     "CACHE_HIT",
     "BEST_IMPROVED",
     "CHECKPOINT_SAVED",
+    "EXTERNAL_BEST",
     "SearchEvent",
     "ProgressBus",
     "ProgressPrinter",
@@ -37,6 +38,7 @@ TRIAL_FINISHED = "trial_finished"
 CACHE_HIT = "cache_hit"
 BEST_IMPROVED = "best_improved"
 CHECKPOINT_SAVED = "checkpoint_saved"
+EXTERNAL_BEST = "external_best"
 
 
 @dataclass(frozen=True)
@@ -129,6 +131,11 @@ class ProgressPrinter:
             return f"[trial {event.trial_index + 1}] new best score={payload.get('score', 0.0):.4g}"
         if event.kind == CHECKPOINT_SAVED:
             return f"checkpoint: {payload.get('num_completed', '?')} trials -> {payload.get('path', '')}"
+        if event.kind == EXTERNAL_BEST:
+            return (
+                f"[trial {event.trial_index + 1}] external best from shard "
+                f"{payload.get('shard', '?')}: score={payload.get('score', 0.0):.4g}"
+            )
         if event.kind == SEARCH_FINISHED:
             elapsed = (
                 time.monotonic() - self._started_at if self._started_at is not None else None
@@ -138,10 +145,17 @@ class ProgressPrinter:
                 rate = f" ({payload['num_trials'] / elapsed:.1f} trials/s)"
             op_hits = payload.get("op_cache_hits", 0)
             op_part = f"{op_hits} op-cache hits, " if op_hits else ""
+            remote_part = ""
+            if payload.get("remote_retries") or payload.get("remote_hedges"):
+                remote_part = (
+                    f"{payload.get('remote_retries', 0)} retries, "
+                    f"{payload.get('remote_hedges', 0)} hedges, "
+                )
             return (
                 f"done: {payload.get('num_trials', '?')} trials, "
                 f"{payload.get('cache_hits', 0)} cache hits, "
                 f"{op_part}"
+                f"{remote_part}"
                 f"best={payload.get('best_score', float('nan')):.4g}{rate}"
             )
         return None

@@ -1,0 +1,391 @@
+"""Stdlib-only HTTP simulator evaluation service (``repro serve``).
+
+The service turns one host into a remote trial evaluator: it accepts batches
+of search-space parameter assignments plus a *problem fingerprint* over HTTP
+and returns the evaluated :class:`~repro.core.trial.TrialMetrics`, letting
+:class:`~repro.runtime.remote.AsyncRemoteExecutor` fan a search's batches out
+to a fleet of such services instead of local worker processes.
+
+Wire protocol (all bodies are JSON):
+
+* ``POST /evaluate`` — request ``{"fingerprint", "problem", "options",
+  "params": [...]}`` where ``problem`` / ``options`` are the
+  :func:`~repro.reporting.serialization.search_problem_to_dict` /
+  :func:`~repro.reporting.serialization.simulation_options_to_dict` forms and
+  ``params`` is a list of jsonable parameter assignments.  The service
+  rebuilds the evaluator, recomputes the fingerprint from what it rebuilt,
+  and refuses (HTTP 409) on a mismatch — so a client can never silently mix
+  histories from services running a different problem, space, or simulator
+  configuration.  Response: ``{"fingerprint", "results": [metrics...]}`` in
+  request order.
+* ``GET /scoreboard`` / ``POST /scoreboard`` — the service-backed
+  cross-shard best-score exchange (see :mod:`repro.runtime.exchange`):
+  shards POST ``{"shard_id", "objective", "score", "params", "trials"}``
+  records and GET the per-shard best map back.
+* ``GET /health`` — liveness plus request/trial counters.
+
+Evaluation is deterministic, so any mix of services and local executors
+produces bit-for-bit identical metrics for the same parameters; ordering is
+the *client's* responsibility (the remote executor reassembles responses in
+proposal order).
+
+The server is intentionally stdlib-only (:mod:`http.server`): it needs no
+dependencies beyond what the library already uses, and a
+:class:`ThreadingHTTPServer` is enough because trial evaluation — the actual
+work — runs under an internal executor guarded by a lock (``--workers N``
+parallelizes *within* a batch via the process-pool executor).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.core.trial import TrialEvaluator
+from repro.hardware.search_space import DatapathSearchSpace
+from repro.reporting.serialization import (
+    params_from_jsonable,
+    search_problem_from_dict,
+    simulation_options_from_dict,
+    trial_metrics_to_dict,
+)
+from repro.runtime.cache import problem_fingerprint
+from repro.runtime.exchange import ScoreRecord
+from repro.runtime.executor import TrialExecutor, make_executor
+
+__all__ = ["ServiceStats", "EvaluationService", "serve"]
+
+
+@dataclass
+class ServiceStats:
+    """Counters one service accumulates over its lifetime."""
+
+    requests: int = 0
+    batches: int = 0
+    trials_evaluated: int = 0
+    fingerprint_rejections: int = 0
+    errors: int = 0
+
+
+def space_from_payload(payload: object) -> DatapathSearchSpace:
+    """Rebuild a client's search space from its ``space`` wire form.
+
+    The wire form is ``[[name, [value, ...]], ...]`` — the same shape the
+    problem fingerprint hashes.  Starting from the default (full Table 3)
+    space, each listed axis keeps only the named choices, matched by raw
+    value (enums by their ``.value``).  This covers every space a sharded
+    sweep produces (restrictions of the default space); a choice or axis the
+    default space does not know raises ``ValueError``.
+    """
+    import copy
+    import dataclasses as _dc
+
+    space = DatapathSearchSpace()
+    if payload is None:
+        return space
+    spec_by_name = {spec.name: spec for spec in space.specs}
+    restricted = {}
+    for name, values in payload:
+        spec = spec_by_name.get(name)
+        if spec is None:
+            raise ValueError(f"unknown search-space axis {name!r}")
+        by_raw = {getattr(choice, "value", choice): choice for choice in spec.choices}
+        try:
+            choices = tuple(by_raw[value] for value in values)
+        except KeyError as error:
+            raise ValueError(
+                f"axis {name!r} has no choice {error.args[0]!r} in the default space"
+            ) from None
+        restricted[name] = choices
+    rebuilt = copy.copy(space)
+    rebuilt._specs = [
+        _dc.replace(spec, choices=list(restricted[spec.name]))
+        if spec.name in restricted
+        else spec
+        for spec in space.specs
+    ]
+    return rebuilt
+
+
+class EvaluationService:
+    """In-process evaluation service: HTTP front over the executor layer.
+
+    Args:
+        host: Bind address (default loopback).
+        port: TCP port; 0 picks a free port (see :attr:`address`).
+        workers: Worker processes for each batch (1 = serial, in-server).
+        simulation_overrides: Optional dict merged over every request's
+            simulation options (e.g. ``{"op_cache_path": ...}`` from
+            ``repro serve --op-cache`` so the service keeps a warm persistent
+            op-cost cache across requests and clients).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+        simulation_overrides: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.simulation_overrides = dict(simulation_overrides or {})
+        self.stats = ServiceStats()
+        self._evaluators: Dict[str, Tuple[TrialEvaluator, DatapathSearchSpace]] = {}
+        self._executor: Optional[TrialExecutor] = None
+        self._eval_lock = threading.Lock()
+        self._scores: Dict[int, ScoreRecord] = {}
+        self._scores_lock = threading.Lock()
+        # ``fault_injector(request_index, path) -> action`` hook consulted
+        # before any request is processed; tests use it to drop, delay, or
+        # fail requests (see tests/test_remote_executor.py).  ``None`` or an
+        # ``("ok",)`` action means normal handling.
+        self.fault_injector = None
+        self._request_counter = 0
+        self._request_counter_lock = threading.Lock()
+        self._server = ThreadingHTTPServer((host, port), _make_handler(self))
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Actual (host, port) the server is bound to."""
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should use as an ``--endpoints`` entry."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "EvaluationService":
+        """Serve requests on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve requests on the calling thread until interrupted."""
+        self._server.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving and release the executor."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "EvaluationService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def next_request_index(self) -> int:
+        """Monotonic request counter (drives the fault injector)."""
+        with self._request_counter_lock:
+            index = self._request_counter
+            self._request_counter += 1
+            return index
+
+    def _evaluator_for(
+        self, payload: dict
+    ) -> Tuple[str, TrialEvaluator, DatapathSearchSpace]:
+        """(Re)build the evaluator + space a request describes, by fingerprint."""
+        problem = search_problem_from_dict(payload["problem"])
+        options_payload = dict(payload.get("options") or {})
+        num_cores = int(options_payload.pop("num_cores", 1))
+        sim_payload = dict(options_payload.get("simulation_options") or {})
+        sim_payload.update(self.simulation_overrides)
+        space = space_from_payload(payload.get("space"))
+        evaluator = TrialEvaluator(
+            problem,
+            simulation_options=simulation_options_from_dict(sim_payload),
+            num_cores=num_cores,
+        )
+        fingerprint = problem_fingerprint(problem, evaluator, space)
+        cached = self._evaluators.get(fingerprint)
+        if cached is not None:
+            return (fingerprint,) + cached
+        self._evaluators[fingerprint] = (evaluator, space)
+        return fingerprint, evaluator, space
+
+    def evaluate_payload(self, payload: dict) -> Tuple[int, dict]:
+        """Handle one ``/evaluate`` request body; returns (status, response)."""
+        try:
+            fingerprint, evaluator, space = self._evaluator_for(payload)
+        except (KeyError, TypeError, ValueError) as error:
+            self.stats.errors += 1
+            return 400, {"error": f"malformed evaluate request: {error}"}
+        claimed = payload.get("fingerprint")
+        if claimed is not None and claimed != fingerprint:
+            self.stats.fingerprint_rejections += 1
+            return 409, {
+                "error": "problem fingerprint mismatch",
+                "client_fingerprint": claimed,
+                "service_fingerprint": fingerprint,
+            }
+        try:
+            batch = [
+                params_from_jsonable(raw, space) for raw in payload.get("params", [])
+            ]
+        except (KeyError, TypeError, ValueError) as error:
+            self.stats.errors += 1
+            return 400, {"error": f"malformed params: {error}"}
+        with self._eval_lock:
+            if self._executor is None:
+                self._executor = make_executor(self.workers)
+            metrics = self._executor.evaluate_batch(evaluator, space, batch)
+        self.stats.batches += 1
+        self.stats.trials_evaluated += len(metrics)
+        return 200, {
+            "fingerprint": fingerprint,
+            "results": [trial_metrics_to_dict(m) for m in metrics],
+        }
+
+    # ------------------------------------------------------------------
+    def publish_score(self, payload: dict) -> Tuple[int, dict]:
+        """Handle one ``POST /scoreboard`` body; keeps the best per shard."""
+        try:
+            record = ScoreRecord.from_dict(payload)
+        except (KeyError, TypeError, ValueError) as error:
+            return 400, {"error": f"malformed scoreboard record: {error}"}
+        with self._scores_lock:
+            incumbent = self._scores.get(record.shard_id)
+            if incumbent is None or record.objective < incumbent.objective:
+                self._scores[record.shard_id] = record
+        return 200, {"ok": True}
+
+    def scoreboard_snapshot(self) -> dict:
+        """Current per-shard best map (the ``GET /scoreboard`` body)."""
+        with self._scores_lock:
+            return {
+                "scores": {
+                    str(shard_id): record.to_dict()
+                    for shard_id, record in self._scores.items()
+                }
+            }
+
+    def health_snapshot(self) -> dict:
+        """The ``GET /health`` body."""
+        return {
+            "status": "ok",
+            "workers": self.workers,
+            "requests": self.stats.requests,
+            "batches": self.stats.batches,
+            "trials_evaluated": self.stats.trials_evaluated,
+            "fingerprint_rejections": self.stats.fingerprint_rejections,
+            "errors": self.stats.errors,
+            "known_fingerprints": sorted(self._evaluators),
+        }
+
+
+def _make_handler(service: EvaluationService):
+    """Build the request-handler class bound to one service instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        # Tests and CI smoke runs don't want per-request stderr lines.
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            pass
+
+        # ------------------------------------------------------------------
+        def _inject_fault(self) -> bool:
+            """Apply any configured fault; True means the request was consumed."""
+            injector = service.fault_injector
+            if injector is None:
+                return False
+            action = injector(service.next_request_index(), self.path)
+            if not action:
+                return False
+            kind = action[0]
+            if kind == "delay":
+                import time
+
+                time.sleep(float(action[1]))
+                return False  # delayed, then handled normally
+            if kind == "error":
+                self._reply(500, {"error": "injected failure"})
+                return True
+            if kind == "drop":
+                # Close the socket without any response: the client sees a
+                # connection reset / truncated read.
+                self.connection.close()
+                return True
+            return False
+
+        def _read_json(self) -> Optional[dict]:
+            length = int(self.headers.get("Content-Length", 0))
+            try:
+                return json.loads(self.rfile.read(length) or b"{}")
+            except (json.JSONDecodeError, ValueError):
+                self._reply(400, {"error": "request body is not valid JSON"})
+                return None
+
+        def _reply(self, status: int, body: dict) -> None:
+            data = json.dumps(body).encode()
+            try:
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client gave up (timeout / hedge winner already used)
+
+        # ------------------------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            service.stats.requests += 1
+            if self._inject_fault():
+                return
+            if self.path == "/health":
+                self._reply(200, service.health_snapshot())
+            elif self.path == "/scoreboard":
+                self._reply(200, service.scoreboard_snapshot())
+            else:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+            service.stats.requests += 1
+            if self._inject_fault():
+                return
+            payload = self._read_json()
+            if payload is None:
+                return
+            if self.path == "/evaluate":
+                try:
+                    status, body = service.evaluate_payload(payload)
+                except Exception as error:  # defensive: never kill the thread
+                    service.stats.errors += 1
+                    status, body = 500, {"error": f"evaluation failed: {error}"}
+                self._reply(status, body)
+            elif self.path == "/scoreboard":
+                status, body = service.publish_score(payload)
+                self._reply(status, body)
+            else:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+
+    return Handler
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    workers: int = 1,
+    op_cache_path: Optional[str] = None,
+) -> EvaluationService:
+    """Build the service ``repro serve`` runs (caller starts/serves it)."""
+    overrides: Dict[str, object] = {}
+    if op_cache_path:
+        overrides["op_cache_enabled"] = True
+        overrides["op_cache_path"] = op_cache_path
+    return EvaluationService(
+        host=host, port=port, workers=workers, simulation_overrides=overrides
+    )

@@ -56,6 +56,7 @@ from repro.reporting.serialization import (
 )
 from repro.runtime.batching import proposal_key
 from repro.runtime.cache import TrialCache
+from repro.runtime.exchange import ExchangeClient, Scoreboard, make_scoreboard
 from repro.runtime.executor import TrialExecutor
 from repro.search.pareto import ParetoFront
 
@@ -206,6 +207,7 @@ def run_shard(
     executor: Optional[TrialExecutor] = None,
     cache_path: Optional[Union[str, Path]] = None,
     cache_max_entries: Optional[int] = None,
+    exchange: Optional[Union[str, Path, Scoreboard]] = None,
 ) -> ShardResult:
     """Run one shard as a plain :class:`FASTSearch` and wrap the result.
 
@@ -213,11 +215,25 @@ def run_shard(
     restricted space) on whatever executor is supplied.  A shared cache path
     is opened with ``writer_id=spec.shard_id`` so concurrent shards append
     to disjoint sidecar files of one logical store.
+
+    ``exchange`` (off by default) enables live cross-shard best-score
+    exchange: a scoreboard instance, file prefix, or service URL (see
+    :func:`repro.runtime.exchange.make_scoreboard`) that this shard
+    publishes its best to after every batch and polls for *other* shards'
+    bests before asking the next one — guided optimizers fold what they
+    learn into their proposals via ``observe_external_best``.  A shard that
+    never sees an external best (including any 1-shard sweep) is bit-for-bit
+    identical to an exchange-free run.
     """
     space = shard_space(space or DatapathSearchSpace(), spec)
     cache = (
         TrialCache(cache_path, writer_id=spec.shard_id, max_disk_entries=cache_max_entries)
         if cache_path is not None
+        else None
+    )
+    client = (
+        ExchangeClient(make_scoreboard(exchange), spec.shard_id)
+        if exchange is not None
         else None
     )
     search = FASTSearch(
@@ -227,8 +243,13 @@ def run_shard(
         seed=spec.seed,
         executor=executor,
         cache=cache,
+        exchange=client,
     )
-    result = search.run(num_trials=spec.num_trials, batch_size=batch_size)
+    try:
+        result = search.run(num_trials=spec.num_trials, batch_size=batch_size)
+    finally:
+        if cache is not None:
+            cache.release()  # finished shards must not block later compaction
     return ShardResult.from_search_result(spec, result)
 
 
@@ -340,21 +361,33 @@ def merge_shard_results(shard_results: Sequence[ShardResult]) -> SweepResult:
                 )
         merged.shard_best_scores[shard.spec.shard_id] = shard_best
         if shard.runtime is not None:
-            total.trials_evaluated += shard.runtime.trials_evaluated
-            total.cache_hits += shard.runtime.cache_hits
-            total.batches += shard.runtime.batches
-            total.duplicates_avoided += shard.runtime.duplicates_avoided
-            total.resumed_trials += shard.runtime.resumed_trials
-            total.elapsed_seconds += shard.runtime.elapsed_seconds
-            total.op_cache_hits += shard.runtime.op_cache_hits
-            total.op_cache_misses += shard.runtime.op_cache_misses
-            total.mapper_seconds += shard.runtime.mapper_seconds
-            total.vector_seconds += shard.runtime.vector_seconds
-            total.fusion_seconds += shard.runtime.fusion_seconds
-            total.eval_seconds += shard.runtime.eval_seconds
+            _accumulate_runtime(total, shard.runtime)
     merged.best_trial = best
     merged.runtime = total
     return merged
+
+
+def _accumulate_runtime(total: RuntimeStats, shard: RuntimeStats) -> None:
+    """Fold one shard's runtime stats into the sweep total.
+
+    Numeric counters/timings sum; the per-endpoint counter maps merge by
+    endpoint URL (counters sum, the ``blacklisted`` flag keeps its latest
+    truthy value).  Iterating the dataclass fields keeps the merge complete
+    as new counters are added.
+    """
+    for stats_field in dataclasses.fields(RuntimeStats):
+        value = getattr(shard, stats_field.name)
+        if isinstance(value, (int, float)):
+            setattr(total, stats_field.name, getattr(total, stats_field.name) + value)
+        elif isinstance(value, dict):
+            merged_map = getattr(total, stats_field.name)
+            for url, counters in value.items():
+                into = merged_map.setdefault(url, {})
+                for key, amount in counters.items():
+                    if key == "blacklisted":
+                        into[key] = max(into.get(key, 0.0), amount)
+                    else:
+                        into[key] = into.get(key, 0.0) + amount
 
 
 def run_sharded_sweep(
@@ -370,6 +403,7 @@ def run_sharded_sweep(
     executor: Optional[TrialExecutor] = None,
     cache_path: Optional[Union[str, Path]] = None,
     cache_max_entries: Optional[int] = None,
+    exchange: Optional[Union[str, Path, Scoreboard]] = None,
 ) -> SweepResult:
     """Plan, run, and merge a sharded sweep in one call.
 
@@ -379,10 +413,17 @@ def run_sharded_sweep(
     evaluations); for multi-host execution run individual shards with
     :func:`run_shard` / ``repro sweep --shard-index`` instead and merge the
     saved files with :func:`merge_shard_results` / ``repro sweep --merge``.
+
+    With ``exchange`` set (a scoreboard, file prefix, or service URL), each
+    shard publishes its running best between batches and later shards — or,
+    for concurrent multi-host shards, *live* shards — fold the best external
+    score into their guided optimizers.  Off by default; a 1-shard sweep
+    stays bit-for-bit equal to the plain search either way.
     """
     specs = plan_shards(
         total_trials, num_shards, seed=seed, mode=mode, partition_axis=partition_axis
     )
+    scoreboard = make_scoreboard(exchange) if exchange is not None else None
     results = [
         run_shard(
             problem,
@@ -393,6 +434,7 @@ def run_sharded_sweep(
             executor=executor,
             cache_path=cache_path,
             cache_max_entries=cache_max_entries,
+            exchange=scoreboard,
         )
         for spec in specs
     ]

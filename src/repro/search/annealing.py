@@ -132,6 +132,21 @@ class SimulatedAnnealingOptimizer(Optimizer):
         )
         self._incumbent_objective = float(state["incumbent_objective"])
 
+    def observe_external_best(
+        self, objective: float, params: Optional[ParameterValues] = None
+    ) -> None:
+        """Adopt a better incumbent found by another shard (exchange hook).
+
+        Adoption is deterministic — no Metropolis draw, no RNG use — so a run
+        that receives no external bests is identical to an exchange-free run.
+        Without parameters a score alone cannot recenter the neighborhood,
+        so it is ignored.
+        """
+        if params is None or not math.isfinite(objective):
+            return
+        if self._incumbent is None or objective < self._incumbent_objective:
+            self._accept(params, objective)
+
     def _accept(self, params: ParameterValues, objective: float) -> None:
         self._incumbent = dict(params)
         self._incumbent_objective = objective

@@ -42,6 +42,7 @@ class BayesianOptimizer(Optimizer):
         self.length_scale = length_scale
         self.noise = noise
         self.max_fit_points = max_fit_points
+        self._external_best_objective = math.inf
 
     # ------------------------------------------------------------------
     def ask(self) -> ParameterValues:
@@ -114,7 +115,26 @@ class BayesianOptimizer(Optimizer):
         self._y_std = float(train_y.std()) or 1.0
         train_y = (train_y - self._y_mean) / self._y_std
         best_y = float(train_y.min())
+        # A better objective published by another shard tightens the EI
+        # incumbent: improvement is then measured against the fleet-wide
+        # best, steering acquisition away from merely-locally-good regions.
+        if math.isfinite(self._external_best_objective):
+            external = (self._external_best_objective - self._y_mean) / self._y_std
+            best_y = min(best_y, float(external))
         return train_x, train_y, best_y
+
+    def observe_external_best(
+        self, objective: float, params: Optional[ParameterValues] = None
+    ) -> None:
+        """Record another shard's best objective as the EI incumbent floor.
+
+        Only the scalar objective is used (the surrogate never trains on
+        external points — their simulation context is already captured by
+        the shared fingerprint, but trust stops at the incumbent).  The hook
+        consumes no RNG state, so runs without external bests are unchanged.
+        """
+        if math.isfinite(objective):
+            self._external_best_objective = min(self._external_best_objective, objective)
 
     def _generate_candidates(self) -> List[ParameterValues]:
         candidates = [self.space.sample(self.rng) for _ in range(self.candidates_per_ask // 2)]

@@ -81,6 +81,23 @@ class Optimizer(ABC):
         return observation
 
     # ------------------------------------------------------------------
+    def observe_external_best(
+        self, objective: float, params: Optional[ParameterValues] = None
+    ) -> None:
+        """Learn of a better result found *outside* this optimizer's run.
+
+        The cross-shard exchange (:mod:`repro.runtime.exchange`) calls this
+        between batches with the best (minimized) objective — and, when
+        available, the parameters — any other shard has published.  The
+        default is a no-op: unguided optimizers (random, grid-like sweeps)
+        gain nothing from external scores.  Guided optimizers override it —
+        annealing adopts a better external incumbent, Bayesian EI tightens
+        its incumbent ``best_y`` — and must stay deterministic: the hook may
+        not consume RNG state, so a run that never receives external bests
+        is bit-for-bit identical to one without an exchange attached.
+        """
+
+    # ------------------------------------------------------------------
     # Checkpoint hooks (see repro.runtime.checkpoint).  Most optimizers
     # derive their internal state entirely from the observation log plus the
     # RNG, which the checkpoint already captures; optimizers with ask-side

@@ -2,6 +2,8 @@
 
 import json
 import os
+import socket
+import subprocess
 import threading
 import time
 
@@ -241,6 +243,96 @@ class TestShardSafeWrites:
         assert list(tmp_path.glob("cache.jsonl.shard-*")) == []
         reloaded = TrialCache(path)
         assert reloaded.stats.disk_entries_loaded == 4
+
+    def test_orphaned_sidecar_is_folded_by_auto_compaction(self, tmp_path):
+        """A sidecar left by a crashed writer must not block auto-compaction."""
+        path = tmp_path / "cache.jsonl"
+        shard = TrialCache(path, writer_id=7)
+        shard.put("crashed-key", _metrics(99.0))
+        # Simulate the crash: the owner marker points at a pid that is gone.
+        dead = subprocess.Popen(["sleep", "0"])
+        dead.wait()
+        owner = tmp_path / "cache.jsonl.shard-7.owner"
+        owner.write_text(json.dumps({"pid": dead.pid, "host": socket.gethostname()}))
+
+        exclusive = TrialCache(path, max_disk_entries=4)
+        for i in range(64):
+            exclusive.put(f"k{i}", _metrics(float(i)))
+        assert exclusive.stats.auto_compactions >= 1
+        assert not (tmp_path / "cache.jsonl.shard-7").exists()
+        assert not owner.exists()
+        # The orphan's record was folded in, not dropped... unless evicted by
+        # the size cap; it must at least never linger in a stale sidecar.
+        assert TrialCache(path).get("k63") is not None
+
+    def test_ownerless_sidecar_counts_as_orphaned(self, tmp_path):
+        """Legacy / pre-crash sidecars without owner markers are foldable."""
+        path = tmp_path / "cache.jsonl"
+        sidecar = tmp_path / "cache.jsonl.shard-3"
+        record = {"key": "legacy", "ts": time.time(),
+                  "metrics": trial_metrics_to_dict(_metrics(1.0))}
+        sidecar.write_text(json.dumps(record) + "\n")
+        exclusive = TrialCache(path, max_disk_entries=64)
+        for i in range(64 + 17):
+            exclusive.put(f"k{i}", _metrics(float(i)))
+        assert exclusive.stats.auto_compactions >= 1
+        assert not sidecar.exists()
+
+    def test_compact_skips_live_foreign_writer_sidecar(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        base = TrialCache(path)
+        base.put("base-key", _metrics(1.0))
+        sidecar = tmp_path / "cache.jsonl.shard-5"
+        record = {"key": "live-key", "ts": time.time(),
+                  "metrics": trial_metrics_to_dict(_metrics(2.0))}
+        sidecar.write_text(json.dumps(record) + "\n")
+        # pid 1 is alive and never ours: a live writer in another process.
+        (tmp_path / "cache.jsonl.shard-5.owner").write_text(
+            json.dumps({"pid": 1, "host": socket.gethostname()})
+        )
+        stats = TrialCache(path).compact()
+        assert stats.live_writers_skipped == 1
+        assert sidecar.exists()  # untouched: the live writer keeps appending
+        # The live shard's records stay readable through the union view.
+        assert TrialCache(path).get("live-key") is not None
+
+    def test_release_orphans_the_sidecar(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        shard = TrialCache(path, writer_id=2)
+        shard.put("k", _metrics(1.0))
+        assert (tmp_path / "cache.jsonl.shard-2.owner").exists()
+        shard.release()
+        assert not (tmp_path / "cache.jsonl.shard-2.owner").exists()
+        exclusive = TrialCache(path, max_disk_entries=4)
+        for i in range(64):
+            exclusive.put(f"k{i}", _metrics(float(i)))
+        assert exclusive.stats.auto_compactions >= 1
+        assert not (tmp_path / "cache.jsonl.shard-2").exists()
+
+    def test_sharded_writer_reclaims_ownership_after_its_own_compaction(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        shard = TrialCache(path, writer_id=4)
+        shard.put("k0", _metrics(1.0))
+        shard.compact()  # folds the shard's own sidecar + owner marker
+        assert not (tmp_path / "cache.jsonl.shard-4.owner").exists()
+        shard.put("k1", _metrics(2.0))  # recreates the sidecar...
+        # ...and must re-claim it, or other compactions would treat the
+        # still-live writer's sidecar as orphaned and race its appends.
+        assert (tmp_path / "cache.jsonl.shard-4.owner").exists()
+        assert shard._sidecar_writer_state(tmp_path / "cache.jsonl.shard-4") == "self"
+
+    def test_unknown_host_owner_is_treated_as_live(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        sidecar = tmp_path / "cache.jsonl.shard-9"
+        record = {"key": "far-key", "ts": time.time(),
+                  "metrics": trial_metrics_to_dict(_metrics(3.0))}
+        sidecar.write_text(json.dumps(record) + "\n")
+        (tmp_path / "cache.jsonl.shard-9.owner").write_text(
+            json.dumps({"pid": 12345, "host": "another-host.example"})
+        )
+        stats = TrialCache(path).compact()
+        assert stats.live_writers_skipped == 1
+        assert sidecar.exists()
 
     def test_search_results_identical_with_and_without_writer_id(self, tmp_path):
         plain = FASTSearch(_problem(), optimizer="random", seed=1,

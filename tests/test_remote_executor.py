@@ -1,0 +1,488 @@
+"""Remote evaluation service, async remote executor, and cross-shard exchange.
+
+The fault-injection fixture drives the retry / hedging / blacklist /
+straggler paths of :class:`~repro.runtime.remote.AsyncRemoteExecutor`
+against a real in-process :class:`~repro.runtime.service.EvaluationService`:
+a :class:`FaultPlan` decides, per incoming request, whether the service
+answers normally, delays, returns an error, or drops the connection.
+
+The invariant under test everywhere: faults may slow a batch down or fail it
+loudly, but the merged trial history is either bit-for-bit equal to the
+serial executor's or an exception is raised — never reordered, never
+partial.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.fast import FASTSearch
+from repro.core.problem import ObjectiveKind, SearchProblem
+from repro.core.trial import TrialEvaluator
+from repro.hardware.search_space import DatapathSearchSpace
+from repro.reporting.serialization import trial_metrics_to_dict
+from repro.runtime.exchange import (
+    ExchangeClient,
+    FileScoreboard,
+    ScoreRecord,
+    ServiceScoreboard,
+    make_scoreboard,
+)
+from repro.runtime.executor import SerialExecutor, make_executor, register_executor
+from repro.runtime.remote import AsyncRemoteExecutor, RemoteExecutionError
+from repro.runtime.service import EvaluationService
+from repro.runtime.sharding import run_sharded_sweep
+from repro.search.annealing import SimulatedAnnealingOptimizer
+from repro.search.bayesian import BayesianOptimizer
+
+
+def _problem():
+    return SearchProblem(["efficientnet-b0"], ObjectiveKind.PERF_PER_TDP)
+
+
+def _history_dicts(result):
+    return [trial_metrics_to_dict(m) for m in result.history]
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """The 16-trial serial history every remote run must reproduce."""
+    return FASTSearch(_problem(), optimizer="lcs", seed=0).run(num_trials=16, batch_size=4)
+
+
+class FaultPlan:
+    """Configurable per-request fault injection for the service fixture.
+
+    Actions are tuples: ``("error",)`` answers HTTP 500, ``("drop",)``
+    closes the socket without a response, ``("delay", seconds)`` sleeps
+    before normal handling.  Faults can be pinned to request indices or set
+    as a default for every request.
+    """
+
+    def __init__(self):
+        self.by_index = {}
+        self.default = None
+        self.log = []
+
+    def at(self, index, action):
+        self.by_index[index] = action
+        return self
+
+    def __call__(self, index, path):
+        action = self.by_index.get(index, self.default)
+        self.log.append((index, path, action))
+        return action
+
+
+@pytest.fixture()
+def flaky_service():
+    """A running evaluation service with an attached :class:`FaultPlan`."""
+    service = EvaluationService()
+    plan = FaultPlan()
+    service.fault_injector = plan
+    service.start()
+    yield service, plan
+    service.close()
+
+
+def _remote(urls, **overrides):
+    options = dict(timeout=30.0, max_retries=3, backoff=0.01, hedge_after=None)
+    options.update(overrides)
+    return AsyncRemoteExecutor(urls, **options)
+
+
+def _run_remote(executor, trials=16, batch_size=4, seed=0):
+    try:
+        return FASTSearch(_problem(), optimizer="lcs", seed=seed, executor=executor).run(
+            num_trials=trials, batch_size=batch_size
+        )
+    finally:
+        executor.close()
+
+
+# ---------------------------------------------------------------------------
+# Happy path: equivalence and stats plumbing
+# ---------------------------------------------------------------------------
+class TestRemoteEquivalence:
+    def test_remote_reproduces_serial_history(self, flaky_service, serial_reference):
+        service, _ = flaky_service
+        result = _run_remote(_remote([service.url]))
+        assert result.proposals == serial_reference.proposals
+        assert _history_dicts(result) == _history_dicts(serial_reference)
+        assert result.best_score_curve == serial_reference.best_score_curve
+
+    def test_runtime_stats_carry_endpoint_counters(self, flaky_service):
+        service, _ = flaky_service
+        result = _run_remote(_remote([service.url]))
+        stats = result.runtime
+        assert stats.remote_batches == 4
+        assert stats.remote_requests >= 4
+        assert service.url in stats.endpoint_stats
+        per_endpoint = stats.endpoint_stats[service.url]
+        assert per_endpoint["successes"] == per_endpoint["requests"] >= 4
+        assert per_endpoint["latency_seconds"] > 0
+
+    def test_chunks_split_across_endpoints(self, serial_reference):
+        with EvaluationService() as a, EvaluationService() as b:
+            executor = _remote([a.url, b.url])
+            result = _run_remote(executor)
+            assert _history_dicts(result) == _history_dicts(serial_reference)
+            requests = {
+                url: counters["requests"]
+                for url, counters in result.runtime.endpoint_stats.items()
+            }
+            assert all(count > 0 for count in requests.values())
+
+    def test_restricted_space_shard_evaluates_remotely(self, flaky_service):
+        """Space-mode shards ship their restricted space with each request."""
+        from repro.runtime.sharding import ShardSpec, run_shard
+
+        service, _ = flaky_service
+        spec = ShardSpec(
+            shard_id=0, num_shards=2, seed=11, num_trials=6,
+            mode="space", partition_axis="l3_global_buffer_mib",
+        )
+        local = run_shard(_problem(), spec, optimizer="random", batch_size=3)
+        executor = _remote([service.url])
+        try:
+            remote = run_shard(
+                _problem(), spec, optimizer="random", batch_size=3, executor=executor
+            )
+        finally:
+            executor.close()
+        assert remote.proposals == local.proposals
+        assert [trial_metrics_to_dict(m) for m in remote.history] == [
+            trial_metrics_to_dict(m) for m in local.history
+        ]
+        assert service.stats.fingerprint_rejections == 0
+
+    def test_order_preserved_with_single_trial_chunks(self, flaky_service):
+        service, plan = flaky_service
+        # Delay a middle request: its chunk must still land in its slot.
+        plan.at(2, ("delay", 0.4))
+        evaluator = TrialEvaluator(_problem())
+        space = DatapathSearchSpace()
+        rng = np.random.default_rng(3)
+        batch = [space.sample(rng) for _ in range(5)]
+        expected = SerialExecutor().evaluate_batch(evaluator, space, batch)
+        executor = _remote([service.url], chunk_size=1)
+        try:
+            got = executor.evaluate_batch(evaluator, space, batch)
+        finally:
+            executor.close()
+        assert [trial_metrics_to_dict(m) for m in got] == [
+            trial_metrics_to_dict(m) for m in expected
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: retry, timeout, hedging, blacklist
+# ---------------------------------------------------------------------------
+class TestFaultHandling:
+    def test_transient_errors_are_retried(self, flaky_service, serial_reference):
+        service, plan = flaky_service
+        plan.at(0, ("error",)).at(1, ("error",))
+        executor = _remote([service.url])
+        result = _run_remote(executor)
+        assert _history_dicts(result) == _history_dicts(serial_reference)
+        assert result.runtime.remote_retries >= 1
+        assert result.runtime.remote_failures >= 1
+
+    def test_dropped_connections_are_retried(self, flaky_service, serial_reference):
+        service, plan = flaky_service
+        plan.at(0, ("drop",))
+        result = _run_remote(_remote([service.url]))
+        assert _history_dicts(result) == _history_dicts(serial_reference)
+        assert result.runtime.remote_retries >= 1
+
+    def test_timeouts_are_retried(self, flaky_service, serial_reference):
+        service, plan = flaky_service
+        plan.at(0, ("delay", 2.0))
+        executor = _remote([service.url], timeout=0.5)
+        result = _run_remote(executor)
+        assert _history_dicts(result) == _history_dicts(serial_reference)
+        assert result.runtime.remote_retries >= 1
+        assert result.runtime.endpoint_stats[service.url]["timeouts"] >= 1
+
+    def test_straggler_is_hedged_first_result_wins(self, serial_reference):
+        with EvaluationService() as healthy:
+            slow = EvaluationService()
+            plan = FaultPlan()
+            slow.fault_injector = plan
+            plan.default = ("delay", 5.0)  # every request to `slow` straggles
+            slow.start()
+            try:
+                executor = _remote(
+                    [slow.url, healthy.url],
+                    hedge_after=0.2,
+                    timeout=30.0,
+                    max_retries=2,
+                )
+                result = _run_remote(executor)
+            finally:
+                slow.close()
+        assert _history_dicts(result) == _history_dicts(serial_reference)
+        assert result.runtime.remote_hedges >= 1
+        # Hedges were re-dispatched away from the straggler.
+        assert result.runtime.endpoint_stats[healthy.url]["successes"] >= 1
+
+    def test_failing_endpoint_is_blacklisted(self, flaky_service, serial_reference):
+        bad = EvaluationService()
+        bad_plan = FaultPlan()
+        bad_plan.default = ("error",)
+        bad.fault_injector = bad_plan
+        bad.start()
+        service, _ = flaky_service
+        try:
+            executor = _remote([bad.url, service.url], blacklist_after=2)
+            result = _run_remote(executor)
+        finally:
+            bad.close()
+        assert _history_dicts(result) == _history_dicts(serial_reference)
+        endpoint = result.runtime.endpoint_stats[bad.url]
+        assert endpoint["failures"] >= 2
+        assert endpoint["blacklisted"] == 1.0
+        assert result.runtime.endpoint_stats[service.url]["successes"] > 0
+
+    def test_all_endpoints_failing_raises_not_corrupts(self, flaky_service):
+        service, plan = flaky_service
+        plan.default = ("error",)
+        executor = _remote([service.url], max_retries=1)
+        evaluator = TrialEvaluator(_problem())
+        space = DatapathSearchSpace()
+        batch = [space.sample(np.random.default_rng(0))]
+        try:
+            with pytest.raises(RemoteExecutionError):
+                executor.evaluate_batch(evaluator, space, batch)
+        finally:
+            executor.close()
+
+    def test_blacklisting_every_endpoint_forgives_gracefully(self, flaky_service,
+                                                             serial_reference):
+        service, plan = flaky_service
+        plan.at(0, ("error",)).at(1, ("error",))
+        # blacklist_after=1: the sole endpoint is blacklisted on the first
+        # error, then forgiven because it is all we have.
+        executor = _remote([service.url], blacklist_after=1, max_retries=3)
+        result = _run_remote(executor)
+        assert _history_dicts(result) == _history_dicts(serial_reference)
+        assert result.runtime.remote_blacklist_resets >= 1
+
+
+# ---------------------------------------------------------------------------
+# Service protocol
+# ---------------------------------------------------------------------------
+class TestServiceProtocol:
+    def test_health_endpoint(self, flaky_service):
+        service, _ = flaky_service
+        with urllib.request.urlopen(service.url + "/health", timeout=5) as response:
+            body = json.loads(response.read())
+        assert body["status"] == "ok"
+        assert body["requests"] >= 1
+
+    def test_fingerprint_mismatch_is_rejected(self, flaky_service):
+        service, _ = flaky_service
+        payload = {
+            "fingerprint": "not-the-real-fingerprint",
+            "problem": {"workloads": ["efficientnet-b0"], "objective": "perf_per_tdp"},
+            "options": {"num_cores": 1, "simulation_options": {"fusion_solver": "greedy"}},
+            "params": [],
+        }
+        request = urllib.request.Request(
+            service.url + "/evaluate",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 409
+        body = json.loads(excinfo.value.read())
+        assert body["client_fingerprint"] == "not-the-real-fingerprint"
+        assert service.stats.fingerprint_rejections == 1
+
+    def test_malformed_request_is_a_client_error(self, flaky_service):
+        service, _ = flaky_service
+        request = urllib.request.Request(
+            service.url + "/evaluate",
+            data=b"{\"problem\": {}}",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_malformed_scoreboard_record_is_a_client_error(self, flaky_service):
+        service, _ = flaky_service
+        request = urllib.request.Request(
+            service.url + "/scoreboard",
+            data=json.dumps({"shard_id": 1, "objective": 2.0, "trials": "abc"}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert service.scoreboard_snapshot() == {"scores": {}}
+
+    def test_unknown_path_is_404(self, flaky_service):
+        service, _ = flaky_service
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(service.url + "/nope", timeout=5)
+        assert excinfo.value.code == 404
+
+
+# ---------------------------------------------------------------------------
+# Executor registry
+# ---------------------------------------------------------------------------
+class TestExecutorRegistry:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown executor kind"):
+            make_executor(kind="quantum")
+
+    def test_remote_kind_requires_endpoints(self):
+        with pytest.raises(ValueError, match="endpoint"):
+            make_executor(kind="remote")
+
+    def test_custom_kind_can_register(self):
+        try:
+            register_executor("custom-serial", lambda **_: SerialExecutor())
+            assert isinstance(make_executor(kind="custom-serial"), SerialExecutor)
+        finally:
+            from repro.runtime.executor import EXECUTOR_KINDS
+
+            EXECUTOR_KINDS.pop("custom-serial", None)
+
+    def test_default_kinds_unchanged(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert make_executor(2).name == "parallel"
+
+
+# ---------------------------------------------------------------------------
+# Cross-shard exchange
+# ---------------------------------------------------------------------------
+class TestScoreboards:
+    def test_file_scoreboard_roundtrip(self, tmp_path):
+        board = FileScoreboard(tmp_path / "scores.json")
+        board.publish(ScoreRecord(shard_id=0, objective=-2.0, score=2.0, trials=8))
+        board.publish(ScoreRecord(shard_id=1, objective=-3.0, score=3.0, trials=8))
+        # A worse later publish must not clobber a shard's best.
+        board.publish(ScoreRecord(shard_id=1, objective=-1.0, score=1.0, trials=16))
+        scores = board.poll()
+        assert set(scores) == {0, 1}
+        assert scores[1].objective == -3.0
+        best = board.best_external(0)
+        assert best is not None and best.shard_id == 1
+
+    def test_file_scoreboard_own_shard_excluded(self, tmp_path):
+        board = FileScoreboard(tmp_path / "scores.json")
+        board.publish(ScoreRecord(shard_id=0, objective=-2.0, score=2.0))
+        assert board.best_external(0) is None
+
+    def test_service_scoreboard_roundtrip(self, flaky_service):
+        service, _ = flaky_service
+        board = ServiceScoreboard(service.url)
+        board.publish(ScoreRecord(shard_id=2, objective=-5.0, score=5.0, trials=4))
+        board.publish(ScoreRecord(shard_id=2, objective=-4.0, score=4.0, trials=8))
+        scores = board.poll()
+        assert scores[2].objective == -5.0
+        assert board.best_external(0).shard_id == 2
+
+    def test_make_scoreboard_dispatch(self, tmp_path):
+        assert isinstance(make_scoreboard(tmp_path / "s.json"), FileScoreboard)
+        assert isinstance(make_scoreboard("http://localhost:1"), ServiceScoreboard)
+        board = FileScoreboard(tmp_path / "s.json")
+        assert make_scoreboard(board) is board
+
+    def test_exchange_client_feeds_only_improvements(self, tmp_path):
+        board = FileScoreboard(tmp_path / "scores.json")
+        client = ExchangeClient(board, shard_id=0)
+        board.publish(ScoreRecord(shard_id=1, objective=-2.0, score=2.0))
+        first = client.poll_external_best()
+        assert first is not None and first.objective == -2.0
+        assert client.poll_external_best() is None  # no improvement since
+        board.publish(ScoreRecord(shard_id=2, objective=-3.0, score=3.0))
+        assert client.poll_external_best().objective == -3.0
+        assert client.adopted == 2
+
+
+class TestExchangeHooks:
+    def test_annealing_adopts_external_incumbent_without_rng_use(self):
+        space = DatapathSearchSpace()
+        optimizer = SimulatedAnnealingOptimizer(space, seed=0)
+        params = space.sample(np.random.default_rng(0))
+        state_before = optimizer.rng.bit_generator.state
+        optimizer.observe_external_best(-10.0, params)
+        assert optimizer.rng.bit_generator.state == state_before
+        assert optimizer.incumbent == params
+        # A worse external best never displaces the incumbent.
+        other = space.sample(np.random.default_rng(1))
+        optimizer.observe_external_best(-5.0, other)
+        assert optimizer.incumbent == params
+
+    def test_annealing_ignores_scores_without_params(self):
+        optimizer = SimulatedAnnealingOptimizer(DatapathSearchSpace(), seed=0)
+        optimizer.observe_external_best(-10.0, None)
+        assert optimizer.incumbent is None
+
+    def test_bayesian_tightens_incumbent_best_y(self):
+        space = DatapathSearchSpace()
+        optimizer = BayesianOptimizer(space, seed=0, num_initial_random=2)
+        rng = np.random.default_rng(0)
+        for objective in (-1.0, -2.0, -1.5):
+            optimizer.tell(space.sample(rng), objective)
+        usable = [obs for obs in optimizer.observations if math.isfinite(obs.objective)]
+        _, _, best_plain = optimizer._training_data(usable)
+        optimizer.observe_external_best(-50.0)
+        _, _, best_external = optimizer._training_data(usable)
+        assert best_external < best_plain
+
+    def test_sweep_with_exchange_is_deterministic(self, tmp_path):
+        kwargs = dict(
+            total_trials=12,
+            num_shards=2,
+            optimizer="annealing",
+            seed=7,
+            batch_size=4,
+        )
+        first = run_sharded_sweep(
+            _problem(), exchange=tmp_path / "a" / "scores.json", **kwargs
+        )
+        second = run_sharded_sweep(
+            _problem(), exchange=tmp_path / "b" / "scores.json", **kwargs
+        )
+        assert [t.params for t in first.trials] == [t.params for t in second.trials]
+        assert first.runtime.exchange_published == second.runtime.exchange_published
+        assert first.runtime.exchange_published >= 1
+
+    def test_one_shard_sweep_with_exchange_matches_plain_search(self, tmp_path):
+        plain = FASTSearch(_problem(), optimizer="annealing", seed=3).run(
+            num_trials=12, batch_size=4
+        )
+        sweep = run_sharded_sweep(
+            _problem(),
+            total_trials=12,
+            num_shards=1,
+            optimizer="annealing",
+            seed=3,
+            batch_size=4,
+            exchange=tmp_path / "scores.json",
+        )
+        assert [t.params for t in sweep.trials] == plain.proposals
+        assert [trial_metrics_to_dict(t.metrics) for t in sweep.trials] == _history_dicts(
+            plain
+        )
+
+    def test_exchange_off_is_the_default(self, tmp_path):
+        sweep = run_sharded_sweep(
+            _problem(), total_trials=8, num_shards=2, optimizer="annealing", seed=1
+        )
+        assert sweep.runtime.exchange_published == 0
+        assert list(tmp_path.iterdir()) == []
