@@ -1,15 +1,18 @@
-"""Mapper throughput: the vectorized candidate sweep and the op-cost cache.
+"""Mapper throughput: per-op vs graph-batched sweeps and the cache stack.
 
 Two layers of measurement:
 
 * **Op level** — unique matrix problems of EfficientNet-B0 mapped repeatedly
-  through ``Mapper._map_problem``: problems/sec for the scalar reference
-  loop vs the NumPy candidate-sweep engine (verifying bit-for-bit equal
-  costs along the way).
+  through ``Mapper._map_problem`` (scalar reference loop vs the per-op NumPy
+  engine) and through ``Mapper.map_ops_batch`` (one stacked candidate sweep
+  for all problems at once), verifying bit-for-bit equal costs along the
+  way.
 * **Trial level** — ``repro.runtime.profiling.profile_search`` on a
-  fixed-seed search (serial, 1 worker): trials/sec and per-stage times for
-  the scalar, vectorized, and vectorized+op-cache modes, with the op-cache
-  mode timed in its warm steady state (the sweep / repeated-search regime).
+  fixed-seed search: trials/sec, per-stage times, and cache hit rates for
+  the scalar, per-op vectorized, graph-batched,
+  graph-batched+region-cache, graph-batched+op-cache, and parallel-2 modes,
+  with cache-enabled and parallel modes timed in their warm steady state
+  (the sweep / repeated-search regime).
 
 Results land in ``benchmarks/results/mapper_throughput.json`` and the
 repo-root ``BENCH_mapper.json`` (key ``mapper_profile``), seeding the
@@ -59,16 +62,28 @@ def _map_rate(mapper, problems, repeats: int) -> float:
     return repeats * len(problems) / elapsed if elapsed > 0 else float("inf")
 
 
+def _batch_rate(config, graph, ops, repeats: int) -> float:
+    """Problems/sec through one stacked sweep per repeat (fresh per-trial memo)."""
+    started = time.perf_counter()
+    for _ in range(repeats):
+        Mapper(config).map_ops_batch(ops, graph.tensors)
+    elapsed = time.perf_counter() - started
+    return repeats * len(ops) / elapsed if elapsed > 0 else float("inf")
+
+
 def _measure(trials: int) -> dict:
     clear_graph_cache()
     config = DatapathConfig()
     graph = build_workload(_WORKLOAD, batch_size=4)
     problems = _unique_problems(graph, config)
+    unique_ops = [op for op, _ in problems]
 
     scalar_mapper = Mapper(config, options=MapperOptions(vectorize=False))
     vector_mapper = Mapper(config, options=MapperOptions(vectorize=True))
+    batched = Mapper(config).map_ops_batch(unique_ops, graph.tensors)
     mismatches = sum(
         scalar_mapper._map_problem(op, problem) != vector_mapper._map_problem(op, problem)
+        or batched[op.name] != scalar_mapper._map_problem(op, problem)
         for op, problem in problems
     )
     repeats = max(1, 2000 // len(problems))
@@ -78,6 +93,7 @@ def _measure(trials: int) -> dict:
         "problems_per_second": {
             "scalar": _map_rate(scalar_mapper, problems, repeats),
             "vectorized": _map_rate(vector_mapper, problems, repeats),
+            "graph-batched": _batch_rate(config, graph, unique_ops, repeats),
         },
     }
 
@@ -98,6 +114,11 @@ def test_mapper_throughput(benchmark):
             "op-level vectorized",
             f"{op_rates['vectorized']:.0f} problems/s",
             f"{op_rates['vectorized'] / op_rates['scalar']:.2f}x",
+        ],
+        [
+            "op-level graph-batched",
+            f"{op_rates['graph-batched']:.0f} problems/s",
+            f"{op_rates['graph-batched'] / op_rates['scalar']:.2f}x",
         ],
     ]
     for record in profile.records:
@@ -123,11 +144,19 @@ def test_mapper_throughput(benchmark):
     (RESULTS_DIR / "mapper_throughput.json").write_text(json.dumps(payload, indent=2))
     record_bench("mapper_profile", payload)
 
-    # Bit-for-bit equivalence of the two engines, op by op — always asserted.
+    # Bit-for-bit equivalence of the three engines, op by op — always asserted.
     assert op_level["mismatches"] == 0
     assert profile.histories_match
     if timing_asserts_enabled():
         # The vectorized sweep must beat the scalar loop on raw (uncached)
-        # maps, and the full fast path must clear 3x at the trial level.
+        # maps, and batching the whole op set into one stacked sweep must
+        # beat per-op vectorization in turn.
         assert op_rates["vectorized"] >= 1.2 * op_rates["scalar"]
-        assert profile.speedup("vectorized+op-cache") >= 3.0
+        assert op_rates["graph-batched"] >= op_rates["vectorized"]
+        # Trial level: graph-batched must clear 2.5x scalar from a cold
+        # start (no caches), the cache stack 3x warm, and the warm parallel
+        # pool must never regress below scalar (it ran at 0.71x of scalar
+        # before workers started warm).
+        assert profile.speedup("graph-batched") >= 2.5
+        assert profile.speedup("graph-batched+op-cache") >= 3.0
+        assert profile.speedup("parallel-2") >= 1.0

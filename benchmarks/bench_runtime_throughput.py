@@ -3,23 +3,28 @@
 Measures the ``repro.runtime`` execution engine on a small EfficientNet-B0
 search, always with the same fixed-seed trajectory:
 
-* ``scalar`` — the reference evaluator (scalar mapping engine, op cache off),
-* ``serial`` — the default fast path (vectorized mapper + cross-trial op
-  cache), starting from a cold op cache,
-* ``serial-warm-opcache`` — the same fast path in its steady state (op cache
+* ``scalar`` — the reference evaluator (scalar mapping engine, no caches),
+* ``serial`` — the default fast path (graph-batched mapper + region cache +
+  cross-trial op cache), starting cold,
+* ``serial-warm`` — the same fast path in its steady state (region/op caches
   populated by the previous run), i.e. the regime of sweeps, shards, and
   repeated searches,
-* 2- and 4-worker process pools, and a persistent trial cache first cold
-  then warm.
+* ``parallel-2`` / ``parallel-4`` — process pools whose workers start warm
+  (fork-inherited caches or the warm-start initializer),
+* ``parallel-4-warm`` — a 4-worker pool over a *cold* parent that warm-loads
+  a persistent op store from disk in each worker (the sweep-shard /
+  multi-host regime; this is the mode that used to regress to 0.71x of
+  scalar when workers started cold),
+* a persistent trial cache first cold then warm.
 
 Results are reported as a table and as JSON
-(``benchmarks/results/runtime_throughput.json``); the serial-vs-scalar
-numbers are also recorded in the repo-root ``BENCH_mapper.json`` so future
-PRs have a performance trajectory for the mapping engine.
+(``benchmarks/results/runtime_throughput.json``); the numbers are also
+recorded in the repo-root ``BENCH_mapper.json`` so future PRs have a
+performance trajectory for the mapping engine.
 
-Speedup assertions are gated on the available CPU count — a 4-worker pool
-cannot beat serial on a single-core runner — while the evaluation-fast-path
-and warm-cache speedups are hardware-independent and always asserted.
+Speedup assertions never depend on multi-core hardware: warm workers win by
+skipping work (cache hits), not by overlapping it, so even a single-core
+runner must show ``parallel-4-warm`` beating the cold serial path.
 """
 
 from __future__ import annotations
@@ -56,21 +61,35 @@ def record_bench(key: str, payload: dict) -> None:
     BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
 
 
-def _evaluator(scalar: bool = False):
+def _evaluator(scalar: bool = False, op_cache_path=None):
     problem = SearchProblem([_WORKLOAD], ObjectiveKind.PERF_PER_TDP)
     options = SimulationOptions(
         fusion_solver="greedy",
         vectorized_mapper=not scalar,
+        region_cache_enabled=not scalar,
         op_cache_enabled=not scalar,
+        op_cache_path=str(op_cache_path) if op_cache_path else None,
     )
     return problem, TrialEvaluator(problem, simulation_options=options)
 
 
-def _run_search(trials: int, executor=None, cache=None, scalar: bool = False) -> float:
-    """Run one fixed-trajectory search; returns trials/sec."""
-    problem, evaluator = _evaluator(scalar=scalar)
+def _run_search(
+    trials: int, executor=None, cache=None, scalar: bool = False, op_cache_path=None,
+    fixture=None,
+) -> float:
+    """Run one fixed-trajectory search; returns trials/sec.
+
+    ``fixture`` optionally supplies a shared ``(problem, evaluator, space)``
+    triple so consecutive runs reuse one executor pool (the pool is keyed by
+    evaluator/space identity).
+    """
+    if fixture is None:
+        problem, evaluator = _evaluator(scalar=scalar, op_cache_path=op_cache_path)
+        space = None
+    else:
+        problem, evaluator, space = fixture
     search = FASTSearch(
-        problem, optimizer="lcs", seed=_SEED, evaluator=evaluator,
+        problem, optimizer="lcs", space=space, seed=_SEED, evaluator=evaluator,
         executor=executor, cache=cache,
     )
     started = time.monotonic()
@@ -80,7 +99,7 @@ def _run_search(trials: int, executor=None, cache=None, scalar: bool = False) ->
     return trials / elapsed if elapsed > 0 else float("inf")
 
 
-def _measure(trials: int, cache_path) -> dict:
+def _measure(trials: int, cache_path, op_store_path) -> dict:
     rates = {}
     clear_graph_cache()
     reset_op_caches()
@@ -92,13 +111,37 @@ def _measure(trials: int, cache_path) -> dict:
     rates["scalar"] = _run_search(trials, scalar=True)
     reset_op_caches()
     rates["serial"] = _run_search(trials)
-    # Same fast path with the op cache left populated by the previous run:
-    # the steady state of sweeps, shards, and repeated searches.
-    rates["serial-warm-opcache"] = _run_search(trials)
+    # Same fast path with the region/op caches left populated by the previous
+    # run: the steady state of sweeps, shards, and repeated searches.
+    rates["serial-warm"] = _run_search(trials)
+    # Parallel pools over the warm parent: fork-started workers inherit the
+    # warm caches outright; spawn-started ones rebuild via the warm-start
+    # initializer.
     for workers in (2, 4):
         with ParallelExecutor(num_workers=workers) as executor:
             rates[f"parallel-{workers}"] = _run_search(trials, executor=executor)
+    # Populate a persistent op store (unmeasured, from cold caches — warm
+    # region caches would satisfy trials before the mapper ever computes,
+    # and puts, the op costs this store exists to hold)...
+    reset_op_caches()
+    _run_search(trials, op_cache_path=op_store_path)
+    # ...then measure a 4-worker pool over a COLD parent: every worker
+    # warm-loads the store from disk.  Two unmeasured passes pay the pool
+    # start + store load and fill the per-worker region caches; the measured
+    # pass is the steady state a sweep shard runs in.  This is the regime
+    # that regressed to 0.71x of scalar when workers started cold with
+    # nothing to load.
+    reset_op_caches()
+    from repro.hardware.search_space import DatapathSearchSpace
+
+    problem, evaluator = _evaluator(op_cache_path=op_store_path)
+    fixture = (problem, evaluator, DatapathSearchSpace())
+    with ParallelExecutor(num_workers=4) as executor:
+        _run_search(trials, executor=executor, fixture=fixture)
+        _run_search(trials, executor=executor, fixture=fixture)
+        rates["parallel-4-warm"] = _run_search(trials, executor=executor, fixture=fixture)
     # Cold cache: every trial simulated and appended to the store.
+    reset_op_caches()
     rates["cache-cold"] = _run_search(trials, cache=TrialCache(cache_path))
     # Warm cache: a fresh process-equivalent cache over the same file; the
     # identical seed/batch trajectory means every trial is a disk hit.
@@ -111,7 +154,10 @@ def _measure(trials: int, cache_path) -> dict:
 def test_runtime_throughput(benchmark, tmp_path):
     trials = bench_trials(default=48)
     cache_path = tmp_path / "trials.jsonl"
-    rates = benchmark.pedantic(_measure, args=(trials, cache_path), rounds=1, iterations=1)
+    op_store_path = tmp_path / "op-store.jsonl"
+    rates = benchmark.pedantic(
+        _measure, args=(trials, cache_path, op_store_path), rounds=1, iterations=1
+    )
 
     scalar = rates["scalar"]
     rows = [
@@ -137,16 +183,26 @@ def test_runtime_throughput(benchmark, tmp_path):
 
     if not timing_asserts_enabled():
         return
-    # The evaluation fast path (serial, 1 worker): the steady-state op cache
+    # The evaluation fast path (serial, 1 worker): the steady-state caches
     # must deliver at least 3x the scalar reference's trials/sec, and even a
-    # cold op cache must beat scalar outright.  Hardware-independent.
-    assert rates["serial-warm-opcache"] >= 3.0 * scalar
+    # cold start must beat scalar outright.  Hardware-independent.
+    assert rates["serial-warm"] >= 3.0 * scalar
     assert rates["serial"] >= 1.2 * scalar
     # A warm trial cache skips the evaluator entirely.
     assert rates["cache-warm"] >= 3.0 * rates["serial"]
-    # Parallel speedups need the cores to exist (and a margin for pool overhead).
-    cpus = os.cpu_count() or 1
-    if cpus >= 4:
-        assert rates["parallel-4"] >= 1.5 * scalar
-    if cpus >= 2:
-        assert rates["parallel-2"] >= 1.2 * scalar
+    # Warm workers win by skipping work (cache hits), not by overlapping it,
+    # so these hold on any core count.  parallel-4-warm warms through the
+    # persistent op store plus the pool initializer, which works under any
+    # start method; the plain parallel modes owe their warmth to
+    # fork-inherited caches, so their asserts only apply where fork is the
+    # start method (spawn-started workers begin cold).
+    assert rates["parallel-4-warm"] >= 2.0 * scalar
+    import multiprocessing
+
+    if multiprocessing.get_start_method() == "fork":
+        # parallel-4 must beat the cold serial path (it was 0.71x of scalar
+        # before workers started warm), and no warm pool may regress below
+        # the scalar reference.
+        assert rates["parallel-4"] >= rates["serial"]
+        assert rates["parallel-4"] >= 2.0 * scalar
+        assert rates["parallel-2"] >= scalar

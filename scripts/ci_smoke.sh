@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI smoke suite — the exact invocations CI runs, runnable locally:
 #
-#   scripts/ci_smoke.sh [all|search|sweep|profile|bench|remote|coverage]
+#   scripts/ci_smoke.sh [all|search|sweep|profile|mapper-equiv|bench|remote|coverage]
 #
 # `all` (the default) runs every smoke except `coverage`, which is its own
 # CI job.  Artifacts land in $SMOKE_DIR (default: a fresh temp dir); CI sets
@@ -54,6 +54,37 @@ smoke_profile() {
     python -m repro profile \
         --workload mobilenet-v2 --trials 8 --batch-size 4 \
         --warm-op-cache --output "$SMOKE_DIR/mapper-profile.json"
+}
+
+# --------------------------------------------------------------------------
+# 3b. Graph-batched vs per-op vs scalar mapper equivalence smoke: the same
+#     fixed-seed search under all three engines (plus default caches off /
+#     on) must produce bit-for-bit identical histories.
+# --------------------------------------------------------------------------
+smoke_mapper_equiv() {
+    log "mapper equivalence smoke: graph-batched vs per-op vs scalar history"
+    local common=(--workload efficientnet-b0 --trials 12 --batch-size 4 --seed 0 --history)
+    python -m repro search "${common[@]}" \
+        --output "$SMOKE_DIR/search-graph-batched.json"
+    python -m repro search "${common[@]}" \
+        --per-op-mapper --no-region-cache --no-op-cache \
+        --output "$SMOKE_DIR/search-per-op.json"
+    python -m repro search "${common[@]}" \
+        --scalar-mapper --no-region-cache --no-op-cache \
+        --output "$SMOKE_DIR/search-scalar.json"
+
+    python - "$SMOKE_DIR/search-scalar.json" "$SMOKE_DIR/search-per-op.json" \
+        "$SMOKE_DIR/search-graph-batched.json" <<'PY'
+import json, sys
+reference = json.load(open(sys.argv[1]))
+for path in sys.argv[2:]:
+    other = json.load(open(path))
+    for key in ("proposals", "history", "best_score_curve", "best_score"):
+        if reference.get(key) != other.get(key):
+            raise SystemExit(f"{path} diverged from the scalar reference on {key!r}")
+print("graph-batched == per-op == scalar bit-for-bit over",
+      len(reference.get("history") or []), "trials")
+PY
 }
 
 # --------------------------------------------------------------------------
@@ -151,22 +182,24 @@ smoke_coverage() {
 
 # --------------------------------------------------------------------------
 case "${1:-all}" in
-    search)   smoke_search ;;
-    sweep)    smoke_sweep ;;
-    profile)  smoke_profile ;;
-    bench)    smoke_bench ;;
-    remote)   smoke_remote ;;
-    coverage) smoke_coverage ;;
+    search)       smoke_search ;;
+    sweep)        smoke_sweep ;;
+    profile)      smoke_profile ;;
+    mapper-equiv) smoke_mapper_equiv ;;
+    bench)        smoke_bench ;;
+    remote)       smoke_remote ;;
+    coverage)     smoke_coverage ;;
     all)
         smoke_search
         smoke_sweep
         smoke_profile
+        smoke_mapper_equiv
         smoke_bench
         smoke_remote
         log "all smokes passed; artifacts in $SMOKE_DIR"
         ;;
     *)
-        echo "usage: $0 [all|search|sweep|profile|bench|remote|coverage]" >&2
+        echo "usage: $0 [all|search|sweep|profile|mapper-equiv|bench|remote|coverage]" >&2
         exit 2
         ;;
 esac

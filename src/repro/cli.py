@@ -125,15 +125,25 @@ coupling is strictly opt-in.
 Performance
 -----------
 Trial evaluation itself — the Figure-1 pipeline of mapper, VPU cost model,
-and FAST fusion — runs on two complementary fast paths, both bit-for-bit
+and FAST fusion — runs on layered fast paths, every one bit-for-bit
 equivalent to the reference implementation:
 
-* **Vectorized mapping engine** (default).  The mapper's
-  ``dataflow x (m, n, k)-tiling`` candidate sweep is evaluated as NumPy
-  arrays in one pass instead of a Python loop.  ``--scalar-mapper`` selects
-  the scalar reference implementation (mainly for verification and
-  profiling baselines); the chosen tilings, cycles, and DRAM bytes are
-  identical either way.
+* **Graph-batched mapping engine** (default).  The whole trial is the unit
+  of vectorization: every matrix op a trial needs mapped is gathered across
+  all fusion regions and costed in ONE stacked NumPy pass over the
+  ``ops x dataflows x (m, n, k)-tilings`` candidate space, then the results
+  are scattered back to their regions.  ``--per-op-mapper`` selects the
+  region-by-region, op-by-op walk; ``--scalar-mapper`` selects the scalar
+  reference loop (verification and profiling baselines).  Chosen tilings,
+  cycles, and DRAM bytes are identical in all three.
+* **Region-level result cache** (default).  Whole fusion-region evaluations
+  are memoized across trials keyed by (graph fingerprint, region index,
+  mapping-relevant datapath sub-config), so fusion-stable regions on warm
+  trials skip even the gather step — no problem extraction, no op-cache
+  lookups, no traffic sweep.  ``--no-region-cache`` disables it; hit/miss
+  counters appear in the search summary and ``RuntimeStats``
+  (``region_cache_hits``/``region_cache_misses``, merged across sweep
+  shards).
 * **Cross-trial op-cost cache** (default).  Mapped op costs are memoized
   across trials keyed by the op's problem shape and the mapping-relevant
   slice of the datapath, so neighboring design points — and repeated,
@@ -142,21 +152,29 @@ equivalent to the reference implementation:
   the cache as JSON lines shared across processes and restarts.  Hit/miss
   counters appear in the search summary, progress lines, and
   ``RuntimeStats``.
+* **Warm parallel workers** (default for ``--workers N``).  Process-pool
+  workers start warm: the pool initializer pre-builds the problem's
+  workload graphs and compiled regions and attaches the shared op/region
+  caches — loading a persistent ``--op-cache`` store from disk, which is
+  how one op store is shared across workers, searches, and sweep shards
+  (``repro sweep --op-cache PATH`` hands the same store to every shard).
+  Worker-side cache hits and per-stage timings flow back into
+  ``RuntimeStats``, so parallel runs report real counters instead of zeros.
 
-``repro profile`` measures all of this on a fixed-seed search: trials/sec
-and a per-stage time breakdown (mapper / vector / fusion / other) for the
-scalar, vectorized, and vectorized+op-cache modes, verifying along the way
-that every mode reproduces the same trial history::
+``repro profile`` measures all of this on a fixed-seed search: trials/sec,
+a per-stage time breakdown (mapper / vector / fusion / other), and cache
+hit rates for the scalar, per-op vectorized, graph-batched,
+graph-batched+region-cache, op-cached, and parallel modes, verifying along
+the way that every mode reproduces the same trial history::
 
     python -m repro profile --workload efficientnet-b0 --trials 48 \
         --warm-op-cache --output profile.json
 
-When to prefer which knob: ``--workers N`` helps when single trials are
-expensive (large workloads, many workloads per trial) and cores are
-plentiful; vectorization + the op cache accelerate every trial from within
-and compose with workers, caching, sweeps, and checkpointing.  Start with
-the defaults (vectorized, op cache on, serial) and add ``--workers`` when a
-profile shows the evaluator saturating one core.
+When to prefer which knob: the defaults (graph-batched, region + op caches
+on, serial) are the right starting point; add ``--workers`` when a profile
+shows the evaluator saturating one core — warm workers compose with every
+cache layer — and add ``--op-cache PATH`` whenever you run more than one
+search over the same workloads (sweeps, shards, services, restarts).
 """
 
 from __future__ import annotations
@@ -283,6 +301,8 @@ def _cmd_search(args) -> int:
         simulation_options=SimulationOptions(
             fusion_solver="greedy",
             vectorized_mapper=not args.scalar_mapper,
+            graph_batched_mapper=False if args.per_op_mapper else None,
+            region_cache_enabled=not args.no_region_cache,
             op_cache_enabled=not args.no_op_cache,
             op_cache_path=args.op_cache,
         ),
@@ -347,6 +367,9 @@ def _cmd_search(args) -> int:
         if result.runtime.op_cache_hits or result.runtime.op_cache_misses:
             summary["op-cache hits"] = result.runtime.op_cache_hits
             summary["op-cache hit rate"] = result.runtime.op_cache_hit_rate
+        if result.runtime.region_cache_hits or result.runtime.region_cache_misses:
+            summary["region-cache hits"] = result.runtime.region_cache_hits
+            summary["region-cache hit rate"] = result.runtime.region_cache_hit_rate
         if result.runtime.eval_seconds:
             summary["mapper seconds"] = result.runtime.mapper_seconds
             summary["fusion seconds"] = result.runtime.fusion_seconds
@@ -438,6 +461,8 @@ def _cmd_sweep(args) -> int:
                 result = run_shard(
                     problem, spec, optimizer=args.optimizer, batch_size=args.batch_size,
                     executor=executor, cache_path=args.cache, exchange=args.exchange,
+                    op_cache_path=args.op_cache,
+                    op_cache_enabled=not args.no_op_cache,
                 )
                 out = args.output or f"shard-{spec.shard_id}.json"
                 save_shard_result(result, out)
@@ -455,6 +480,8 @@ def _cmd_sweep(args) -> int:
                 run_shard(
                     problem, spec, optimizer=args.optimizer, batch_size=args.batch_size,
                     executor=executor, cache_path=args.cache, exchange=args.exchange,
+                    op_cache_path=args.op_cache,
+                    op_cache_enabled=not args.no_op_cache,
                 )
                 for spec in specs
             ]
@@ -487,6 +514,10 @@ def _cmd_sweep(args) -> int:
         summary["best shard"] = sweep.best_trial.shard_id
     if sweep.runtime is not None and sweep.runtime.cache_hits:
         summary["cache hits"] = sweep.runtime.cache_hits
+    if sweep.runtime is not None and sweep.runtime.op_cache_hits:
+        summary["op-cache hits"] = sweep.runtime.op_cache_hits
+    if sweep.runtime is not None and sweep.runtime.region_cache_hits:
+        summary["region-cache hits"] = sweep.runtime.region_cache_hits
     if sweep.runtime is not None and sweep.runtime.exchange_published:
         summary["exchange publishes"] = sweep.runtime.exchange_published
         summary["exchange adoptions"] = sweep.runtime.exchange_adopted
@@ -527,10 +558,11 @@ def _cmd_profile(args) -> int:
             f"{stages.get('fusion', 0.0) * 1e3:.0f}",
             f"{stages.get('other', 0.0) * 1e3:.0f}",
             f"{record.op_cache_hit_rate:.2f}" if record.op_cache_hits else "-",
+            f"{record.region_cache_hit_rate:.2f}" if record.region_cache_hits else "-",
         ])
     print(format_table(
         ["Mode", "Trials/s", "vs scalar", "Mapper ms", "Vector ms",
-         "Fusion ms", "Other ms", "Op-cache hit rate"],
+         "Fusion ms", "Other ms", "Op-cache hit rate", "Region-cache hit rate"],
         rows,
     ))
     print(
@@ -731,6 +763,13 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--scalar-mapper", action="store_true",
                         help="Use the scalar reference mapping engine instead of "
                              "the vectorized one (identical results, slower)")
+    search.add_argument("--per-op-mapper", action="store_true",
+                        help="Map matrix ops one at a time instead of batching a "
+                             "whole trial's ops into one candidate sweep "
+                             "(identical results, slower)")
+    search.add_argument("--no-region-cache", action="store_true",
+                        help="Disable the cross-trial fusion-region result cache "
+                             "(identical results, slower on warm trials)")
     search.add_argument("--output", default=None, help="Write the search result JSON here")
     search.add_argument("--history", action="store_true",
                         help="Include the full trial history and proposals in --output "
@@ -801,6 +840,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Proposals per ask/tell batch within each shard")
     sweep.add_argument("--cache", default=None, metavar="PATH",
                        help="Shared trial cache; shards append to per-shard sidecars")
+    sweep.add_argument("--op-cache", default=None, metavar="PATH",
+                       help="Persistent per-op cost store shared by every shard "
+                            "(and their pool workers); later shards reuse op "
+                            "costs earlier shards mapped")
+    sweep.add_argument("--no-op-cache", action="store_true",
+                       help="Disable the cross-trial op-cost cache in all shards")
     sweep.add_argument("--exchange", default=None, metavar="PATH_OR_URL",
                        help="Live cross-shard best-score exchange: scoreboard file "
                             "prefix or evaluation-service URL (off by default; "

@@ -44,11 +44,16 @@ class RuntimeStats:
     """Execution statistics of one search run.
 
     ``op_cache_hits``/``op_cache_misses`` count per-op cost lookups served by
-    the cross-trial :mod:`repro.runtime.opcache`; the ``*_seconds`` fields
-    break evaluation wall-clock time down by pipeline stage (mapper / VPU
-    cost model / fusion ILP / whole-trial evaluation).  Both are collected
-    from this process's evaluator and op cache, so with a parallel executor
-    (whose evaluation happens in worker processes) they remain zero.
+    the cross-trial :mod:`repro.runtime.opcache`, and
+    ``region_cache_hits``/``region_cache_misses`` count whole fusion-region
+    evaluations served by the region-level result cache layered above it;
+    the ``*_seconds`` fields break evaluation wall-clock time down by
+    pipeline stage (mapper / VPU cost model / fusion ILP / whole-trial
+    evaluation).  Under a serial executor they are collected from this
+    process's evaluator and caches; a
+    :class:`~repro.runtime.executor.ParallelExecutor` aggregates the same
+    counters inside its workers and reports them through
+    ``runtime_counters()``, so parallel runs no longer show zeros here.
 
     The ``remote_*`` counters and per-endpoint ``endpoint_stats`` map are
     filled in when the run used an
@@ -67,6 +72,8 @@ class RuntimeStats:
     elapsed_seconds: float = 0.0
     op_cache_hits: int = 0
     op_cache_misses: int = 0
+    region_cache_hits: int = 0
+    region_cache_misses: int = 0
     mapper_seconds: float = 0.0
     vector_seconds: float = 0.0
     fusion_seconds: float = 0.0
@@ -92,6 +99,12 @@ class RuntimeStats:
         """Fraction of per-op cost lookups served by the op cache."""
         total = self.op_cache_hits + self.op_cache_misses
         return self.op_cache_hits / total if total else 0.0
+
+    @property
+    def region_cache_hit_rate(self) -> float:
+        """Fraction of region evaluations served by the region cache."""
+        total = self.region_cache_hits + self.region_cache_misses
+        return self.region_cache_hits / total if total else 0.0
 
 
 @dataclass
@@ -255,6 +268,12 @@ class FASTSearch:
         # so don't force-load a possibly large persistent store here.
         op_cache = self._op_cache() if isinstance(executor, SerialExecutor) else None
         op_cache_start = op_cache.snapshot_counters() if op_cache is not None else (0, 0)
+        region_cache = (
+            self._region_cache() if isinstance(executor, SerialExecutor) else None
+        )
+        region_cache_start = (
+            region_cache.snapshot_counters() if region_cache is not None else (0, 0)
+        )
         # Remote executors expose lifetime counters; snapshot them so a run
         # on a reused executor (e.g. across sweep shards) reports deltas.
         collect_remote = getattr(executor, "runtime_counters", None)
@@ -447,6 +466,10 @@ class FASTSearch:
             hits, misses = op_cache.snapshot_counters()
             stats.op_cache_hits = hits - op_cache_start[0]
             stats.op_cache_misses = misses - op_cache_start[1]
+        if region_cache is not None:
+            hits, misses = region_cache.snapshot_counters()
+            stats.region_cache_hits = hits - region_cache_start[0]
+            stats.region_cache_misses = misses - region_cache_start[1]
         if remote_start is not None:
             remote_now = collect_remote()
             for key, value in remote_now.items():
@@ -492,6 +515,15 @@ class FASTSearch:
         from repro.runtime.opcache import get_op_cache
 
         return get_op_cache(getattr(options, "op_cache_path", None))
+
+    def _region_cache(self):
+        """This process's shared region-cost cache, when the evaluator uses one."""
+        options = getattr(self.evaluator, "simulation_options", None)
+        if options is None or not getattr(options, "region_cache_enabled", False):
+            return None
+        from repro.runtime.opcache import get_region_cache
+
+        return get_region_cache()
 
 
 def _mean(values) -> float:

@@ -10,7 +10,6 @@ minimizes — the three-phase flow of Figure 1.
 from __future__ import annotations
 
 import math
-import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -27,21 +26,16 @@ from repro.workloads.registry import build_workload
 __all__ = ["TrialMetrics", "TrialEvaluator", "clear_graph_cache"]
 
 # Workload graphs are immutable and expensive-ish to build, so they are cached
-# per (workload, batch) across all evaluators in the process.  The cache is
-# strictly per-process: it is guarded by the owning PID so that executor
-# worker processes (forked or spawned) never reuse — and never need to
-# pickle — graphs built in the parent; each worker rebuilds lazily on first
-# use instead.
+# per (workload, batch) across all evaluators in the process.  Graphs are
+# never pickled to executor workers (only cache *settings* travel); workers
+# either inherit the parent's warm entries through fork — graphs are
+# immutable data, so inherited entries are exactly what the worker would
+# rebuild — or, under spawn, rebuild lazily on first use / via
+# :meth:`TrialEvaluator.warm_caches` in the pool initializer.
 _GRAPH_CACHE: Dict[tuple, Graph] = {}
-_GRAPH_CACHE_PID: Optional[int] = None
 
 
 def _cached_graph(workload: str, batch_size: int) -> Graph:
-    global _GRAPH_CACHE_PID
-    pid = os.getpid()
-    if _GRAPH_CACHE_PID != pid:
-        _GRAPH_CACHE.clear()
-        _GRAPH_CACHE_PID = pid
     key = (workload, batch_size)
     if key not in _GRAPH_CACHE:
         _GRAPH_CACHE[key] = build_workload(workload, batch_size=batch_size)
@@ -50,9 +44,7 @@ def _cached_graph(workload: str, batch_size: int) -> Graph:
 
 def clear_graph_cache() -> None:
     """Drop all cached workload graphs (for tests and memory-sensitive runs)."""
-    global _GRAPH_CACHE_PID
     _GRAPH_CACHE.clear()
-    _GRAPH_CACHE_PID = None
 
 
 @dataclass
@@ -112,6 +104,37 @@ class TrialEvaluator:
             "fusion": 0.0,
             "evaluate": 0.0,
         }
+
+    # ------------------------------------------------------------------
+    def warm_caches(self, batch_sizes: Optional[tuple] = None) -> None:
+        """Pre-warm this process's evaluation caches (best effort).
+
+        Builds and pre-compiles the problem's workload graphs (default: at
+        the stock native batch size) and attaches the shared op / region
+        caches — loading the persistent op store from disk when one is
+        configured, so the first trial already runs warm.  Used by the
+        process-pool worker initializer and ``repro serve``; every step is a
+        pure cache fill, results are unaffected.
+        """
+        options = self.simulation_options
+        if getattr(options, "op_cache_enabled", False):
+            from repro.runtime.opcache import get_op_cache
+
+            get_op_cache(getattr(options, "op_cache_path", None))
+        if getattr(options, "region_cache_enabled", False):
+            from repro.runtime.opcache import get_region_cache
+
+            get_region_cache()
+        from repro.simulator.engine import precompile_graph
+
+        sizes = tuple(batch_sizes) if batch_sizes else (DatapathConfig().native_batch_size,)
+        for workload in self.problem.workloads:
+            for batch_size in sizes:
+                try:
+                    graph = _cached_graph(workload, batch_size)
+                    precompile_graph(graph)
+                except Exception:
+                    continue  # warm-up must never break evaluation
 
     # ------------------------------------------------------------------
     def evaluate_params(

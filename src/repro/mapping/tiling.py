@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from itertools import islice, product
-from typing import Iterable, Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -33,8 +33,11 @@ __all__ = [
     "TrafficArrays",
     "candidate_tilings",
     "estimate_traffic",
+    "stack_candidate_grids",
     "tiling_candidate_arrays",
+    "tiling_candidate_arrays_ops",
     "estimate_traffic_batch",
+    "estimate_traffic_batch_ops",
 ]
 
 
@@ -233,6 +236,48 @@ def tiling_candidate_arrays(
     return grid[:, 0], grid[:, 1], grid[:, 2]
 
 
+def stack_candidate_grids(
+    grids: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate per-problem ``(m, n, k)`` grids along a flat op axis.
+
+    The one place the op-axis layout is defined: candidates are grouped
+    problem by problem (``op_index`` is non-decreasing) and each problem's
+    slice keeps its per-op enumeration order — the contract every batched
+    consumer (and the bit-for-bit equivalence argument) relies on.
+    """
+    if not grids:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy(), empty.copy()
+    counts = [m_tiles.shape[0] for m_tiles, _, _ in grids]
+    op_index = np.repeat(np.arange(len(grids), dtype=np.int64), counts)
+    m_all = np.concatenate([grid[0] for grid in grids])
+    n_all = np.concatenate([grid[1] for grid in grids])
+    k_all = np.concatenate([grid[2] for grid in grids])
+    return op_index, m_all, n_all, k_all
+
+
+def tiling_candidate_arrays_ops(
+    problems: Sequence[MatrixProblem],
+    array_x: int,
+    array_y: int,
+    max_candidates: int = 48,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Candidate tile sizes for many problems, stacked along an op axis.
+
+    Returns ``(op_index, m_tiles, n_tiles, k_tiles)`` where candidate ``i``
+    belongs to ``problems[op_index[i]]``; each problem's slice equals what
+    :func:`tiling_candidate_arrays` yields for it (see
+    :func:`stack_candidate_grids` for the layout contract).
+    """
+    return stack_candidate_grids(
+        [
+            tiling_candidate_arrays(problem, array_x, array_y, max_candidates)
+            for problem in problems
+        ]
+    )
+
+
 def estimate_traffic_batch(
     problem: MatrixProblem,
     m_tiles: np.ndarray,
@@ -241,48 +286,97 @@ def estimate_traffic_batch(
     blocking_capacity_bytes: int,
     dtype_bytes: int = 2,
 ) -> TrafficArrays:
-    """Vectorized :func:`estimate_traffic` over a whole candidate grid.
+    """Vectorized :func:`estimate_traffic` over one problem's candidate grid.
+
+    A single-problem view of :func:`estimate_traffic_batch_ops` (op axis of
+    one); kept as the stable entry point for per-op callers and tests.
+    """
+    op_index = np.zeros(m_tiles.shape[0], dtype=np.int64)
+    return estimate_traffic_batch_ops(
+        (problem,), op_index, m_tiles, n_tiles, k_tiles,
+        blocking_capacity_bytes, dtype_bytes,
+    )
+
+
+def estimate_traffic_batch_ops(
+    problems: Sequence[MatrixProblem],
+    op_index: np.ndarray,
+    m_tiles: np.ndarray,
+    n_tiles: np.ndarray,
+    k_tiles: np.ndarray,
+    blocking_capacity_bytes: int,
+    dtype_bytes: int = 2,
+) -> TrafficArrays:
+    """Vectorized :func:`estimate_traffic` across many problems at once.
+
+    The candidate axis is flat: candidate ``i`` tiles ``problems[op_index[i]]``
+    (see :func:`tiling_candidate_arrays_ops`).  One array pass costs every
+    candidate of every problem — this is the op axis the graph-batched mapper
+    sweeps in a single NumPy pass per trial.
 
     Buffer footprints stay in ``int64`` (exact); traffic is computed in
     ``float64`` with the same correctly-rounded operations the scalar path
     performs, so every candidate's traffic matches the scalar estimate
-    bitwise (see the inline notes on why each float step is exact).
+    bitwise.  Numeric notes, candidate by candidate:
+
+    * float division of ints < 2**53 is correctly rounded, exactly like
+      Python's ``a / b``, and the ceil results are exact integers in
+      float64 — keeping them as floats loses nothing;
+    * ``bytes * multiplier`` multiplies two exactly-representable values,
+      so the float64 product is the correctly-rounded true product —
+      identical to the scalar path's exact-int product followed by
+      ``float()`` conversion;
+    * the output spill multiplier ``2*k_outer - 1`` equals the scalar
+      path's ``1 + 2*(k_outer - 1)`` exactly (small integers in float64);
+    * gathering per-problem dims/bytes through ``op_index`` feeds each
+      candidate the very same operand values the per-problem pass broadcasts,
+      so the batched results are bitwise identical to per-problem calls.
     """
     buffer_bytes = (m_tiles * k_tiles + k_tiles * n_tiles + m_tiles * n_tiles) * dtype_bytes
     fits = buffer_bytes <= blocking_capacity_bytes
 
     headroom = blocking_capacity_bytes - buffer_bytes
-    instances = max(problem.instances, 1)
 
     # One stacked pass over the three tensor roles (rows: input / stationary /
     # output, whose re-read multipliers come from the n / m / k outer loop
-    # trip counts respectively).  Numeric notes, candidate by candidate:
-    #
-    # * float division of ints < 2**53 is correctly rounded, exactly like
-    #   Python's ``a / b``, and the ceil results are exact integers in
-    #   float64 — keeping them as floats loses nothing;
-    # * ``bytes * multiplier`` multiplies two exactly-representable values,
-    #   so the float64 product is the correctly-rounded true product —
-    #   identical to the scalar path's exact-int product followed by
-    #   ``float()`` conversion;
-    # * the output spill multiplier ``2*k_outer - 1`` equals the scalar
-    #   path's ``1 + 2*(k_outer - 1)`` exactly (small integers in float64).
-    dims = np.array([[problem.n], [problem.m], [problem.k]], dtype=np.int64)
-    tiles = np.stack((n_tiles, m_tiles, k_tiles))
-    outer = np.ceil(dims / tiles)
-    role_bytes = np.array(
-        [[problem.input_bytes], [problem.stationary_bytes], [problem.output_bytes]],
+    # trip counts respectively), with per-problem scalars gathered per
+    # candidate through ``op_index``.
+    dims_by_problem = np.array(
+        [
+            [problem.n for problem in problems],
+            [problem.m for problem in problems],
+            [problem.k for problem in problems],
+        ],
+        dtype=np.int64,
+    )
+    role_by_problem = np.array(
+        [
+            [problem.input_bytes for problem in problems],
+            [problem.stationary_bytes for problem in problems],
+            [problem.output_bytes for problem in problems],
+        ],
         dtype=np.float64,
     )
-    resident = (role_bytes / instances) <= headroom
+    instances = np.array(
+        [max(problem.instances, 1) for problem in problems], dtype=np.int64
+    )
+    depthwise = np.array([problem.is_depthwise for problem in problems], dtype=bool)
+    input_bytes_flat = role_by_problem[0]
+
+    dims = dims_by_problem[:, op_index]
+    tiles = np.stack((n_tiles, m_tiles, k_tiles))
+    outer = np.ceil(dims / tiles)
+    role_bytes = role_by_problem[:, op_index]
+    resident = (role_bytes / instances[op_index]) <= headroom
     multipliers = outer.copy()
     multipliers[2] = 2.0 * outer[2] - 1.0
     multipliers = np.where((outer == 1.0) | resident, 1.0, multipliers)
     traffic = role_bytes * multipliers
     input_traffic, stationary_traffic, output_traffic = traffic
-    if problem.is_depthwise:
-        # Depthwise convolutions never re-read their input.
-        input_traffic = np.full(m_tiles.shape, float(problem.input_bytes))
+    # Depthwise convolutions never re-read their input.
+    input_traffic = np.where(
+        depthwise[op_index], input_bytes_flat[op_index], input_traffic
+    )
 
     total = input_traffic + stationary_traffic + output_traffic
     return TrafficArrays(

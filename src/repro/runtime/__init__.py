@@ -63,8 +63,12 @@ from repro.runtime.remote import AsyncRemoteExecutor, EndpointStats, RemoteExecu
 from repro.runtime.opcache import (
     OpCacheStats,
     OpCostCache,
+    RegionCacheStats,
+    RegionCostCache,
     get_op_cache,
+    get_region_cache,
     reset_op_caches,
+    reset_region_caches,
 )
 from repro.runtime.profiling import (
     PROFILE_MODES,
@@ -109,6 +113,8 @@ __all__ = [
     "ProfileReport",
     "ProgressBus",
     "ProgressPrinter",
+    "RegionCacheStats",
+    "RegionCostCache",
     "RemoteExecutionError",
     "Scoreboard",
     "ScoreRecord",
@@ -126,6 +132,7 @@ __all__ = [
     "compact_cache",
     "executor_kinds",
     "get_op_cache",
+    "get_region_cache",
     "load_shard_result",
     "make_executor",
     "make_scoreboard",
@@ -136,6 +143,7 @@ __all__ = [
     "proposal_key",
     "register_executor",
     "reset_op_caches",
+    "reset_region_caches",
     "run_shard",
     "run_sharded_sweep",
     "save_shard_result",

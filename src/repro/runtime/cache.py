@@ -66,7 +66,13 @@ __all__ = [
 #: problem fingerprint so runs with different performance knobs share trial
 #: cache entries and checkpoints.
 _PERF_ONLY_SIMULATION_OPTIONS = frozenset(
-    {"vectorized_mapper", "op_cache_enabled", "op_cache_path"}
+    {
+        "vectorized_mapper",
+        "graph_batched_mapper",
+        "region_cache_enabled",
+        "op_cache_enabled",
+        "op_cache_path",
+    }
 )
 
 

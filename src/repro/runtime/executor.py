@@ -34,24 +34,78 @@ __all__ = [
 
 # ---------------------------------------------------------------------------
 # Worker-process plumbing.  The evaluator/space are installed once per worker
-# by the pool initializer; per-task payloads are just the parameter dicts.
-# Workload graphs are *not* shipped — each worker rebuilds its graph cache
-# lazily (see repro.core.trial._cached_graph).
+# by the pool initializer, which also pre-warms the worker's caches: the
+# workload graphs and compiled regions (a no-op under fork, where the warm
+# parent entries are inherited outright) and the shared op / region cost
+# caches, including loading the persistent op store from disk when the
+# evaluator is configured with one.  Per-task payloads are just the
+# parameter dicts; graphs are never pickled.
+#
+# Each task returns its metrics together with a small dict of counter deltas
+# (op/region-cache hits and misses, per-stage seconds) measured around the
+# evaluation, so the parent can aggregate worker-side runtime statistics
+# that previously stayed invisible (parallel runs used to report
+# ``op_cache_hits: 0`` no matter how warm the workers were).
 # ---------------------------------------------------------------------------
 _WORKER_EVALUATOR: Optional[TrialEvaluator] = None
 _WORKER_SPACE: Optional[DatapathSearchSpace] = None
 
 
-def _init_worker(evaluator: TrialEvaluator, space: DatapathSearchSpace) -> None:
+def _worker_caches(evaluator: TrialEvaluator):
+    """(op cache, region cache) this worker's evaluator uses, or Nones."""
+    options = getattr(evaluator, "simulation_options", None)
+    op_cache = region_cache = None
+    if options is not None and getattr(options, "op_cache_enabled", False):
+        from repro.runtime.opcache import get_op_cache
+
+        op_cache = get_op_cache(getattr(options, "op_cache_path", None))
+    if options is not None and getattr(options, "region_cache_enabled", False):
+        from repro.runtime.opcache import get_region_cache
+
+        region_cache = get_region_cache()
+    return op_cache, region_cache
+
+
+def _init_worker(
+    evaluator: TrialEvaluator, space: DatapathSearchSpace, warm_start: bool = True
+) -> None:
     global _WORKER_EVALUATOR, _WORKER_SPACE
     _WORKER_EVALUATOR = evaluator
     _WORKER_SPACE = space
+    if warm_start:
+        warm = getattr(evaluator, "warm_caches", None)
+        if callable(warm):
+            try:
+                warm()
+            except Exception:
+                pass  # warm-up is best effort; evaluation must still start
 
 
-def _evaluate_in_worker(params: ParameterValues) -> TrialMetrics:
+def _evaluate_in_worker(params: ParameterValues):
     if _WORKER_EVALUATOR is None or _WORKER_SPACE is None:
         raise RuntimeError("worker process was not initialized with an evaluator")
-    return _WORKER_EVALUATOR.evaluate_params(params, _WORKER_SPACE)
+    evaluator = _WORKER_EVALUATOR
+    op_cache, region_cache = _worker_caches(evaluator)
+    stage_before = dict(getattr(evaluator, "stage_seconds", None) or {})
+    op_before = op_cache.snapshot_counters() if op_cache is not None else (0, 0)
+    region_before = region_cache.snapshot_counters() if region_cache is not None else (0, 0)
+    metrics = evaluator.evaluate_params(params, _WORKER_SPACE)
+    stage_after = getattr(evaluator, "stage_seconds", None) or {}
+    op_after = op_cache.snapshot_counters() if op_cache is not None else (0, 0)
+    region_after = (
+        region_cache.snapshot_counters() if region_cache is not None else (0, 0)
+    )
+    delta = {
+        "op_cache_hits": op_after[0] - op_before[0],
+        "op_cache_misses": op_after[1] - op_before[1],
+        "region_cache_hits": region_after[0] - region_before[0],
+        "region_cache_misses": region_after[1] - region_before[1],
+        "mapper_seconds": stage_after.get("mapper", 0.0) - stage_before.get("mapper", 0.0),
+        "vector_seconds": stage_after.get("vector", 0.0) - stage_before.get("vector", 0.0),
+        "fusion_seconds": stage_after.get("fusion", 0.0) - stage_before.get("fusion", 0.0),
+        "eval_seconds": stage_after.get("evaluate", 0.0) - stage_before.get("evaluate", 0.0),
+    }
+    return metrics, delta
 
 
 # ---------------------------------------------------------------------------
@@ -95,29 +149,46 @@ class SerialExecutor(TrialExecutor):
 
 
 class ParallelExecutor(TrialExecutor):
-    """Evaluates trials on a pool of worker processes.
+    """Evaluates trials on a pool of warm worker processes.
 
     The pool is created lazily on the first batch and reused across batches;
     it is re-created only if the evaluator or space object changes.  Results
     are collected with an order-preserving ``map``, so trial ordering (and
     hence the optimizer trajectory) is identical to a serial run.
 
+    Workers start *warm*: the pool initializer pre-builds the problem's
+    workload graphs and compiled regions and attaches the shared op / region
+    cost caches — loading the persistent op store from disk when the
+    evaluator is configured with one (``--op-cache PATH``), which is how a
+    pool shares one op store across workers, searches, and sweep shards.
+    Worker-side cache hits and per-stage timings flow back with every result
+    and surface through :meth:`runtime_counters`.
+
     Args:
         num_workers: Worker process count (defaults to the CPU count).
         chunk_size: Proposals per worker task; 1 gives the best load balance
             for heterogeneous trial costs.
+        warm_start: Pre-warm worker caches in the pool initializer (on by
+            default; results are identical either way).
     """
 
     name = "parallel"
 
-    def __init__(self, num_workers: Optional[int] = None, chunk_size: int = 1) -> None:
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        chunk_size: int = 1,
+        warm_start: bool = True,
+    ) -> None:
         self.num_workers = max(1, int(num_workers or os.cpu_count() or 1))
         self.chunk_size = max(1, int(chunk_size))
+        self.warm_start = bool(warm_start)
         self._pool: Optional[ProcessPoolExecutor] = None
         # Strong references to the objects the pool was initialized with;
         # identity is checked with ``is`` (never id() of possibly-collected
         # objects, whose addresses can be reused by new allocations).
         self._pool_args: Optional[tuple] = None
+        self._worker_totals: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def _ensure_pool(
@@ -133,7 +204,7 @@ class ParallelExecutor(TrialExecutor):
             self._pool = ProcessPoolExecutor(
                 max_workers=self.num_workers,
                 initializer=_init_worker,
-                initargs=(evaluator, space),
+                initargs=(evaluator, space, self.warm_start),
             )
             self._pool_args = (evaluator, space)
         return self._pool
@@ -147,7 +218,22 @@ class ParallelExecutor(TrialExecutor):
         if not batch:
             return []
         pool = self._ensure_pool(evaluator, space)
-        return list(pool.map(_evaluate_in_worker, batch, chunksize=self.chunk_size))
+        outcomes = list(pool.map(_evaluate_in_worker, batch, chunksize=self.chunk_size))
+        totals = self._worker_totals
+        for _, delta in outcomes:
+            for key, value in delta.items():
+                totals[key] = totals.get(key, 0) + value
+        return [metrics for metrics, _ in outcomes]
+
+    def runtime_counters(self) -> Dict[str, float]:
+        """Lifetime worker-side counters, keyed like ``RuntimeStats`` fields.
+
+        The search loop snapshots this before and after a run and reports
+        the delta, so op/region-cache hit counters and per-stage timings no
+        longer read zero just because evaluation happened in worker
+        processes.
+        """
+        return dict(self._worker_totals)
 
     def close(self) -> None:
         if self._pool is not None:

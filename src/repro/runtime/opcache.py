@@ -41,8 +41,12 @@ from repro.workloads.ops import OpType
 __all__ = [
     "OpCacheStats",
     "OpCostCache",
+    "RegionCacheStats",
+    "RegionCostCache",
     "get_op_cache",
+    "get_region_cache",
     "reset_op_caches",
+    "reset_region_caches",
     "opcost_to_dict",
     "opcost_from_dict",
 ]
@@ -232,12 +236,82 @@ class OpCostCache:
 
 
 # ---------------------------------------------------------------------------
-# Process-local registry.  Keyed by store path (None = anonymous in-memory
-# cache) and guarded by the owning PID so forked/spawned executor workers
-# never double-count the parent's statistics.
+# Region-level result cache.  One level above the op cache: the simulator
+# memoizes whole fusion-region evaluations — (RegionPerformance, RegionStats)
+# pairs — keyed by (graph fingerprint, region index, mapping-relevant
+# datapath sub-config).  A warm trial whose region key matches skips even the
+# gather step of the graph-batched mapper: no problem extraction, no op-cache
+# lookups, no traffic sweep.  The cache stores opaque entries; the simulator
+# owns the key construction and copies mutable payloads on every hit, so
+# cached records are never aliased into live simulation results.
+# ---------------------------------------------------------------------------
+@dataclass
+class RegionCacheStats:
+    """Hit/miss counters for one region-cost cache."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of region lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class RegionCostCache:
+    """In-memory LRU of fully evaluated fusion regions.
+
+    Args:
+        max_entries: LRU capacity; least-recently-used regions are evicted
+            once the cache grows past it.
+    """
+
+    def __init__(self, max_entries: int = 16384) -> None:
+        self.max_entries = max(1, int(max_entries))
+        self.stats = RegionCacheStats()
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+
+    def get(self, key: Tuple):
+        """Look up a cached region entry; returns None on a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: Tuple, entry: object) -> None:
+        """Store one evaluated region, evicting the LRU tail past capacity."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self.stats.puts += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def snapshot_counters(self) -> Tuple[int, int]:
+        """(hits, misses) counters, for delta accounting across a run."""
+        return self.stats.hits, self.stats.misses
+
+
+# ---------------------------------------------------------------------------
+# Process-local registries.  Keyed by store path (None = anonymous in-memory
+# cache).  A PID change means this process was forked from a warm parent (or
+# the registry is simply stale in tests): the *entries* are deterministic
+# results and stay perfectly valid, so they are retained — this is what lets
+# fork-started executor workers begin life with the parent's warm op and
+# region caches — while the *statistics* are zeroed so workers never
+# double-count lookups the parent already reported.
 # ---------------------------------------------------------------------------
 _CACHES: Dict[Optional[str], OpCostCache] = {}
 _CACHES_PID: Optional[int] = None
+_REGION_CACHES: Dict[None, RegionCostCache] = {}
+_REGION_CACHES_PID: Optional[int] = None
 
 
 def get_op_cache(path: Optional[Union[str, Path]] = None) -> OpCostCache:
@@ -245,12 +319,14 @@ def get_op_cache(path: Optional[Union[str, Path]] = None) -> OpCostCache:
 
     Every caller passing the same ``path`` (or ``None``) within one process
     receives the same instance, which is what makes op costs flow between
-    trials, shards, and sequential searches.
+    trials, shards, and sequential searches.  After a fork the inherited
+    entries are kept (warm workers) but the counters restart at zero.
     """
     global _CACHES_PID
     pid = os.getpid()
     if _CACHES_PID != pid:
-        _CACHES.clear()
+        for cache in _CACHES.values():
+            cache.stats = OpCacheStats()
         _CACHES_PID = pid
     key = str(Path(path)) if path is not None else None
     cache = _CACHES.get(key)
@@ -260,8 +336,37 @@ def get_op_cache(path: Optional[Union[str, Path]] = None) -> OpCostCache:
     return cache
 
 
+def get_region_cache() -> RegionCostCache:
+    """The process-local shared region-cost cache.
+
+    Shared by every simulator in the process (the key carries the full
+    mapping-relevant context, so unrelated graphs or configs never collide).
+    After a fork the inherited entries are kept but the counters restart at
+    zero, mirroring :func:`get_op_cache`.
+    """
+    global _REGION_CACHES_PID
+    pid = os.getpid()
+    if _REGION_CACHES_PID != pid:
+        for cache in _REGION_CACHES.values():
+            cache.stats = RegionCacheStats()
+        _REGION_CACHES_PID = pid
+    cache = _REGION_CACHES.get(None)
+    if cache is None:
+        cache = RegionCostCache()
+        _REGION_CACHES[None] = cache
+    return cache
+
+
+def reset_region_caches() -> None:
+    """Drop every process-local region cache (for tests and benchmarks)."""
+    global _REGION_CACHES_PID
+    _REGION_CACHES.clear()
+    _REGION_CACHES_PID = None
+
+
 def reset_op_caches() -> None:
-    """Drop every process-local op cache (for tests and benchmarks)."""
+    """Drop every process-local op *and* region cache (tests, benchmarks)."""
     global _CACHES_PID
     _CACHES.clear()
     _CACHES_PID = None
+    reset_region_caches()

@@ -2,12 +2,17 @@
 
 ``repro profile`` (and the ``bench_mapper_throughput`` benchmark) run the
 same fixed-seed search under several evaluator configurations — the scalar
-reference mapping engine, the vectorized engine, and the vectorized engine
-with the cross-trial op-cost cache — and report trials/sec plus a per-stage
-wall-clock breakdown (mapper / VPU cost model / fusion ILP / other).  Because
-every mode is bit-for-bit equivalent by design, the harness also verifies
-that all modes reproduce the reference trial history and flags any
-divergence: it doubles as an end-to-end equivalence check in CI.
+reference mapping engine, the per-op vectorized engine, the graph-batched
+engine (with and without the region-level result cache), the cross-trial
+op-cost cache, and a warm process-pool executor — and report trials/sec plus
+a per-stage wall-clock breakdown (mapper / VPU cost model / fusion ILP /
+other) and cache hit counters.  Because every mode is bit-for-bit equivalent
+by design, the harness also verifies that all modes reproduce the reference
+trial history and flags any divergence: it doubles as an end-to-end
+equivalence check in CI.  The ``parallel`` row exists so a process-pool
+regression (the PR 3 era's cold workers ran at 0.71x of scalar) can never
+hide: its throughput and worker-side cache counters land in the same report
+as every serial mode.
 """
 
 from __future__ import annotations
@@ -32,14 +37,40 @@ class ProfileMode:
     name: str
     vectorized_mapper: bool
     op_cache: bool
+    graph_batched: bool = False
+    region_cache: bool = False
+    workers: int = 1
 
 
 #: The standard comparison ladder, slowest first; the first mode is the
 #: reference whose history every other mode must reproduce bit-for-bit.
+#: ``parallel-2`` runs the default fast path on a 2-worker warm process
+#: pool — the row that keeps executor regressions visible.
 PROFILE_MODES = (
     ProfileMode("scalar", vectorized_mapper=False, op_cache=False),
     ProfileMode("vectorized", vectorized_mapper=True, op_cache=False),
-    ProfileMode("vectorized+op-cache", vectorized_mapper=True, op_cache=True),
+    ProfileMode("graph-batched", vectorized_mapper=True, op_cache=False, graph_batched=True),
+    ProfileMode(
+        "graph-batched+region-cache",
+        vectorized_mapper=True,
+        op_cache=False,
+        graph_batched=True,
+        region_cache=True,
+    ),
+    ProfileMode(
+        "graph-batched+op-cache",
+        vectorized_mapper=True,
+        op_cache=True,
+        graph_batched=True,
+    ),
+    ProfileMode(
+        "parallel-2",
+        vectorized_mapper=True,
+        op_cache=True,
+        graph_batched=True,
+        region_cache=True,
+        workers=2,
+    ),
 )
 
 
@@ -55,6 +86,10 @@ class ProfileRecord:
     op_cache_hits: int = 0
     op_cache_misses: int = 0
     op_cache_hit_rate: float = 0.0
+    region_cache_hits: int = 0
+    region_cache_misses: int = 0
+    region_cache_hit_rate: float = 0.0
+    workers: int = 1
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-compatible form of this record."""
@@ -67,6 +102,10 @@ class ProfileRecord:
             "op_cache_hits": self.op_cache_hits,
             "op_cache_misses": self.op_cache_misses,
             "op_cache_hit_rate": self.op_cache_hit_rate,
+            "region_cache_hits": self.region_cache_hits,
+            "region_cache_misses": self.region_cache_misses,
+            "region_cache_hit_rate": self.region_cache_hit_rate,
+            "workers": self.workers,
         }
 
 
@@ -114,6 +153,8 @@ def _mode_options(mode: ProfileMode) -> SimulationOptions:
     return SimulationOptions(
         fusion_solver="greedy",
         vectorized_mapper=mode.vectorized_mapper,
+        graph_batched_mapper=mode.graph_batched,
+        region_cache_enabled=mode.region_cache,
         op_cache_enabled=mode.op_cache,
     )
 
@@ -132,14 +173,18 @@ def profile_search(
 
     A throwaway warm-up pass populates the process-level workload-graph and
     compiled-graph caches first, so no mode is charged for one-time graph
-    building and ordering does not bias the comparison.  The op cache is
-    reset before each mode (cold by default; ``warm_op_cache=True`` measures
-    the steady-state regime of sweeps and repeated searches by running each
-    op-cache-enabled mode twice and timing the second run).
+    building and ordering does not bias the comparison.  The op and region
+    caches are reset before each mode (cold by default; ``warm_op_cache=True``
+    measures the steady-state regime of sweeps and repeated searches by
+    running each cache-enabled or parallel mode twice and timing the second
+    run — parallel pools inherit the warm parent caches through fork or load
+    them via the warm-start initializer).
 
     Every mode must reproduce the first mode's trial history bit-for-bit;
     ``histories_match`` records the verdict.
     """
+    from repro.runtime.executor import ParallelExecutor
+
     modes = list(modes)
     if not modes:
         raise ValueError("at least one profile mode is required")
@@ -151,24 +196,41 @@ def profile_search(
         seed=int(seed),
     )
 
-    def run_once(mode: ProfileMode):
-        problem = SearchProblem(list(workloads), objective)
-        evaluator = TrialEvaluator(problem, simulation_options=_mode_options(mode))
+    from repro.hardware.search_space import DatapathSearchSpace
+
+    def run_once(mode: ProfileMode, problem, evaluator, space, executor=None):
+        # A fresh FASTSearch per run (fresh optimizer state, same seed) over
+        # a shared evaluator/space/executor: reruns retrace the identical
+        # trajectory, and a parallel executor keeps its warm worker pool
+        # alive between the cold and the timed run.
         search = FASTSearch(
-            problem, optimizer=optimizer, seed=seed, evaluator=evaluator
+            problem, optimizer=optimizer, space=space, seed=seed,
+            evaluator=evaluator, executor=executor,
         )
         return search.run(num_trials=trials, batch_size=batch_size)
 
+    def mode_fixture(mode: ProfileMode):
+        problem = SearchProblem(list(workloads), objective)
+        evaluator = TrialEvaluator(problem, simulation_options=_mode_options(mode))
+        return problem, evaluator, DatapathSearchSpace()
+
     # Warm-up: populate graph/compile caches shared by every mode.
     reset_op_caches()
-    run_once(modes[0])
+    run_once(modes[0], *mode_fixture(modes[0]))
 
     reference_history = None
     for mode in modes:
         reset_op_caches()
-        result = run_once(mode)
-        if mode.op_cache and warm_op_cache:
-            result = run_once(mode)  # second run: steady-state op cache
+        fixture = mode_fixture(mode)
+        executor = ParallelExecutor(num_workers=mode.workers) if mode.workers > 1 else None
+        try:
+            result = run_once(mode, *fixture, executor=executor)
+            warmable = mode.op_cache or mode.region_cache or mode.workers > 1
+            if warmable and warm_op_cache:
+                result = run_once(mode, *fixture, executor=executor)  # steady state
+        finally:
+            if executor is not None:
+                executor.close()
         stats: RuntimeStats = result.runtime
         record = ProfileRecord(
             mode=mode.name,
@@ -191,6 +253,10 @@ def profile_search(
             op_cache_hits=stats.op_cache_hits,
             op_cache_misses=stats.op_cache_misses,
             op_cache_hit_rate=stats.op_cache_hit_rate,
+            region_cache_hits=stats.region_cache_hits,
+            region_cache_misses=stats.region_cache_misses,
+            region_cache_hit_rate=stats.region_cache_hit_rate,
+            workers=mode.workers,
         )
         report.records.append(record)
         history = [trial_metrics_to_dict(m) for m in result.history]

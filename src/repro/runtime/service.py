@@ -132,6 +132,12 @@ class EvaluationService:
     ) -> None:
         self.workers = max(1, int(workers))
         self.simulation_overrides = dict(simulation_overrides or {})
+        if self.simulation_overrides.get("op_cache_path"):
+            # Same warm-up the process-pool workers get: load the persistent
+            # op store up front so even the first request runs warm.
+            from repro.runtime.opcache import get_op_cache
+
+            get_op_cache(self.simulation_overrides["op_cache_path"])
         self.stats = ServiceStats()
         self._evaluators: Dict[str, Tuple[TrialEvaluator, DatapathSearchSpace]] = {}
         self._executor: Optional[TrialExecutor] = None
@@ -215,6 +221,9 @@ class EvaluationService:
         cached = self._evaluators.get(fingerprint)
         if cached is not None:
             return (fingerprint,) + cached
+        # First sighting of this problem: reuse the worker warm-up (graphs,
+        # compiled regions, op/region caches) so later batches start warm.
+        evaluator.warm_caches()
         self._evaluators[fingerprint] = (evaluator, space)
         return fingerprint, evaluator, space
 

@@ -208,6 +208,8 @@ def run_shard(
     cache_path: Optional[Union[str, Path]] = None,
     cache_max_entries: Optional[int] = None,
     exchange: Optional[Union[str, Path, Scoreboard]] = None,
+    op_cache_path: Optional[Union[str, Path]] = None,
+    op_cache_enabled: bool = True,
 ) -> ShardResult:
     """Run one shard as a plain :class:`FASTSearch` and wrap the result.
 
@@ -215,6 +217,13 @@ def run_shard(
     restricted space) on whatever executor is supplied.  A shared cache path
     is opened with ``writer_id=spec.shard_id`` so concurrent shards append
     to disjoint sidecar files of one logical store.
+
+    Shards share the per-op cost store by default: every shard's evaluator
+    keeps the process-local op cache enabled, and ``op_cache_path`` names
+    one persistent store they (and their pool workers) all attach to —
+    neighboring shards reuse each other's mapped op costs instead of
+    re-running the candidate sweep.  ``op_cache_enabled=False`` opts out
+    (``repro sweep --no-op-cache``); results are identical either way.
 
     ``exchange`` (off by default) enables live cross-shard best-score
     exchange: a scoreboard instance, file prefix, or service URL (see
@@ -225,6 +234,9 @@ def run_shard(
     never sees an external best (including any 1-shard sweep) is bit-for-bit
     identical to an exchange-free run.
     """
+    from repro.core.trial import TrialEvaluator
+    from repro.simulator.engine import SimulationOptions
+
     space = shard_space(space or DatapathSearchSpace(), spec)
     cache = (
         TrialCache(cache_path, writer_id=spec.shard_id, max_disk_entries=cache_max_entries)
@@ -236,11 +248,20 @@ def run_shard(
         if exchange is not None
         else None
     )
+    evaluator = TrialEvaluator(
+        problem,
+        simulation_options=SimulationOptions(
+            fusion_solver="greedy",
+            op_cache_enabled=op_cache_enabled,
+            op_cache_path=str(op_cache_path) if op_cache_path is not None else None,
+        ),
+    )
     search = FASTSearch(
         problem,
         optimizer=optimizer,
         space=space,
         seed=spec.seed,
+        evaluator=evaluator,
         executor=executor,
         cache=cache,
         exchange=client,
@@ -404,6 +425,8 @@ def run_sharded_sweep(
     cache_path: Optional[Union[str, Path]] = None,
     cache_max_entries: Optional[int] = None,
     exchange: Optional[Union[str, Path, Scoreboard]] = None,
+    op_cache_path: Optional[Union[str, Path]] = None,
+    op_cache_enabled: bool = True,
 ) -> SweepResult:
     """Plan, run, and merge a sharded sweep in one call.
 
@@ -413,6 +436,13 @@ def run_sharded_sweep(
     evaluations); for multi-host execution run individual shards with
     :func:`run_shard` / ``repro sweep --shard-index`` instead and merge the
     saved files with :func:`merge_shard_results` / ``repro sweep --merge``.
+
+    The persistent per-op cost store is shared across shards by default:
+    pass ``op_cache_path`` and every shard (and every pool worker, via the
+    warm-start initializer) attaches to the same store, so later shards run
+    on the op costs earlier shards already mapped.  Even without a path the
+    shards share the process-local op cache.  ``op_cache_enabled=False``
+    opts out entirely; results are identical either way.
 
     With ``exchange`` set (a scoreboard, file prefix, or service URL), each
     shard publishes its running best between batches and later shards — or,
@@ -435,6 +465,8 @@ def run_sharded_sweep(
             cache_path=cache_path,
             cache_max_entries=cache_max_entries,
             exchange=scoreboard,
+            op_cache_path=op_cache_path,
+            op_cache_enabled=op_cache_enabled,
         )
         for spec in specs
     ]

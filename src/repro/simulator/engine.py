@@ -15,9 +15,8 @@ separate accelerator serving its own batch.
 
 from __future__ import annotations
 
-import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.compiler.passes import CompiledModel, compile_graph
@@ -28,25 +27,33 @@ from repro.hardware.memory import MemoryHierarchy
 from repro.mapping.costmodel import OpCost
 from repro.mapping.mapper import Mapper, MapperOptions
 from repro.simulator.result import RegionPerformance, SimulationResult
-from repro.simulator.vector_ops import vector_cost_cache_key, vector_op_cost
+from repro.simulator.vector_ops import vector_cost_cache_key, vector_op_cost, vpu_lanes_per_core
 from repro.workloads.graph import Graph, Operation, TensorKind
 from repro.workloads.ops import OpType, is_matrix_op
 from repro.workloads.registry import build_workload
 
-__all__ = ["SimulationOptions", "Simulator", "clear_compiled_cache"]
+__all__ = ["SimulationOptions", "Simulator", "clear_compiled_cache", "precompile_graph"]
 
 
 @dataclass
 class SimulationOptions:
     """Knobs controlling a simulation run.
 
-    The last three fields are performance knobs that never change results
-    (the vectorized and scalar mapping engines are bit-for-bit equivalent,
-    and op-cache hits return exactly what a fresh mapping would compute):
+    The last five fields are performance knobs that never change results
+    (every mapping engine is bit-for-bit equivalent, and cache hits return
+    exactly what a fresh evaluation would compute):
 
     * ``vectorized_mapper`` — select the NumPy mapping engine (None follows
       ``mapper_options``, whose default is vectorized; False forces the
       scalar reference implementation).
+    * ``graph_batched_mapper`` — batch every op-cache-missing matrix op of a
+      trial into ONE stacked candidate sweep (gather -> batch-map -> scatter)
+      instead of mapping region by region, op by op.  None follows the
+      engine choice (on whenever the mapper is vectorized); False selects
+      the per-op path (``repro search --per-op-mapper``).
+    * ``region_cache_enabled`` — memoize whole fusion-region evaluations
+      across trials through :func:`repro.runtime.opcache.get_region_cache`;
+      fusion-stable regions skip even the gather step on warm trials.
     * ``op_cache_enabled`` — share per-op mapping/vector costs across trials
       through the process-local :func:`repro.runtime.opcache.get_op_cache`.
     * ``op_cache_path`` — optionally persist that cache as JSON lines.
@@ -56,6 +63,8 @@ class SimulationOptions:
     fusion_solver: str = "auto"
     mapper_options: Optional[MapperOptions] = None
     vectorized_mapper: Optional[bool] = None
+    graph_batched_mapper: Optional[bool] = None
+    region_cache_enabled: bool = True
     op_cache_enabled: bool = True
     op_cache_path: Optional[str] = None
 
@@ -64,21 +73,16 @@ class SimulationOptions:
 # Compiled-graph cache.  Lowering a graph into fusion regions is identical
 # for every trial that simulates the same graph object with the same softmax
 # lowering, so the result is memoized per process.  Entries are keyed by
-# object identity + op count (guarding against post-build mutation) and the
-# cache is PID-guarded like the workload-graph cache so executor workers
-# never share parent entries.
+# object identity + op count (guarding against post-build mutation); the
+# stored strong reference keeps ids stable, so entries inherited across a
+# fork stay valid — fork-started executor workers begin life with the
+# parent's warm compiled graphs instead of re-lowering them.
 # ---------------------------------------------------------------------------
 _COMPILED_CACHE: Dict[Tuple[int, bool], Tuple[Graph, int, CompiledModel]] = {}
-_COMPILED_CACHE_PID: Optional[int] = None
 _COMPILED_CACHE_MAX = 64
 
 
 def _compile_cached(graph: Graph, use_two_pass_softmax: bool) -> CompiledModel:
-    global _COMPILED_CACHE_PID
-    pid = os.getpid()
-    if _COMPILED_CACHE_PID != pid:
-        _COMPILED_CACHE.clear()
-        _COMPILED_CACHE_PID = pid
     key = (id(graph), use_two_pass_softmax)
     entry = _COMPILED_CACHE.get(key)
     if entry is not None and entry[0] is graph and entry[1] == len(graph):
@@ -90,11 +94,14 @@ def _compile_cached(graph: Graph, use_two_pass_softmax: bool) -> CompiledModel:
     return compiled
 
 
+def precompile_graph(graph: Graph, use_two_pass_softmax: bool = False) -> None:
+    """Warm the compiled-graph cache for one graph (worker/service warm-up)."""
+    _compile_cached(graph, use_two_pass_softmax)
+
+
 def clear_compiled_cache() -> None:
     """Drop all memoized compiled graphs (for tests and memory-sensitive runs)."""
-    global _COMPILED_CACHE_PID
     _COMPILED_CACHE.clear()
-    _COMPILED_CACHE_PID = None
 
 
 class Simulator:
@@ -134,6 +141,18 @@ class Simulator:
         self.mapper = Mapper(
             self._core_config, self.hierarchy, mapper_options, op_cache=self.op_cache
         )
+        # Graph-level batching rides on the vectorized engine; the scalar
+        # reference always maps op by op.
+        self._graph_batched = mapper_options.vectorize and (
+            self.options.graph_batched_mapper
+            if self.options.graph_batched_mapper is not None
+            else True
+        )
+        self.region_cache = None
+        if self.options.region_cache_enabled:
+            from repro.runtime.opcache import get_region_cache
+
+            self.region_cache = get_region_cache()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -152,23 +171,69 @@ class Simulator:
         return self.simulate(graph)
 
     def simulate(self, graph: Graph) -> SimulationResult:
-        """Simulate a prepared graph (already at the desired batch size)."""
+        """Simulate a prepared graph (already at the desired batch size).
+
+        The region walk is a gather -> batch-map -> scatter pipeline when the
+        graph-batched mapper is active: regions served by the region cache
+        are skipped outright, every matrix op of the remaining regions is
+        collected into ONE stacked candidate sweep
+        (:meth:`~repro.mapping.mapper.Mapper.map_ops_batch`), and the
+        per-region evaluation then just scatters the pre-mapped costs.  Both
+        fast layers are bit-for-bit neutral: the per-op walk (selectable via
+        ``graph_batched_mapper=False``) and a cold region cache produce the
+        identical result.
+        """
         core = self._core_config
         compiled = _compile_cached(graph, core.use_two_pass_softmax)
         dram_bpc = core.dram_bytes_per_cycle
+
+        region_cache = self.region_cache
+        region_keys: Optional[List[Tuple]] = None
+        cached_entries: Optional[List[Optional[tuple]]] = None
+        if region_cache is not None:
+            key_base = self._region_key_base(graph, compiled)
+            region_keys = [key_base + (region.index,) for region in compiled.regions]
+            cached_entries = [region_cache.get(key) for key in region_keys]
+
+        premapped: Optional[Dict[str, OpCost]] = None
+        if self._graph_batched:
+            gather_ops: List[Operation] = []
+            for position, region in enumerate(compiled.regions):
+                if cached_entries is not None and cached_entries[position] is not None:
+                    continue
+                gather_ops.extend(region.matrix_ops)
+            if gather_ops:
+                started = time.perf_counter()
+                premapped = self.mapper.map_ops_batch(gather_ops, graph.tensors)
+                self.stage_seconds["mapper"] += time.perf_counter() - started
 
         region_perf: List[RegionPerformance] = []
         region_stats: List[RegionStats] = []
         producer_region: Dict[str, int] = {}
         schedule_failed = False
 
-        for region in compiled.regions:
-            record, stats = self._evaluate_region(
-                compiled, region, dram_bpc, producer_region
-            )
-            if record is None:
-                schedule_failed = True
-                break
+        for position, region in enumerate(compiled.regions):
+            entry = cached_entries[position] if cached_entries is not None else None
+            if entry is not None:
+                if entry[0] is None:
+                    schedule_failed = True
+                    break
+                record, stats = self._copy_region_entry(entry)
+            else:
+                record, stats = self._evaluate_region(
+                    compiled, region, dram_bpc, producer_region, premapped
+                )
+                if region_cache is not None:
+                    if record is None:
+                        region_cache.put(region_keys[position], (None,))
+                    else:
+                        region_cache.put(
+                            region_keys[position],
+                            self._copy_region_entry((record, stats)),
+                        )
+                if record is None:
+                    schedule_failed = True
+                    break
             region_perf.append(record)
             region_stats.append(stats)
             for tensor_name in region.output_tensors:
@@ -211,14 +276,68 @@ class Simulator:
         )
 
     # ------------------------------------------------------------------
+    def _region_key_base(self, graph: Graph, compiled: CompiledModel) -> Tuple:
+        """Region-cache key prefix: everything region results depend on.
+
+        The graph fingerprint pins the region structure and every tensor
+        shape; the mapper config key pins all mapping-relevant datapath
+        knobs; the remaining components cover the vector-op cost model (VPU
+        lanes, softmax lowering), the DRAM traffic conversion, and the
+        Global-Memory blocking headroom used for fusion statistics.  Engine
+        selection knobs (vectorized / graph-batched) are deliberately
+        excluded — all engines are bit-for-bit equivalent.
+        """
+        core = self._core_config
+        factors = compiled.softmax_factors
+        return (
+            graph.fingerprint(),
+            core.use_two_pass_softmax,
+            self.mapper.mapping_config_key(),
+            core.dram_bytes_per_cycle,
+            vpu_lanes_per_core(core),
+            factors.input_traffic_factor,
+            factors.output_traffic_factor,
+            factors.flops_factor,
+            core.l1_total_bytes + core.l2_total_bytes,
+        )
+
+    @staticmethod
+    def _copy_region_entry(entry: tuple) -> tuple:
+        """Fresh (RegionPerformance, RegionStats) copies of a cache entry.
+
+        Records are mutated downstream (the fusion pass writes
+        ``post_fusion_cycles`` / ``fusion`` onto them), so neither the cached
+        objects nor their mutable fields may ever alias a live simulation
+        result.
+        """
+        record, stats = entry
+        return (
+            replace(
+                record,
+                op_names=list(record.op_names),
+                op_busy_cycles=dict(record.op_busy_cycles),
+                fusion=FusionDecision(),
+                post_fusion_cycles=record.pre_fusion_cycles,
+            ),
+            replace(stats),
+        )
+
+    # ------------------------------------------------------------------
     def _evaluate_region(
         self,
         compiled: CompiledModel,
         region: FusionRegion,
         dram_bpc: float,
         producer_region: Dict[str, int],
+        premapped: Optional[Dict[str, OpCost]] = None,
     ):
-        """Cost one fusion region; returns (RegionPerformance, RegionStats)."""
+        """Cost one fusion region; returns (RegionPerformance, RegionStats).
+
+        ``premapped`` carries the scatter half of the graph-batched pipeline:
+        matrix-op costs already computed by the trial-wide batched sweep.
+        Ops absent from it (or every op, on the per-op path) fall back to
+        :meth:`~repro.mapping.mapper.Mapper.map_op`.
+        """
         graph = compiled.graph
         tensors = graph.tensors
         core = self._core_config
@@ -232,7 +351,9 @@ class Simulator:
         for op in region.ops:
             if is_matrix_op(op.op_type):
                 started = time.perf_counter()
-                cost = self.mapper.map_op(op, tensors)
+                cost = premapped.get(op.name) if premapped is not None else None
+                if cost is None:
+                    cost = self.mapper.map_op(op, tensors)
                 stage_seconds["mapper"] += time.perf_counter() - started
                 if cost.schedule_failed:
                     return None, None

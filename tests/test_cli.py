@@ -142,6 +142,37 @@ class TestCommands:
         assert code in (0, 1)
         capsys.readouterr()
 
+    def test_search_per_op_mapper_and_region_cache_flags(self, capsys):
+        code = main(
+            [
+                "search",
+                "--workload", "mobilenet-v2",
+                "--trials", "4",
+                "--optimizer", "random",
+                "--per-op-mapper",
+                "--no-region-cache",
+            ]
+        )
+        assert code in (0, 1)
+        capsys.readouterr()
+
+    def test_sweep_shared_op_cache_flag(self, tmp_path, capsys):
+        store = tmp_path / "sweep-opcache.jsonl"
+        code = main(
+            [
+                "sweep",
+                "--workload", "mobilenet-v2",
+                "--trials", "4",
+                "--shards", "2",
+                "--optimizer", "random",
+                "--batch-size", "2",
+                "--op-cache", str(store),
+            ]
+        )
+        assert code in (0, 1)
+        assert store.exists()
+        capsys.readouterr()
+
     def test_profile_smoke_writes_json(self, tmp_path, capsys):
         out_path = tmp_path / "profile.json"
         code = main(
@@ -160,7 +191,14 @@ class TestCommands:
         payload = json.loads(out_path.read_text())
         assert payload["histories_match"] is True
         modes = [record["mode"] for record in payload["records"]]
-        assert modes == ["scalar", "vectorized", "vectorized+op-cache"]
+        assert modes == [
+            "scalar",
+            "vectorized",
+            "graph-batched",
+            "graph-batched+region-cache",
+            "graph-batched+op-cache",
+            "parallel-2",
+        ]
 
     def test_sweep_smoke_golden_output(self, tmp_path, capsys):
         out_path = tmp_path / "sweep.json"

@@ -282,6 +282,10 @@ class TestSearchEquivalence:
                 fusion_solver="greedy",
                 vectorized_mapper=vectorized,
                 op_cache_enabled=op_cache,
+                # This class tests the op-cache layer in isolation; with the
+                # region cache on, warm trials would never reach the mapper
+                # (see test_graph_batched_mapper.py for the layered caches).
+                region_cache_enabled=False,
             ),
         )
         search = FASTSearch(problem, optimizer="lcs", seed=seed, evaluator=evaluator)
