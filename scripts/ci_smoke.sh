@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI smoke suite — the exact invocations CI runs, runnable locally:
 #
-#   scripts/ci_smoke.sh [all|search|sweep|profile|mapper-equiv|bench|remote|coverage]
+#   scripts/ci_smoke.sh [all|search|sweep|profile|mapper-equiv|bench|remote|telemetry|coverage]
 #
 # `all` (the default) runs every smoke except `coverage`, which is its own
 # CI job.  Artifacts land in $SMOKE_DIR (default: a fresh temp dir); CI sets
@@ -152,6 +152,77 @@ PY
 }
 
 # --------------------------------------------------------------------------
+# 6. Telemetry smoke: traced search -> valid Chrome trace + `repro trace`
+#    summary; background `repro serve` -> /metrics Prometheus exposition.
+# --------------------------------------------------------------------------
+smoke_telemetry() {
+    log "telemetry smoke: traced search, trace summary, /metrics exposition"
+    python -m repro search \
+        --workload efficientnet-b0 --trials 8 --batch-size 4 --seed 0 \
+        --trace "$SMOKE_DIR/search-trace.json"
+
+    python - "$SMOKE_DIR/search-trace.json" <<'PY'
+import json, sys
+payload = json.load(open(sys.argv[1]))
+events = payload["traceEvents"]
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "no complete (ph=X) span events in the trace"
+for event in spans:
+    assert event["ts"] >= 0 and event["dur"] >= 0, event
+    assert "trace_id" in event["args"] and "span_id" in event["args"], event
+names = {e["name"] for e in spans}
+for expected in ("search", "trial", "simulate"):
+    assert expected in names, f"missing {expected!r} spans; have {sorted(names)}"
+print("valid Chrome trace:", len(spans), "spans,", len(names), "span names")
+PY
+
+    python -m repro trace "$SMOKE_DIR/search-trace.json" --top 5
+
+    local serve_log="$SMOKE_DIR/telemetry-serve.log"
+    python -m repro serve --port 0 --workers 1 >"$serve_log" 2>&1 &
+    local serve_pid=$!
+    trap 'kill "$serve_pid" 2>/dev/null || true' RETURN
+
+    local url=""
+    for _ in $(seq 1 60); do
+        url=$(sed -n 's/.*\(http:\/\/[0-9.]*:[0-9]*\).*/\1/p' "$serve_log" | head -1)
+        if [ -n "$url" ] && python - "$url" <<'PY'
+import json, sys, urllib.request
+with urllib.request.urlopen(sys.argv[1] + "/health", timeout=2) as r:
+    assert json.loads(r.read())["status"] == "ok"
+PY
+        then break; fi
+        url=""
+        sleep 0.5
+    done
+    [ -n "$url" ] || { echo "repro serve never became healthy"; cat "$serve_log"; exit 1; }
+    echo "service healthy at $url"
+
+    python - "$url" <<'PY'
+import sys, urllib.request
+with urllib.request.urlopen(sys.argv[1] + "/metrics", timeout=5) as reply:
+    content_type = reply.headers["Content-Type"]
+    body = reply.read().decode()
+assert content_type.startswith("text/plain"), content_type
+assert "# TYPE repro_service_requests_total counter" in body, body
+assert "repro_service_uptime_seconds" in body, body
+samples = 0
+for line in body.splitlines():
+    if not line or line.startswith("#"):
+        continue
+    name_part, value = line.rsplit(" ", 1)
+    assert name_part, line
+    float(value)  # every sample value must parse
+    samples += 1
+print("valid Prometheus exposition:", samples, "samples")
+PY
+
+    kill "$serve_pid" 2>/dev/null || true
+    wait "$serve_pid" 2>/dev/null || true
+    trap - RETURN
+}
+
+# --------------------------------------------------------------------------
 # Coverage job: ratcheted floor + drift check.  The floor lives in ci.yml
 # (COV_FLOOR env of the coverage job); raise it as coverage grows, never
 # lower it.  The drift check fails the job when the floor lags measured
@@ -188,6 +259,7 @@ case "${1:-all}" in
     mapper-equiv) smoke_mapper_equiv ;;
     bench)        smoke_bench ;;
     remote)       smoke_remote ;;
+    telemetry)    smoke_telemetry ;;
     coverage)     smoke_coverage ;;
     all)
         smoke_search
@@ -196,10 +268,11 @@ case "${1:-all}" in
         smoke_mapper_equiv
         smoke_bench
         smoke_remote
+        smoke_telemetry
         log "all smokes passed; artifacts in $SMOKE_DIR"
         ;;
     *)
-        echo "usage: $0 [all|search|sweep|profile|mapper-equiv|bench|remote|coverage]" >&2
+        echo "usage: $0 [all|search|sweep|profile|mapper-equiv|bench|remote|telemetry|coverage]" >&2
         exit 2
         ;;
 esac

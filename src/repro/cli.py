@@ -175,11 +175,38 @@ on, serial) are the right starting point; add ``--workers`` when a profile
 shows the evaluator saturating one core — warm workers compose with every
 cache layer — and add ``--op-cache PATH`` whenever you run more than one
 search over the same workloads (sweeps, shards, services, restarts).
+
+Observability
+-------------
+Every run can explain where its time went.  ``--trace PATH`` on ``repro
+search`` and ``repro sweep`` records spans across the whole pipeline —
+search batches, trials, simulator stages (setup / mapping / regions /
+fusion), process-pool workers (worker spans merge back into the parent
+trace exactly once), and remote requests all the way into the evaluation
+service (the trace context travels in an HTTP header, so server-side spans
+appear in the client's trace) — and writes a Chrome-trace JSON (load it in
+chrome://tracing or Perfetto) or, with a ``.jsonl`` extension, one span per
+line.  ``--trace-sample RATE`` keeps that fraction of trial span trees.
+Tracing is strictly observational: trial histories are bit-for-bit
+identical with it on or off.  ``repro trace PATH`` digests a recorded file
+into a per-stage timeline, the fraction of trial wall time the spans
+explain, and the slowest individual spans::
+
+    python -m repro search --workload efficientnet-b0 --trials 50 \
+        --trace search-trace.json
+    python -m repro trace search-trace.json --top 5
+
+``repro serve`` exposes Prometheus text metrics at ``GET /metrics``
+(per-route request counters and latency histograms, uptime, worker / trial
+/ cache gauges) next to ``GET /health`` (which reports uptime and
+per-route request counts); ``repro serve --verbose`` turns on per-request
+access logging.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -202,6 +229,29 @@ __all__ = ["main", "build_parser"]
 # ---------------------------------------------------------------------------
 # Subcommand implementations (each returns a process exit code)
 # ---------------------------------------------------------------------------
+def _configure_trace(path: Optional[str], sample_rate: float, seed: int) -> bool:
+    """Enable span tracing for this process (and any pools it starts)."""
+    if not path:
+        return False
+    from repro.runtime.telemetry import configure_tracer
+
+    configure_tracer(enabled=True, sample_rate=sample_rate, seed=seed)
+    return True
+
+
+def _write_trace(path: str) -> None:
+    """Write the recorded spans as Chrome trace (.json) or JSONL (.jsonl)."""
+    from repro.runtime.telemetry import get_tracer, write_chrome_trace, write_jsonl_trace
+
+    tracer = get_tracer()
+    records = tracer.snapshot()
+    writer = write_jsonl_trace if path.endswith(".jsonl") else write_chrome_trace
+    count = writer(records, path)
+    dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+    print(f"trace: {count} spans written to {path}{dropped}")
+
+
+
 def _cmd_list_workloads(_args) -> int:
     rows = []
     for name in available_workloads():
@@ -321,6 +371,9 @@ def _cmd_search(args) -> int:
     if args.executor == "remote" and not args.endpoints:
         print("error: --executor remote requires at least one --endpoints URL")
         return 1
+    # Tracing must be configured before the executor exists: the process
+    # pool ships the telemetry config to workers through its initializer.
+    tracing = _configure_trace(args.trace, args.trace_sample, args.seed)
     with make_executor(
         args.workers,
         kind=args.executor,
@@ -347,6 +400,8 @@ def _cmd_search(args) -> int:
         except ValueError as error:  # e.g. checkpoint/problem mismatch
             print(f"error: {error}")
             return 1
+    if tracing:
+        _write_trace(args.trace)
     if result.best_metrics is None:
         print("search found no feasible design within the trial budget")
         return 1
@@ -452,6 +507,7 @@ def _cmd_sweep(args) -> int:
         except (KeyError, ValueError) as error:
             print(f"error: {error}")
             return 1
+        tracing = _configure_trace(args.trace, args.trace_sample, args.seed)
         with make_executor(args.workers) as executor:
             if args.shard_index is not None:
                 if not 0 <= args.shard_index < args.shards:
@@ -475,6 +531,8 @@ def _cmd_sweep(args) -> int:
                     },
                     title="Shard complete (merge with `repro sweep --merge`)",
                 ))
+                if tracing:
+                    _write_trace(args.trace)
                 return 0
             shard_results = [
                 run_shard(
@@ -485,6 +543,8 @@ def _cmd_sweep(args) -> int:
                 )
                 for spec in specs
             ]
+        if tracing:
+            _write_trace(args.trace)
         if args.shard_dir:
             for shard in shard_results:
                 save_shard_result(
@@ -584,6 +644,13 @@ def _cmd_profile(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.runtime.service import serve
 
+    if args.verbose:
+        import logging
+
+        logging.basicConfig(
+            level=logging.DEBUG,
+            format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        )
     service = serve(
         host=args.host,
         port=args.port,
@@ -602,6 +669,54 @@ def _cmd_serve(args) -> int:
         print("\nshutting down")
     finally:
         service.close()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.runtime.profiling import summarize_trace
+    from repro.runtime.telemetry import load_trace
+
+    try:
+        records = load_trace(args.path)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"error: cannot load trace {args.path!r}: {error}")
+        return 1
+    if not records:
+        print(f"error: no spans in {args.path}")
+        return 1
+    summary = summarize_trace(records, top_k=args.top)
+    rows = [
+        [
+            stage.name,
+            stage.category,
+            stage.count,
+            f"{stage.total_seconds * 1e3:.1f}",
+            f"{stage.mean_seconds * 1e3:.2f}",
+        ]
+        for stage in summary.stages
+    ]
+    print(format_table(["Stage", "Category", "Spans", "Total ms", "Mean ms"], rows))
+    print()
+    overview = {
+        "spans": summary.num_spans,
+        "trials": summary.num_trials,
+        "trial wall time (s)": f"{summary.trial_seconds:.3f}",
+    }
+    if summary.num_trials:
+        overview["trial time covered by stage spans"] = f"{100 * summary.coverage:.1f}%"
+    print(format_kv(overview, title=f"Trace {args.path}"))
+    if summary.slowest:
+        print()
+        rows = [
+            [
+                span.name,
+                f"{span.duration * 1e3:.2f}",
+                span.pid,
+                ", ".join(f"{k}={v}" for k, v in sorted(span.attrs.items())) or "-",
+            ]
+            for span in summary.slowest
+        ]
+        print(format_table(["Slowest spans", "ms", "PID", "Attributes"], rows))
     return 0
 
 
@@ -770,6 +885,13 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--no-region-cache", action="store_true",
                         help="Disable the cross-trial fusion-region result cache "
                              "(identical results, slower on warm trials)")
+    search.add_argument("--trace", default=None, metavar="PATH",
+                        help="Record spans across search/executor/workers/remote "
+                             "and write a Chrome trace (.json; chrome://tracing "
+                             "or Perfetto) or JSONL (.jsonl) file here")
+    search.add_argument("--trace-sample", type=float, default=1.0, metavar="RATE",
+                        help="Fraction of trial span trees to record (default "
+                             "1.0; sampling never changes search results)")
     search.add_argument("--output", default=None, help="Write the search result JSON here")
     search.add_argument("--history", action="store_true",
                         help="Include the full trial history and proposals in --output "
@@ -790,6 +912,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--op-cache", default=None, metavar="PATH",
                        help="Persist the service's cross-trial op-cost cache here "
                             "(warm across requests and clients)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="Log per-request access lines (DEBUG) to stderr")
     serve.set_defaults(func=_cmd_serve)
 
     profile = sub.add_parser(
@@ -852,6 +976,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "guided optimizers fold in other shards' bests)")
     sweep.add_argument("--shard-dir", default=None, metavar="DIR",
                        help="Also write each shard's JSON into this directory")
+    sweep.add_argument("--trace", default=None, metavar="PATH",
+                       help="Record spans across all shards run in this process "
+                            "and write a Chrome trace (.json) or JSONL (.jsonl) "
+                            "file here")
+    sweep.add_argument("--trace-sample", type=float, default=1.0, metavar="RATE",
+                       help="Fraction of trial span trees to record (default 1.0)")
     sweep.add_argument("--output", default=None, metavar="PATH",
                        help="Write the merged sweep JSON (or the shard JSON with "
                             "--shard-index) here")
@@ -869,6 +999,16 @@ def build_parser() -> argparse.ArgumentParser:
     compact.add_argument("--max-entries", type=int, default=None,
                          help="Evict least-recently-written entries beyond this count")
     compact.set_defaults(func=_cmd_cache_compact)
+
+    trace = sub.add_parser(
+        "trace",
+        help="Summarize a trace recorded with `repro search --trace`: per-stage "
+             "timeline, trial coverage, and the slowest spans",
+    )
+    trace.add_argument("path", help="Chrome-trace .json or .jsonl span file")
+    trace.add_argument("--top", type=int, default=10,
+                       help="Number of slowest spans to list")
+    trace.set_defaults(func=_cmd_trace)
 
     roi = sub.add_parser("roi", help="Return-on-investment estimate (Eq. 1-2)")
     roi.add_argument("--speedup", type=float, required=True, help="Perf/TCO speedup vs baseline")
@@ -889,7 +1029,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed early (e.g. `repro trace ... | head`): not an
+        # error worth a traceback.  Detach stdout so interpreter shutdown
+        # does not retry the flush and print to stderr.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -61,7 +61,9 @@ class RuntimeStats:
     retries, hedged re-dispatches, failures, and per-endpoint latency sums);
     ``exchange_published``/``exchange_adopted`` count cross-shard scoreboard
     publications and adopted external bests when a sweep ran with
-    ``--exchange``.
+    ``--exchange``.  ``spans_recorded`` counts telemetry spans captured by
+    the run (zero unless tracing was enabled, e.g. via ``--trace``); tracing
+    is strictly observational, so histories are identical either way.
     """
 
     trials_evaluated: int = 0
@@ -87,6 +89,7 @@ class RuntimeStats:
     endpoint_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
     exchange_published: int = 0
     exchange_adopted: int = 0
+    spans_recorded: int = 0
 
     @property
     def trials_per_second(self) -> float:
@@ -257,9 +260,14 @@ class FASTSearch:
             TRIAL_FINISHED,
         )
 
+        from repro.runtime.telemetry import get_tracer
+
         batch_size = max(1, int(batch_size))
         executor = self.executor or SerialExecutor()
         bus = self.progress or ProgressBus()
+        tracer = get_tracer()
+        spans_start = tracer.total_recorded
+        started_unix = time.time()
         started_at = time.monotonic()
         stats = RuntimeStats()
         stage_start = dict(getattr(self.evaluator, "stage_seconds", None) or {})
@@ -278,6 +286,39 @@ class FASTSearch:
         # on a reused executor (e.g. across sweep shards) reports deltas.
         collect_remote = getattr(executor, "runtime_counters", None)
         remote_start = collect_remote() if callable(collect_remote) else None
+
+        def _live_cache_rates() -> Dict[str, float]:
+            """Cumulative op/region cache hit rates so far this run.
+
+            Serial runs read the in-process caches; parallel/remote runs fall
+            back to the executor's ``runtime_counters()`` worker totals.
+            Keys are omitted while a cache has seen no lookups yet, so
+            progress lines only show rates that mean something.
+            """
+            rates: Dict[str, float] = {}
+            if op_cache is not None:
+                hits, misses = op_cache.snapshot_counters()
+                hits, misses = hits - op_cache_start[0], misses - op_cache_start[1]
+                if hits + misses:
+                    rates["op_cache_hit_rate"] = hits / (hits + misses)
+            if region_cache is not None:
+                hits, misses = region_cache.snapshot_counters()
+                hits -= region_cache_start[0]
+                misses -= region_cache_start[1]
+                if hits + misses:
+                    rates["region_cache_hit_rate"] = hits / (hits + misses)
+            if not rates and remote_start is not None:
+                now = collect_remote()
+                for prefix in ("op_cache", "region_cache"):
+                    hits = now.get(f"{prefix}_hits", 0) - remote_start.get(
+                        f"{prefix}_hits", 0
+                    )
+                    misses = now.get(f"{prefix}_misses", 0) - remote_start.get(
+                        f"{prefix}_misses", 0
+                    )
+                    if hits + misses:
+                        rates[f"{prefix}_hit_rate"] = hits / (hits + misses)
+            return rates
 
         history: List[TrialMetrics] = []
         proposals_log: List[ParameterValues] = []
@@ -370,7 +411,8 @@ class FASTSearch:
                 batched.note_proposed(seed)
                 batch.append(seed)
             if len(batch) < want:
-                batch.extend(batched.ask_batch(want - len(batch)))
+                with tracer.span("ask_batch", category="search", size=want - len(batch)):
+                    batch.extend(batched.ask_batch(want - len(batch)))
             bus.emit(BATCH_STARTED, size=len(batch), completed=completed)
 
             results: List[Optional[TrialMetrics]] = [None] * len(batch)
@@ -390,9 +432,15 @@ class FASTSearch:
                 miss_indices = list(range(len(batch)))
 
             if miss_indices:
-                evaluated = executor.evaluate_batch(
-                    self.evaluator, self.space, [batch[i] for i in miss_indices]
-                )
+                with tracer.span(
+                    "evaluate_batch",
+                    category="search",
+                    size=len(miss_indices),
+                    executor=executor.name,
+                ):
+                    evaluated = executor.evaluate_batch(
+                        self.evaluator, self.space, [batch[i] for i in miss_indices]
+                    )
                 for i, metrics in zip(miss_indices, evaluated):
                     results[i] = metrics
                     if self.cache is not None:
@@ -401,6 +449,7 @@ class FASTSearch:
             stats.batches += 1
 
             # Tell + bookkeeping strictly in proposal order.
+            cache_rates = _live_cache_rates()
             for offset, (params, metrics) in enumerate(zip(batch, results)):
                 trial_index = completed + offset
                 self.optimizer.tell(
@@ -415,6 +464,7 @@ class FASTSearch:
                     score=metrics.aggregate_score,
                     best_score=best_curve[-1],
                     feasible=metrics.feasible,
+                    **cache_rates,
                 )
                 if callback is not None:
                     callback(trial_index, metrics)
@@ -482,6 +532,19 @@ class FASTSearch:
         if self.exchange is not None:
             stats.exchange_published = self.exchange.published
             stats.exchange_adopted = self.exchange.adopted
+        # Root span for the whole run, synthesized from the measured elapsed
+        # time (no-op when tracing is off).  Recorded last so every child
+        # span is already in the buffer when the trace file is written.
+        tracer.record_span(
+            "search",
+            start_unix=started_unix,
+            duration=stats.elapsed_seconds,
+            category="search",
+            num_trials=completed,
+            batch_size=batch_size,
+            executor=executor.name,
+        )
+        stats.spans_recorded = tracer.total_recorded - spans_start
         bus.emit(
             SEARCH_FINISHED,
             num_trials=completed,

@@ -25,6 +25,22 @@ from repro.workloads.registry import build_workload
 
 __all__ = ["TrialMetrics", "TrialEvaluator", "clear_graph_cache"]
 
+# The telemetry tracer is resolved lazily: this module is imported during
+# ``repro.runtime``'s own package init (via runtime.cache), so a module-level
+# ``from repro.runtime.telemetry import ...`` would be circular.  The accessor
+# is cached after the first call, leaving one function call + attribute check
+# on the hot path when tracing is disabled.
+_get_tracer = None
+
+
+def _tracer():
+    global _get_tracer
+    if _get_tracer is None:
+        from repro.runtime.telemetry import get_tracer
+
+        _get_tracer = get_tracer
+    return _get_tracer()
+
 # Workload graphs are immutable and expensive-ish to build, so they are cached
 # per (workload, batch) across all evaluators in the process.  Graphs are
 # never pickled to executor workers (only cache *settings* travel); workers
@@ -141,17 +157,24 @@ class TrialEvaluator:
         self, params: ParameterValues, space: DatapathSearchSpace
     ) -> TrialMetrics:
         """Evaluate a search-space parameter assignment."""
-        try:
-            config = space.to_config(params, num_cores=self.num_cores)
-        except Exception as error:  # invalid combinations are infeasible trials
-            return TrialMetrics(
-                config=None,
-                area_mm2=math.inf,
-                tdp_w=math.inf,
-                feasible=False,
-                failure_reason=f"invalid configuration: {error}",
-            )
-        return self.evaluate_config(config)
+        with _tracer().span(
+            "trial", category="search", workloads=len(self.problem.workloads)
+        ) as span:
+            try:
+                config = space.to_config(params, num_cores=self.num_cores)
+            except Exception as error:  # invalid combinations are infeasible trials
+                span.set_attr("feasible", False)
+                return TrialMetrics(
+                    config=None,
+                    area_mm2=math.inf,
+                    tdp_w=math.inf,
+                    feasible=False,
+                    failure_reason=f"invalid configuration: {error}",
+                )
+            metrics = self.evaluate_config(config)
+            span.set_attr("feasible", metrics.feasible)
+            span.set_attr("score", metrics.aggregate_score)
+            return metrics
 
     def evaluate_config(self, config: DatapathConfig) -> TrialMetrics:
         """Evaluate a concrete datapath configuration."""
@@ -162,7 +185,8 @@ class TrialEvaluator:
             self.stage_seconds["evaluate"] += time.perf_counter() - started
 
     def _evaluate_config(self, config: DatapathConfig) -> TrialMetrics:
-        breakdown = self.area_power_model.evaluate(config)
+        with _tracer().span("area_power", category="simulate"):
+            breakdown = self.area_power_model.evaluate(config)
         area = breakdown.total_area_mm2
         tdp = breakdown.total_tdp_w
         constraints = self.problem.constraints
@@ -183,12 +207,14 @@ class TrialEvaluator:
             )
             return metrics
 
-        simulator = Simulator(config, self.simulation_options)
+        with _tracer().span("setup", category="simulate"):
+            simulator = Simulator(config, self.simulation_options)
         per_workload_scores: Dict[str, float] = {}
         try:
             for workload in self.problem.workloads:
-                graph = _cached_graph(workload, config.native_batch_size)
-                result = simulator.simulate(graph)
+                with _tracer().span("simulate", category="simulate", workload=workload):
+                    graph = _cached_graph(workload, config.native_batch_size)
+                    result = simulator.simulate(graph)
                 if result.schedule_failed:
                     metrics.feasible = False
                     metrics.failure_reason = f"schedule failure on {workload}"

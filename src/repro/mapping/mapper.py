@@ -40,6 +40,19 @@ from repro.workloads.ops import is_matrix_op
 
 __all__ = ["Mapper", "MapperOptions", "clear_problem_memo"]
 
+# Lazily resolved tracer accessor (a module-level telemetry import would pull
+# in ``repro.runtime`` mid-init through packages that import this module).
+_get_tracer = None
+
+
+def _tracer():
+    global _get_tracer
+    if _get_tracer is None:
+        from repro.runtime.telemetry import get_tracer
+
+        _get_tracer = get_tracer
+    return _get_tracer()
+
 _DTYPE_BYTES = 2  # bfloat16 throughout, matching the paper's evaluation.
 _MIN_STREAM_CHUNK = 128  # Minimum rows per PE when splitting the streamed dim.
 
@@ -236,7 +249,15 @@ class Mapper:
             pending_keys.add(key)
             pending.append((key, op, problem))
         if pending:
-            costs = self._map_problems_batch([(op, problem) for _, op, problem in pending])
+            with _tracer().span(
+                "map_ops_batch",
+                category="mapper",
+                num_ops=len(ops),
+                num_pending=len(pending),
+            ):
+                costs = self._map_problems_batch(
+                    [(op, problem) for _, op, problem in pending]
+                )
             for (key, _, _), cost in zip(pending, costs):
                 self._cache[key] = cost
                 if self.op_cache is not None:

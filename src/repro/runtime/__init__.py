@@ -25,7 +25,11 @@ engine, layered as:
   scalar, vectorized, and op-cached evaluation modes (``repro profile``),
 * :mod:`repro.runtime.sharding` — sharded sweep orchestration: split one
   search into N shards (seed stream or design-space partition) and merge
-  their Pareto fronts, histories, and stats into one deduplicated result.
+  their Pareto fronts, histories, and stats into one deduplicated result,
+* :mod:`repro.runtime.telemetry` — dependency-free span tracer + metrics
+  registry: end-to-end spans across search → executor → worker → remote
+  service, Chrome-trace / JSONL export (``repro search --trace``,
+  ``repro trace``), and Prometheus text exposition (``GET /metrics``).
 
 :class:`~repro.core.fast.FASTSearch` accepts instances of these pieces via
 its ``executor=``, ``cache=``, ``checkpoint=``, and ``progress=`` arguments;
@@ -75,10 +79,29 @@ from repro.runtime.profiling import (
     ProfileMode,
     ProfileRecord,
     ProfileReport,
+    StageStat,
+    TraceSummary,
     profile_search,
+    summarize_trace,
 )
 from repro.runtime.progress import ProgressBus, ProgressPrinter, SearchEvent
 from repro.runtime.service import EvaluationService, ServiceStats, serve
+from repro.runtime.telemetry import (
+    MetricsRegistry,
+    SpanRecord,
+    Tracer,
+    apply_telemetry_config,
+    chrome_trace_events,
+    configure_tracer,
+    get_metrics,
+    get_tracer,
+    load_trace,
+    reset_metrics,
+    set_tracer,
+    telemetry_config,
+    write_chrome_trace,
+    write_jsonl_trace,
+)
 from repro.runtime.sharding import (
     ShardResult,
     ShardSpec,
@@ -102,6 +125,9 @@ __all__ = [
     "EXECUTOR_KINDS",
     "EndpointStats",
     "EvaluationService",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
     "ExchangeClient",
     "FileScoreboard",
     "OpCacheStats",
@@ -125,12 +151,20 @@ __all__ = [
     "ServiceStats",
     "ShardResult",
     "ShardSpec",
+    "StageStat",
     "SweepResult",
     "SweepTrial",
+    "TraceSummary",
     "TrialCache",
     "TrialExecutor",
+    "apply_telemetry_config",
+    "chrome_trace_events",
     "compact_cache",
+    "configure_tracer",
     "executor_kinds",
+    "get_metrics",
+    "get_tracer",
+    "load_trace",
     "get_op_cache",
     "get_region_cache",
     "load_shard_result",
@@ -142,11 +176,17 @@ __all__ = [
     "profile_search",
     "proposal_key",
     "register_executor",
+    "reset_metrics",
     "reset_op_caches",
     "reset_region_caches",
     "run_shard",
     "run_sharded_sweep",
     "save_shard_result",
     "serve",
+    "set_tracer",
+    "summarize_trace",
     "sweep_result_to_dict",
+    "telemetry_config",
+    "write_chrome_trace",
+    "write_jsonl_trace",
 ]

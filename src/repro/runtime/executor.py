@@ -20,6 +20,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.trial import TrialEvaluator, TrialMetrics
 from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
+from repro.runtime.telemetry import (
+    apply_telemetry_config,
+    get_tracer,
+    telemetry_config,
+)
 
 __all__ = [
     "TrialExecutor",
@@ -67,11 +72,19 @@ def _worker_caches(evaluator: TrialEvaluator):
 
 
 def _init_worker(
-    evaluator: TrialEvaluator, space: DatapathSearchSpace, warm_start: bool = True
+    evaluator: TrialEvaluator,
+    space: DatapathSearchSpace,
+    warm_start: bool = True,
+    telemetry: Optional[dict] = None,
 ) -> None:
     global _WORKER_EVALUATOR, _WORKER_SPACE
     _WORKER_EVALUATOR = evaluator
     _WORKER_SPACE = space
+    # Always install a fresh worker tracer (disabled when telemetry is None):
+    # a fork-inherited parent buffer must never leak parent spans back with
+    # a task delta, and fresh construction gives each worker its own span-id
+    # salt, so span ids stay unique across the pool.
+    apply_telemetry_config(telemetry)
     if warm_start:
         warm = getattr(evaluator, "warm_caches", None)
         if callable(warm):
@@ -105,6 +118,12 @@ def _evaluate_in_worker(params: ParameterValues):
         "fusion_seconds": stage_after.get("fusion", 0.0) - stage_before.get("fusion", 0.0),
         "eval_seconds": stage_after.get("evaluate", 0.0) - stage_before.get("evaluate", 0.0),
     }
+    tracer = get_tracer()
+    if tracer.enabled:
+        # Ship this task's spans home with the delta; draining means each
+        # span leaves the worker exactly once even when the process is
+        # reused across many tasks.
+        delta["spans"] = [record.to_dict() for record in tracer.drain()]
     return metrics, delta
 
 
@@ -188,25 +207,29 @@ class ParallelExecutor(TrialExecutor):
         # identity is checked with ``is`` (never id() of possibly-collected
         # objects, whose addresses can be reused by new allocations).
         self._pool_args: Optional[tuple] = None
+        self._pool_telemetry: Optional[dict] = None
         self._worker_totals: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def _ensure_pool(
         self, evaluator: TrialEvaluator, space: DatapathSearchSpace
     ) -> ProcessPoolExecutor:
+        telemetry = telemetry_config()
         if self._pool is not None and (
             self._pool_args is None
             or self._pool_args[0] is not evaluator
             or self._pool_args[1] is not space
+            or self._pool_telemetry != telemetry
         ):
             self.close()
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.num_workers,
                 initializer=_init_worker,
-                initargs=(evaluator, space, self.warm_start),
+                initargs=(evaluator, space, self.warm_start, telemetry),
             )
             self._pool_args = (evaluator, space)
+            self._pool_telemetry = telemetry
         return self._pool
 
     def evaluate_batch(
@@ -220,7 +243,11 @@ class ParallelExecutor(TrialExecutor):
         pool = self._ensure_pool(evaluator, space)
         outcomes = list(pool.map(_evaluate_in_worker, batch, chunksize=self.chunk_size))
         totals = self._worker_totals
+        tracer = get_tracer()
         for _, delta in outcomes:
+            spans = delta.pop("spans", None)
+            if spans and tracer.enabled:
+                tracer.ingest(spans)
             for key, value in delta.items():
                 totals[key] = totals.get(key, 0) + value
         return [metrics for metrics, _ in outcomes]
@@ -240,6 +267,7 @@ class ParallelExecutor(TrialExecutor):
             self._pool.shutdown(wait=True)
             self._pool = None
             self._pool_args = None
+            self._pool_telemetry = None
 
 
 # ---------------------------------------------------------------------------

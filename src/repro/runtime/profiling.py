@@ -25,9 +25,19 @@ from repro.core.problem import ObjectiveKind, SearchProblem
 from repro.core.trial import TrialEvaluator
 from repro.reporting.serialization import trial_metrics_to_dict
 from repro.runtime.opcache import reset_op_caches
+from repro.runtime.telemetry import SpanRecord
 from repro.simulator.engine import SimulationOptions
 
-__all__ = ["ProfileMode", "ProfileRecord", "ProfileReport", "PROFILE_MODES", "profile_search"]
+__all__ = [
+    "ProfileMode",
+    "ProfileRecord",
+    "ProfileReport",
+    "PROFILE_MODES",
+    "StageStat",
+    "TraceSummary",
+    "profile_search",
+    "summarize_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -147,6 +157,100 @@ class ProfileReport:
                 record.mode: self.speedup(record.mode) for record in self.records
             },
         }
+
+
+@dataclass
+class StageStat:
+    """Aggregated timing of one span name across a trace."""
+
+    name: str
+    category: str
+    count: int
+    total_seconds: float
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+        }
+
+
+@dataclass
+class TraceSummary:
+    """Stage-timeline digest of a recorded trace (``repro trace``).
+
+    ``coverage`` is the fraction of total trial wall time accounted for by
+    the trial spans' direct children — the acceptance gauge that the spans
+    actually explain where trial time goes instead of leaving dark matter.
+    """
+
+    num_spans: int
+    num_trials: int
+    trial_seconds: float
+    coverage: float
+    stages: List[StageStat] = field(default_factory=list)
+    slowest: List[SpanRecord] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "num_spans": self.num_spans,
+            "num_trials": self.num_trials,
+            "trial_seconds": self.trial_seconds,
+            "coverage": self.coverage,
+            "stages": [stage.to_dict() for stage in self.stages],
+            "slowest": [span.to_dict() for span in self.slowest],
+        }
+
+
+def summarize_trace(records: Sequence[SpanRecord], top_k: int = 10) -> TraceSummary:
+    """Aggregate a span list into the per-stage timeline ``repro trace`` prints.
+
+    Groups spans by name (count + total/mean seconds, sorted by total time
+    descending), finds the ``trial`` spans, computes the direct-child
+    coverage of trial wall time, and keeps the ``top_k`` slowest individual
+    spans.  Works on the output of :func:`repro.runtime.telemetry.load_trace`
+    for both Chrome-trace and JSONL files.
+    """
+    records = list(records)
+    totals: Dict[str, StageStat] = {}
+    for record in records:
+        stat = totals.get(record.name)
+        if stat is None:
+            totals[record.name] = StageStat(
+                name=record.name,
+                category=record.category,
+                count=1,
+                total_seconds=record.duration,
+            )
+        else:
+            stat.count += 1
+            stat.total_seconds += record.duration
+
+    trials = [r for r in records if r.name == "trial"]
+    trial_ids = {r.span_id for r in trials}
+    trial_seconds = sum(r.duration for r in trials)
+    child_seconds = sum(
+        r.duration for r in records if r.parent_id in trial_ids
+    )
+    coverage = child_seconds / trial_seconds if trial_seconds > 0 else 0.0
+
+    stages = sorted(totals.values(), key=lambda s: (-s.total_seconds, s.name))
+    slowest = sorted(records, key=lambda r: -r.duration)[: max(0, int(top_k))]
+    return TraceSummary(
+        num_spans=len(records),
+        num_trials=len(trials),
+        trial_seconds=trial_seconds,
+        coverage=min(1.0, coverage),
+        stages=stages,
+        slowest=slowest,
+    )
 
 
 def _mode_options(mode: ProfileMode) -> SimulationOptions:

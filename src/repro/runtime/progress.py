@@ -124,7 +124,20 @@ class ProgressPrinter:
             score = payload.get("score", 0.0)
             best = payload.get("best_score", float("nan"))
             status = "ok" if payload.get("feasible") else "infeasible"
-            return f"[trial {event.trial_index + 1}] {status} score={score:.4g} best={best:.4g}"
+            # Live op/region cache hit rates, when the search loop knows
+            # them: long sweeps show cache warm-up as it happens instead of
+            # only in the final summary.
+            caches = ""
+            op_rate = payload.get("op_cache_hit_rate")
+            if op_rate is not None:
+                caches += f" oc={100 * op_rate:.0f}%"
+            region_rate = payload.get("region_cache_hit_rate")
+            if region_rate is not None:
+                caches += f" rc={100 * region_rate:.0f}%"
+            return (
+                f"[trial {event.trial_index + 1}] {status} "
+                f"score={score:.4g} best={best:.4g}{caches}"
+            )
         if event.kind == CACHE_HIT:
             return f"[trial {event.trial_index + 1}] cache hit"
         if event.kind == BEST_IMPROVED:

@@ -53,6 +53,12 @@ from repro.reporting.serialization import (
 )
 from repro.runtime.cache import problem_fingerprint
 from repro.runtime.executor import TrialExecutor
+from repro.runtime.telemetry import (
+    NULL_SPAN,
+    TRACE_CONTEXT_HEADER,
+    get_metrics,
+    get_tracer,
+)
 
 __all__ = ["RemoteExecutionError", "EndpointStats", "AsyncRemoteExecutor"]
 
@@ -185,6 +191,12 @@ class AsyncRemoteExecutor(TrialExecutor):
             endpoint.timeouts += 1
         endpoint.consecutive_failures += 1
         if endpoint.consecutive_failures >= self.blacklist_after:
+            if not endpoint.blacklisted:
+                get_metrics().counter(
+                    "repro_remote_blacklists_total",
+                    "Endpoint transitions into the blacklist.",
+                    ("endpoint",),
+                ).inc(endpoint=endpoint.url)
             endpoint.blacklisted = True
 
     def _record_success(self, endpoint: EndpointStats, latency: float) -> None:
@@ -196,40 +208,92 @@ class AsyncRemoteExecutor(TrialExecutor):
     # ------------------------------------------------------------------
     # HTTP plumbing (blocking; runs on the thread pool)
     # ------------------------------------------------------------------
-    def _post_evaluate(self, endpoint: EndpointStats, payload: dict) -> List[TrialMetrics]:
-        data = json.dumps(payload).encode()
-        request = urllib.request.Request(
-            endpoint.url + "/evaluate",
-            data=data,
-            headers={"Content-Type": "application/json"},
-            method="POST",
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                body = json.loads(response.read())
-        except urllib.error.HTTPError as error:
-            detail = ""
-            try:
-                detail = json.loads(error.read()).get("error", "")
-            except Exception:
-                pass
-            raise RemoteExecutionError(
-                f"{endpoint.url} returned HTTP {error.code}"
-                + (f": {detail}" if detail else "")
-            ) from error
-        results = body.get("results")
-        if not isinstance(results, list) or len(results) != len(payload["params"]):
-            raise RemoteExecutionError(
-                f"{endpoint.url} returned {0 if not isinstance(results, list) else len(results)} "
-                f"results for {len(payload['params'])} params"
+    def _post_evaluate(
+        self,
+        endpoint: EndpointStats,
+        payload: dict,
+        span_info: Optional[dict] = None,
+    ) -> List[TrialMetrics]:
+        # This runs on an HTTP pool thread, where contextvars set on the
+        # asyncio side are invisible — so the request span is opened here,
+        # parented explicitly through the ``parent_header`` captured on the
+        # dispatching thread (evaluate_batch), and the same trace context is
+        # forwarded to the service so its spans link into this trace.
+        tracer = get_tracer()
+        span = NULL_SPAN
+        headers = {"Content-Type": "application/json"}
+        if tracer.enabled:
+            info = span_info or {}
+            span = tracer.start(
+                "remote_request",
+                category="remote",
+                parent_header=info.get("parent_header"),
+                attrs={
+                    "endpoint": endpoint.url,
+                    "attempt": int(info.get("attempt", 0)),
+                    "hedged": bool(info.get("hedged", False)),
+                    "num_params": len(payload["params"]),
+                    "blacklisted_endpoints": sum(
+                        1 for e in self.endpoints if e.blacklisted
+                    ),
+                },
             )
-        return [trial_metrics_from_dict(raw) for raw in results]
+            if span.record is not None:
+                headers[TRACE_CONTEXT_HEADER] = (
+                    f"{span.record.trace_id}:{span.record.span_id}"
+                )
+        status = "error"
+        try:
+            data = json.dumps(payload).encode()
+            request = urllib.request.Request(
+                endpoint.url + "/evaluate",
+                data=data,
+                headers=headers,
+                method="POST",
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    body = json.loads(response.read())
+            except urllib.error.HTTPError as error:
+                detail = ""
+                try:
+                    detail = json.loads(error.read()).get("error", "")
+                except Exception:
+                    pass
+                raise RemoteExecutionError(
+                    f"{endpoint.url} returned HTTP {error.code}"
+                    + (f": {detail}" if detail else "")
+                ) from error
+            results = body.get("results")
+            if not isinstance(results, list) or len(results) != len(payload["params"]):
+                raise RemoteExecutionError(
+                    f"{endpoint.url} returned {0 if not isinstance(results, list) else len(results)} "
+                    f"results for {len(payload['params'])} params"
+                )
+            if tracer.enabled and body.get("spans"):
+                # Server-side spans of this request; ingest() dedups by span
+                # id, so a hedge loser delivering the same spans is harmless.
+                tracer.ingest(body["spans"])
+            status = "ok"
+            return [trial_metrics_from_dict(raw) for raw in results]
+        finally:
+            span.set_attr("status", status)
+            tracer.finish(span)
+            get_metrics().counter(
+                "repro_remote_requests_total",
+                "Remote evaluate requests by endpoint and outcome.",
+                ("endpoint", "status"),
+            ).inc(endpoint=endpoint.url, status=status)
 
     # ------------------------------------------------------------------
     # Async orchestration
     # ------------------------------------------------------------------
     async def _attempt(
-        self, endpoint: EndpointStats, payload: dict, gate: asyncio.Semaphore
+        self,
+        endpoint: EndpointStats,
+        payload: dict,
+        gate: asyncio.Semaphore,
+        span_info: Optional[dict] = None,
     ) -> List[TrialMetrics]:
         loop = asyncio.get_running_loop()
         async with gate:
@@ -238,14 +302,21 @@ class AsyncRemoteExecutor(TrialExecutor):
             # holds a pool thread — never time spent queued behind one.
             endpoint.requests += 1
             started = time.monotonic()
-            return await self._attempt_on_thread(endpoint, payload, loop, started)
+            return await self._attempt_on_thread(endpoint, payload, loop, started, span_info)
 
     async def _attempt_on_thread(
-        self, endpoint: EndpointStats, payload: dict, loop, started: float
+        self,
+        endpoint: EndpointStats,
+        payload: dict,
+        loop,
+        started: float,
+        span_info: Optional[dict] = None,
     ) -> List[TrialMetrics]:
         try:
             metrics = await asyncio.wait_for(
-                loop.run_in_executor(self._http_pool, self._post_evaluate, endpoint, payload),
+                loop.run_in_executor(
+                    self._http_pool, self._post_evaluate, endpoint, payload, span_info
+                ),
                 timeout=self.timeout + 1.0,  # urllib enforces its own timeout
             )
         except asyncio.TimeoutError:
@@ -268,6 +339,8 @@ class AsyncRemoteExecutor(TrialExecutor):
         active_endpoint: Dict[int, EndpointStats],
         gate: asyncio.Semaphore,
         avoid: Optional[EndpointStats] = None,
+        hedged: bool = False,
+        parent_header: Optional[str] = None,
     ) -> _ChunkOutcome:
         delay = self.backoff
         last_error: Optional[Exception] = None
@@ -280,7 +353,16 @@ class AsyncRemoteExecutor(TrialExecutor):
                 await asyncio.sleep(min(delay, self.backoff_cap))
                 delay *= 2
             try:
-                metrics = await self._attempt(endpoint, payload, gate)
+                metrics = await self._attempt(
+                    endpoint,
+                    payload,
+                    gate,
+                    span_info={
+                        "attempt": attempt,
+                        "hedged": hedged,
+                        "parent_header": parent_header,
+                    },
+                )
                 return _ChunkOutcome(index=index, metrics=metrics)
             except RemoteExecutionError as error:
                 last_error = error
@@ -289,14 +371,16 @@ class AsyncRemoteExecutor(TrialExecutor):
         )
 
     async def _run_batch(
-        self, payloads: List[dict]
+        self, payloads: List[dict], parent_header: Optional[str] = None
     ) -> List[List[TrialMetrics]]:
         results: List[Optional[List[TrialMetrics]]] = [None] * len(payloads)
         active_endpoint: Dict[int, EndpointStats] = {}
         gate = asyncio.Semaphore(self._http_pool_size)
         tasks: Dict[asyncio.Task, int] = {
             asyncio.ensure_future(
-                self._eval_chunk(i, payloads[i], active_endpoint, gate)
+                self._eval_chunk(
+                    i, payloads[i], active_endpoint, gate, parent_header=parent_header
+                )
             ): i
             for i in range(len(payloads))
         }
@@ -325,7 +409,8 @@ class AsyncRemoteExecutor(TrialExecutor):
                     hedge = asyncio.ensure_future(
                         self._eval_chunk(
                             index, payloads[index], active_endpoint, gate,
-                            avoid=straggling,
+                            avoid=straggling, hedged=True,
+                            parent_header=parent_header,
                         )
                     )
                     tasks[hedge] = index
@@ -392,7 +477,11 @@ class AsyncRemoteExecutor(TrialExecutor):
         payloads = [
             dict(base, params=[params_to_jsonable(p) for p in chunk]) for chunk in chunks
         ]
-        chunk_results = asyncio.run(self._run_batch(payloads))
+        # Captured here, on the calling thread, where the search loop's
+        # enclosing span is still visible; the HTTP threads parent their
+        # request spans to it explicitly.
+        parent_header = get_tracer().context_header()
+        chunk_results = asyncio.run(self._run_batch(payloads, parent_header))
         self.batches += 1
         merged: List[TrialMetrics] = []
         for piece in chunk_results:

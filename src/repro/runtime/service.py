@@ -22,7 +22,19 @@ Wire protocol (all bodies are JSON):
   cross-shard best-score exchange (see :mod:`repro.runtime.exchange`):
   shards POST ``{"shard_id", "objective", "score", "params", "trials"}``
   records and GET the per-shard best map back.
-* ``GET /health`` — liveness plus request/trial counters.
+* ``GET /health`` — liveness plus request/trial counters, uptime, and
+  per-route request counts.
+* ``GET /metrics`` — Prometheus text exposition of the service's
+  request/trial/cache/evaluation metrics (see
+  :mod:`repro.runtime.telemetry`), ready for scraping.
+
+Every request is wrapped in a ``serve_request`` telemetry span; when the
+client sends an ``X-Repro-Trace-Context`` header (the remote executor does,
+whenever its own tracing is on), the span is parented to the client's
+request span and returned in the ``/evaluate`` response body, so one trace
+shows the request on both sides of the wire.  Access logs are routed
+through the ``repro.runtime.service`` logger at DEBUG instead of being
+swallowed (``repro serve --verbose`` turns them on).
 
 Evaluation is deterministic, so any mix of services and local executors
 produces bit-for-bit identical metrics for the same parameters; ordering is
@@ -39,7 +51,9 @@ parallelizes *within* a batch via the process-pool executor).
 from __future__ import annotations
 
 import json
+import logging
 import threading
+import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
@@ -55,8 +69,17 @@ from repro.reporting.serialization import (
 from repro.runtime.cache import problem_fingerprint
 from repro.runtime.exchange import ScoreRecord
 from repro.runtime.executor import TrialExecutor, make_executor
+from repro.runtime.telemetry import (
+    TRACE_CONTEXT_HEADER,
+    MetricsRegistry,
+    Tracer,
+)
 
 __all__ = ["ServiceStats", "EvaluationService", "serve"]
+
+# Access logs and handler diagnostics.  DEBUG by default so tests and smoke
+# runs stay quiet; ``repro serve --verbose`` raises the level to show them.
+logger = logging.getLogger("repro.runtime.service")
 
 
 @dataclass
@@ -139,6 +162,12 @@ class EvaluationService:
 
             get_op_cache(self.simulation_overrides["op_cache_path"])
         self.stats = ServiceStats()
+        self.started_at = time.time()
+        # Per-service registry/tracer (not the process globals): tests run
+        # several services in one process and each should report only its
+        # own traffic.
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(enabled=True, capacity=8192)
         self._evaluators: Dict[str, Tuple[TrialEvaluator, DatapathSearchSpace]] = {}
         self._executor: Optional[TrialExecutor] = None
         self._eval_lock = threading.Lock()
@@ -283,12 +312,82 @@ class EvaluationService:
                 }
             }
 
+    def observe_request(
+        self, route: str, method: str, status: int, elapsed: float
+    ) -> None:
+        """Fold one handled request into the service metrics."""
+        self.metrics.counter(
+            "repro_service_requests_total",
+            "HTTP requests handled, by route, method, and status.",
+            ("route", "method", "status"),
+        ).inc(route=route, method=method, status=str(status))
+        self.metrics.histogram(
+            "repro_service_request_seconds",
+            "Request handling latency in seconds.",
+            ("route",),
+        ).observe(elapsed, route=route)
+
+    def requests_by_route(self) -> Dict[str, int]:
+        """Total handled requests per route (for ``/health``)."""
+        totals: Dict[str, int] = {}
+        counter = self.metrics.get("repro_service_requests_total")
+        if counter is not None:
+            for key, value in counter.samples().items():
+                route = key[0]
+                totals[route] = totals.get(route, 0) + int(value)
+        return totals
+
+    def metrics_exposition(self) -> str:
+        """The ``GET /metrics`` body: Prometheus text exposition.
+
+        Request counters/latency accumulate as requests are handled; the
+        uptime / lifetime / cache gauges are refreshed at scrape time.
+        """
+        gauge = self.metrics.gauge
+        gauge("repro_service_uptime_seconds", "Seconds since service start.").set(
+            time.time() - self.started_at
+        )
+        gauge("repro_service_workers", "Configured evaluation workers.").set(
+            self.workers
+        )
+        gauge(
+            "repro_service_trials_evaluated", "Trials evaluated since start."
+        ).set(self.stats.trials_evaluated)
+        gauge("repro_service_batches", "Evaluate batches since start.").set(
+            self.stats.batches
+        )
+        gauge("repro_service_errors", "Request handling errors since start.").set(
+            self.stats.errors
+        )
+        gauge(
+            "repro_service_fingerprint_rejections",
+            "Evaluate requests refused on fingerprint mismatch.",
+        ).set(self.stats.fingerprint_rejections)
+        from repro.runtime.opcache import get_op_cache, get_region_cache
+
+        op_hits, op_misses = get_op_cache(
+            self.simulation_overrides.get("op_cache_path")
+        ).snapshot_counters()
+        cache = self.metrics.gauge(
+            "repro_cache_lookups",
+            "Cost-cache lookups in this process, by cache and outcome.",
+            ("cache", "outcome"),
+        )
+        cache.set(op_hits, cache="op", outcome="hit")
+        cache.set(op_misses, cache="op", outcome="miss")
+        region_hits, region_misses = get_region_cache().snapshot_counters()
+        cache.set(region_hits, cache="region", outcome="hit")
+        cache.set(region_misses, cache="region", outcome="miss")
+        return self.metrics.expose()
+
     def health_snapshot(self) -> dict:
         """The ``GET /health`` body."""
         return {
             "status": "ok",
             "workers": self.workers,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
             "requests": self.stats.requests,
+            "requests_by_route": self.requests_by_route(),
             "batches": self.stats.batches,
             "trials_evaluated": self.stats.trials_evaluated,
             "fingerprint_rejections": self.stats.fingerprint_rejections,
@@ -301,9 +400,14 @@ def _make_handler(service: EvaluationService):
     """Build the request-handler class bound to one service instance."""
 
     class Handler(BaseHTTPRequestHandler):
-        # Tests and CI smoke runs don't want per-request stderr lines.
+        # Access logs go through the module logger at DEBUG instead of the
+        # stdlib's unconditional stderr write: quiet by default (tests, CI
+        # smokes), but ``repro serve --verbose`` makes per-request lines —
+        # and hence service-side failures — visible again.
         def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-            pass
+            logger.debug(
+                "%s - - %s", self.address_string(), format % args
+            )
 
         # ------------------------------------------------------------------
         def _inject_fault(self) -> bool:
@@ -338,11 +442,21 @@ def _make_handler(service: EvaluationService):
                 self._reply(400, {"error": "request body is not valid JSON"})
                 return None
 
-        def _reply(self, status: int, body: dict) -> None:
+        def _reply(self, status: int, body: dict) -> int:
             data = json.dumps(body).encode()
+            self._send_bytes(status, "application/json", data)
+            return status
+
+        def _reply_text(self, status: int, text: str) -> int:
+            self._send_bytes(
+                status, "text/plain; version=0.0.4; charset=utf-8", text.encode()
+            )
+            return status
+
+        def _send_bytes(self, status: int, content_type: str, data: bytes) -> None:
             try:
                 self.send_response(status)
-                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(data)))
                 self.end_headers()
                 self.wfile.write(data)
@@ -351,35 +465,65 @@ def _make_handler(service: EvaluationService):
 
         # ------------------------------------------------------------------
         def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-            service.stats.requests += 1
-            if self._inject_fault():
-                return
-            if self.path == "/health":
-                self._reply(200, service.health_snapshot())
-            elif self.path == "/scoreboard":
-                self._reply(200, service.scoreboard_snapshot())
-            else:
-                self._reply(404, {"error": f"unknown path {self.path}"})
+            self._handle("GET")
 
         def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+            self._handle("POST")
+
+        def _handle(self, method: str) -> None:
             service.stats.requests += 1
-            if self._inject_fault():
-                return
+            route = self.path
+            trace_header = self.headers.get(TRACE_CONTEXT_HEADER)
+            span = service.tracer.start(
+                "serve_request",
+                category="service",
+                parent_header=trace_header,
+                attrs={"route": route, "method": method},
+            )
+            started = time.perf_counter()
+            status = 500
+            try:
+                if self._inject_fault():
+                    status = 0  # request consumed by the fault injector
+                    return
+                status = self._dispatch(method, route, trace_header, span)
+            finally:
+                span.set_attr("status", status)
+                service.tracer.finish(span)
+                service.observe_request(
+                    route, method, status, time.perf_counter() - started
+                )
+
+        def _dispatch(self, method: str, route: str, trace_header, span) -> int:
+            if method == "GET":
+                if route == "/health":
+                    return self._reply(200, service.health_snapshot())
+                if route == "/scoreboard":
+                    return self._reply(200, service.scoreboard_snapshot())
+                if route == "/metrics":
+                    return self._reply_text(200, service.metrics_exposition())
+                return self._reply(404, {"error": f"unknown path {route}"})
             payload = self._read_json()
             if payload is None:
-                return
-            if self.path == "/evaluate":
+                return 400
+            if route == "/evaluate":
                 try:
                     status, body = service.evaluate_payload(payload)
                 except Exception as error:  # defensive: never kill the thread
                     service.stats.errors += 1
                     status, body = 500, {"error": f"evaluation failed: {error}"}
-                self._reply(status, body)
-            elif self.path == "/scoreboard":
+                if trace_header and span.record is not None:
+                    # The client is tracing: close the request span now (the
+                    # reply write is all that remains) and hand it back so
+                    # both sides of the wire land in one trace.
+                    span.set_attr("status", status)
+                    service.tracer.finish(span)
+                    body = dict(body, spans=[span.record.to_dict()])
+                return self._reply(status, body)
+            if route == "/scoreboard":
                 status, body = service.publish_score(payload)
-                self._reply(status, body)
-            else:
-                self._reply(404, {"error": f"unknown path {self.path}"})
+                return self._reply(status, body)
+            return self._reply(404, {"error": f"unknown path {route}"})
 
     return Handler
 

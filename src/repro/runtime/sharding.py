@@ -266,8 +266,17 @@ def run_shard(
         cache=cache,
         exchange=client,
     )
+    from repro.runtime.telemetry import get_tracer
+
     try:
-        result = search.run(num_trials=spec.num_trials, batch_size=batch_size)
+        with get_tracer().span(
+            "shard",
+            category="sweep",
+            shard_id=spec.shard_id,
+            mode=spec.mode,
+            num_trials=spec.num_trials,
+        ):
+            result = search.run(num_trials=spec.num_trials, batch_size=batch_size)
     finally:
         if cache is not None:
             cache.release()  # finished shards must not block later compaction

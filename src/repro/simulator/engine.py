@@ -34,6 +34,21 @@ from repro.workloads.registry import build_workload
 
 __all__ = ["SimulationOptions", "Simulator", "clear_compiled_cache", "precompile_graph"]
 
+# Lazily resolved tracer accessor: ``repro.runtime`` imports this module
+# during its own package init, so a module-level telemetry import would be
+# circular.  Cached after the first call; with tracing disabled the hot path
+# pays one function call + attribute check per span site.
+_get_tracer = None
+
+
+def _tracer():
+    global _get_tracer
+    if _get_tracer is None:
+        from repro.runtime.telemetry import get_tracer
+
+        _get_tracer = get_tracer
+    return _get_tracer()
+
 
 @dataclass
 class SimulationOptions:
@@ -184,7 +199,8 @@ class Simulator:
         identical result.
         """
         core = self._core_config
-        compiled = _compile_cached(graph, core.use_two_pass_softmax)
+        with _tracer().span("compile", category="simulate"):
+            compiled = _compile_cached(graph, core.use_two_pass_softmax)
         dram_bpc = core.dram_bytes_per_cycle
 
         region_cache = self.region_cache
@@ -203,41 +219,50 @@ class Simulator:
                     continue
                 gather_ops.extend(region.matrix_ops)
             if gather_ops:
-                started = time.perf_counter()
-                premapped = self.mapper.map_ops_batch(gather_ops, graph.tensors)
-                self.stage_seconds["mapper"] += time.perf_counter() - started
+                with _tracer().span(
+                    "batch_map", category="simulate", num_ops=len(gather_ops)
+                ):
+                    started = time.perf_counter()
+                    premapped = self.mapper.map_ops_batch(gather_ops, graph.tensors)
+                    self.stage_seconds["mapper"] += time.perf_counter() - started
 
         region_perf: List[RegionPerformance] = []
         region_stats: List[RegionStats] = []
         producer_region: Dict[str, int] = {}
         schedule_failed = False
 
-        for position, region in enumerate(compiled.regions):
-            entry = cached_entries[position] if cached_entries is not None else None
-            if entry is not None:
-                if entry[0] is None:
-                    schedule_failed = True
-                    break
-                record, stats = self._copy_region_entry(entry)
-            else:
-                record, stats = self._evaluate_region(
-                    compiled, region, dram_bpc, producer_region, premapped
-                )
-                if region_cache is not None:
+        with _tracer().span("regions", category="simulate") as region_span:
+            for position, region in enumerate(compiled.regions):
+                entry = cached_entries[position] if cached_entries is not None else None
+                if entry is not None:
+                    if entry[0] is None:
+                        schedule_failed = True
+                        break
+                    record, stats = self._copy_region_entry(entry)
+                else:
+                    record, stats = self._evaluate_region(
+                        compiled, region, dram_bpc, producer_region, premapped
+                    )
+                    if region_cache is not None:
+                        if record is None:
+                            region_cache.put(region_keys[position], (None,))
+                        else:
+                            region_cache.put(
+                                region_keys[position],
+                                self._copy_region_entry((record, stats)),
+                            )
                     if record is None:
-                        region_cache.put(region_keys[position], (None,))
-                    else:
-                        region_cache.put(
-                            region_keys[position],
-                            self._copy_region_entry((record, stats)),
-                        )
-                if record is None:
-                    schedule_failed = True
-                    break
-            region_perf.append(record)
-            region_stats.append(stats)
-            for tensor_name in region.output_tensors:
-                producer_region[tensor_name] = region.index
+                        schedule_failed = True
+                        break
+                region_perf.append(record)
+                region_stats.append(stats)
+                for tensor_name in region.output_tensors:
+                    producer_region[tensor_name] = region.index
+            region_span.set_attr("regions", len(compiled.regions))
+            if cached_entries is not None:
+                hits = sum(1 for entry in cached_entries if entry is not None)
+                region_span.set_attr("region_cache_hits", hits)
+                region_span.set_attr("region_cache_misses", len(cached_entries) - hits)
 
         fusion_result: Optional[FusionResult] = None
         fusion_enabled = (
@@ -255,9 +280,12 @@ class Simulator:
                 gm_capacity_bytes=core.global_buffer_bytes,
                 solver=self.options.fusion_solver,
             )
-            started = time.perf_counter()
-            fusion_result = optimizer.optimize(region_stats)
-            self.stage_seconds["fusion"] += time.perf_counter() - started
+            with _tracer().span(
+                "fusion", category="simulate", regions=len(region_stats)
+            ):
+                started = time.perf_counter()
+                fusion_result = optimizer.optimize(region_stats)
+                self.stage_seconds["fusion"] += time.perf_counter() - started
             for record, cycles, decision in zip(
                 region_perf, fusion_result.region_cycles, fusion_result.decisions
             ):
