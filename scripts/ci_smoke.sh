@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI smoke suite — the exact invocations CI runs, runnable locally:
 #
-#   scripts/ci_smoke.sh [all|search|sweep|profile|mapper-equiv|bench|remote|telemetry|coverage]
+#   scripts/ci_smoke.sh [all|search|sweep|profile|mapper-equiv|bench|remote|telemetry|chaos|coverage]
 #
 # `all` (the default) runs every smoke except `coverage`, which is its own
 # CI job.  Artifacts land in $SMOKE_DIR (default: a fresh temp dir); CI sets
@@ -223,6 +223,76 @@ PY
 }
 
 # --------------------------------------------------------------------------
+# 7. Chaos smoke: seeded fault injection (worker SIGKILL + torn cache write)
+#    must leave the history bit-for-bit equal to a clean run, and a search
+#    SIGKILLed mid-run must reproduce the uninterrupted history on --resume.
+# --------------------------------------------------------------------------
+smoke_chaos() {
+    log "chaos smoke: fault-injected history equivalence"
+    local common=(--workload efficientnet-b0 --trials 16 --batch-size 4 --seed 0 --history)
+    python -m repro search "${common[@]}" \
+        --output "$SMOKE_DIR/chaos-clean.json"
+    python -m repro search "${common[@]}" \
+        --workers 2 \
+        --inject-faults "worker-crash:n=1,torn-write:n=1" --fault-seed 7 \
+        --cache "$SMOKE_DIR/chaos-trials.jsonl" \
+        --output "$SMOKE_DIR/chaos-faulted.json"
+
+    python - "$SMOKE_DIR/chaos-clean.json" "$SMOKE_DIR/chaos-faulted.json" \
+        "$SMOKE_DIR/chaos-trials.jsonl" <<'PY'
+import json, sys
+clean = json.load(open(sys.argv[1]))
+faulted = json.load(open(sys.argv[2]))
+for key in ("proposals", "history", "best_score_curve", "best_score"):
+    if clean.get(key) != faulted.get(key):
+        raise SystemExit(f"fault-injected run diverged from the clean run on {key!r}")
+stats = faulted.get("runtime") or {}
+assert stats.get("faults_injected", 0) >= 2, stats
+assert stats.get("worker_restarts", 0) >= 1, stats
+from repro.runtime.cache import TrialCache
+reopened = TrialCache(sys.argv[3])
+assert reopened.stats.corrupt_records == 1, vars(reopened.stats)
+print("fault-injected == clean bit-for-bit over",
+      len(faulted.get("history") or []), "trials;",
+      stats.get("faults_injected"), "faults injected,",
+      stats.get("worker_restarts"), "worker restart(s),",
+      reopened.stats.corrupt_records, "torn record quarantined")
+PY
+
+    log "chaos smoke: SIGKILL mid-run + --resume round-trip"
+    local ckpt="$SMOKE_DIR/chaos-resume.ckpt"
+    rm -f "$ckpt"
+    python -m repro search "${common[@]}" \
+        --checkpoint "$ckpt" --checkpoint-every 4 \
+        --output "$SMOKE_DIR/chaos-interrupted.json" &
+    local search_pid=$!
+    for _ in $(seq 1 120); do
+        [ -f "$ckpt" ] && break
+        kill -0 "$search_pid" 2>/dev/null || break
+        sleep 0.25
+    done
+    # SIGKILL, not TERM: no cleanup handlers, exactly like an OOM kill.
+    kill -9 "$search_pid" 2>/dev/null || true
+    wait "$search_pid" 2>/dev/null || true
+    [ -f "$ckpt" ] || { echo "no checkpoint was written before the kill"; exit 1; }
+
+    python -m repro search "${common[@]}" \
+        --resume "$ckpt" --checkpoint-every 4 \
+        --output "$SMOKE_DIR/chaos-resumed.json"
+
+    python - "$SMOKE_DIR/chaos-clean.json" "$SMOKE_DIR/chaos-resumed.json" <<'PY'
+import json, sys
+clean = json.load(open(sys.argv[1]))
+resumed = json.load(open(sys.argv[2]))
+for key in ("proposals", "history", "best_score_curve", "best_score"):
+    if clean.get(key) != resumed.get(key):
+        raise SystemExit(f"resumed run diverged from the uninterrupted run on {key!r}")
+print("kill -9 + --resume reproduced the uninterrupted history bit-for-bit over",
+      len(resumed.get("history") or []), "trials")
+PY
+}
+
+# --------------------------------------------------------------------------
 # Coverage job: ratcheted floor + drift check.  The floor lives in ci.yml
 # (COV_FLOOR env of the coverage job); raise it as coverage grows, never
 # lower it.  The drift check fails the job when the floor lags measured
@@ -260,6 +330,7 @@ case "${1:-all}" in
     bench)        smoke_bench ;;
     remote)       smoke_remote ;;
     telemetry)    smoke_telemetry ;;
+    chaos)        smoke_chaos ;;
     coverage)     smoke_coverage ;;
     all)
         smoke_search
@@ -269,10 +340,11 @@ case "${1:-all}" in
         smoke_bench
         smoke_remote
         smoke_telemetry
+        smoke_chaos
         log "all smokes passed; artifacts in $SMOKE_DIR"
         ;;
     *)
-        echo "usage: $0 [all|search|sweep|profile|mapper-equiv|bench|remote|telemetry|coverage]" >&2
+        echo "usage: $0 [all|search|sweep|profile|mapper-equiv|bench|remote|telemetry|chaos|coverage]" >&2
         exit 2
         ;;
 esac

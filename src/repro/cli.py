@@ -201,6 +201,53 @@ explain, and the slowest individual spans::
 / cache gauges) next to ``GET /health`` (which reports uptime and
 per-route request counts); ``repro serve --verbose`` turns on per-request
 access logging.
+
+Fault tolerance
+---------------
+Partial failure never changes what a search computes.  The runtime's
+recovery guarantees, from the inside out:
+
+* **Supervised worker pools.**  A pool worker dying mid-batch (OOM kill,
+  segfault) breaks the pool; the executor detects it, spawns a fresh pool —
+  re-warming worker caches through the same initializer — and re-dispatches
+  the in-flight batch, up to a restart budget.  Evaluation is
+  deterministic, so the history is bit-for-bit what a fault-free run
+  produces; ``worker_restarts`` in the summary reports what happened.
+* **Remote escalation ladder with local fallback.**  Remote batches get
+  per-request timeouts, bounded retry with backoff, hedged straggler
+  re-dispatch, endpoint blacklisting, and whole-fleet forgiveness; if a
+  batch *still* cannot be evaluated remotely, it is evaluated serially
+  in-process instead of failing the search (``remote_fallbacks`` counts
+  these, and a ``remote_fallback`` span records why).
+* **Crash-safe stores.**  Checkpoint saves and cache/op-store compactions
+  write a temp file, ``fsync`` it, then rename, so they survive power
+  loss, not just process death; a torn JSONL tail from a killed append is
+  quarantined (skipped + counted as ``corrupt_records``, dropped by the
+  next compaction) instead of aborting the load, and stale temp files from
+  crashed writers are swept on the next load or poll.  Killing a search
+  and rerunning with ``--resume`` reproduces the uninterrupted history
+  bit-for-bit.
+
+All of it is testable on purpose: ``--inject-faults SPEC --fault-seed N``
+(on ``repro search`` and ``repro sweep``) installs a seeded, deterministic
+fault plan, so chaos runs are reproducible in CI.  A spec is a
+comma-separated list of fault points, each with optional colon-separated
+params — ``p=PROB`` (fire probability per opportunity, default 1),
+``n=MAX`` (total fire budget), ``at=I|J|K`` (pin to exact opportunity
+indices), ``delay=SECONDS`` (for the slow/delay points)::
+
+    python -m repro search --workload efficientnet-b0 --trials 16 \
+        --workers 2 --inject-faults "worker-crash:n=1,torn-write:n=1" \
+        --fault-seed 7 --cache trials.jsonl
+
+Fault points: ``worker-crash`` (SIGKILL a pool worker mid-batch),
+``remote-drop`` / ``remote-timeout`` / ``remote-slow`` (client-side request
+faults), ``service-error`` / ``service-drop`` / ``service-delay``
+(service-side faults; also available on ``repro serve --inject-faults`` to
+run a deliberately flaky endpoint), and ``torn-write`` (truncated cache
+append / partial checkpoint temp file).  The injected-fault history must
+equal the clean history bit-for-bit — CI's ``chaos`` smoke asserts exactly
+that, plus a kill-and-``--resume`` round-trip.
 """
 
 from __future__ import annotations
@@ -237,6 +284,23 @@ def _configure_trace(path: Optional[str], sample_rate: float, seed: int) -> bool
 
     configure_tracer(enabled=True, sample_rate=sample_rate, seed=seed)
     return True
+
+
+def _configure_faults(spec: Optional[str], seed: int) -> bool:
+    """Install the ``--inject-faults`` plan for this process; True on error.
+
+    Installed before the executor exists, like tracing, so every failure
+    site — pool dispatch, remote attempts, cache and checkpoint writers —
+    consults the same seeded plan.
+    """
+    from repro.runtime.faults import configure_faults
+
+    try:
+        configure_faults(spec, seed=seed)
+    except ValueError as error:
+        print(f"error: {error}")
+        return True
+    return False
 
 
 def _write_trace(path: str) -> None:
@@ -374,6 +438,8 @@ def _cmd_search(args) -> int:
     # Tracing must be configured before the executor exists: the process
     # pool ships the telemetry config to workers through its initializer.
     tracing = _configure_trace(args.trace, args.trace_sample, args.seed)
+    if _configure_faults(args.inject_faults, args.fault_seed):
+        return 1
     with make_executor(
         args.workers,
         kind=args.executor,
@@ -430,6 +496,14 @@ def _cmd_search(args) -> int:
             summary["fusion seconds"] = result.runtime.fusion_seconds
         if result.runtime.resumed_trials:
             summary["resumed trials"] = result.runtime.resumed_trials
+        if result.runtime.worker_restarts:
+            summary["worker restarts"] = result.runtime.worker_restarts
+        if result.runtime.remote_fallbacks:
+            summary["remote fallbacks"] = result.runtime.remote_fallbacks
+        if result.runtime.corrupt_records:
+            summary["quarantined records"] = result.runtime.corrupt_records
+        if result.runtime.faults_injected:
+            summary["faults injected"] = result.runtime.faults_injected
         if result.runtime.remote_requests:
             summary["remote requests"] = result.runtime.remote_requests
             summary["remote retries"] = result.runtime.remote_retries
@@ -508,6 +582,8 @@ def _cmd_sweep(args) -> int:
             print(f"error: {error}")
             return 1
         tracing = _configure_trace(args.trace, args.trace_sample, args.seed)
+        if _configure_faults(args.inject_faults, args.fault_seed):
+            return 1
         with make_executor(args.workers) as executor:
             if args.shard_index is not None:
                 if not 0 <= args.shard_index < args.shards:
@@ -651,12 +727,18 @@ def _cmd_serve(args) -> int:
             level=logging.DEBUG,
             format="%(asctime)s %(name)s %(levelname)s %(message)s",
         )
-    service = serve(
-        host=args.host,
-        port=args.port,
-        workers=args.workers,
-        op_cache_path=args.op_cache,
-    )
+    try:
+        service = serve(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            op_cache_path=args.op_cache,
+            fault_spec=args.inject_faults,
+            fault_seed=args.fault_seed,
+        )
+    except ValueError as error:  # e.g. a typo'd --inject-faults spec
+        print(f"error: {error}")
+        return 1
     host, port = service.address
     print(
         f"serving trial evaluation on http://{host}:{port} "
@@ -885,6 +967,13 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--no-region-cache", action="store_true",
                         help="Disable the cross-trial fusion-region result cache "
                              "(identical results, slower on warm trials)")
+    search.add_argument("--inject-faults", default=None, metavar="SPEC",
+        help="Deterministic chaos testing: comma-separated fault points with "
+             "colon-separated params, e.g. 'worker-crash:n=1,remote-drop:p=0.25:n=4' "
+             "(see the Fault tolerance section of `python -m repro --help`'s module docs)")
+    search.add_argument("--fault-seed", type=int, default=0, metavar="N",
+        help="Seed of the fault plan's random streams (default 0); same spec + "
+             "seed fires the same faults")
     search.add_argument("--trace", default=None, metavar="PATH",
                         help="Record spans across search/executor/workers/remote "
                              "and write a Chrome trace (.json; chrome://tracing "
@@ -912,6 +1001,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--op-cache", default=None, metavar="PATH",
                        help="Persist the service's cross-trial op-cost cache here "
                             "(warm across requests and clients)")
+    serve.add_argument("--inject-faults", default=None, metavar="SPEC",
+        help="Serve as a deliberately flaky endpoint: seeded service-side "
+             "faults, e.g. 'service-error:p=0.2,service-drop:n=3'")
+    serve.add_argument("--fault-seed", type=int, default=0, metavar="N",
+        help="Seed of the service fault plan (default 0)")
     serve.add_argument("--verbose", action="store_true",
                        help="Log per-request access lines (DEBUG) to stderr")
     serve.set_defaults(func=_cmd_serve)
@@ -976,6 +1070,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "guided optimizers fold in other shards' bests)")
     sweep.add_argument("--shard-dir", default=None, metavar="DIR",
                        help="Also write each shard's JSON into this directory")
+    sweep.add_argument("--inject-faults", default=None, metavar="SPEC",
+        help="Deterministic chaos testing, as in `repro search --inject-faults`")
+    sweep.add_argument("--fault-seed", type=int, default=0, metavar="N",
+        help="Seed of the fault plan's random streams (default 0)")
     sweep.add_argument("--trace", default=None, metavar="PATH",
                        help="Record spans across all shards run in this process "
                             "and write a Chrome trace (.json) or JSONL (.jsonl) "

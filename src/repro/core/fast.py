@@ -64,6 +64,14 @@ class RuntimeStats:
     ``--exchange``.  ``spans_recorded`` counts telemetry spans captured by
     the run (zero unless tracing was enabled, e.g. via ``--trace``); tracing
     is strictly observational, so histories are identical either way.
+
+    The fault-survival counters report what the run lived through without
+    its history changing: ``worker_restarts`` (process pools rebuilt after a
+    worker died mid-batch), ``remote_fallbacks`` (batches a remote executor
+    evaluated locally after the whole fleet failed), ``corrupt_records``
+    (torn JSONL records quarantined while loading the attached trial / op
+    stores), and ``faults_injected`` (faults fired by an ``--inject-faults``
+    plan during the run; zero in production runs).
     """
 
     trials_evaluated: int = 0
@@ -86,10 +94,14 @@ class RuntimeStats:
     remote_hedges: int = 0
     remote_failures: int = 0
     remote_blacklist_resets: int = 0
+    remote_fallbacks: int = 0
     endpoint_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
     exchange_published: int = 0
     exchange_adopted: int = 0
     spans_recorded: int = 0
+    worker_restarts: int = 0
+    corrupt_records: int = 0
+    faults_injected: int = 0
 
     @property
     def trials_per_second(self) -> float:
@@ -286,6 +298,12 @@ class FASTSearch:
         # on a reused executor (e.g. across sweep shards) reports deltas.
         collect_remote = getattr(executor, "runtime_counters", None)
         remote_start = collect_remote() if callable(collect_remote) else None
+        # Fault injection (chaos runs): snapshot the plan's fired total so
+        # the stats report only faults injected during *this* run.
+        from repro.runtime.faults import get_fault_plan
+
+        fault_plan = get_fault_plan()
+        faults_start = fault_plan.total_fired if fault_plan is not None else 0
 
         def _live_cache_rates() -> Dict[str, float]:
             """Cumulative op/region cache hit rates so far this run.
@@ -532,6 +550,14 @@ class FASTSearch:
         if self.exchange is not None:
             stats.exchange_published = self.exchange.published
             stats.exchange_adopted = self.exchange.adopted
+        if fault_plan is not None:
+            stats.faults_injected = fault_plan.total_fired - faults_start
+        # Torn records quarantined while the attached stores loaded — the
+        # crash-survival receipt of a resume-after-kill run.
+        if self.cache is not None:
+            stats.corrupt_records += self.cache.stats.corrupt_records
+        if op_cache is not None:
+            stats.corrupt_records += op_cache.stats.corrupt_records
         # Root span for the whole run, synthesized from the measured elapsed
         # time (no-op when tracing is off).  Recorded last so every child
         # span is already in the buffer when the trace file is written.

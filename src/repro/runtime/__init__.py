@@ -29,7 +29,11 @@ engine, layered as:
 * :mod:`repro.runtime.telemetry` — dependency-free span tracer + metrics
   registry: end-to-end spans across search → executor → worker → remote
   service, Chrome-trace / JSONL export (``repro search --trace``,
-  ``repro trace``), and Prometheus text exposition (``GET /metrics``).
+  ``repro trace``), and Prometheus text exposition (``GET /metrics``),
+* :mod:`repro.runtime.faults` — seeded deterministic fault injection
+  (``repro search --inject-faults``): worker crashes, remote drops /
+  timeouts / slowdowns, service errors, and torn writes, exercising the
+  runtime's supervision, fallback, and quarantine paths reproducibly.
 
 :class:`~repro.core.fast.FASTSearch` accepts instances of these pieces via
 its ``executor=``, ``cache=``, ``checkpoint=``, and ``progress=`` arguments;
@@ -59,9 +63,20 @@ from repro.runtime.executor import (
     ParallelExecutor,
     SerialExecutor,
     TrialExecutor,
+    WorkerCrashError,
     executor_kinds,
     make_executor,
     register_executor,
+)
+from repro.runtime.faults import (
+    KNOWN_FAULT_POINTS,
+    FaultPlan,
+    FaultPoint,
+    clear_faults,
+    configure_faults,
+    get_fault_plan,
+    parse_fault_spec,
+    set_fault_plan,
 )
 from repro.runtime.remote import AsyncRemoteExecutor, EndpointStats, RemoteExecutionError
 from repro.runtime.opcache import (
@@ -125,6 +140,9 @@ __all__ = [
     "EXECUTOR_KINDS",
     "EndpointStats",
     "EvaluationService",
+    "FaultPlan",
+    "FaultPoint",
+    "KNOWN_FAULT_POINTS",
     "MetricsRegistry",
     "SpanRecord",
     "Tracer",
@@ -157,11 +175,15 @@ __all__ = [
     "TraceSummary",
     "TrialCache",
     "TrialExecutor",
+    "WorkerCrashError",
     "apply_telemetry_config",
     "chrome_trace_events",
+    "clear_faults",
     "compact_cache",
+    "configure_faults",
     "configure_tracer",
     "executor_kinds",
+    "get_fault_plan",
     "get_metrics",
     "get_tracer",
     "load_trace",
@@ -171,6 +193,7 @@ __all__ = [
     "make_executor",
     "make_scoreboard",
     "merge_shard_results",
+    "parse_fault_spec",
     "plan_shards",
     "problem_fingerprint",
     "profile_search",
@@ -183,6 +206,7 @@ __all__ = [
     "run_sharded_sweep",
     "save_shard_result",
     "serve",
+    "set_fault_plan",
     "set_tracer",
     "summarize_trace",
     "sweep_result_to_dict",

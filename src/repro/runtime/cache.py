@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Union
 from repro.core.problem import SearchProblem
 from repro.core.trial import TrialEvaluator, TrialMetrics
 from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
+from repro.runtime.faults import get_fault_plan
 from repro.reporting.serialization import (
     params_to_jsonable,
     trial_metrics_from_dict,
@@ -112,13 +113,21 @@ def problem_fingerprint(
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one cache instance."""
+    """Hit/miss counters for one cache instance.
+
+    ``corrupt_records`` counts torn/undecodable JSONL lines quarantined
+    (skipped, then dropped by the next compaction) while loading the store —
+    the tail a crash mid-append leaves behind.  ``stale_tmp_swept`` counts
+    leftover ``.tmp`` files from crashed compactions removed on load.
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     disk_entries_loaded: int = 0
     auto_compactions: int = 0
+    corrupt_records: int = 0
+    stale_tmp_swept: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -278,7 +287,26 @@ class TrialCache:
             return "self"
         return "live" if _pid_alive(pid) else "orphaned"
 
+    def _sweep_stale_tmp(self) -> None:
+        """Remove a leftover compaction temp file from a crashed writer.
+
+        The ``<name>.tmp`` file only exists inside :meth:`compact`'s
+        write-then-rename window; finding one at load time means a previous
+        compaction died mid-write and its content is garbage (the base file
+        it was about to replace is intact).
+        """
+        if self.path is None:
+            return
+        tmp_path = self.path.with_name(self.path.name + ".tmp")
+        try:
+            if tmp_path.exists():
+                tmp_path.unlink()
+                self.stats.stale_tmp_swept += 1
+        except OSError:
+            pass  # sweeping is best effort; a stale tmp is inert
+
     def _load_disk_index(self) -> None:
+        self._sweep_stale_tmp()
         for file in self.disk_files():
             for line in file.read_text().splitlines():
                 line = line.strip()
@@ -288,7 +316,10 @@ class TrialCache:
                     record = json.loads(line)
                     self._disk_index[record["key"]] = record["metrics"]
                 except (json.JSONDecodeError, KeyError, TypeError):
-                    continue  # tolerate truncated/corrupt lines from killed runs
+                    # Quarantine the torn line a killed run left behind:
+                    # count it, keep loading, let compaction drop it.
+                    self.stats.corrupt_records += 1
+                    continue
         self.stats.disk_entries_loaded = len(self._disk_index)
 
     # ------------------------------------------------------------------
@@ -327,10 +358,17 @@ class TrialCache:
             write_path.parent.mkdir(parents=True, exist_ok=True)
             if self.writer_id is not None:
                 self._claim_sidecar(write_path)
+            line = json.dumps(record) + "\n"
+            plan = get_fault_plan()
+            if plan is not None and plan.fire("torn-write") is not None:
+                # Injected crash mid-append: persist only a prefix of the
+                # record.  The in-memory entry above is intact, so the run
+                # is unaffected; the next load must quarantine this line.
+                line = line[: max(1, len(line) // 2)].rstrip("\n") + "\n"
             # One write call per record: a line can never be split across
             # appends, so a reader (or a later compaction) sees whole lines.
             with write_path.open("a") as handle:
-                handle.write(json.dumps(record) + "\n")
+                handle.write(line)
             self._approx_disk_records += 1
             self._maybe_auto_compact()
 
@@ -410,7 +448,8 @@ class TrialCache:
                     key = record["key"]
                     metrics = record["metrics"]
                 except (json.JSONDecodeError, KeyError, TypeError):
-                    continue
+                    self.stats.corrupt_records += 1
+                    continue  # torn record: quarantined out of the rewrite
                 ts = float(record.get("ts", file_mtime) or file_mtime)
                 incumbent = survivors.get(key)
                 if incumbent is None:
@@ -439,6 +478,10 @@ class TrialCache:
             for record, ts, _ in kept:
                 record.setdefault("ts", ts)
                 handle.write(json.dumps(record) + "\n")
+            # Durable before the rename: the replace must never promote a
+            # temp file whose data could still be lost to power failure.
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_path, self.path)
         for file in files:
             if file != self.path:

@@ -19,8 +19,9 @@ batch size 8) is also supported and continues the search validly, but the
 extra boundary means the trajectory may differ from a single larger-budget
 run.
 
-The file is written atomically (temp file + rename), so a crash mid-save
-never corrupts the previous checkpoint.
+The file is written atomically (temp file, ``fsync``, rename), so a crash —
+or power loss — mid-save never corrupts the previous checkpoint; a stale
+``.tmp`` file left by a killed save is swept on the next load or save.
 """
 
 from __future__ import annotations
@@ -33,6 +34,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.core.trial import TrialMetrics
 from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
+from repro.runtime.faults import get_fault_plan
 from repro.reporting.serialization import (
     params_from_jsonable,
     params_to_jsonable,
@@ -133,8 +135,12 @@ class SearchCheckpoint:
         """Whether a checkpoint file is present."""
         return self.path.exists()
 
+    @property
+    def _tmp_path(self) -> Path:
+        return self.path.with_suffix(self.path.suffix + ".tmp")
+
     def save(self, state: CheckpointState) -> Path:
-        """Atomically write a checkpoint; returns the path."""
+        """Atomically + durably write a checkpoint; returns the path."""
         payload = {
             "version": _FORMAT_VERSION,
             "fingerprint": state.fingerprint,
@@ -144,8 +150,22 @@ class SearchCheckpoint:
             "optimizer": state.optimizer_state,
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
-        tmp_path.write_text(json.dumps(payload))
+        tmp_path = self._tmp_path
+        text = json.dumps(payload)
+        plan = get_fault_plan()
+        if plan is not None and plan.fire("torn-write") is not None:
+            # Injected crash mid-save: a partial temp file is left behind
+            # and the rename never happens.  The previous checkpoint stays
+            # intact and the next save (or load) sweeps the debris.
+            tmp_path.write_text(text[: max(1, len(text) // 2)])
+            return self.path
+        with tmp_path.open("w") as handle:
+            handle.write(text)
+            # Durable before the rename: os.replace is atomic against
+            # crashes, but only fsync makes the *content* survive power
+            # loss once the new name is visible.
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_path, self.path)
         self._last_saved = state.num_completed
         return self.path
@@ -157,8 +177,20 @@ class SearchCheckpoint:
         return None
 
     def load(self, space: DatapathSearchSpace) -> CheckpointState:
-        """Read and decode the checkpoint file."""
-        payload = json.loads(self.path.read_text())
+        """Read and decode the checkpoint file.
+
+        Sweeps any stale ``.tmp`` debris a killed save left next to the
+        checkpoint (its content is partial by construction — the real file
+        is only ever replaced after a full fsync'd write).
+        """
+        self._tmp_path.unlink(missing_ok=True)
+        try:
+            payload = json.loads(self.path.read_text())
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"checkpoint {self.path} is corrupt ({error}); delete it to "
+                "restart the search from scratch"
+            ) from error
         version = payload.get("version")
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported checkpoint version {version!r}")

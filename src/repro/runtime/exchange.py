@@ -36,6 +36,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.runtime.cache import _pid_alive
+
 __all__ = [
     "ScoreRecord",
     "Scoreboard",
@@ -106,6 +108,12 @@ class Scoreboard(ABC):
 class FileScoreboard(Scoreboard):
     """File-backed scoreboard: one atomic JSON file per shard.
 
+    A publish writes a per-pid temp file, fsyncs it, and renames it over
+    the shard file, so readers never see torn records even across power
+    loss.  Temp files orphaned by *crashed* writers (the rename never
+    happened) are swept on :meth:`poll` once their writer pid is dead;
+    ``stale_tmp_swept`` counts them.
+
     Args:
         path: Common prefix; shard ``k`` owns ``<path>.shard-<k>``.
     """
@@ -113,6 +121,7 @@ class FileScoreboard(Scoreboard):
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self.errors = 0
+        self.stale_tmp_swept = 0
 
     def _shard_file(self, shard_id: int) -> Path:
         return self.path.with_name(f"{self.path.name}.shard-{shard_id}")
@@ -126,13 +135,38 @@ class FileScoreboard(Scoreboard):
             target.parent.mkdir(parents=True, exist_ok=True)
             # Leading dot keeps the temp file out of the ``.shard-*`` glob.
             tmp = target.with_name(f".{target.name}.tmp-{os.getpid()}")
-            tmp.write_text(json.dumps(record.to_dict()))
+            with tmp.open("w") as handle:
+                handle.write(json.dumps(record.to_dict()))
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, target)
         except OSError:
             self.errors += 1
 
+    def _sweep_stale_tmp(self) -> None:
+        """Remove ``.tmp-<pid>`` leftovers whose writer process is dead.
+
+        A live writer's temp file exists only for the instant between write
+        and rename; anything owned by a dead pid (or unparseable) is debris
+        from a crashed publish and would otherwise accumulate forever.
+        """
+        try:
+            leftovers = list(self.path.parent.glob(f".{self.path.name}.shard-*.tmp-*"))
+        except OSError:
+            return
+        for tmp in leftovers:
+            pid = tmp.name.rpartition(".tmp-")[2]
+            if pid.isdigit() and _pid_alive(int(pid)):
+                continue
+            try:
+                tmp.unlink()
+                self.stale_tmp_swept += 1
+            except OSError:
+                pass  # best effort; retried on the next poll
+
     def poll(self) -> Dict[int, ScoreRecord]:
         records: Dict[int, ScoreRecord] = {}
+        self._sweep_stale_tmp()
         try:
             files = sorted(self.path.parent.glob(f"{self.path.name}.shard-*"))
         except OSError:

@@ -9,19 +9,31 @@ search loop that proposes them.  :class:`SerialExecutor` evaluates in-process;
 Both executors return results **in proposal order**, so a parallel run feeds
 the optimizer the exact same tell sequence as a serial run and the search
 history is bit-for-bit reproducible for a fixed seed and batch size.
+
+The process pool is *supervised*: a worker dying mid-batch (OOM kill,
+segfault, injected ``worker-crash`` fault) breaks the pool, which the
+executor detects, rebuilds — re-warming worker caches through the same
+initializer — and re-dispatches the in-flight batch on.  Evaluation is
+deterministic, so the re-dispatched batch returns the same metrics and the
+search history stays bit-for-bit equal to a fault-free run; the recovery is
+visible only in ``runtime_counters()`` (``worker_restarts``).
 """
 
 from __future__ import annotations
 
 import os
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.trial import TrialEvaluator, TrialMetrics
 from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
+from repro.runtime.faults import crash_process, get_fault_plan
 from repro.runtime.telemetry import (
     apply_telemetry_config,
+    get_metrics,
     get_tracer,
     telemetry_config,
 )
@@ -30,11 +42,16 @@ __all__ = [
     "TrialExecutor",
     "SerialExecutor",
     "ParallelExecutor",
+    "WorkerCrashError",
     "EXECUTOR_KINDS",
     "register_executor",
     "executor_kinds",
     "make_executor",
 ]
+
+
+class WorkerCrashError(RuntimeError):
+    """A batch kept crashing pool workers past the restart budget."""
 
 
 # ---------------------------------------------------------------------------
@@ -94,7 +111,13 @@ def _init_worker(
                 pass  # warm-up is best effort; evaluation must still start
 
 
-def _evaluate_in_worker(params: ParameterValues):
+def _evaluate_in_worker(task):
+    params, crash = task
+    if crash:
+        # Injected worker death (``worker-crash`` fault): die the way an OOM
+        # kill would, before any evaluation work.  The decision was made in
+        # the parent, so the re-dispatched task arrives with crash=False.
+        crash_process()
     if _WORKER_EVALUATOR is None or _WORKER_SPACE is None:
         raise RuntimeError("worker process was not initialized with an evaluator")
     evaluator = _WORKER_EVALUATOR
@@ -183,12 +206,24 @@ class ParallelExecutor(TrialExecutor):
     Worker-side cache hits and per-stage timings flow back with every result
     and surface through :meth:`runtime_counters`.
 
+    The pool is supervised: worker death mid-batch (detected as
+    ``BrokenProcessPool``) tears the broken pool down, spawns a fresh one —
+    whose initializer re-warms the caches exactly like the first start —
+    and re-dispatches the whole in-flight batch, up to
+    ``max_worker_restarts`` times per batch.  Evaluation is deterministic,
+    so re-dispatch returns identical metrics and the history matches a
+    fault-free run bit-for-bit; ``worker_restarts`` in
+    :meth:`runtime_counters` reports how many times it happened.
+
     Args:
         num_workers: Worker process count (defaults to the CPU count).
         chunk_size: Proposals per worker task; 1 gives the best load balance
             for heterogeneous trial costs.
         warm_start: Pre-warm worker caches in the pool initializer (on by
             default; results are identical either way).
+        max_worker_restarts: Pool rebuilds tolerated for one batch before
+            :class:`WorkerCrashError` is raised (a batch that *always*
+            kills its worker would otherwise respawn forever).
     """
 
     name = "parallel"
@@ -198,10 +233,13 @@ class ParallelExecutor(TrialExecutor):
         num_workers: Optional[int] = None,
         chunk_size: int = 1,
         warm_start: bool = True,
+        max_worker_restarts: int = 3,
     ) -> None:
         self.num_workers = max(1, int(num_workers or os.cpu_count() or 1))
         self.chunk_size = max(1, int(chunk_size))
         self.warm_start = bool(warm_start)
+        self.max_worker_restarts = max(0, int(max_worker_restarts))
+        self.worker_restarts = 0
         self._pool: Optional[ProcessPoolExecutor] = None
         # Strong references to the objects the pool was initialized with;
         # identity is checked with ``is`` (never id() of possibly-collected
@@ -240,8 +278,44 @@ class ParallelExecutor(TrialExecutor):
     ) -> List[TrialMetrics]:
         if not batch:
             return []
-        pool = self._ensure_pool(evaluator, space)
-        outcomes = list(pool.map(_evaluate_in_worker, batch, chunksize=self.chunk_size))
+        plan = get_fault_plan()
+        restarts = 0
+        while True:
+            pool = self._ensure_pool(evaluator, space)
+            # Crash decisions are drawn per dispatch attempt, in the parent:
+            # a re-dispatched batch consumes *fresh* opportunities, so a
+            # budgeted (n=K) crash plan converges instead of killing every
+            # respawned pool forever.
+            tasks = [
+                (params, plan is not None and plan.fire("worker-crash") is not None)
+                for params in batch
+            ]
+            try:
+                outcomes = list(
+                    pool.map(_evaluate_in_worker, tasks, chunksize=self.chunk_size)
+                )
+                break
+            except BrokenProcessPool as error:
+                self.close()  # the broken pool's workers are already gone
+                self.worker_restarts += 1
+                restarts += 1
+                get_metrics().counter(
+                    "repro_worker_restarts_total",
+                    "Process-pool rebuilds after a worker died mid-batch.",
+                ).inc()
+                get_tracer().record_span(
+                    "worker_restart",
+                    start_unix=time.time(),
+                    duration=0.0,
+                    category="executor",
+                    restarts_this_batch=restarts,
+                    batch_size=len(batch),
+                )
+                if restarts > self.max_worker_restarts:
+                    raise WorkerCrashError(
+                        f"batch of {len(batch)} kept killing workers through "
+                        f"{restarts} pool restarts"
+                    ) from error
         totals = self._worker_totals
         tracer = get_tracer()
         for _, delta in outcomes:
@@ -258,9 +332,12 @@ class ParallelExecutor(TrialExecutor):
         The search loop snapshots this before and after a run and reports
         the delta, so op/region-cache hit counters and per-stage timings no
         longer read zero just because evaluation happened in worker
-        processes.
+        processes.  ``worker_restarts`` counts supervised pool rebuilds
+        after worker deaths.
         """
-        return dict(self._worker_totals)
+        counters: Dict[str, float] = dict(self._worker_totals)
+        counters["worker_restarts"] = self.worker_restarts
+        return counters
 
     def close(self) -> None:
         if self._pool is not None:
@@ -299,6 +376,7 @@ def _make_remote(endpoints: Optional[Sequence[str]] = None, **options) -> TrialE
         "hedge_k",
         "chunk_size",
         "blacklist_after",
+        "local_fallback",
     }
     kwargs = {key: value for key, value in options.items() if key in known}
     return AsyncRemoteExecutor(endpoints, **kwargs)

@@ -54,12 +54,19 @@ __all__ = [
 
 @dataclass
 class OpCacheStats:
-    """Hit/miss counters for one op-cost cache."""
+    """Hit/miss counters for one op-cost cache.
+
+    ``corrupt_records`` counts torn/undecodable JSONL lines quarantined
+    while loading the store (the tail a crash mid-append leaves);
+    ``stale_tmp_swept`` counts leftover compaction temp files removed.
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     disk_entries_loaded: int = 0
+    corrupt_records: int = 0
+    stale_tmp_swept: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -138,7 +145,18 @@ class OpCostCache:
             self._load_disk_index()
 
     # ------------------------------------------------------------------
+    def _sweep_stale_tmp(self) -> None:
+        """Remove a leftover ``.tmp`` from a compaction that crashed mid-write."""
+        tmp_path = self.path.with_name(self.path.name + ".tmp")
+        try:
+            if tmp_path.exists():
+                tmp_path.unlink()
+                self.stats.stale_tmp_swept += 1
+        except OSError:
+            pass  # best effort; a stale tmp is inert
+
     def _load_disk_index(self) -> None:
+        self._sweep_stale_tmp()
         for line in self.path.read_text().splitlines():
             line = line.strip()
             if not line:
@@ -147,7 +165,10 @@ class OpCostCache:
                 record = json.loads(line)
                 self._disk_index[record["key"]] = record["cost"]
             except (json.JSONDecodeError, KeyError, TypeError):
-                continue  # tolerate truncated lines from killed runs
+                # Quarantine the torn line a killed run left behind: count
+                # it, keep loading, let compaction drop it.
+                self.stats.corrupt_records += 1
+                continue
         self.stats.disk_entries_loaded = len(self._disk_index)
 
     @staticmethod
@@ -215,6 +236,10 @@ class OpCostCache:
         with tmp_path.open("w") as handle:
             for digest, cost in self._disk_index.items():
                 handle.write(json.dumps({"key": digest, "cost": cost}) + "\n")
+            # Durable before the rename, so the promoted file can never
+            # lose its data to a power failure after the replace.
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_path, self.path)
         return len(self._disk_index)
 

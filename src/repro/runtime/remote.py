@@ -24,8 +24,16 @@ Failure handling, in increasing order of escalation:
   ``blacklist_after`` consecutive requests stops receiving new dispatches.
   If every endpoint ends up blacklisted the executor forgives all of them
   and keeps going (better a slow fleet than a dead search); a chunk whose
-  retry budget is exhausted raises :class:`RemoteExecutionError`, never
-  returning a partial or reordered batch.
+  retry budget is exhausted never returns a partial or reordered batch.
+* **Local-executor fallback** — when a batch still cannot be evaluated
+  remotely (every endpoint burned through its retry and blacklist-
+  forgiveness budgets), the executor degrades gracefully: the batch is
+  evaluated on an in-process :class:`~repro.runtime.executor
+  .SerialExecutor` instead of raising.  Evaluation is deterministic, so
+  the history is unchanged; the degradation is visible as a
+  ``remote_fallback`` telemetry span and the ``remote_fallbacks`` runtime
+  counter.  Construct with ``local_fallback=False`` to get the old
+  fail-fast :class:`RemoteExecutionError` behavior.
 
 Per-endpoint request/retry/hedge/latency counters are exposed through
 :meth:`AsyncRemoteExecutor.runtime_counters`, which the search loop folds
@@ -52,7 +60,8 @@ from repro.reporting.serialization import (
     trial_metrics_from_dict,
 )
 from repro.runtime.cache import problem_fingerprint
-from repro.runtime.executor import TrialExecutor
+from repro.runtime.executor import SerialExecutor, TrialExecutor
+from repro.runtime.faults import get_fault_plan
 from repro.runtime.telemetry import (
     NULL_SPAN,
     TRACE_CONTEXT_HEADER,
@@ -125,6 +134,10 @@ class AsyncRemoteExecutor(TrialExecutor):
             across the live endpoints (at least 1 per request).
         blacklist_after: Consecutive failures before an endpoint stops
             receiving new dispatches.
+        local_fallback: Evaluate a batch locally (serial, in-process) when
+            every endpoint exhausted its budgets, instead of raising
+            :class:`RemoteExecutionError` (on by default; the history is
+            identical either way).
     """
 
     name = "remote"
@@ -140,6 +153,7 @@ class AsyncRemoteExecutor(TrialExecutor):
         hedge_k: Optional[int] = None,
         chunk_size: Optional[int] = None,
         blacklist_after: int = 3,
+        local_fallback: bool = True,
     ) -> None:
         urls = [url.rstrip("/") for url in endpoints if url]
         if not urls:
@@ -153,8 +167,11 @@ class AsyncRemoteExecutor(TrialExecutor):
         self.hedge_k = hedge_k if hedge_k is None else max(1, int(hedge_k))
         self.chunk_size = chunk_size if chunk_size is None else max(1, int(chunk_size))
         self.blacklist_after = max(1, int(blacklist_after))
+        self.local_fallback = bool(local_fallback)
         self.batches = 0
         self.blacklist_resets = 0
+        self.fallbacks = 0
+        self._fallback_executor: Optional[SerialExecutor] = None
         self._rotation = 0
         # Enough threads for a full fan-out plus hedges on every endpoint.
         self._http_pool_size = max(4, 2 * len(self.endpoints))
@@ -352,6 +369,29 @@ class AsyncRemoteExecutor(TrialExecutor):
                 endpoint.retries += 1
                 await asyncio.sleep(min(delay, self.backoff_cap))
                 delay *= 2
+            plan = get_fault_plan()
+            if plan is not None:
+                # Injected client-side faults (``remote-*`` points): the
+                # attempt is consumed without touching the network, so the
+                # retry / backoff / blacklist machinery is exercised
+                # deterministically against a perfectly healthy service.
+                slow = plan.fire("remote-slow")
+                if slow is not None:
+                    await asyncio.sleep(slow.delay)
+                if plan.fire("remote-drop") is not None:
+                    endpoint.requests += 1
+                    self._record_failure(endpoint, timed_out=False)
+                    last_error = RemoteExecutionError(
+                        f"injected connection drop for {endpoint.url}"
+                    )
+                    continue
+                if plan.fire("remote-timeout") is not None:
+                    endpoint.requests += 1
+                    self._record_failure(endpoint, timed_out=True)
+                    last_error = RemoteExecutionError(
+                        f"injected timeout for {endpoint.url}"
+                    )
+                    continue
             try:
                 metrics = await self._attempt(
                     endpoint,
@@ -481,11 +521,48 @@ class AsyncRemoteExecutor(TrialExecutor):
         # enclosing span is still visible; the HTTP threads parent their
         # request spans to it explicitly.
         parent_header = get_tracer().context_header()
-        chunk_results = asyncio.run(self._run_batch(payloads, parent_header))
+        try:
+            chunk_results = asyncio.run(self._run_batch(payloads, parent_header))
+        except RemoteExecutionError as error:
+            if not self.local_fallback:
+                raise
+            return self._evaluate_locally(evaluator, space, batch, error)
         self.batches += 1
         merged: List[TrialMetrics] = []
         for piece in chunk_results:
             merged.extend(piece)
+        return merged
+
+    def _evaluate_locally(
+        self,
+        evaluator: TrialEvaluator,
+        space: DatapathSearchSpace,
+        batch: Sequence[ParameterValues],
+        error: RemoteExecutionError,
+    ) -> List[TrialMetrics]:
+        """Degrade gracefully: evaluate the batch in-process, serially.
+
+        Reached only after the whole escalation ladder failed — retries,
+        hedges, and blacklist forgiveness included.  Evaluation is
+        deterministic, so the fallback batch is bit-for-bit what the fleet
+        would have returned; the degradation shows up as a span and the
+        ``remote_fallbacks`` counter, never in the history.
+        """
+        self.fallbacks += 1
+        get_metrics().counter(
+            "repro_remote_fallbacks_total",
+            "Batches evaluated by the local fallback after remote failure.",
+        ).inc()
+        with get_tracer().span(
+            "remote_fallback",
+            category="remote",
+            num_params=len(batch),
+            reason=str(error)[:200],
+        ):
+            if self._fallback_executor is None:
+                self._fallback_executor = SerialExecutor()
+            merged = self._fallback_executor.evaluate_batch(evaluator, space, batch)
+        self.batches += 1
         return merged
 
     def close(self) -> None:
@@ -501,5 +578,6 @@ class AsyncRemoteExecutor(TrialExecutor):
             "remote_hedges": sum(e.hedges for e in self.endpoints),
             "remote_failures": sum(e.failures for e in self.endpoints),
             "remote_blacklist_resets": self.blacklist_resets,
+            "remote_fallbacks": self.fallbacks,
             "endpoint_stats": {e.url: e.to_counters() for e in self.endpoints},
         }

@@ -533,12 +533,26 @@ def serve(
     port: int = 8642,
     workers: int = 1,
     op_cache_path: Optional[str] = None,
+    fault_spec: Optional[str] = None,
+    fault_seed: int = 0,
 ) -> EvaluationService:
-    """Build the service ``repro serve`` runs (caller starts/serves it)."""
+    """Build the service ``repro serve`` runs (caller starts/serves it).
+
+    ``fault_spec``/``fault_seed`` attach a seeded
+    :class:`~repro.runtime.faults.FaultPlan` as the service's fault
+    injector (``service-error`` / ``service-drop`` / ``service-delay``
+    points), so a deliberately flaky endpoint for chaos runs is one flag
+    away: ``repro serve --inject-faults "service-error:p=0.2"``.
+    """
     overrides: Dict[str, object] = {}
     if op_cache_path:
         overrides["op_cache_enabled"] = True
         overrides["op_cache_path"] = op_cache_path
-    return EvaluationService(
+    service = EvaluationService(
         host=host, port=port, workers=workers, simulation_overrides=overrides
     )
+    if fault_spec:
+        from repro.runtime.faults import FaultPlan
+
+        service.fault_injector = FaultPlan(fault_spec, seed=fault_seed)
+    return service

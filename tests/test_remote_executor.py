@@ -3,8 +3,10 @@
 The fault-injection fixture drives the retry / hedging / blacklist /
 straggler paths of :class:`~repro.runtime.remote.AsyncRemoteExecutor`
 against a real in-process :class:`~repro.runtime.service.EvaluationService`:
-a :class:`FaultPlan` decides, per incoming request, whether the service
-answers normally, delays, returns an error, or drops the connection.
+a :class:`~repro.runtime.faults.FaultPlan` (the runtime's real injector,
+attached as the service's ``fault_injector``) decides, per incoming
+request, whether the service answers normally, delays, returns an error,
+or drops the connection.
 
 The invariant under test everywhere: faults may slow a batch down or fail it
 loudly, but the merged trial history is either bit-for-bit equal to the
@@ -35,6 +37,7 @@ from repro.runtime.exchange import (
     make_scoreboard,
 )
 from repro.runtime.executor import SerialExecutor, make_executor, register_executor
+from repro.runtime.faults import FaultPlan
 from repro.runtime.remote import AsyncRemoteExecutor, RemoteExecutionError
 from repro.runtime.service import EvaluationService
 from repro.runtime.sharding import run_sharded_sweep
@@ -54,30 +57,6 @@ def _history_dicts(result):
 def serial_reference():
     """The 16-trial serial history every remote run must reproduce."""
     return FASTSearch(_problem(), optimizer="lcs", seed=0).run(num_trials=16, batch_size=4)
-
-
-class FaultPlan:
-    """Configurable per-request fault injection for the service fixture.
-
-    Actions are tuples: ``("error",)`` answers HTTP 500, ``("drop",)``
-    closes the socket without a response, ``("delay", seconds)`` sleeps
-    before normal handling.  Faults can be pinned to request indices or set
-    as a default for every request.
-    """
-
-    def __init__(self):
-        self.by_index = {}
-        self.default = None
-        self.log = []
-
-    def at(self, index, action):
-        self.by_index[index] = action
-        return self
-
-    def __call__(self, index, path):
-        action = self.by_index.get(index, self.default)
-        self.log.append((index, path, action))
-        return action
 
 
 @pytest.fixture()
@@ -250,10 +229,10 @@ class TestFaultHandling:
         assert endpoint["blacklisted"] == 1.0
         assert result.runtime.endpoint_stats[service.url]["successes"] > 0
 
-    def test_all_endpoints_failing_raises_not_corrupts(self, flaky_service):
+    def test_all_endpoints_failing_raises_without_fallback(self, flaky_service):
         service, plan = flaky_service
         plan.default = ("error",)
-        executor = _remote([service.url], max_retries=1)
+        executor = _remote([service.url], max_retries=1, local_fallback=False)
         evaluator = TrialEvaluator(_problem())
         space = DatapathSearchSpace()
         batch = [space.sample(np.random.default_rng(0))]
@@ -262,6 +241,35 @@ class TestFaultHandling:
                 executor.evaluate_batch(evaluator, space, batch)
         finally:
             executor.close()
+
+    def test_all_endpoints_failing_falls_back_locally(self, flaky_service):
+        """Default behavior: an unevaluable batch degrades to in-process
+        serial evaluation instead of failing the search."""
+        service, plan = flaky_service
+        plan.default = ("error",)
+        evaluator = TrialEvaluator(_problem())
+        space = DatapathSearchSpace()
+        batch = [space.sample(np.random.default_rng(0)) for _ in range(3)]
+        expected = SerialExecutor().evaluate_batch(evaluator, space, batch)
+        executor = _remote([service.url], max_retries=1)
+        try:
+            got = executor.evaluate_batch(evaluator, space, batch)
+            counters = executor.runtime_counters()
+        finally:
+            executor.close()
+        assert [trial_metrics_to_dict(m) for m in got] == [
+            trial_metrics_to_dict(m) for m in expected
+        ]
+        assert counters["remote_fallbacks"] == 1
+
+    def test_fallback_search_reproduces_serial_history(self, flaky_service,
+                                                       serial_reference):
+        service, plan = flaky_service
+        plan.default = ("error",)
+        executor = _remote([service.url], max_retries=1)
+        result = _run_remote(executor)
+        assert _history_dicts(result) == _history_dicts(serial_reference)
+        assert result.runtime.remote_fallbacks == 4  # every batch degraded
 
     def test_blacklisting_every_endpoint_forgives_gracefully(self, flaky_service,
                                                              serial_reference):
