@@ -10,9 +10,11 @@ Two layers of measurement:
 * **Trial level** — ``repro.runtime.profiling.profile_search`` on a
   fixed-seed search: trials/sec, per-stage times, and cache hit rates for
   the scalar, per-op vectorized, graph-batched,
-  graph-batched+region-cache, graph-batched+op-cache, and parallel-2 modes,
-  with cache-enabled and parallel modes timed in their warm steady state
-  (the sweep / repeated-search regime).
+  graph-batched+region-cache, graph-batched+op-cache, trial-batched
+  (including the cupy / torch backend rows, recorded as skipped when the
+  library is absent), and parallel-2 modes, with cache-enabled and parallel
+  modes timed in their warm steady state (the sweep / repeated-search
+  regime).
 
 Results land in ``benchmarks/results/mapper_throughput.json`` and the
 repo-root ``BENCH_mapper.json`` (key ``mapper_profile``), seeding the
@@ -122,6 +124,9 @@ def test_mapper_throughput(benchmark):
         ],
     ]
     for record in profile.records:
+        if record.skipped:
+            rows.append([f"trial-level {record.mode}", "skipped", "-"])
+            continue
         rows.append([
             f"trial-level {record.mode}",
             f"{record.trials_per_second:.1f} trials/s",
@@ -159,4 +164,7 @@ def test_mapper_throughput(benchmark):
         # before workers started warm).
         assert profile.speedup("graph-batched") >= 2.5
         assert profile.speedup("graph-batched+op-cache") >= 3.0
+        # Stacking a whole proposal batch into one mapping pass must never
+        # be slower than mapping trial by trial.
+        assert profile.speedup("trial-batched") >= profile.speedup("graph-batched")
         assert profile.speedup("parallel-2") >= 1.0

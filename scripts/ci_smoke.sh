@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI smoke suite — the exact invocations CI runs, runnable locally:
 #
-#   scripts/ci_smoke.sh [all|search|sweep|profile|mapper-equiv|bench|remote|telemetry|chaos|coverage]
+#   scripts/ci_smoke.sh [all|search|sweep|profile|mapper-equiv|backend-equiv|bench|remote|telemetry|chaos|coverage]
 #
 # `all` (the default) runs every smoke except `coverage`, which is its own
 # CI job.  Artifacts land in $SMOKE_DIR (default: a fresh temp dir); CI sets
@@ -85,6 +85,36 @@ for path in sys.argv[2:]:
 print("graph-batched == per-op == scalar bit-for-bit over",
       len(reference.get("history") or []), "trials")
 PY
+}
+
+# --------------------------------------------------------------------------
+# 3c. Engine/backend equivalence smoke: the trial-batched engine must
+#     reproduce the graph-batched history bit-for-bit, and every installed
+#     array backend must pass the kernel tolerance check.
+# --------------------------------------------------------------------------
+smoke_backend_equiv() {
+    log "backend equivalence smoke: trial-batched history + backend check"
+    local common=(--workload efficientnet-b0 --trials 12 --batch-size 4 --seed 0 --history)
+    python -m repro search "${common[@]}" \
+        --engine graph-batched \
+        --output "$SMOKE_DIR/engine-graph-batched.json"
+    python -m repro search "${common[@]}" \
+        --engine trial-batched \
+        --output "$SMOKE_DIR/engine-trial-batched.json"
+
+    python - "$SMOKE_DIR/engine-graph-batched.json" \
+        "$SMOKE_DIR/engine-trial-batched.json" <<'PY'
+import json, sys
+reference = json.load(open(sys.argv[1]))
+other = json.load(open(sys.argv[2]))
+for key in ("proposals", "history", "best_score_curve", "best_score"):
+    if reference.get(key) != other.get(key):
+        raise SystemExit(f"trial-batched diverged from graph-batched on {key!r}")
+print("trial-batched == graph-batched bit-for-bit over",
+      len(reference.get("history") or []), "trials")
+PY
+
+    python -m repro profile --check-backends
 }
 
 # --------------------------------------------------------------------------
@@ -327,6 +357,7 @@ case "${1:-all}" in
     sweep)        smoke_sweep ;;
     profile)      smoke_profile ;;
     mapper-equiv) smoke_mapper_equiv ;;
+    backend-equiv) smoke_backend_equiv ;;
     bench)        smoke_bench ;;
     remote)       smoke_remote ;;
     telemetry)    smoke_telemetry ;;
@@ -337,6 +368,7 @@ case "${1:-all}" in
         smoke_sweep
         smoke_profile
         smoke_mapper_equiv
+        smoke_backend_equiv
         smoke_bench
         smoke_remote
         smoke_telemetry
@@ -344,7 +376,7 @@ case "${1:-all}" in
         log "all smokes passed; artifacts in $SMOKE_DIR"
         ;;
     *)
-        echo "usage: $0 [all|search|sweep|profile|mapper-equiv|bench|remote|telemetry|chaos|coverage]" >&2
+        echo "usage: $0 [all|search|sweep|profile|mapper-equiv|backend-equiv|bench|remote|telemetry|chaos|coverage]" >&2
         exit 2
         ;;
 esac

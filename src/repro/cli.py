@@ -125,56 +125,70 @@ coupling is strictly opt-in.
 Performance
 -----------
 Trial evaluation itself — the Figure-1 pipeline of mapper, VPU cost model,
-and FAST fusion — runs on layered fast paths, every one bit-for-bit
-equivalent to the reference implementation:
+and FAST fusion — runs on layered fast paths, and one flag names the whole
+stack: ``--engine MAPPER[:key=value,...]`` on ``repro search``, ``sweep``,
+``profile``, and ``serve``::
 
-* **Graph-batched mapping engine** (default).  The whole trial is the unit
-  of vectorization: every matrix op a trial needs mapped is gathered across
-  all fusion regions and costed in ONE stacked NumPy pass over the
-  ``ops x dataflows x (m, n, k)-tilings`` candidate space, then the results
-  are scattered back to their regions.  ``--per-op-mapper`` selects the
-  region-by-region, op-by-op walk; ``--scalar-mapper`` selects the scalar
-  reference loop (verification and profiling baselines).  Chosen tilings,
-  cycles, and DRAM bytes are identical in all three.
-* **Region-level result cache** (default).  Whole fusion-region evaluations
-  are memoized across trials keyed by (graph fingerprint, region index,
-  mapping-relevant datapath sub-config), so fusion-stable regions on warm
-  trials skip even the gather step — no problem extraction, no op-cache
-  lookups, no traffic sweep.  ``--no-region-cache`` disables it; hit/miss
-  counters appear in the search summary and ``RuntimeStats``
-  (``region_cache_hits``/``region_cache_misses``, merged across sweep
-  shards).
-* **Cross-trial op-cost cache** (default).  Mapped op costs are memoized
-  across trials keyed by the op's problem shape and the mapping-relevant
-  slice of the datapath, so neighboring design points — and repeated,
-  swept, or sharded searches — skip the candidate sweep entirely.
-  ``--no-op-cache`` disables it; ``--op-cache PATH`` additionally persists
-  the cache as JSON lines shared across processes and restarts.  Hit/miss
-  counters appear in the search summary, progress lines, and
-  ``RuntimeStats``.
-* **Warm parallel workers** (default for ``--workers N``).  Process-pool
-  workers start warm: the pool initializer pre-builds the problem's
-  workload graphs and compiled regions and attaches the shared op/region
-  caches — loading a persistent ``--op-cache`` store from disk, which is
-  how one op store is shared across workers, searches, and sweep shards
-  (``repro sweep --op-cache PATH`` hands the same store to every shard).
-  Worker-side cache hits and per-stage timings flow back into
-  ``RuntimeStats``, so parallel runs report real counters instead of zeros.
+    --engine graph-batched                       # the default engine
+    --engine scalar                              # pure-Python reference loop
+    --engine trial-batched                       # batch-of-trials stacking
+    --engine trial-batched:backend=torch         # ... on the torch backend
+    --engine graph-batched:op_cache=off,region_cache=off
 
-``repro profile`` measures all of this on a fixed-seed search: trials/sec,
-a per-stage time breakdown (mapper / vector / fusion / other), and cache
-hit rates for the scalar, per-op vectorized, graph-batched,
-graph-batched+region-cache, op-cached, and parallel modes, verifying along
-the way that every mode reproduces the same trial history::
+The mapper ladder (each level rides on the one below, and every NumPy
+level is bit-for-bit equivalent to the scalar reference — same tilings,
+cycles, and DRAM bytes):
+
+* **scalar** — the op-by-op pure-Python loop; verification and profiling
+  baseline.
+* **vectorized** — each op's ``dataflows x (m, n, k)-tilings`` candidate
+  sweep runs as one NumPy pass.
+* **graph-batched** (default) — the whole trial is the unit of
+  vectorization: every matrix op a trial needs mapped is gathered across
+  all fusion regions and costed in ONE stacked pass, then scattered back.
+* **trial-batched** — a whole proposal *batch* is the unit: the pending
+  ops of all trials in the batch are deduplicated and costed in one pass
+  before the trials finish individually.
+
+Engine options: ``backend=numpy|cupy|torch`` picks the array library the
+batched kernels run on (NumPy is the always-on, bit-exact default; cupy /
+torch are optional GPU paths that are tolerance-checked, not bit-checked —
+``repro profile --check-backends`` prints the per-backend verdict and
+skips libraries that are not installed).  ``op_cache=on|off`` and
+``region_cache=on|off`` toggle the two cross-trial memoization layers:
+the region-level result cache (whole fusion-region evaluations keyed by
+graph fingerprint, region index, and mapping-relevant datapath sub-config)
+and the per-op cost cache (``--op-cache PATH`` additionally persists it as
+JSON lines shared across processes, shards, and restarts).  Hit/miss
+counters for both appear in the search summary, progress lines, and
+``RuntimeStats``.  The legacy spellings ``--scalar-mapper``,
+``--per-op-mapper``, ``--no-op-cache``, and ``--no-region-cache`` still
+work as deprecated aliases that fold onto an equivalent ``--engine`` spec.
+
+**Warm parallel workers** (``--workers N``) compose with every engine:
+pool workers start warm (graphs, compiled regions, shared op/region
+caches, persistent ``--op-cache`` store) and inherit the parent's engine
+spec through the pool initializer — the resolved spec is echoed back as
+``engine`` in ``RuntimeStats``, so a pool silently running a different
+engine than you asked for is visible in ``repro profile``.
+
+``repro profile`` measures the whole ladder on a fixed-seed search:
+trials/sec, a per-stage time breakdown (mapper / vector / fusion / other),
+and cache hit rates for the scalar, per-op vectorized, graph-batched,
+region-cached, op-cached, trial-batched (plus cupy / torch rows, skipped
+when not installed), and parallel modes, verifying along the way that
+every NumPy mode reproduces the same trial history::
 
     python -m repro profile --workload efficientnet-b0 --trials 48 \
         --warm-op-cache --output profile.json
 
-When to prefer which knob: the defaults (graph-batched, region + op caches
-on, serial) are the right starting point; add ``--workers`` when a profile
-shows the evaluator saturating one core — warm workers compose with every
-cache layer — and add ``--op-cache PATH`` whenever you run more than one
-search over the same workloads (sweeps, shards, services, restarts).
+When to prefer which knob: the defaults (``--engine graph-batched``,
+both caches on, serial) are the right starting point; try ``--engine
+trial-batched`` for large ``--batch-size`` searches; add ``--workers``
+when a profile shows the evaluator saturating one core — warm workers
+compose with every cache layer — and add ``--op-cache PATH`` whenever you
+run more than one search over the same workloads (sweeps, shards,
+services, restarts).
 
 Observability
 -------------
@@ -315,6 +329,55 @@ def _write_trace(path: str) -> None:
     print(f"trace: {count} spans written to {path}{dropped}")
 
 
+#: Legacy engine flags already warned about this process (warn once each).
+_LEGACY_FLAG_WARNED: set = set()
+
+
+def _warn_legacy_flag(flag: str, replacement: str) -> None:
+    if flag in _LEGACY_FLAG_WARNED:
+        return
+    _LEGACY_FLAG_WARNED.add(flag)
+    print(
+        f"warning: {flag} is deprecated; use --engine {replacement}",
+        file=sys.stderr,
+    )
+
+
+def _resolve_engine(args):
+    """Fold ``--engine`` and the legacy engine flags into one EngineSpec.
+
+    The legacy spellings (``--scalar-mapper`` / ``--per-op-mapper`` /
+    ``--no-op-cache`` / ``--no-region-cache``) are deprecation aliases: each
+    one overrides the corresponding spec field and warns once per process.
+    Raises ``ValueError`` for a malformed spec.
+    """
+    from repro.simulator.enginespec import EngineSpec
+
+    engine_text = getattr(args, "engine", None)
+    spec = EngineSpec.parse(engine_text) if engine_text else EngineSpec()
+    mapper = spec.mapper
+    op_cache = spec.op_cache
+    region_cache = spec.region_cache
+    if getattr(args, "scalar_mapper", False):
+        _warn_legacy_flag("--scalar-mapper", "scalar")
+        mapper = "scalar"
+    if getattr(args, "per_op_mapper", False):
+        _warn_legacy_flag("--per-op-mapper", "vectorized")
+        if mapper != "scalar":
+            mapper = "vectorized"
+    if getattr(args, "no_op_cache", False):
+        _warn_legacy_flag("--no-op-cache", f"{mapper}:op_cache=off")
+        op_cache = False
+    if getattr(args, "no_region_cache", False):
+        _warn_legacy_flag("--no-region-cache", f"{mapper}:region_cache=off")
+        region_cache = False
+    return EngineSpec(
+        mapper=mapper,
+        backend=spec.backend if mapper != "scalar" else "numpy",
+        op_cache=op_cache,
+        region_cache=region_cache,
+    )
+
 
 def _cmd_list_workloads(_args) -> int:
     rows = []
@@ -404,20 +467,20 @@ def _cmd_characterize(args) -> int:
 def _cmd_search(args) -> int:
     from repro.core.trial import TrialEvaluator
     from repro.runtime import ProgressBus, ProgressPrinter, SearchCheckpoint, TrialCache, make_executor
-    from repro.simulator.engine import SimulationOptions
 
     problem = SearchProblem(
         workloads=list(args.workload),
         objective=ObjectiveKind(args.objective),
     )
+    try:
+        engine = _resolve_engine(args)
+    except ValueError as error:
+        print(f"error: {error}")
+        return 1
     evaluator = TrialEvaluator(
         problem,
-        simulation_options=SimulationOptions(
+        simulation_options=engine.to_simulation_options(
             fusion_solver="greedy",
-            vectorized_mapper=not args.scalar_mapper,
-            graph_batched_mapper=False if args.per_op_mapper else None,
-            region_cache_enabled=not args.no_region_cache,
-            op_cache_enabled=not args.no_op_cache,
             op_cache_path=args.op_cache,
         ),
     )
@@ -581,6 +644,11 @@ def _cmd_sweep(args) -> int:
         except (KeyError, ValueError) as error:
             print(f"error: {error}")
             return 1
+        try:
+            engine = _resolve_engine(args)
+        except ValueError as error:
+            print(f"error: {error}")
+            return 1
         tracing = _configure_trace(args.trace, args.trace_sample, args.seed)
         if _configure_faults(args.inject_faults, args.fault_seed):
             return 1
@@ -594,7 +662,7 @@ def _cmd_sweep(args) -> int:
                     problem, spec, optimizer=args.optimizer, batch_size=args.batch_size,
                     executor=executor, cache_path=args.cache, exchange=args.exchange,
                     op_cache_path=args.op_cache,
-                    op_cache_enabled=not args.no_op_cache,
+                    engine=engine,
                 )
                 out = args.output or f"shard-{spec.shard_id}.json"
                 save_shard_result(result, out)
@@ -615,7 +683,7 @@ def _cmd_sweep(args) -> int:
                     problem, spec, optimizer=args.optimizer, batch_size=args.batch_size,
                     executor=executor, cache_path=args.cache, exchange=args.exchange,
                     op_cache_path=args.op_cache,
-                    op_cache_enabled=not args.no_op_cache,
+                    engine=engine,
                 )
                 for spec in specs
             ]
@@ -671,7 +739,56 @@ def _cmd_sweep(args) -> int:
 def _cmd_profile(args) -> int:
     import json
 
-    from repro.runtime.profiling import profile_search
+    from repro.runtime.profiling import PROFILE_MODES, ProfileMode, profile_search
+
+    if args.check_backends:
+        from repro.mapping.backend import BACKEND_NAMES, check_backend
+
+        rows = []
+        any_failed = False
+        for name in BACKEND_NAMES:
+            verdict = check_backend(name)
+            status = verdict["status"]
+            any_failed = any_failed or status == "failed"
+            detail = (
+                f"max rel err {verdict['max_rel_err']:.2e} "
+                f"over {verdict['candidates']} candidates"
+                if status == "ok"
+                else str(verdict.get("reason", ""))
+            )
+            rows.append([name, status, detail])
+        print(format_table(["Backend", "Status", "Detail"], rows))
+        if any_failed:
+            print("\nbackend equivalence FAILED: see the rows above")
+            return 1
+        print("\nbackend equivalence: every installed backend matches NumPy "
+              "within tolerance")
+        return 0
+
+    if not args.workload:
+        print("error: --workload is required unless --check-backends is given")
+        return 1
+
+    modes = PROFILE_MODES
+    if args.engine:
+        # Profile just the requested engine against the scalar reference.
+        try:
+            spec = _resolve_engine(args)
+        except ValueError as error:
+            print(f"error: {error}")
+            return 1
+        requested = ProfileMode(
+            str(spec),
+            vectorized_mapper=spec.mapper != "scalar",
+            op_cache=spec.op_cache,
+            graph_batched=spec.mapper in ("graph-batched", "trial-batched"),
+            region_cache=spec.region_cache,
+            trial_batched=spec.mapper == "trial-batched",
+            backend=spec.backend,
+        )
+        modes = (PROFILE_MODES[0],)
+        if requested != PROFILE_MODES[0]:
+            modes = modes + (requested,)
 
     report = profile_search(
         list(args.workload),
@@ -680,10 +797,16 @@ def _cmd_profile(args) -> int:
         seed=args.seed,
         batch_size=args.batch_size,
         objective=ObjectiveKind(args.objective),
+        modes=modes,
         warm_op_cache=args.warm_op_cache,
     )
     rows = []
     for record in report.records:
+        if record.skipped:
+            rows.append([
+                record.mode, "skipped", "-", "-", "-", "-", "-", "-", "-",
+            ])
+            continue
         stages = record.stage_seconds
         rows.append([
             record.mode,
@@ -707,7 +830,8 @@ def _cmd_profile(args) -> int:
         f"workloads={','.join(report.workloads)}"
     )
     if report.histories_match:
-        print("equivalence: all modes reproduced the reference trial history bit-for-bit")
+        print("equivalence: all NumPy modes reproduced the reference trial "
+              "history bit-for-bit")
     else:
         print("equivalence FAILED: some mode diverged from the reference trial history")
     if args.output:
@@ -728,6 +852,7 @@ def _cmd_serve(args) -> int:
             format="%(asctime)s %(name)s %(levelname)s %(message)s",
         )
     try:
+        engine = _resolve_engine(args) if getattr(args, "engine", None) else None
         service = serve(
             host=args.host,
             port=args.port,
@@ -735,8 +860,9 @@ def _cmd_serve(args) -> int:
             op_cache_path=args.op_cache,
             fault_spec=args.inject_faults,
             fault_seed=args.fault_seed,
+            engine=engine,
         )
-    except ValueError as error:  # e.g. a typo'd --inject-faults spec
+    except ValueError as error:  # e.g. a typo'd spec (--engine/--inject-faults)
         print(f"error: {error}")
         return 1
     host, port = service.address
@@ -955,18 +1081,22 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--op-cache", default=None, metavar="PATH",
                         help="Persist the cross-trial per-op cost cache to this "
                              "JSON-lines file (shared across processes and restarts)")
+    search.add_argument("--engine", default=None, metavar="SPEC",
+                        help="Evaluation engine spec: "
+                             "MAPPER[:key=value,...] with MAPPER one of "
+                             "scalar / vectorized / graph-batched / "
+                             "trial-batched and keys backend=numpy|cupy|torch, "
+                             "op_cache=on|off, region_cache=on|off "
+                             "(default: graph-batched with both caches on; "
+                             "all NumPy engines give identical results)")
     search.add_argument("--no-op-cache", action="store_true",
-                        help="Disable the in-process cross-trial op-cost cache")
+                        help="Deprecated alias for --engine ...:op_cache=off")
     search.add_argument("--scalar-mapper", action="store_true",
-                        help="Use the scalar reference mapping engine instead of "
-                             "the vectorized one (identical results, slower)")
+                        help="Deprecated alias for --engine scalar")
     search.add_argument("--per-op-mapper", action="store_true",
-                        help="Map matrix ops one at a time instead of batching a "
-                             "whole trial's ops into one candidate sweep "
-                             "(identical results, slower)")
+                        help="Deprecated alias for --engine vectorized")
     search.add_argument("--no-region-cache", action="store_true",
-                        help="Disable the cross-trial fusion-region result cache "
-                             "(identical results, slower on warm trials)")
+                        help="Deprecated alias for --engine ...:region_cache=off")
     search.add_argument("--inject-faults", default=None, metavar="SPEC",
         help="Deterministic chaos testing: comma-separated fault points with "
              "colon-separated params, e.g. 'worker-crash:n=1,remote-drop:p=0.25:n=4' "
@@ -1001,6 +1131,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--op-cache", default=None, metavar="PATH",
                        help="Persist the service's cross-trial op-cost cache here "
                             "(warm across requests and clients)")
+    serve.add_argument("--engine", default=None, metavar="SPEC",
+                       help="Pin the service's evaluation engine (same grammar "
+                            "as `repro search --engine`); merged over every "
+                            "request's simulation options")
     serve.add_argument("--inject-faults", default=None, metavar="SPEC",
         help="Serve as a deliberately flaky endpoint: seeded service-side "
              "faults, e.g. 'service-error:p=0.2,service-drop:n=3'")
@@ -1015,8 +1149,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="Profile trial evaluation: per-stage times and trials/sec for the "
              "scalar, vectorized, and op-cached modes (verifies equivalence)",
     )
-    profile.add_argument("--workload", action="append", required=True,
-                         help="Repeat for multi-workload profiles")
+    profile.add_argument("--workload", action="append",
+                         help="Repeat for multi-workload profiles (required "
+                              "unless --check-backends)")
     profile.add_argument("--trials", type=int, default=48)
     profile.add_argument("--optimizer", default="lcs",
                          help="random / bayesian / lcs / annealing / coordinate / safe:<name>")
@@ -1027,6 +1162,15 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--warm-op-cache", action="store_true",
                          help="Also warm the op cache and time its steady state "
                               "(the sweep / repeated-search regime)")
+    profile.add_argument("--engine", default=None, metavar="SPEC",
+                         help="Profile just this engine spec against the scalar "
+                              "reference instead of the whole mode ladder "
+                              "(same grammar as `repro search --engine`)")
+    profile.add_argument("--check-backends", action="store_true",
+                         help="Instead of profiling, verify every array backend "
+                              "against the NumPy kernels on a synthetic "
+                              "candidate grid and print the per-backend "
+                              "verdict (ok / skipped / failed)")
     profile.add_argument("--output", default=None, metavar="PATH",
                          help="Write the profile report JSON here")
     profile.set_defaults(func=_cmd_profile)
@@ -1062,8 +1206,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Persistent per-op cost store shared by every shard "
                             "(and their pool workers); later shards reuse op "
                             "costs earlier shards mapped")
+    sweep.add_argument("--engine", default=None, metavar="SPEC",
+                       help="Evaluation engine spec for every shard (same "
+                            "grammar as `repro search --engine`)")
     sweep.add_argument("--no-op-cache", action="store_true",
-                       help="Disable the cross-trial op-cost cache in all shards")
+                       help="Deprecated alias for --engine ...:op_cache=off")
     sweep.add_argument("--exchange", default=None, metavar="PATH_OR_URL",
                        help="Live cross-shard best-score exchange: scoreboard file "
                             "prefix or evaluation-service URL (off by default; "

@@ -72,6 +72,12 @@ class RuntimeStats:
     (torn JSONL records quarantined while loading the attached trial / op
     stores), and ``faults_injected`` (faults fired by an ``--inject-faults``
     plan during the run; zero in production runs).
+
+    ``engine`` is a configuration echo, not a counter: the canonical
+    :class:`~repro.simulator.enginespec.EngineSpec` string the evaluating
+    process(es) actually resolved.  For parallel runs it is reported by the
+    workers themselves, so a pool silently falling back to a different
+    engine than the parent configured would be visible here.
     """
 
     trials_evaluated: int = 0
@@ -102,6 +108,7 @@ class RuntimeStats:
     worker_restarts: int = 0
     corrupt_records: int = 0
     faults_injected: int = 0
+    engine: str = ""
 
     @property
     def trials_per_second(self) -> float:
@@ -530,6 +537,17 @@ class FASTSearch:
         stats.vector_seconds = stage_now.get("vector", 0.0) - stage_start.get("vector", 0.0)
         stats.fusion_seconds = stage_now.get("fusion", 0.0) - stage_start.get("fusion", 0.0)
         stats.eval_seconds = stage_now.get("evaluate", 0.0) - stage_start.get("evaluate", 0.0)
+        # Engine echo: serial runs resolve it from this process's evaluator;
+        # a parallel/remote executor's worker-reported echo overwrites it
+        # below, so mismatched pools can't hide behind the parent's config.
+        options = getattr(self.evaluator, "simulation_options", None)
+        if options is not None:
+            try:
+                from repro.simulator.enginespec import EngineSpec
+
+                stats.engine = str(EngineSpec.from_simulation_options(options))
+            except Exception:
+                pass  # informational only
         if op_cache is not None:
             hits, misses = op_cache.snapshot_counters()
             stats.op_cache_hits = hits - op_cache_start[0]
@@ -545,6 +563,8 @@ class FASTSearch:
                     stats.endpoint_stats = _endpoint_stats_delta(
                         value, remote_start.get(key) or {}
                     )
+                elif key == "engine":
+                    stats.engine = value  # config echo from the workers
                 elif hasattr(stats, key):
                     setattr(stats, key, value - remote_start.get(key, 0))
         if self.exchange is not None:

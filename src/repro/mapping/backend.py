@@ -1,0 +1,442 @@
+"""Array-backend seam for the batched mapping kernels.
+
+The batched candidate sweep (:func:`repro.mapping.tiling.estimate_traffic_batch_ops`)
+is one stacked elementwise pass over ``ops x dataflows x tilings`` — exactly
+the shape of computation that ports to a GPU array library unchanged.  This
+module is the seam: a small :class:`ArrayBackend` object exposes the handful
+of array operations the kernels need (transfer, ``ceil``, ``where``,
+``stack``, dtype casts) plus a capability shim for the few NumPy-isms —
+``np.minimum.reduceat`` chief among them — that have no one-line equivalent
+everywhere.  NumPy is the default and the *reference*: its results are
+bit-for-bit identical to the scalar mapper path.  CuPy and torch are
+optional backends, imported lazily and reported as unavailable (never a hard
+import error) when absent.
+
+Equivalence and cache semantics
+-------------------------------
+
+Backends are a *performance* choice, not a semantic one, so mapping caches
+key results by problem/config only — two backends share cache entries.  The
+guard against a float-divergent backend silently poisoning persistent stores
+is :func:`backend_cache_tag`: backends that are neither bitwise-exact nor
+verified by :func:`assert_backend_equivalence` in this process get a tag
+appended to their mapping cache keys, segregating their entries until a
+tolerance check passes.  ``repro profile --check-backends`` runs exactly
+that check and prints a per-backend verdict.
+
+How to add a backend
+--------------------
+
+1. Subclass :class:`ArrayBackend`; set ``name`` and ``bitwise_exact``
+   (``True`` only if the backend reproduces NumPy float64 results bit-for-
+   bit — when in doubt, leave it ``False`` and rely on the tolerance check).
+2. Implement ``from_numpy``/``to_numpy`` (host<->device transfer) and
+   override any array op whose library spelling differs from NumPy's
+   (see :class:`TorchBackend` for the usual suspects: float64 promotion on
+   integer division, scalar operands to ``where``, ``minimum_reduceat``).
+3. Register a zero-argument factory in ``_FACTORIES``; it must raise
+   :class:`BackendUnavailableError` when the library is missing so
+   ``repro profile`` can emit a ``skipped`` row instead of crashing.
+4. Run ``repro profile --check-backends`` (or
+   :func:`assert_backend_equivalence` directly) — a passing check marks the
+   backend verified for this process, letting it share mapping caches with
+   the NumPy/scalar entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "BACKEND_NAMES",
+    "get_backend",
+    "backend_available",
+    "available_backends",
+    "backend_verified",
+    "mark_backend_verified",
+    "backend_cache_tag",
+    "assert_backend_equivalence",
+    "check_backend",
+]
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when a requested array backend's library is not importable."""
+
+
+class ArrayBackend:
+    """Minimal array-namespace contract the batched mapping kernels use.
+
+    The default method bodies assume a NumPy-compatible module in ``xp``
+    (NumPy itself, CuPy, or anything honoring the array-API broadcasting and
+    dtype-promotion rules); backends whose library diverges override the
+    specific operations that differ.
+    """
+
+    #: Registry name (``numpy`` / ``cupy`` / ``torch`` / ...).
+    name: str = "abstract"
+    #: True when results are bit-for-bit identical to NumPy float64.
+    bitwise_exact: bool = False
+
+    def __init__(self, xp) -> None:
+        self.xp = xp
+
+    # -- transfer ------------------------------------------------------
+    def from_numpy(self, array: np.ndarray):
+        """Move a host NumPy array onto this backend's device/format."""
+        return self.xp.asarray(array)
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Move a backend array back to a host NumPy ``ndarray``."""
+        return np.asarray(array)
+
+    # -- elementwise / structural ops ----------------------------------
+    def float64(self, array):
+        """Cast to the backend's float64 dtype (explicit: integer true
+        division defaults to float32 on some libraries)."""
+        return array.astype(self.xp.float64)
+
+    def ceil(self, array):
+        return self.xp.ceil(array)
+
+    def where(self, condition, a, b):
+        return self.xp.where(condition, a, b)
+
+    def stack(self, arrays, axis: int = 0):
+        return self.xp.stack(arrays, axis)
+
+    def maximum(self, a, b):
+        return self.xp.maximum(a, b)
+
+    def rint(self, array):
+        """Round half-to-even (NumPy ``rint`` / torch ``round`` semantics)."""
+        return self.xp.rint(array)
+
+    # -- capability shims ----------------------------------------------
+    def minimum_reduceat(self, values, starts) -> np.ndarray:
+        """Segmented minimum: ``np.minimum.reduceat`` semantics.
+
+        ``starts`` are segment start indices into ``values``; returns one
+        minimum per segment as a host NumPy array.  The base implementation
+        round-trips through NumPy — override with a native segmented
+        reduction (e.g. ``scatter_reduce``) to keep selection on device.
+        """
+        return np.minimum.reduceat(self.to_numpy(values), np.asarray(starts))
+
+
+class NumpyBackend(ArrayBackend):
+    """The default backend and the bit-for-bit reference fast path."""
+
+    name = "numpy"
+    bitwise_exact = True
+
+    def __init__(self) -> None:
+        super().__init__(np)
+
+    def from_numpy(self, array: np.ndarray) -> np.ndarray:
+        return array
+
+    def to_numpy(self, array) -> np.ndarray:
+        return array
+
+    def minimum_reduceat(self, values, starts) -> np.ndarray:
+        return np.minimum.reduceat(values, starts)
+
+
+class CupyBackend(ArrayBackend):
+    """CuPy backend: NumPy-compatible API, so only transfer differs."""
+
+    name = "cupy"
+    bitwise_exact = False  # GPU kernels may reassociate; verify by tolerance.
+
+    def __init__(self, cupy) -> None:
+        super().__init__(cupy)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return self.xp.asnumpy(array)
+
+
+class TorchBackend(ArrayBackend):
+    """Torch backend: overrides the spots where torch's API diverges."""
+
+    name = "torch"
+    bitwise_exact = False  # CPU float64 usually matches; verify by tolerance.
+
+    def __init__(self, torch) -> None:
+        super().__init__(torch)
+        self.device = "cuda" if torch.cuda.is_available() else "cpu"
+
+    def from_numpy(self, array: np.ndarray):
+        tensor = self.xp.from_numpy(np.ascontiguousarray(array))
+        return tensor.to(self.device) if self.device != "cpu" else tensor
+
+    def to_numpy(self, array) -> np.ndarray:
+        return array.detach().cpu().numpy()
+
+    def float64(self, array):
+        return array.to(self.xp.float64)
+
+    def where(self, condition, a, b):
+        torch = self.xp
+        # torch.where wants tensor operands on older releases; promote
+        # python scalars against the tensor side's dtype.
+        if not torch.is_tensor(a):
+            other = b if torch.is_tensor(b) else condition
+            a = torch.tensor(a, dtype=torch.float64, device=other.device)
+        if not torch.is_tensor(b):
+            b = torch.tensor(b, dtype=a.dtype, device=a.device)
+        return torch.where(condition, a, b)
+
+    def stack(self, arrays, axis: int = 0):
+        return self.xp.stack(tuple(arrays), dim=axis)
+
+    def rint(self, array):
+        return self.xp.round(array)  # torch.round is half-to-even
+
+    def minimum_reduceat(self, values, starts) -> np.ndarray:
+        torch = self.xp
+        if not torch.is_tensor(values):
+            return super().minimum_reduceat(values, starts)
+        starts_np = np.asarray(starts)
+        num_segments = starts_np.shape[0]
+        lengths = np.diff(np.append(starts_np, values.shape[0]))
+        segment_id = torch.from_numpy(
+            np.repeat(np.arange(num_segments, dtype=np.int64), lengths)
+        ).to(values.device)
+        out = torch.full(
+            (num_segments,), float("inf"), dtype=values.dtype, device=values.device
+        )
+        out.scatter_reduce_(0, segment_id, values, reduce="amin", include_self=True)
+        return self.to_numpy(out)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+def _make_numpy() -> ArrayBackend:
+    return NumpyBackend()
+
+
+def _make_cupy() -> ArrayBackend:
+    try:
+        import cupy  # noqa: F401  (optional dependency, never installed here)
+    except Exception as exc:  # pragma: no cover - depends on environment
+        raise BackendUnavailableError(f"cupy backend unavailable: {exc}") from exc
+    return CupyBackend(cupy)
+
+
+def _make_torch() -> ArrayBackend:
+    try:
+        import torch  # noqa: F401  (optional dependency)
+    except Exception as exc:  # pragma: no cover - depends on environment
+        raise BackendUnavailableError(f"torch backend unavailable: {exc}") from exc
+    return TorchBackend(torch)
+
+
+_FACTORIES = {"numpy": _make_numpy, "cupy": _make_cupy, "torch": _make_torch}
+
+#: Names every ``--engine ...:backend=<name>`` spec may use.
+BACKEND_NAMES: Tuple[str, ...] = tuple(_FACTORIES)
+
+_INSTANCES: Dict[str, ArrayBackend] = {}
+#: Backends that passed :func:`assert_backend_equivalence` in this process.
+_VERIFIED: Set[str] = set()
+
+
+def get_backend(name: str = "numpy") -> ArrayBackend:
+    """Resolve a backend by name (lazy import, cached per process).
+
+    Raises:
+        BackendUnavailableError: The backend's library is not importable.
+        ValueError: The name is not a known backend.
+    """
+    backend = _INSTANCES.get(name)
+    if backend is not None:
+        return backend
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown array backend {name!r} (known: {', '.join(BACKEND_NAMES)})"
+        )
+    backend = factory()
+    _INSTANCES[name] = backend
+    return backend
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` resolves without an import error."""
+    try:
+        get_backend(name)
+    except BackendUnavailableError:
+        return False
+    return True
+
+
+def available_backends() -> Dict[str, bool]:
+    """Availability of every registered backend (``{name: importable}``)."""
+    return {name: backend_available(name) for name in BACKEND_NAMES}
+
+
+def mark_backend_verified(name: str) -> None:
+    """Record that ``name`` passed a tolerance equivalence check."""
+    _VERIFIED.add(name)
+
+
+def backend_verified(name: str) -> bool:
+    """True when the backend's results may share caches with NumPy's."""
+    if name == "numpy":
+        return True
+    backend = _INSTANCES.get(name)
+    if backend is not None and backend.bitwise_exact:
+        return True
+    return name in _VERIFIED
+
+
+def backend_cache_tag(name: str) -> Optional[str]:
+    """Cache-key tag for a backend, or ``None`` when it may share entries.
+
+    NumPy (and any bitwise-exact or tolerance-verified backend) returns
+    ``None`` — its results are interchangeable with the scalar reference, so
+    mapping cache keys stay backend-free and entries are shared.  Unverified
+    float-divergent backends get a distinguishing tag so their entries can
+    never poison the shared/persistent stores.
+    """
+    if backend_verified(name):
+        return None
+    return f"backend:{name}"
+
+
+# ---------------------------------------------------------------------------
+# Equivalence checking
+# ---------------------------------------------------------------------------
+
+
+def _synthetic_problems():
+    """Deterministic problem sweep covering the kernel's branch space.
+
+    Spans resident/streamed operands, depthwise ops, multi-instance
+    (attention-style) problems, and shapes small enough to fit entirely on
+    chip — every branch of :func:`estimate_traffic_batch_ops`.
+    """
+    from repro.mapping.loopnest import MatrixProblem
+
+    shapes = [
+        # (m, n, k, instances, depthwise)
+        (256, 256, 256, 1, False),
+        (4096, 128, 1152, 1, False),
+        (3136, 1, 9, 64, True),
+        (512, 512, 64, 8, False),
+        (64, 32, 48, 1, False),
+        (100352, 64, 147, 1, False),
+    ]
+    problems = []
+    for m, n, k, instances, depthwise in shapes:
+        problems.append(
+            MatrixProblem(
+                m=m,
+                n=n,
+                k=k,
+                instances=instances,
+                stationary_is_weight=not depthwise,
+                is_depthwise=depthwise,
+                input_bytes=m * k * 2,
+                stationary_bytes=k * n * 2 * instances,
+                output_bytes=m * n * 2,
+            )
+        )
+    return problems
+
+
+def assert_backend_equivalence(
+    backend: Union[str, ArrayBackend],
+    rtol: float = 1e-9,
+    atol: float = 0.0,
+) -> Dict[str, object]:
+    """Check a backend against the NumPy reference on a synthetic sweep.
+
+    Runs :func:`~repro.mapping.tiling.estimate_traffic_batch_ops` over a
+    deterministic set of problems on both backends and asserts: exact
+    equality on the integer/bool outputs (``buffer_bytes``, ``fits``) and
+    ``rtol``/``atol`` closeness on the float traffic arrays.  On success the
+    backend is marked verified for this process (see
+    :func:`backend_cache_tag`).  Returns a summary dict
+    (``{"backend", "candidates", "max_rel_err"}``).
+
+    Raises:
+        BackendUnavailableError: The backend's library is missing.
+        AssertionError: The backend diverges beyond tolerance.
+    """
+    from repro.mapping.tiling import (
+        estimate_traffic_batch_ops,
+        tiling_candidate_arrays_ops,
+    )
+
+    if isinstance(backend, str):
+        backend = get_backend(backend)
+    problems = _synthetic_problems()
+    op_index, m_tiles, n_tiles, k_tiles = tiling_candidate_arrays_ops(
+        problems, array_x=128, array_y=128, max_candidates=48
+    )
+    capacities = (1 << 20, 4 << 20)  # exercise both resident and spilling regimes
+    max_rel_err = 0.0
+    total_candidates = 0
+    for capacity in capacities:
+        reference = estimate_traffic_batch_ops(
+            problems, op_index, m_tiles, n_tiles, k_tiles, capacity
+        )
+        candidate = estimate_traffic_batch_ops(
+            problems, op_index, m_tiles, n_tiles, k_tiles, capacity, backend=backend
+        )
+        np.testing.assert_array_equal(
+            candidate.buffer_bytes,
+            reference.buffer_bytes,
+            err_msg=f"{backend.name}: buffer_bytes diverged",
+        )
+        np.testing.assert_array_equal(
+            candidate.fits, reference.fits, err_msg=f"{backend.name}: fits diverged"
+        )
+        for field in ("input_bytes", "stationary_bytes", "output_bytes", "total_bytes"):
+            got = getattr(candidate, field)
+            want = getattr(reference, field)
+            np.testing.assert_allclose(
+                got,
+                want,
+                rtol=rtol,
+                atol=atol,
+                err_msg=f"{backend.name}: {field} beyond rtol={rtol} atol={atol}",
+            )
+            denom = np.maximum(np.abs(want), 1.0)
+            max_rel_err = max(max_rel_err, float(np.max(np.abs(got - want) / denom)))
+        total_candidates += int(op_index.shape[0])
+    mark_backend_verified(backend.name)
+    return {
+        "backend": backend.name,
+        "candidates": total_candidates,
+        "max_rel_err": max_rel_err,
+    }
+
+
+def check_backend(
+    name: str, rtol: float = 1e-9, atol: float = 0.0
+) -> Dict[str, object]:
+    """Non-raising wrapper around :func:`assert_backend_equivalence`.
+
+    Returns ``{"backend", "status", ...}`` with status ``ok`` (verified;
+    includes ``max_rel_err``), ``skipped`` (library missing; includes
+    ``reason``), or ``failed`` (divergence beyond tolerance; includes
+    ``reason``).  This is what ``repro profile --check-backends`` prints.
+    """
+    try:
+        summary = assert_backend_equivalence(name, rtol=rtol, atol=atol)
+    except BackendUnavailableError as exc:
+        return {"backend": name, "status": "skipped", "reason": str(exc)}
+    except (AssertionError, ValueError) as exc:
+        return {"backend": name, "status": "failed", "reason": str(exc)}
+    summary["status"] = "ok"
+    return summary

@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.core.trial import TrialEvaluator, TrialMetrics
 from repro.hardware.search_space import DatapathSearchSpace, ParameterValues
 from repro.runtime.faults import crash_process, get_fault_plan
+from repro.simulator.enginespec import EngineSpec
 from repro.runtime.telemetry import (
     apply_telemetry_config,
     get_metrics,
@@ -141,6 +142,15 @@ def _evaluate_in_worker(task):
         "fusion_seconds": stage_after.get("fusion", 0.0) - stage_before.get("fusion", 0.0),
         "eval_seconds": stage_after.get("evaluate", 0.0) - stage_before.get("evaluate", 0.0),
     }
+    # Named engine echo: proof the worker inherited the parent's EngineSpec
+    # through the initializer (a forked pool silently falling back to the
+    # default backend would show up here and in ``repro profile``).
+    options = getattr(evaluator, "simulation_options", None)
+    if options is not None:
+        try:
+            delta["engine"] = str(EngineSpec.from_simulation_options(options))
+        except Exception:
+            pass  # echo is informational; evaluation results matter more
     tracer = get_tracer()
     if tracer.enabled:
         # Ship this task's spans home with the delta; draining means each
@@ -177,7 +187,14 @@ class TrialExecutor(ABC):
 
 
 class SerialExecutor(TrialExecutor):
-    """Evaluates trials one at a time in the calling process."""
+    """Evaluates trials in the calling process.
+
+    Prefers the evaluator's batch entry point
+    (:meth:`~repro.core.trial.TrialEvaluator.evaluate_params_batch`) when it
+    exists — the hook the trial-batched mapping engine hangs off; with trial
+    batching disabled that entry point degrades to the per-trial loop, so
+    results are identical either way.
+    """
 
     name = "serial"
 
@@ -187,6 +204,9 @@ class SerialExecutor(TrialExecutor):
         space: DatapathSearchSpace,
         batch: Sequence[ParameterValues],
     ) -> List[TrialMetrics]:
+        batch_eval = getattr(evaluator, "evaluate_params_batch", None)
+        if callable(batch_eval):
+            return batch_eval(batch, space)
         return [evaluator.evaluate_params(params, space) for params in batch]
 
 
@@ -322,6 +342,9 @@ class ParallelExecutor(TrialExecutor):
             spans = delta.pop("spans", None)
             if spans and tracer.enabled:
                 tracer.ingest(spans)
+            engine = delta.pop("engine", None)
+            if engine is not None:
+                totals["engine"] = engine  # config echo, not a counter
             for key, value in delta.items():
                 totals[key] = totals.get(key, 0) + value
         return [metrics for metrics, _ in outcomes]
@@ -333,7 +356,9 @@ class ParallelExecutor(TrialExecutor):
         the delta, so op/region-cache hit counters and per-stage timings no
         longer read zero just because evaluation happened in worker
         processes.  ``worker_restarts`` counts supervised pool rebuilds
-        after worker deaths.
+        after worker deaths.  One entry is non-numeric: ``engine`` echoes the
+        worker-resolved :class:`~repro.simulator.enginespec.EngineSpec`
+        string, proof the pool inherited the parent's engine configuration.
         """
         counters: Dict[str, float] = dict(self._worker_totals)
         counters["worker_restarts"] = self.worker_restarts

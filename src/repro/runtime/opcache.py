@@ -308,6 +308,15 @@ class RegionCostCache:
         self.stats.hits += 1
         return entry
 
+    def peek(self, key: Tuple):
+        """Probe for an entry without touching stats or LRU order.
+
+        The trial-batched gather phase uses this to decide which regions
+        still need mapping; the later accounted :meth:`get` during
+        ``simulate`` keeps hit/miss statistics identical to per-trial runs.
+        """
+        return self._entries.get(key)
+
     def put(self, key: Tuple, entry: object) -> None:
         """Store one evaluated region, evicting the LRU tail past capacity."""
         self._entries[key] = entry

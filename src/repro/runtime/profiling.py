@@ -4,12 +4,15 @@
 same fixed-seed search under several evaluator configurations — the scalar
 reference mapping engine, the per-op vectorized engine, the graph-batched
 engine (with and without the region-level result cache), the cross-trial
-op-cost cache, and a warm process-pool executor — and report trials/sec plus
+op-cost cache, the trial-batched engine (including rows for the alternate
+cupy / torch array backends, reported as skipped when not installed), and a
+warm process-pool executor — and report trials/sec plus
 a per-stage wall-clock breakdown (mapper / VPU cost model / fusion ILP /
-other) and cache hit counters.  Because every mode is bit-for-bit equivalent
-by design, the harness also verifies that all modes reproduce the reference
-trial history and flags any divergence: it doubles as an end-to-end
-equivalence check in CI.  The ``parallel`` row exists so a process-pool
+other) and cache hit counters.  Because every NumPy mode is bit-for-bit
+equivalent by design, the harness also verifies that those modes reproduce
+the reference trial history and flags any divergence: it doubles as an
+end-to-end equivalence check in CI.  (Non-NumPy backend rows are exempt from
+the bitwise verdict; their gate is ``repro profile --check-backends``.)  The ``parallel`` row exists so a process-pool
 regression (the PR 3 era's cold workers ran at 0.71x of scalar) can never
 hide: its throughput and worker-side cache counters land in the same report
 as every serial mode.
@@ -49,11 +52,18 @@ class ProfileMode:
     op_cache: bool
     graph_batched: bool = False
     region_cache: bool = False
+    trial_batched: bool = False
+    backend: str = "numpy"
     workers: int = 1
 
 
 #: The standard comparison ladder, slowest first; the first mode is the
 #: reference whose history every other mode must reproduce bit-for-bit.
+#: ``trial-batched`` stacks all pending ops of a whole proposal batch into
+#: one mapping pass; the ``+cupy`` / ``+torch`` rows rerun it on the
+#: alternate array backends (reported as *skipped* when the library is not
+#: installed, and excluded from the bitwise history verdict because float
+#: kernels on other hardware are only tolerance-equal, not bit-equal).
 #: ``parallel-2`` runs the default fast path on a 2-worker warm process
 #: pool — the row that keeps executor regressions visible.
 PROFILE_MODES = (
@@ -72,6 +82,32 @@ PROFILE_MODES = (
         vectorized_mapper=True,
         op_cache=True,
         graph_batched=True,
+    ),
+    ProfileMode(
+        "trial-batched",
+        vectorized_mapper=True,
+        op_cache=True,
+        graph_batched=True,
+        region_cache=True,
+        trial_batched=True,
+    ),
+    ProfileMode(
+        "trial-batched+cupy",
+        vectorized_mapper=True,
+        op_cache=True,
+        graph_batched=True,
+        region_cache=True,
+        trial_batched=True,
+        backend="cupy",
+    ),
+    ProfileMode(
+        "trial-batched+torch",
+        vectorized_mapper=True,
+        op_cache=True,
+        graph_batched=True,
+        region_cache=True,
+        trial_batched=True,
+        backend="torch",
     ),
     ProfileMode(
         "parallel-2",
@@ -100,6 +136,9 @@ class ProfileRecord:
     region_cache_misses: int = 0
     region_cache_hit_rate: float = 0.0
     workers: int = 1
+    engine: str = ""
+    skipped: bool = False
+    skip_reason: str = ""
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-compatible form of this record."""
@@ -116,6 +155,9 @@ class ProfileRecord:
             "region_cache_misses": self.region_cache_misses,
             "region_cache_hit_rate": self.region_cache_hit_rate,
             "workers": self.workers,
+            "engine": self.engine,
+            "skipped": self.skipped,
+            "skip_reason": self.skip_reason,
         }
 
 
@@ -154,7 +196,9 @@ class ProfileReport:
             "histories_match": self.histories_match,
             "records": [record.to_dict() for record in self.records],
             "speedups_vs_scalar": {
-                record.mode: self.speedup(record.mode) for record in self.records
+                record.mode: self.speedup(record.mode)
+                for record in self.records
+                if not record.skipped
             },
         }
 
@@ -258,6 +302,8 @@ def _mode_options(mode: ProfileMode) -> SimulationOptions:
         fusion_solver="greedy",
         vectorized_mapper=mode.vectorized_mapper,
         graph_batched_mapper=mode.graph_batched,
+        trial_batched_mapper=mode.trial_batched,
+        backend=mode.backend,
         region_cache_enabled=mode.region_cache,
         op_cache_enabled=mode.op_cache,
     )
@@ -322,8 +368,29 @@ def profile_search(
     reset_op_caches()
     run_once(modes[0], *mode_fixture(modes[0]))
 
+    from repro.mapping.backend import backend_available
+    from repro.simulator.enginespec import EngineSpec
+
     reference_history = None
     for mode in modes:
+        if mode.backend != "numpy" and not backend_available(mode.backend):
+            # Absent GPU/tensor libraries skip their row instead of failing
+            # the whole ladder — the report keeps the slot visible.
+            report.records.append(
+                ProfileRecord(
+                    mode=mode.name,
+                    trials=0,
+                    elapsed_seconds=0.0,
+                    trials_per_second=0.0,
+                    workers=mode.workers,
+                    engine=str(
+                        EngineSpec.from_simulation_options(_mode_options(mode))
+                    ),
+                    skipped=True,
+                    skip_reason=f"backend {mode.backend!r} not installed",
+                )
+            )
+            continue
         reset_op_caches()
         fixture = mode_fixture(mode)
         executor = ParallelExecutor(num_workers=mode.workers) if mode.workers > 1 else None
@@ -361,8 +428,15 @@ def profile_search(
             region_cache_misses=stats.region_cache_misses,
             region_cache_hit_rate=stats.region_cache_hit_rate,
             workers=mode.workers,
+            engine=stats.engine
+            or str(EngineSpec.from_simulation_options(_mode_options(mode))),
         )
         report.records.append(record)
+        if mode.backend != "numpy":
+            # Float-divergent backends are tolerance-equal, not bit-equal;
+            # their equivalence gate is assert_backend_equivalence /
+            # ``repro profile --check-backends``, not this bitwise verdict.
+            continue
         history = [trial_metrics_to_dict(m) for m in result.history]
         if reference_history is None:
             reference_history = history

@@ -535,6 +535,7 @@ def serve(
     op_cache_path: Optional[str] = None,
     fault_spec: Optional[str] = None,
     fault_seed: int = 0,
+    engine: Optional[object] = None,
 ) -> EvaluationService:
     """Build the service ``repro serve`` runs (caller starts/serves it).
 
@@ -543,8 +544,25 @@ def serve(
     injector (``service-error`` / ``service-drop`` / ``service-delay``
     points), so a deliberately flaky endpoint for chaos runs is one flag
     away: ``repro serve --inject-faults "service-error:p=0.2"``.
+
+    ``engine`` (an :class:`~repro.simulator.enginespec.EngineSpec`) pins the
+    evaluation engine server-side: its fields are merged over every
+    request's simulation options, so clients get this service's engine
+    regardless of what their payload asked for.  Safe because all NumPy
+    engines are bit-for-bit equivalent; a non-NumPy backend should pass
+    ``repro profile --check-backends`` on this host first.
     """
     overrides: Dict[str, object] = {}
+    if engine is not None:
+        overrides["vectorized_mapper"] = engine.mapper != "scalar"
+        overrides["graph_batched_mapper"] = engine.mapper in (
+            "graph-batched",
+            "trial-batched",
+        )
+        overrides["trial_batched_mapper"] = engine.mapper == "trial-batched"
+        overrides["backend"] = engine.backend
+        overrides["op_cache_enabled"] = engine.op_cache
+        overrides["region_cache_enabled"] = engine.region_cache
     if op_cache_path:
         overrides["op_cache_enabled"] = True
         overrides["op_cache_path"] = op_cache_path

@@ -210,6 +210,7 @@ def run_shard(
     exchange: Optional[Union[str, Path, Scoreboard]] = None,
     op_cache_path: Optional[Union[str, Path]] = None,
     op_cache_enabled: bool = True,
+    engine: Optional[object] = None,
 ) -> ShardResult:
     """Run one shard as a plain :class:`FASTSearch` and wrap the result.
 
@@ -233,6 +234,11 @@ def run_shard(
     learn into their proposals via ``observe_external_best``.  A shard that
     never sees an external best (including any 1-shard sweep) is bit-for-bit
     identical to an exchange-free run.
+
+    ``engine`` (an :class:`~repro.simulator.enginespec.EngineSpec`) selects
+    the evaluation engine for every shard; when set it supersedes the legacy
+    ``op_cache_enabled`` toggle.  All NumPy engines are bit-for-bit
+    equivalent, so the merged sweep result is engine-independent.
     """
     from repro.core.trial import TrialEvaluator
     from repro.simulator.engine import SimulationOptions
@@ -248,14 +254,18 @@ def run_shard(
         if exchange is not None
         else None
     )
-    evaluator = TrialEvaluator(
-        problem,
-        simulation_options=SimulationOptions(
+    resolved_path = str(op_cache_path) if op_cache_path is not None else None
+    if engine is not None:
+        options = engine.to_simulation_options(
+            fusion_solver="greedy", op_cache_path=resolved_path
+        )
+    else:
+        options = SimulationOptions(
             fusion_solver="greedy",
             op_cache_enabled=op_cache_enabled,
-            op_cache_path=str(op_cache_path) if op_cache_path is not None else None,
-        ),
-    )
+            op_cache_path=resolved_path,
+        )
+    evaluator = TrialEvaluator(problem, simulation_options=options)
     search = FASTSearch(
         problem,
         optimizer=optimizer,
@@ -436,6 +446,7 @@ def run_sharded_sweep(
     exchange: Optional[Union[str, Path, Scoreboard]] = None,
     op_cache_path: Optional[Union[str, Path]] = None,
     op_cache_enabled: bool = True,
+    engine: Optional[object] = None,
 ) -> SweepResult:
     """Plan, run, and merge a sharded sweep in one call.
 
@@ -476,6 +487,7 @@ def run_sharded_sweep(
             exchange=scoreboard,
             op_cache_path=op_cache_path,
             op_cache_enabled=op_cache_enabled,
+            engine=engine,
         )
         for spec in specs
     ]

@@ -65,13 +65,26 @@ class SimulationOptions:
       trial into ONE stacked candidate sweep (gather -> batch-map -> scatter)
       instead of mapping region by region, op by op.  None follows the
       engine choice (on whenever the mapper is vectorized); False selects
-      the per-op path (``repro search --per-op-mapper``).
+      the per-op path (``repro search --engine vectorized``).
+    * ``trial_batched_mapper`` — lift the batching one level further: a whole
+      *batch of trials'* pending matrix ops joins ONE stacked
+      trials x ops x dataflows x tilings sweep
+      (:meth:`~repro.mapping.mapper.Mapper.map_trials_batch`), driven by
+      :meth:`~repro.core.trial.TrialEvaluator.evaluate_params_batch`.  Rides
+      on the graph-batched engine; None/False keeps per-trial passes.
+    * ``backend`` — array library the vectorized sweeps run on (see
+      :mod:`repro.mapping.backend`); ``numpy`` (default) is bit-for-bit
+      equal to the scalar reference, other backends are tolerance-checked.
     * ``region_cache_enabled`` — memoize whole fusion-region evaluations
       across trials through :func:`repro.runtime.opcache.get_region_cache`;
       fusion-stable regions skip even the gather step on warm trials.
     * ``op_cache_enabled`` — share per-op mapping/vector costs across trials
       through the process-local :func:`repro.runtime.opcache.get_op_cache`.
     * ``op_cache_path`` — optionally persist that cache as JSON lines.
+
+    Prefer building these knobs through
+    :class:`repro.simulator.enginespec.EngineSpec` — the one-string engine
+    API (``repro ... --engine``) that maps onto this dataclass.
     """
 
     enable_fast_fusion: Optional[bool] = None  # None: follow the datapath config
@@ -79,6 +92,8 @@ class SimulationOptions:
     mapper_options: Optional[MapperOptions] = None
     vectorized_mapper: Optional[bool] = None
     graph_batched_mapper: Optional[bool] = None
+    trial_batched_mapper: Optional[bool] = None
+    backend: str = "numpy"
     region_cache_enabled: bool = True
     op_cache_enabled: bool = True
     op_cache_path: Optional[str] = None
@@ -146,12 +161,28 @@ class Simulator:
 
             self.op_cache = get_op_cache(self.options.op_cache_path)
         mapper_options = self.options.mapper_options or MapperOptions()
-        if self.options.vectorized_mapper is not None:
+        vectorize = (
+            mapper_options.vectorize
+            if self.options.vectorized_mapper is None
+            else self.options.vectorized_mapper
+        )
+        # SimulationOptions.backend is the canonical knob; an explicit
+        # non-default on mapper_options is honored when the options leave it
+        # at the NumPy default.
+        backend = (
+            self.options.backend
+            if self.options.backend != "numpy"
+            else getattr(mapper_options, "backend", "numpy")
+        )
+        if vectorize != mapper_options.vectorize or backend != getattr(
+            mapper_options, "backend", "numpy"
+        ):
             mapper_options = MapperOptions(
                 dataflows=mapper_options.dataflows,
                 max_tiling_candidates=mapper_options.max_tiling_candidates,
                 padding_max_overhead=mapper_options.padding_max_overhead,
-                vectorize=self.options.vectorized_mapper,
+                vectorize=vectorize,
+                backend=backend,
             )
         self.mapper = Mapper(
             self._core_config, self.hierarchy, mapper_options, op_cache=self.op_cache
@@ -162,6 +193,10 @@ class Simulator:
             self.options.graph_batched_mapper
             if self.options.graph_batched_mapper is not None
             else True
+        )
+        # Trial-level batching rides on the graph-batched engine in turn.
+        self.trial_batched = self._graph_batched and bool(
+            self.options.trial_batched_mapper
         )
         self.region_cache = None
         if self.options.region_cache_enabled:
@@ -302,6 +337,40 @@ class Simulator:
             clock_ghz=core.clock_ghz,
             num_cores=self.config.num_cores,
         )
+
+    # ------------------------------------------------------------------
+    def gather_map_entry(self, graph: Graph):
+        """Gather half of the trial-batched pipeline for one graph.
+
+        Returns ``(mapper, ops, tensors)`` — the matrix ops of every fusion
+        region the region cache cannot serve, ready to join a cross-trial
+        :meth:`~repro.mapping.mapper.Mapper.map_trials_batch` pass — or
+        ``None`` when nothing needs mapping (everything cached, or this
+        simulator is not graph-batched).  Region entries are *peeked*, not
+        counted: the later :meth:`simulate` call performs the accounted
+        lookups, so cache-hit statistics stay identical to per-trial runs.
+        After the batch pass warms ``self.mapper``'s cache, ``simulate``
+        proceeds unchanged — its own gather finds every op pre-mapped.
+        """
+        if not self._graph_batched:
+            return None
+        core = self._core_config
+        compiled = _compile_cached(graph, core.use_two_pass_softmax)
+        cached_flags: Optional[List[bool]] = None
+        if self.region_cache is not None:
+            key_base = self._region_key_base(graph, compiled)
+            cached_flags = [
+                self.region_cache.peek(key_base + (region.index,)) is not None
+                for region in compiled.regions
+            ]
+        gather_ops: List[Operation] = []
+        for position, region in enumerate(compiled.regions):
+            if cached_flags is not None and cached_flags[position]:
+                continue
+            gather_ops.extend(region.matrix_ops)
+        if not gather_ops:
+            return None
+        return (self.mapper, gather_ops, graph.tensors)
 
     # ------------------------------------------------------------------
     def _region_key_base(self, graph: Graph, compiled: CompiledModel) -> Tuple:

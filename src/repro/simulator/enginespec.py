@@ -1,0 +1,208 @@
+"""The unified engine-spec API: one value naming the evaluation engine.
+
+Engine selection used to be scattered across ``MapperOptions.vectorize``,
+``SimulationOptions.vectorized_mapper`` / ``graph_batched_mapper`` /
+``trial_batched_mapper``, two cache toggles, and four ad-hoc CLI negation
+flags.  :class:`EngineSpec` consolidates all of it into one frozen value
+object with a compact string grammar — the ``--engine`` flag on
+``repro search/sweep/profile/serve``::
+
+    MAPPER[:key=value[,key=value...]]
+
+    --engine graph-batched                      # the default engine
+    --engine scalar                             # bit-for-bit reference loop
+    --engine trial-batched:backend=cupy         # cross-trial stacking on GPU
+    --engine graph-batched:op_cache=off,region_cache=off
+
+``MAPPER`` is one of ``scalar`` / ``vectorized`` / ``graph-batched`` /
+``trial-batched`` (each level rides on the previous one); keys are
+``backend`` (see :mod:`repro.mapping.backend`), ``op_cache`` and
+``region_cache`` (booleans: ``on/off/true/false/yes/no/1/0``).  ``str()`` of
+a spec is canonical and round-trips through :meth:`EngineSpec.parse`,
+omitting values that equal the defaults.
+
+The legacy flags (``--scalar-mapper`` / ``--per-op-mapper`` /
+``--no-op-cache`` / ``--no-region-cache``) remain as deprecation aliases
+that fold onto a spec and warn once per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.mapping.backend import BACKEND_NAMES
+
+__all__ = ["EngineSpec", "MAPPER_MODES", "DEFAULT_ENGINE"]
+
+#: Mapper engines, in speed order; each level subsumes the previous one.
+MAPPER_MODES: Tuple[str, ...] = (
+    "scalar",
+    "vectorized",
+    "graph-batched",
+    "trial-batched",
+)
+
+_TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
+_FALSE_WORDS = frozenset({"0", "false", "no", "off"})
+
+
+def _parse_bool(key: str, word: str) -> bool:
+    lowered = word.strip().lower()
+    if lowered in _TRUE_WORDS:
+        return True
+    if lowered in _FALSE_WORDS:
+        return False
+    raise ValueError(
+        f"engine spec: {key} must be a boolean "
+        f"(on/off/true/false/yes/no/1/0), got {word!r}"
+    )
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One immutable value describing the whole evaluation engine."""
+
+    mapper: str = "graph-batched"
+    backend: str = "numpy"
+    op_cache: bool = True
+    region_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mapper not in MAPPER_MODES:
+            raise ValueError(
+                f"unknown mapper {self.mapper!r} "
+                f"(expected one of: {', '.join(MAPPER_MODES)})"
+            )
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r} "
+                f"(expected one of: {', '.join(BACKEND_NAMES)})"
+            )
+        if self.backend != "numpy" and self.mapper == "scalar":
+            raise ValueError(
+                "engine spec: the scalar mapper is the pure-Python reference "
+                "and takes no array backend"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "EngineSpec":
+        """Parse the ``MAPPER[:key=value,...]`` grammar (see module doc)."""
+        text = (text or "").strip()
+        if not text:
+            return cls()
+        head, _, tail = text.partition(":")
+        head = head.strip()
+        if "=" in head:  # bare options, default mapper: "backend=torch"
+            tail = text
+            head = ""
+        values = {}
+        if head:
+            if head not in MAPPER_MODES:
+                raise ValueError(
+                    f"unknown mapper {head!r} in engine spec {text!r} "
+                    f"(expected one of: {', '.join(MAPPER_MODES)})"
+                )
+            values["mapper"] = head
+        if tail.strip():
+            for item in tail.split(","):
+                item = item.strip()
+                if not item:
+                    continue
+                key, eq, value = item.partition("=")
+                key = key.strip().replace("-", "_")
+                if not eq:
+                    raise ValueError(
+                        f"engine spec option {item!r} is not key=value"
+                    )
+                if key == "backend":
+                    values["backend"] = value.strip()
+                elif key in ("op_cache", "region_cache"):
+                    values[key] = _parse_bool(key, value)
+                else:
+                    raise ValueError(
+                        f"unknown engine spec option {key!r} "
+                        "(expected backend / op_cache / region_cache)"
+                    )
+        return cls(**values)
+
+    def __str__(self) -> str:
+        """Canonical compact form; round-trips through :meth:`parse`."""
+        default = type(self)()
+        options = []
+        if self.backend != default.backend:
+            options.append(f"backend={self.backend}")
+        if self.op_cache != default.op_cache:
+            options.append(f"op_cache={'on' if self.op_cache else 'off'}")
+        if self.region_cache != default.region_cache:
+            options.append(
+                f"region_cache={'on' if self.region_cache else 'off'}"
+            )
+        if options:
+            return f"{self.mapper}:{','.join(options)}"
+        return self.mapper
+
+    # ------------------------------------------------------------------
+    def to_simulation_options(self, **extra):
+        """Expand into a :class:`~repro.simulator.engine.SimulationOptions`.
+
+        ``extra`` passes through any non-engine knobs (``fusion_solver``,
+        ``op_cache_path``, ...).  The mapper ladder maps onto the three
+        boolean engine fields: each level implies the ones below it.
+        """
+        from repro.simulator.engine import SimulationOptions
+
+        return SimulationOptions(
+            vectorized_mapper=self.mapper != "scalar",
+            graph_batched_mapper=self.mapper in ("graph-batched", "trial-batched"),
+            trial_batched_mapper=self.mapper == "trial-batched",
+            backend=self.backend,
+            op_cache_enabled=self.op_cache,
+            region_cache_enabled=self.region_cache,
+            **extra,
+        )
+
+    @classmethod
+    def from_simulation_options(cls, options) -> "EngineSpec":
+        """Recover the spec a :class:`SimulationOptions` encodes.
+
+        The inverse of :meth:`to_simulation_options` under the same default
+        resolution the :class:`~repro.simulator.engine.Simulator` applies
+        (``None`` means vectorized + graph-batched, trial batching off).
+        """
+        mapper_options = getattr(options, "mapper_options", None)
+        vectorized = options.vectorized_mapper
+        if vectorized is None:
+            vectorized = mapper_options.vectorize if mapper_options else True
+        graph_batched = vectorized and (
+            options.graph_batched_mapper
+            if options.graph_batched_mapper is not None
+            else True
+        )
+        trial_batched = graph_batched and bool(
+            getattr(options, "trial_batched_mapper", None)
+        )
+        if trial_batched:
+            mapper = "trial-batched"
+        elif graph_batched:
+            mapper = "graph-batched"
+        elif vectorized:
+            mapper = "vectorized"
+        else:
+            mapper = "scalar"
+        backend = getattr(options, "backend", "numpy") or "numpy"
+        if backend == "numpy" and mapper_options is not None:
+            backend = getattr(mapper_options, "backend", "numpy") or "numpy"
+        if mapper == "scalar":
+            backend = "numpy"
+        return cls(
+            mapper=mapper,
+            backend=backend,
+            op_cache=bool(getattr(options, "op_cache_enabled", True)),
+            region_cache=bool(getattr(options, "region_cache_enabled", True)),
+        )
+
+
+#: The session default: graph-batched NumPy with both caches on.
+DEFAULT_ENGINE = EngineSpec()

@@ -187,7 +187,7 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "vs scalar" in out
-        assert "equivalence: all modes reproduced" in out
+        assert "equivalence: all NumPy modes reproduced" in out
         payload = json.loads(out_path.read_text())
         assert payload["histories_match"] is True
         modes = [record["mode"] for record in payload["records"]]
@@ -197,8 +197,18 @@ class TestCommands:
             "graph-batched",
             "graph-batched+region-cache",
             "graph-batched+op-cache",
+            "trial-batched",
+            "trial-batched+cupy",
+            "trial-batched+torch",
             "parallel-2",
         ]
+        # Backend rows without the library installed are recorded as
+        # skipped, never silently dropped or counted as failures.
+        by_mode = {record["mode"]: record for record in payload["records"]}
+        for name in ("cupy", "torch"):
+            record = by_mode[f"trial-batched+{name}"]
+            if record["skipped"]:
+                assert name in record["skip_reason"]
 
     def test_sweep_smoke_golden_output(self, tmp_path, capsys):
         out_path = tmp_path / "sweep.json"

@@ -1,0 +1,419 @@
+"""Tests for the array-backend seam, EngineSpec, and trial-batched mapping.
+
+Three contracts:
+
+* The NumPy trial-batched engine is *bit-for-bit* equal to the graph-batched
+  engine and the scalar reference — same op costs, same simulation results,
+  same search histories — across workloads and random datapaths.
+* :class:`~repro.simulator.enginespec.EngineSpec` is the single source of
+  truth for engine selection: its grammar parses, its canonical string
+  round-trips, the legacy CLI flags fold onto it with a deprecation warning,
+  and it expands to / recovers from ``SimulationOptions`` losslessly.
+* A float-divergent, unverified backend can never poison shared caches:
+  mapping cache keys and problem fingerprints grow a distinguishing tag
+  until :func:`~repro.mapping.backend.assert_backend_equivalence` passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+import pytest
+
+from repro.core.fast import FASTSearch
+from repro.core.problem import ObjectiveKind, SearchProblem
+from repro.core.trial import TrialEvaluator
+from repro.hardware.datapath import DatapathConfig
+from repro.hardware.search_space import DatapathSearchSpace
+from repro.mapping import backend as backend_mod
+from repro.mapping.backend import (
+    BackendUnavailableError,
+    assert_backend_equivalence,
+    backend_available,
+    backend_cache_tag,
+    backend_verified,
+    check_backend,
+    get_backend,
+)
+from repro.mapping.mapper import Mapper, MapperOptions
+from repro.reporting.serialization import (
+    simulation_options_from_dict,
+    simulation_options_to_dict,
+    trial_metrics_to_dict,
+)
+from repro.runtime import ParallelExecutor
+from repro.runtime.cache import problem_fingerprint
+from repro.runtime.opcache import RegionCostCache, reset_op_caches
+from repro.simulator.engine import SimulationOptions
+from repro.simulator.enginespec import DEFAULT_ENGINE, MAPPER_MODES, EngineSpec
+from repro.workloads.ops import is_matrix_op
+from repro.workloads.registry import available_workloads, build_workload
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    reset_op_caches()
+    yield
+    reset_op_caches()
+
+
+def _random_configs(count: int, seed: int = 11):
+    space = DatapathSearchSpace()
+    rng = np.random.default_rng(seed)
+    configs = []
+    while len(configs) < count:
+        params = {
+            spec.name: spec.choices[int(rng.integers(len(spec.choices)))]
+            for spec in space.specs
+        }
+        try:
+            configs.append(space.to_config(params))
+        except Exception:
+            continue
+    return configs
+
+
+def _matrix_ops(graph):
+    return [op for op in graph.ops if is_matrix_op(op.op_type)]
+
+
+# ---------------------------------------------------------------------------
+class TestEngineSpec:
+    def test_default(self):
+        spec = EngineSpec()
+        assert spec.mapper == "graph-batched"
+        assert spec.backend == "numpy"
+        assert spec.op_cache and spec.region_cache
+        assert spec == DEFAULT_ENGINE
+        assert str(spec) == "graph-batched"
+
+    @pytest.mark.parametrize("mapper", MAPPER_MODES)
+    def test_parse_bare_mapper(self, mapper):
+        assert EngineSpec.parse(mapper).mapper == mapper
+
+    def test_parse_options(self):
+        spec = EngineSpec.parse("trial-batched:backend=torch,op_cache=off")
+        assert spec.mapper == "trial-batched"
+        assert spec.backend == "torch"
+        assert spec.op_cache is False
+        assert spec.region_cache is True
+
+    def test_parse_bare_options_default_mapper(self):
+        spec = EngineSpec.parse("backend=cupy,region_cache=no")
+        assert spec.mapper == "graph-batched"
+        assert spec.backend == "cupy"
+        assert spec.region_cache is False
+
+    def test_parse_empty_is_default(self):
+        assert EngineSpec.parse("") == EngineSpec()
+        assert EngineSpec.parse("  ") == EngineSpec()
+
+    def test_parse_dash_keys_and_bool_words(self):
+        spec = EngineSpec.parse("graph-batched:op-cache=0,region-cache=true")
+        assert spec.op_cache is False and spec.region_cache is True
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "warp-speed",
+            "graph-batched:backend=fortran",
+            "graph-batched:op_cache=maybe",
+            "graph-batched:flux_capacitor=on",
+            "graph-batched:op_cache",
+            "scalar:backend=torch",
+        ],
+    )
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            EngineSpec.parse(text)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            EngineSpec(),
+            EngineSpec(mapper="scalar"),
+            EngineSpec(mapper="vectorized", op_cache=False),
+            EngineSpec(mapper="trial-batched", backend="torch"),
+            EngineSpec(backend="cupy", op_cache=False, region_cache=False),
+        ],
+    )
+    def test_str_round_trips(self, spec):
+        assert EngineSpec.parse(str(spec)) == spec
+
+    @pytest.mark.parametrize("mapper", MAPPER_MODES)
+    def test_simulation_options_round_trip(self, mapper):
+        spec = EngineSpec(mapper=mapper, op_cache=(mapper != "scalar"))
+        options = spec.to_simulation_options(fusion_solver="greedy")
+        assert EngineSpec.from_simulation_options(options) == spec
+
+    def test_from_simulation_options_defaults(self):
+        # None-valued engine fields resolve exactly like the Simulator does.
+        assert EngineSpec.from_simulation_options(
+            SimulationOptions(fusion_solver="greedy")
+        ) == EngineSpec()
+        assert (
+            EngineSpec.from_simulation_options(
+                SimulationOptions(fusion_solver="greedy", vectorized_mapper=False)
+            ).mapper
+            == "scalar"
+        )
+
+    def test_from_simulation_options_mapper_options_backend(self):
+        options = SimulationOptions(
+            fusion_solver="greedy",
+            mapper_options=MapperOptions(backend="torch"),
+        )
+        assert EngineSpec.from_simulation_options(options).backend == "torch"
+
+    def test_serialization_preserves_engine_fields(self):
+        spec = EngineSpec(mapper="trial-batched", backend="torch", op_cache=False)
+        options = spec.to_simulation_options(fusion_solver="greedy")
+        rebuilt = simulation_options_from_dict(simulation_options_to_dict(options))
+        assert EngineSpec.from_simulation_options(rebuilt) == spec
+
+
+class TestLegacyFlagAliases:
+    def _args(self, **overrides):
+        defaults = dict(
+            engine=None,
+            scalar_mapper=False,
+            per_op_mapper=False,
+            no_op_cache=False,
+            no_region_cache=False,
+        )
+        defaults.update(overrides)
+        return argparse.Namespace(**defaults)
+
+    def test_legacy_flags_fold_onto_spec(self):
+        from repro.cli import _resolve_engine
+
+        assert _resolve_engine(self._args()) == EngineSpec()
+        assert _resolve_engine(self._args(scalar_mapper=True)).mapper == "scalar"
+        assert _resolve_engine(self._args(per_op_mapper=True)).mapper == "vectorized"
+        spec = _resolve_engine(self._args(no_op_cache=True, no_region_cache=True))
+        assert spec.op_cache is False and spec.region_cache is False
+        # --scalar-mapper wins over --per-op-mapper, like the old wiring.
+        assert (
+            _resolve_engine(
+                self._args(scalar_mapper=True, per_op_mapper=True)
+            ).mapper
+            == "scalar"
+        )
+
+    def test_legacy_flags_override_engine_spec(self):
+        from repro.cli import _resolve_engine
+
+        spec = _resolve_engine(
+            self._args(engine="trial-batched", no_op_cache=True)
+        )
+        assert spec.mapper == "trial-batched" and spec.op_cache is False
+
+    def test_deprecation_warns_once_per_process(self, capsys):
+        import repro.cli as cli
+
+        cli._LEGACY_FLAG_WARNED.discard("--no-op-cache")
+        cli._resolve_engine(self._args(no_op_cache=True))
+        first = capsys.readouterr().err
+        assert "--no-op-cache is deprecated" in first
+        cli._resolve_engine(self._args(no_op_cache=True))
+        assert "--no-op-cache" not in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+class TestBackendRegistry:
+    def test_numpy_always_available_and_exact(self):
+        backend = get_backend("numpy")
+        assert backend.name == "numpy"
+        assert backend.bitwise_exact
+        assert backend_available("numpy")
+        assert backend_verified("numpy")
+        assert backend_cache_tag("numpy") is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            get_backend("fortran")
+
+    def test_missing_library_is_unavailable_not_fatal(self):
+        for name in ("cupy", "torch"):
+            if not backend_available(name):
+                with pytest.raises(BackendUnavailableError):
+                    get_backend(name)
+                assert check_backend(name)["status"] == "skipped"
+
+    def test_numpy_equivalence_check_is_exact(self):
+        summary = assert_backend_equivalence("numpy")
+        assert summary["max_rel_err"] == 0.0
+        assert summary["candidates"] > 0
+
+    def test_unverified_backend_gets_cache_tag(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "_VERIFIED", set())
+        assert backend_cache_tag("torch") == "backend:torch"
+        backend_mod.mark_backend_verified("torch")
+        assert backend_cache_tag("torch") is None
+
+    @pytest.mark.parametrize("name", ["cupy", "torch"])
+    def test_installed_backends_match_within_tolerance(self, name):
+        pytest.importorskip(name)
+        summary = assert_backend_equivalence(name, rtol=1e-9, atol=0.0)
+        assert summary["candidates"] > 0
+        assert backend_verified(name)
+
+
+class TestBackendCachePoisoning:
+    def test_mapping_key_segregates_unverified_backend(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "_VERIFIED", set())
+        config = DatapathConfig()
+        numpy_key = Mapper(config).mapping_config_key()
+        torch_key = Mapper(
+            config, options=MapperOptions(backend="torch")
+        ).mapping_config_key()
+        assert torch_key != numpy_key
+        assert torch_key == numpy_key + ("backend:torch",)
+        # Once verified, a fresh mapper shares the NumPy cache universe.
+        backend_mod.mark_backend_verified("torch")
+        assert (
+            Mapper(config, options=MapperOptions(backend="torch")).mapping_config_key()
+            == numpy_key
+        )
+
+    def test_problem_fingerprint_segregates_unverified_backend(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "_VERIFIED", set())
+        problem = SearchProblem(["efficientnet-b0"], ObjectiveKind.PERF_PER_TDP)
+
+        def fingerprint(**options):
+            evaluator = TrialEvaluator(
+                problem,
+                simulation_options=SimulationOptions(
+                    fusion_solver="greedy", **options
+                ),
+            )
+            return problem_fingerprint(problem, evaluator)
+
+        reference = fingerprint()
+        # NumPy engine permutations share trial caches / checkpoints.
+        assert fingerprint(trial_batched_mapper=True) == reference
+        assert fingerprint(vectorized_mapper=False) == reference
+        # An unverified float-divergent backend gets its own universe...
+        assert fingerprint(backend="torch") != reference
+        # ...until the tolerance check passes in this process.
+        backend_mod.mark_backend_verified("torch")
+        assert fingerprint(backend="torch") == reference
+
+
+# ---------------------------------------------------------------------------
+class TestRegionCachePeek:
+    def test_peek_does_not_count_or_touch_lru(self):
+        cache = RegionCostCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.peek(("a",)) == 1
+        assert cache.peek(("missing",)) is None
+        # No hit/miss accounting from peeks...
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+        # ...and no LRU refresh: "a" is still the eviction victim.
+        cache.put(("c",), 3)
+        assert cache.get(("a",)) is None
+        assert cache.get(("b",)) == 2
+
+
+# ---------------------------------------------------------------------------
+class TestTrialBatchedEquivalence:
+    def _trial_entries(self, config, graphs):
+        mapper = Mapper(config)
+        return [(mapper, _matrix_ops(graph), graph.tensors) for graph in graphs]
+
+    def test_map_trials_batch_equals_scalar_random_configs(self):
+        graphs = [
+            build_workload(name, batch_size=1)
+            for name in sorted(available_workloads())
+        ]
+        for config in _random_configs(3, seed=29):
+            entries = [
+                (Mapper(config), _matrix_ops(graph), graph.tensors)
+                for graph in graphs
+            ]
+            batched = Mapper.map_trials_batch(entries)
+            scalar = Mapper(config, options=MapperOptions(vectorize=False))
+            for graph, costs in zip(graphs, batched):
+                for op in _matrix_ops(graph):
+                    assert costs[op.name] == scalar.map_op(
+                        op, graph.tensors
+                    ), (op.name,)
+
+    def test_map_trials_batch_mixed_configs_one_pass(self):
+        graph = build_workload("efficientnet-b0", batch_size=1)
+        ops = _matrix_ops(graph)
+        configs = _random_configs(3, seed=31)
+        entries = [(Mapper(config), ops, graph.tensors) for config in configs]
+        batched = Mapper.map_trials_batch(entries)
+        for config, costs in zip(configs, batched):
+            per_trial = Mapper(config).map_ops_batch(ops, graph.tensors)
+            assert costs == per_trial
+
+    def _history(self, workload, **engine_fields):
+        problem = SearchProblem([workload], ObjectiveKind.PERF_PER_TDP)
+        spec = EngineSpec(**engine_fields)
+        evaluator = TrialEvaluator(
+            problem,
+            simulation_options=spec.to_simulation_options(fusion_solver="greedy"),
+        )
+        search = FASTSearch(problem, optimizer="lcs", seed=3, evaluator=evaluator)
+        result = search.run(num_trials=8, batch_size=4)
+        return [trial_metrics_to_dict(m) for m in result.history], result
+
+    @pytest.mark.parametrize("workload", sorted(available_workloads()))
+    def test_search_history_identical_across_engines(self, workload):
+        reference, _ = self._history(
+            workload, mapper="scalar", op_cache=False, region_cache=False
+        )
+        reset_op_caches()
+        graph_batched, _ = self._history(workload, mapper="graph-batched")
+        reset_op_caches()
+        trial_batched, result = self._history(workload, mapper="trial-batched")
+        assert graph_batched == reference
+        assert trial_batched == reference
+        assert result.runtime.engine == "trial-batched"
+
+    def test_trial_batched_engine_echo_from_parallel_workers(self):
+        problem = SearchProblem(["efficientnet-b0"], ObjectiveKind.PERF_PER_TDP)
+        spec = EngineSpec(mapper="trial-batched")
+        evaluator = TrialEvaluator(
+            problem,
+            simulation_options=spec.to_simulation_options(fusion_solver="greedy"),
+        )
+        serial, _ = self._history("efficientnet-b0", mapper="trial-batched")
+        reset_op_caches()
+        with ParallelExecutor(num_workers=2) as executor:
+            search = FASTSearch(
+                problem, optimizer="lcs", seed=3,
+                evaluator=evaluator, executor=executor,
+            )
+            result = search.run(num_trials=8, batch_size=4)
+            counters = executor.runtime_counters()
+        # The workers themselves report the engine they resolved — proof the
+        # pool inherited the parent's spec rather than a silent default.
+        assert counters["engine"] == "trial-batched"
+        assert result.runtime.engine == "trial-batched"
+        assert [trial_metrics_to_dict(m) for m in result.history] == serial
+
+    def test_evaluate_params_batch_falls_back_without_trial_batching(self):
+        problem = SearchProblem(["efficientnet-b0"], ObjectiveKind.PERF_PER_TDP)
+        evaluator = TrialEvaluator(
+            problem,
+            simulation_options=SimulationOptions(fusion_solver="greedy"),
+        )
+        space = DatapathSearchSpace()
+        rng = np.random.default_rng(7)
+        params = [
+            {
+                spec.name: spec.choices[int(rng.integers(len(spec.choices)))]
+                for spec in space.specs
+            }
+            for _ in range(3)
+        ]
+        batch = evaluator.evaluate_params_batch(params, space)
+        per_trial = [evaluator.evaluate_params(p, space) for p in params]
+        assert [trial_metrics_to_dict(m) for m in batch] == [
+            trial_metrics_to_dict(m) for m in per_trial
+        ]
