@@ -12,9 +12,10 @@ Two layers of measurement:
   the scalar, per-op vectorized, graph-batched,
   graph-batched+region-cache, graph-batched+op-cache, trial-batched
   (including the cupy / torch backend rows, recorded as skipped when the
-  library is absent), and parallel-2 modes, with cache-enabled and parallel
-  modes timed in their warm steady state (the sweep / repeated-search
-  regime).
+  library is absent), parallel-2, and parallel-2+shared-cache (workers
+  attach the parent-published shared-memory cache segment instead of
+  re-warming privately) modes, with cache-enabled and parallel modes timed
+  in their warm steady state (the sweep / repeated-search regime).
 
 Results land in ``benchmarks/results/mapper_throughput.json`` and the
 repo-root ``BENCH_mapper.json`` (key ``mapper_profile``), seeding the
@@ -168,3 +169,7 @@ def test_mapper_throughput(benchmark):
         # be slower than mapping trial by trial.
         assert profile.speedup("trial-batched") >= profile.speedup("graph-batched")
         assert profile.speedup("parallel-2") >= 1.0
+        # Attaching the parent-published shared-memory segment replaces each
+        # worker's private re-warm; the shared warm pool must never be slower
+        # than the private warm pool.
+        assert profile.speedup("parallel-2+shared-cache") >= profile.speedup("parallel-2")

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI smoke suite — the exact invocations CI runs, runnable locally:
 #
-#   scripts/ci_smoke.sh [all|search|sweep|profile|mapper-equiv|backend-equiv|bench|remote|telemetry|chaos|coverage]
+#   scripts/ci_smoke.sh [all|search|sweep|profile|mapper-equiv|backend-equiv|bench|remote|telemetry|chaos|cache-tier|coverage]
 #
 # `all` (the default) runs every smoke except `coverage`, which is its own
 # CI job.  Artifacts land in $SMOKE_DIR (default: a fresh temp dir); CI sets
@@ -323,6 +323,54 @@ PY
 }
 
 # --------------------------------------------------------------------------
+# 8. Cache-tier smoke: a search writes the persistent region store, a cold
+#    process warm-loads it (every region from disk, none recomputed), and a
+#    2-worker run attaches the parent-published shared-memory segment — all
+#    with histories bit-for-bit equal to the private-cache baseline.
+# --------------------------------------------------------------------------
+smoke_cache_tier() {
+    log "cache-tier smoke: region store warm-load + shared-memory equivalence"
+    local common=(--workload efficientnet-b0 --trials 12 --batch-size 4 --seed 0 --history)
+    local store="$SMOKE_DIR/region-store.jsonl"
+    rm -f "$store"
+    python -m repro search "${common[@]}" \
+        --output "$SMOKE_DIR/cache-private.json"
+    python -m repro search "${common[@]}" \
+        --engine "graph-batched:region_store=$store" \
+        --output "$SMOKE_DIR/cache-store-cold.json"
+    [ -s "$store" ] || { echo "region store was never written"; exit 1; }
+    # Fresh processes: one serial warm-load, one 2-worker shared-memory run.
+    python -m repro search "${common[@]}" \
+        --engine "graph-batched:region_store=$store" \
+        --output "$SMOKE_DIR/cache-store-warm.json"
+    python -m repro search "${common[@]}" \
+        --workers 2 \
+        --engine "graph-batched:region_store=$store" \
+        --output "$SMOKE_DIR/cache-shared.json"
+
+    python - "$SMOKE_DIR/cache-private.json" "$SMOKE_DIR/cache-store-cold.json" \
+        "$SMOKE_DIR/cache-store-warm.json" "$SMOKE_DIR/cache-shared.json" <<'PY'
+import json, sys
+private = json.load(open(sys.argv[1]))
+for path in sys.argv[2:]:
+    other = json.load(open(path))
+    for key in ("proposals", "history", "best_score_curve", "best_score"):
+        if private.get(key) != other.get(key):
+            raise SystemExit(f"{path} diverged from the private-cache run on {key!r}")
+warm = json.load(open(sys.argv[3]))["runtime"]
+assert warm["region_cache_disk_hits"] > 0, warm
+assert warm["region_cache_misses"] == 0, warm
+shared = json.load(open(sys.argv[4]))["runtime"]
+assert shared["shared_cache_attached"] >= 1, shared
+assert shared["shared_cache_entries"] > 0, shared
+print("store + shared-memory == private bit-for-bit over",
+      len(private.get("history") or []), "trials;",
+      warm["region_cache_disk_hits"], "warm disk hits,",
+      shared["shared_cache_attached"], "worker(s) on the shared segment")
+PY
+}
+
+# --------------------------------------------------------------------------
 # Coverage job: ratcheted floor + drift check.  The floor lives in ci.yml
 # (COV_FLOOR env of the coverage job); raise it as coverage grows, never
 # lower it.  The drift check fails the job when the floor lags measured
@@ -362,6 +410,7 @@ case "${1:-all}" in
     remote)       smoke_remote ;;
     telemetry)    smoke_telemetry ;;
     chaos)        smoke_chaos ;;
+    cache-tier)   smoke_cache_tier ;;
     coverage)     smoke_coverage ;;
     all)
         smoke_search
@@ -373,10 +422,11 @@ case "${1:-all}" in
         smoke_remote
         smoke_telemetry
         smoke_chaos
+        smoke_cache_tier
         log "all smokes passed; artifacts in $SMOKE_DIR"
         ;;
     *)
-        echo "usage: $0 [all|search|sweep|profile|mapper-equiv|backend-equiv|bench|remote|telemetry|chaos|coverage]" >&2
+        echo "usage: $0 [all|search|sweep|profile|mapper-equiv|backend-equiv|bench|remote|telemetry|chaos|cache-tier|coverage]" >&2
         exit 2
         ;;
 esac

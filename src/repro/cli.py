@@ -158,12 +158,55 @@ skips libraries that are not installed).  ``op_cache=on|off`` and
 ``region_cache=on|off`` toggle the two cross-trial memoization layers:
 the region-level result cache (whole fusion-region evaluations keyed by
 graph fingerprint, region index, and mapping-relevant datapath sub-config)
-and the per-op cost cache (``--op-cache PATH`` additionally persists it as
-JSON lines shared across processes, shards, and restarts).  Hit/miss
-counters for both appear in the search summary, progress lines, and
-``RuntimeStats``.  The legacy spellings ``--scalar-mapper``,
+and the per-op cost cache.  The legacy spellings ``--scalar-mapper``,
 ``--per-op-mapper``, ``--no-op-cache``, and ``--no-region-cache`` still
 work as deprecated aliases that fold onto an equivalent ``--engine`` spec.
+
+**The shared cost-cache tier.**  Both memoization layers are the private
+front of a three-tier cache; every tier serves bit-identical entries, so
+enabling any of them can change only wall-clock time, never a search
+history:
+
+* **private** — the in-process memory LRU plus an optional persistent
+  JSON-lines store: ``--op-cache PATH`` for op costs, ``--engine
+  ...:region_store=PATH`` for whole evaluated regions.  Stores are
+  digest-keyed, append-only (single-write appends make concurrent writers
+  safe; duplicates are folded by compaction), and warm-loaded at startup —
+  by searches, sweep shards, and ``repro serve`` alike.  Disk-served
+  lookups are reported separately as ``op_cache_disk_hits`` /
+  ``region_cache_disk_hits``.
+* **shared-memory** — a parallel run (``--workers N``) publishes the
+  parent's warm entries into one ``multiprocessing.shared_memory`` segment
+  that every pool worker attaches zero-copy (no per-worker disk load, no
+  duplicated cache RSS); respawned workers re-attach the republished
+  segment and serve their first batch from cache with no re-warm compute.
+  ``shared_cache_attached`` / ``*_cache_shared_hits`` in ``RuntimeStats``
+  show the tier working; any publish or attach failure silently falls back
+  to the private path.
+* **cluster** — a ``repro serve`` endpoint doubles as a cache service via
+  ``GET/PUT /cache/region`` (fingerprint-checked like ``/evaluate``), and
+  ``--engine ...:cache_service=URL`` attaches any search to it: region
+  lookups are prefetched in digest batches before the simulator walks a
+  graph, freshly computed regions are pushed back, and every round trip
+  lands in ``remote_cache_*`` counters and ``remote_cache`` trace spans.
+
+Worked example — one host computes, every later run starts warm::
+
+    # Host A: serve evaluations AND the shared region store
+    python -m repro serve --port 8642 \
+        --engine graph-batched:region_store=runs/regions.jsonl
+
+    # Host B: search against the cache service; repeat runs (any host)
+    # hit the service for every region already evaluated anywhere
+    python -m repro search --workload resnet50 --trials 200 \
+        --engine graph-batched:cache_service=http://hostA:8642
+
+    # Same machine, later: warm-load the store directly, no network
+    python -m repro search --workload resnet50 --trials 200 \
+        --engine graph-batched:region_store=runs/regions.jsonl
+
+Hit/miss counters for every tier appear in the search summary, progress
+lines, and ``RuntimeStats``.
 
 **Warm parallel workers** (``--workers N``) compose with every engine:
 pool workers start warm (graphs, compiled regions, shared op/region
@@ -376,6 +419,8 @@ def _resolve_engine(args):
         backend=spec.backend if mapper != "scalar" else "numpy",
         op_cache=op_cache,
         region_cache=region_cache,
+        region_store=spec.region_store,
+        cache_service=spec.cache_service,
     )
 
 
@@ -551,9 +596,26 @@ def _cmd_search(args) -> int:
         if result.runtime.op_cache_hits or result.runtime.op_cache_misses:
             summary["op-cache hits"] = result.runtime.op_cache_hits
             summary["op-cache hit rate"] = result.runtime.op_cache_hit_rate
+        if result.runtime.op_cache_disk_hits:
+            summary["op-cache disk hits"] = result.runtime.op_cache_disk_hits
         if result.runtime.region_cache_hits or result.runtime.region_cache_misses:
             summary["region-cache hits"] = result.runtime.region_cache_hits
             summary["region-cache hit rate"] = result.runtime.region_cache_hit_rate
+        if result.runtime.region_cache_disk_hits:
+            summary["region-cache disk hits"] = result.runtime.region_cache_disk_hits
+        if result.runtime.op_cache_shared_hits or result.runtime.region_cache_shared_hits:
+            summary["shared-cache hits"] = (
+                result.runtime.op_cache_shared_hits
+                + result.runtime.region_cache_shared_hits
+            )
+        if result.runtime.shared_cache_attached:
+            summary["shared-cache workers"] = result.runtime.shared_cache_attached
+        if result.runtime.remote_cache_requests:
+            summary["remote-cache hits"] = result.runtime.remote_cache_hits
+            summary["remote-cache puts"] = result.runtime.remote_cache_puts
+            summary["remote-cache requests"] = result.runtime.remote_cache_requests
+            if result.runtime.remote_cache_failures:
+                summary["remote-cache failures"] = result.runtime.remote_cache_failures
         if result.runtime.eval_seconds:
             summary["mapper seconds"] = result.runtime.mapper_seconds
             summary["fusion seconds"] = result.runtime.fusion_seconds
@@ -804,10 +866,11 @@ def _cmd_profile(args) -> int:
     for record in report.records:
         if record.skipped:
             rows.append([
-                record.mode, "skipped", "-", "-", "-", "-", "-", "-", "-",
+                record.mode, "skipped", "-", "-", "-", "-", "-", "-", "-", "-",
             ])
             continue
         stages = record.stage_seconds
+        disk_hits = record.op_cache_disk_hits + record.region_cache_disk_hits
         rows.append([
             record.mode,
             f"{record.trials_per_second:.1f}",
@@ -818,10 +881,12 @@ def _cmd_profile(args) -> int:
             f"{stages.get('other', 0.0) * 1e3:.0f}",
             f"{record.op_cache_hit_rate:.2f}" if record.op_cache_hits else "-",
             f"{record.region_cache_hit_rate:.2f}" if record.region_cache_hits else "-",
+            str(disk_hits) if disk_hits else "-",
         ])
     print(format_table(
         ["Mode", "Trials/s", "vs scalar", "Mapper ms", "Vector ms",
-         "Fusion ms", "Other ms", "Op-cache hit rate", "Region-cache hit rate"],
+         "Fusion ms", "Other ms", "Op-cache hit rate", "Region-cache hit rate",
+         "Disk hits"],
         rows,
     ))
     print(
@@ -1086,7 +1151,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "MAPPER[:key=value,...] with MAPPER one of "
                              "scalar / vectorized / graph-batched / "
                              "trial-batched and keys backend=numpy|cupy|torch, "
-                             "op_cache=on|off, region_cache=on|off "
+                             "op_cache=on|off, region_cache=on|off, "
+                             "region_store=PATH (persistent JSONL region "
+                             "store), cache_service=URL (cluster cache tier "
+                             "on a `repro serve` endpoint) "
                              "(default: graph-batched with both caches on; "
                              "all NumPy engines give identical results)")
     search.add_argument("--no-op-cache", action="store_true",
@@ -1134,7 +1202,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--engine", default=None, metavar="SPEC",
                        help="Pin the service's evaluation engine (same grammar "
                             "as `repro search --engine`); merged over every "
-                            "request's simulation options")
+                            "request's simulation options.  With "
+                            "region_store=PATH the /cache/region routes "
+                            "persist and warm-load the shared region store")
     serve.add_argument("--inject-faults", default=None, metavar="SPEC",
         help="Serve as a deliberately flaky endpoint: seeded service-side "
              "faults, e.g. 'service-error:p=0.2,service-drop:n=3'")

@@ -46,8 +46,17 @@ class RuntimeStats:
     ``op_cache_hits``/``op_cache_misses`` count per-op cost lookups served by
     the cross-trial :mod:`repro.runtime.opcache`, and
     ``region_cache_hits``/``region_cache_misses`` count whole fusion-region
-    evaluations served by the region-level result cache layered above it;
-    the ``*_seconds`` fields break evaluation wall-clock time down by
+    evaluations served by the region-level result cache layered above it.
+    The shared-tier breakdown rides alongside: ``*_disk_hits`` are the
+    subset of hits served from a persistent store's raw index
+    (``--op-cache`` / ``--engine region_store=``), ``*_shared_hits`` the
+    subset served from an attached parent-published shared-memory segment,
+    ``shared_cache_attached`` counts workers that attached one (and
+    ``shared_cache_entries`` how many entries the parent published), and
+    the ``remote_cache_*`` counters cover the cluster tier — batched
+    ``/cache/region`` prefetch hits/misses, entries pushed back, HTTP round
+    trips, and failed round trips.
+    The ``*_seconds`` fields break evaluation wall-clock time down by
     pipeline stage (mapper / VPU cost model / fusion ILP / whole-trial
     evaluation).  Under a serial executor they are collected from this
     process's evaluator and caches; a
@@ -88,8 +97,19 @@ class RuntimeStats:
     elapsed_seconds: float = 0.0
     op_cache_hits: int = 0
     op_cache_misses: int = 0
+    op_cache_disk_hits: int = 0
+    op_cache_shared_hits: int = 0
     region_cache_hits: int = 0
     region_cache_misses: int = 0
+    region_cache_disk_hits: int = 0
+    region_cache_shared_hits: int = 0
+    shared_cache_attached: int = 0
+    shared_cache_entries: int = 0
+    remote_cache_hits: int = 0
+    remote_cache_misses: int = 0
+    remote_cache_puts: int = 0
+    remote_cache_requests: int = 0
+    remote_cache_failures: int = 0
     mapper_seconds: float = 0.0
     vector_seconds: float = 0.0
     fusion_seconds: float = 0.0
@@ -293,14 +313,13 @@ class FASTSearch:
         # Op-cache counters only move in this process, i.e. under a serial
         # executor; with a parallel executor the cache lives in the workers,
         # so don't force-load a possibly large persistent store here.
+        from repro.runtime.executor import cache_counter_snapshot
+
         op_cache = self._op_cache() if isinstance(executor, SerialExecutor) else None
-        op_cache_start = op_cache.snapshot_counters() if op_cache is not None else (0, 0)
         region_cache = (
             self._region_cache() if isinstance(executor, SerialExecutor) else None
         )
-        region_cache_start = (
-            region_cache.snapshot_counters() if region_cache is not None else (0, 0)
-        )
+        cache_start = cache_counter_snapshot(op_cache, region_cache)
         # Remote executors expose lifetime counters; snapshot them so a run
         # on a reused executor (e.g. across sweep shards) reports deltas.
         collect_remote = getattr(executor, "runtime_counters", None)
@@ -323,13 +342,14 @@ class FASTSearch:
             rates: Dict[str, float] = {}
             if op_cache is not None:
                 hits, misses = op_cache.snapshot_counters()
-                hits, misses = hits - op_cache_start[0], misses - op_cache_start[1]
+                hits -= cache_start.get("op_cache_hits", 0)
+                misses -= cache_start.get("op_cache_misses", 0)
                 if hits + misses:
                     rates["op_cache_hit_rate"] = hits / (hits + misses)
             if region_cache is not None:
                 hits, misses = region_cache.snapshot_counters()
-                hits -= region_cache_start[0]
-                misses -= region_cache_start[1]
+                hits -= cache_start.get("region_cache_hits", 0)
+                misses -= cache_start.get("region_cache_misses", 0)
                 if hits + misses:
                     rates["region_cache_hit_rate"] = hits / (hits + misses)
             if not rates and remote_start is not None:
@@ -548,14 +568,12 @@ class FASTSearch:
                 stats.engine = str(EngineSpec.from_simulation_options(options))
             except Exception:
                 pass  # informational only
-        if op_cache is not None:
-            hits, misses = op_cache.snapshot_counters()
-            stats.op_cache_hits = hits - op_cache_start[0]
-            stats.op_cache_misses = misses - op_cache_start[1]
-        if region_cache is not None:
-            hits, misses = region_cache.snapshot_counters()
-            stats.region_cache_hits = hits - region_cache_start[0]
-            stats.region_cache_misses = misses - region_cache_start[1]
+        if region_cache is not None and region_cache.remote is not None:
+            # Drain buffered cluster puts before the counter snapshot so the
+            # run's last computed regions reach the service (and are counted).
+            region_cache.flush_remote()
+        for key, value in cache_counter_snapshot(op_cache, region_cache).items():
+            setattr(stats, key, value - cache_start.get(key, 0))
         if remote_start is not None:
             remote_now = collect_remote()
             for key, value in remote_now.items():
@@ -632,7 +650,7 @@ class FASTSearch:
             return None
         from repro.runtime.opcache import get_region_cache
 
-        return get_region_cache()
+        return get_region_cache(getattr(options, "region_store_path", None))
 
 
 def _mean(values) -> float:

@@ -137,10 +137,7 @@ class TrialEvaluator:
             from repro.runtime.opcache import get_op_cache
 
             get_op_cache(getattr(options, "op_cache_path", None))
-        if getattr(options, "region_cache_enabled", False):
-            from repro.runtime.opcache import get_region_cache
-
-            get_region_cache()
+        self.attach_region_tiers()
         from repro.simulator.engine import precompile_graph
 
         sizes = tuple(batch_sizes) if batch_sizes else (DatapathConfig().native_batch_size,)
@@ -151,6 +148,45 @@ class TrialEvaluator:
                     precompile_graph(graph)
                 except Exception:
                     continue  # warm-up must never break evaluation
+
+    # ------------------------------------------------------------------
+    def attach_region_tiers(self):
+        """The process-local region cache with every configured tier wired.
+
+        Resolves the region cache for this evaluator's store path
+        (warm-loading the persistent region store on first touch) and, when
+        ``region_cache_service`` names a ``repro serve`` endpoint, attaches
+        a :class:`~repro.runtime.remote.RemoteCostCache` cluster client
+        keyed by this problem's fingerprint.  Idempotent and cheap after the
+        first call; used by the worker initializer, ``repro serve``, and the
+        per-trial setup path (so even a cold serial run gets its tiers).
+        Returns the cache, or None when region caching is disabled.
+        """
+        options = self.simulation_options
+        if not getattr(options, "region_cache_enabled", False):
+            return None
+        from repro.runtime.opcache import get_region_cache
+
+        cache = get_region_cache(getattr(options, "region_store_path", None))
+        url = getattr(options, "region_cache_service", None)
+        if url:
+            url = url.rstrip("/")
+            if getattr(cache.remote, "base_url", None) != url:
+                try:
+                    from repro.runtime.cache import problem_fingerprint
+                    from repro.runtime.remote import RemoteCostCache
+
+                    cache.attach_remote(
+                        RemoteCostCache(
+                            url,
+                            fingerprint=problem_fingerprint(
+                                self.problem, evaluator=self
+                            ),
+                        )
+                    )
+                except Exception:
+                    pass  # the cluster tier is additive; local tiers still work
+        return cache
 
     # ------------------------------------------------------------------
     def evaluate_params(
@@ -197,6 +233,10 @@ class TrialEvaluator:
         constraints already decided the trial.  Split out so the batched
         path can stage every trial before the shared mapping pass.
         """
+        # Region-tier wiring is idempotent; doing it here (not just in
+        # warm_caches) means serial runs and cold workers also see the
+        # persistent store and the cluster tier from their first trial.
+        self.attach_region_tiers()
         with _tracer().span("area_power", category="simulate"):
             breakdown = self.area_power_model.evaluate(config)
         area = breakdown.total_area_mm2

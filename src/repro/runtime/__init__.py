@@ -8,8 +8,13 @@ engine, layered as:
 * :mod:`repro.runtime.cache` — persistent memoization of trial metrics with
   shard-safe concurrent writers, compaction, and size-cap auto-compaction,
 * :mod:`repro.runtime.opcache` — cross-trial memoization of per-op mapping
-  and vector costs, keyed by problem fingerprint + mapping-relevant
-  sub-config, optionally persisted as JSON lines,
+  and vector costs plus whole evaluated fusion regions, keyed by problem
+  fingerprint + mapping-relevant sub-config, optionally persisted as JSON
+  lines (op store / region store) and optionally backed by a cluster cache
+  service,
+* :mod:`repro.runtime.shmcache` — zero-copy cross-worker cache sharing: the
+  pool parent publishes its warm op/region entries into one
+  ``multiprocessing.shared_memory`` segment that every worker attaches,
 * :mod:`repro.runtime.checkpoint` — periodic save + ``--resume`` support,
 * :mod:`repro.runtime.progress` — event bus for live progress reporting,
 * :mod:`repro.runtime.service` — stdlib HTTP evaluation service
@@ -78,7 +83,12 @@ from repro.runtime.faults import (
     parse_fault_spec,
     set_fault_plan,
 )
-from repro.runtime.remote import AsyncRemoteExecutor, EndpointStats, RemoteExecutionError
+from repro.runtime.remote import (
+    AsyncRemoteExecutor,
+    EndpointStats,
+    RemoteCostCache,
+    RemoteExecutionError,
+)
 from repro.runtime.opcache import (
     OpCacheStats,
     OpCostCache,
@@ -88,6 +98,11 @@ from repro.runtime.opcache import (
     get_region_cache,
     reset_op_caches,
     reset_region_caches,
+)
+from repro.runtime.shmcache import (
+    SharedCacheView,
+    attach_shared_cache,
+    publish_shared_cache,
 )
 from repro.runtime.profiling import (
     PROFILE_MODES,
@@ -159,7 +174,9 @@ __all__ = [
     "ProgressPrinter",
     "RegionCacheStats",
     "RegionCostCache",
+    "RemoteCostCache",
     "RemoteExecutionError",
+    "SharedCacheView",
     "Scoreboard",
     "ScoreRecord",
     "SearchCheckpoint",
@@ -177,6 +194,7 @@ __all__ = [
     "TrialExecutor",
     "WorkerCrashError",
     "apply_telemetry_config",
+    "attach_shared_cache",
     "chrome_trace_events",
     "clear_faults",
     "compact_cache",
@@ -198,6 +216,7 @@ __all__ = [
     "problem_fingerprint",
     "profile_search",
     "proposal_key",
+    "publish_shared_cache",
     "register_executor",
     "reset_metrics",
     "reset_op_caches",

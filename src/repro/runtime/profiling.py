@@ -55,6 +55,11 @@ class ProfileMode:
     trial_batched: bool = False
     backend: str = "numpy"
     workers: int = 1
+    #: Publish the parent's warm cache entries into a shared-memory segment
+    #: that pool workers attach zero-copy (parallel modes only).  Off by
+    #: default so ``parallel-2`` keeps its historical private-warm meaning
+    #: and ``parallel-2+shared-cache`` measures the shared tier against it.
+    shared_cache: bool = False
 
 
 #: The standard comparison ladder, slowest first; the first mode is the
@@ -65,7 +70,11 @@ class ProfileMode:
 #: installed, and excluded from the bitwise history verdict because float
 #: kernels on other hardware are only tolerance-equal, not bit-equal).
 #: ``parallel-2`` runs the default fast path on a 2-worker warm process
-#: pool — the row that keeps executor regressions visible.
+#: pool — the row that keeps executor regressions visible — and
+#: ``parallel-2+shared-cache`` reruns it with the parent's warm cache
+#: entries published to a shared-memory segment the workers attach
+#: zero-copy, so the shared tier is always measured against the private
+#: warm path it must not lose to.
 PROFILE_MODES = (
     ProfileMode("scalar", vectorized_mapper=False, op_cache=False),
     ProfileMode("vectorized", vectorized_mapper=True, op_cache=False),
@@ -117,6 +126,15 @@ PROFILE_MODES = (
         region_cache=True,
         workers=2,
     ),
+    ProfileMode(
+        "parallel-2+shared-cache",
+        vectorized_mapper=True,
+        op_cache=True,
+        graph_batched=True,
+        region_cache=True,
+        workers=2,
+        shared_cache=True,
+    ),
 )
 
 
@@ -132,9 +150,13 @@ class ProfileRecord:
     op_cache_hits: int = 0
     op_cache_misses: int = 0
     op_cache_hit_rate: float = 0.0
+    op_cache_disk_hits: int = 0
     region_cache_hits: int = 0
     region_cache_misses: int = 0
     region_cache_hit_rate: float = 0.0
+    region_cache_disk_hits: int = 0
+    shared_cache_attached: int = 0
+    shared_cache_entries: int = 0
     workers: int = 1
     engine: str = ""
     skipped: bool = False
@@ -151,9 +173,13 @@ class ProfileRecord:
             "op_cache_hits": self.op_cache_hits,
             "op_cache_misses": self.op_cache_misses,
             "op_cache_hit_rate": self.op_cache_hit_rate,
+            "op_cache_disk_hits": self.op_cache_disk_hits,
             "region_cache_hits": self.region_cache_hits,
             "region_cache_misses": self.region_cache_misses,
             "region_cache_hit_rate": self.region_cache_hit_rate,
+            "region_cache_disk_hits": self.region_cache_disk_hits,
+            "shared_cache_attached": self.shared_cache_attached,
+            "shared_cache_entries": self.shared_cache_entries,
             "workers": self.workers,
             "engine": self.engine,
             "skipped": self.skipped,
@@ -393,9 +419,24 @@ def profile_search(
             continue
         reset_op_caches()
         fixture = mode_fixture(mode)
-        executor = ParallelExecutor(num_workers=mode.workers) if mode.workers > 1 else None
+        executor = (
+            ParallelExecutor(num_workers=mode.workers, shared_cache=mode.shared_cache)
+            if mode.workers > 1
+            else None
+        )
         try:
-            result = run_once(mode, *fixture, executor=executor)
+            # For the shared-cache mode the warm-up pass runs serially: a
+            # parallel warm-up leaves the *parent* caches cold (workers do
+            # all the evaluating), so the pool build would have nothing to
+            # publish.  Warming the parent first means the timed run's pool
+            # publishes a populated segment and every worker starts by
+            # attaching it — the respawn scenario the shared tier exists for.
+            warm_parent_serially = (
+                warm_op_cache and mode.shared_cache and executor is not None
+            )
+            result = run_once(
+                mode, *fixture, executor=None if warm_parent_serially else executor
+            )
             warmable = mode.op_cache or mode.region_cache or mode.workers > 1
             if warmable and warm_op_cache:
                 result = run_once(mode, *fixture, executor=executor)  # steady state
@@ -424,9 +465,13 @@ def profile_search(
             op_cache_hits=stats.op_cache_hits,
             op_cache_misses=stats.op_cache_misses,
             op_cache_hit_rate=stats.op_cache_hit_rate,
+            op_cache_disk_hits=stats.op_cache_disk_hits,
             region_cache_hits=stats.region_cache_hits,
             region_cache_misses=stats.region_cache_misses,
             region_cache_hit_rate=stats.region_cache_hit_rate,
+            region_cache_disk_hits=stats.region_cache_disk_hits,
+            shared_cache_attached=stats.shared_cache_attached,
+            shared_cache_entries=stats.shared_cache_entries,
             workers=mode.workers,
             engine=stats.engine
             or str(EngineSpec.from_simulation_options(_mode_options(mode))),

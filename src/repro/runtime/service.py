@@ -18,6 +18,17 @@ Wire protocol (all bodies are JSON):
   histories from services running a different problem, space, or simulator
   configuration.  Response: ``{"fingerprint", "results": [metrics...]}`` in
   request order.
+* ``GET /cache/region`` / ``PUT /cache/region`` — the cluster tier of the
+  shared cost-cache (see :mod:`repro.runtime.opcache`): GET takes
+  ``{"fingerprint", "digests": [...]}`` and returns the known subset as
+  ``{"entries": {digest: raw, ...}}``; PUT takes ``{"fingerprint",
+  "entries": {...}}`` and answers ``{"stored": n}``.  Region digests are
+  self-authenticating (each hashes the graph fingerprint plus the full
+  mapping-relevant configuration), so the declared fingerprint is checked
+  for form (16 lowercase hex digits, HTTP 400 otherwise) rather than
+  recomputed; entries are served from — and persisted to, when
+  ``--engine region_store=`` is set — the service's process-local
+  :class:`~repro.runtime.opcache.RegionCostCache`.
 * ``GET /scoreboard`` / ``POST /scoreboard`` — the service-backed
   cross-shard best-score exchange (see :mod:`repro.runtime.exchange`):
   shards POST ``{"shard_id", "objective", "score", "params", "trials"}``
@@ -52,6 +63,7 @@ from __future__ import annotations
 
 import json
 import logging
+import re
 import threading
 import time
 from dataclasses import dataclass
@@ -81,6 +93,12 @@ __all__ = ["ServiceStats", "EvaluationService", "serve"]
 # runs stay quiet; ``repro serve --verbose`` raises the level to show them.
 logger = logging.getLogger("repro.runtime.service")
 
+#: Declared problem fingerprints are 16 lowercase hex digits (see
+#: :func:`repro.runtime.cache.problem_fingerprint`).  Cache routes check the
+#: form only: region digests are self-authenticating, but a malformed
+#: fingerprint means a confused client and gets a 400 instead of silence.
+_FINGERPRINT_RE = re.compile(r"[0-9a-f]{16}")
+
 
 @dataclass
 class ServiceStats:
@@ -91,6 +109,10 @@ class ServiceStats:
     trials_evaluated: int = 0
     fingerprint_rejections: int = 0
     errors: int = 0
+    region_cache_gets: int = 0
+    region_cache_puts: int = 0
+    region_entries_served: int = 0
+    region_entries_stored: int = 0
 
 
 def space_from_payload(payload: object) -> DatapathSearchSpace:
@@ -161,6 +183,11 @@ class EvaluationService:
             from repro.runtime.opcache import get_op_cache
 
             get_op_cache(self.simulation_overrides["op_cache_path"])
+        # Warm-load the region store (if any) and keep raw entries around
+        # even without one, so ``/cache/region`` can serve what this
+        # service's own evaluations produce (publish_raw keeps the
+        # digest-keyed raw memo populated on a path-less cache).
+        self._region_cache().publish_raw = True
         self.stats = ServiceStats()
         self.started_at = time.time()
         # Per-service registry/tracer (not the process globals): tests run
@@ -255,6 +282,67 @@ class EvaluationService:
         evaluator.warm_caches()
         self._evaluators[fingerprint] = (evaluator, space)
         return fingerprint, evaluator, space
+
+    def _region_cache(self):
+        """The process-local region cache backing ``/cache/region``."""
+        from repro.runtime.opcache import get_region_cache
+
+        return get_region_cache(self.simulation_overrides.get("region_store_path"))
+
+    def region_cache_payload(self, method: str, payload: dict) -> Tuple[int, dict]:
+        """Handle one ``GET``/``PUT /cache/region`` body; returns (status, body).
+
+        The fingerprint is validated for form only (16 lowercase hex digits):
+        region digests hash the graph fingerprint plus the mapping-relevant
+        configuration themselves, so a digest can never alias an entry from a
+        different problem.  GET serves the known subset of the requested
+        digests; PUT stores previously-unknown entries (appending to the
+        region store when the service has one).
+        """
+        fingerprint = payload.get("fingerprint")
+        if not isinstance(fingerprint, str) or not _FINGERPRINT_RE.fullmatch(
+            fingerprint
+        ):
+            return 400, {
+                "error": "missing or malformed fingerprint "
+                "(expected 16 lowercase hex digits)"
+            }
+        cache = self._region_cache()
+        outcomes = self.metrics.counter(
+            "repro_service_cache_entries_total",
+            "Region-cache entries served/stored by /cache/region, by outcome.",
+            ("outcome",),
+        )
+        if method == "GET":
+            digests = payload.get("digests")
+            if not isinstance(digests, list) or not all(
+                isinstance(digest, str) for digest in digests
+            ):
+                return 400, {"error": "digests must be a list of strings"}
+            entries: Dict[str, dict] = {}
+            for digest in digests:
+                raw = cache.raw_lookup(digest)
+                if raw is not None:
+                    entries[digest] = raw
+            self.stats.region_cache_gets += 1
+            self.stats.region_entries_served += len(entries)
+            outcomes.inc(len(entries), outcome="hit")
+            outcomes.inc(len(digests) - len(entries), outcome="miss")
+            return 200, {"fingerprint": fingerprint, "entries": entries}
+        entries_payload = payload.get("entries")
+        if not isinstance(entries_payload, dict):
+            return 400, {"error": "entries must be a digest-keyed object"}
+        stored = 0
+        for digest, raw in entries_payload.items():
+            if not isinstance(digest, str) or not isinstance(raw, dict):
+                return 400, {"error": "entries must map digest strings to objects"}
+            if cache.raw_lookup(digest) is None:
+                cache._store_raw(digest, raw)
+                stored += 1
+        self.stats.region_cache_puts += 1
+        self.stats.region_entries_stored += stored
+        outcomes.inc(stored, outcome="stored")
+        return 200, {"fingerprint": fingerprint, "stored": stored}
 
     def evaluate_payload(self, payload: dict) -> Tuple[int, dict]:
         """Handle one ``/evaluate`` request body; returns (status, response)."""
@@ -375,9 +463,16 @@ class EvaluationService:
         )
         cache.set(op_hits, cache="op", outcome="hit")
         cache.set(op_misses, cache="op", outcome="miss")
-        region_hits, region_misses = get_region_cache().snapshot_counters()
+        region_cache = get_region_cache(
+            self.simulation_overrides.get("region_store_path")
+        )
+        region_hits, region_misses = region_cache.snapshot_counters()
         cache.set(region_hits, cache="region", outcome="hit")
         cache.set(region_misses, cache="region", outcome="miss")
+        gauge(
+            "repro_service_region_entries",
+            "Raw region entries the /cache/region tier can serve.",
+        ).set(len(region_cache._disk_index))
         return self.metrics.expose()
 
     def health_snapshot(self) -> dict:
@@ -392,6 +487,11 @@ class EvaluationService:
             "trials_evaluated": self.stats.trials_evaluated,
             "fingerprint_rejections": self.stats.fingerprint_rejections,
             "errors": self.stats.errors,
+            "region_cache_gets": self.stats.region_cache_gets,
+            "region_cache_puts": self.stats.region_cache_puts,
+            "region_entries_served": self.stats.region_entries_served,
+            "region_entries_stored": self.stats.region_entries_stored,
+            "region_entries": len(self._region_cache()._disk_index),
             "known_fingerprints": sorted(self._evaluators),
         }
 
@@ -470,6 +570,9 @@ def _make_handler(service: EvaluationService):
         def do_POST(self) -> None:  # noqa: N802 - stdlib naming
             self._handle("POST")
 
+        def do_PUT(self) -> None:  # noqa: N802 - stdlib naming
+            self._handle("PUT")
+
         def _handle(self, method: str) -> None:
             service.stats.requests += 1
             route = self.path
@@ -495,7 +598,7 @@ def _make_handler(service: EvaluationService):
                 )
 
         def _dispatch(self, method: str, route: str, trace_header, span) -> int:
-            if method == "GET":
+            if method == "GET" and route != "/cache/region":
                 if route == "/health":
                     return self._reply(200, service.health_snapshot())
                 if route == "/scoreboard":
@@ -506,6 +609,19 @@ def _make_handler(service: EvaluationService):
             payload = self._read_json()
             if payload is None:
                 return 400
+            if route == "/cache/region":
+                if method not in ("GET", "PUT"):
+                    return self._reply(
+                        405, {"error": "use GET or PUT on /cache/region"}
+                    )
+                try:
+                    status, body = service.region_cache_payload(method, payload)
+                except Exception as error:  # defensive: never kill the thread
+                    service.stats.errors += 1
+                    status, body = 500, {"error": f"cache request failed: {error}"}
+                return self._reply(status, body)
+            if method == "PUT":
+                return self._reply(404, {"error": f"unknown path {route}"})
             if route == "/evaluate":
                 try:
                     status, body = service.evaluate_payload(payload)
@@ -563,6 +679,10 @@ def serve(
         overrides["backend"] = engine.backend
         overrides["op_cache_enabled"] = engine.op_cache
         overrides["region_cache_enabled"] = engine.region_cache
+        if engine.region_store is not None:
+            overrides["region_store_path"] = engine.region_store
+        if engine.cache_service is not None:
+            overrides["region_cache_service"] = engine.cache_service
     if op_cache_path:
         overrides["op_cache_enabled"] = True
         overrides["op_cache_path"] = op_cache_path

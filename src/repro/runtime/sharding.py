@@ -238,7 +238,13 @@ def run_shard(
     ``engine`` (an :class:`~repro.simulator.enginespec.EngineSpec`) selects
     the evaluation engine for every shard; when set it supersedes the legacy
     ``op_cache_enabled`` toggle.  All NumPy engines are bit-for-bit
-    equivalent, so the merged sweep result is engine-independent.
+    equivalent, so the merged sweep result is engine-independent.  An
+    engine with ``region_store=PATH`` gives every shard (and its pool
+    workers) one shared persistent region store the same way
+    ``op_cache_path`` shares op costs — appends are single-write and
+    duplicate-tolerant, so concurrent shards racing the same region key
+    are safe and compaction later folds the duplicates; ``cache_service=URL``
+    attaches each shard to a cluster cache service instead.
     """
     from repro.core.trial import TrialEvaluator
     from repro.simulator.engine import SimulationOptions

@@ -1,0 +1,210 @@
+"""Zero-copy cross-worker sharing of cost-cache entries.
+
+The middle tier of the shared cost-cache stack
+(:mod:`repro.runtime.opcache`): a parent process about to start (or
+restart) a worker pool serializes its warm op / region cost entries into
+**one** ``multiprocessing.shared_memory`` segment — a flat blob of
+JSON-encoded payloads plus a small digest -> (offset, length) index — and
+ships only the index through the pool initializer.  Workers *attach* the
+segment by name instead of copying it: the blob is mapped, not duplicated,
+so a 100 MB warm cache costs 100 MB once per host rather than once per
+worker, and a freshly spawned or crash-respawned worker serves its first
+batch from cache with zero re-warm compute.  Individual entries materialize
+lazily — only the digests a worker actually looks up are ever decoded.
+
+Payloads cross the segment in the exact JSON encoding the persistent stores
+use, so a shared-tier hit is bit-identical to a private one and search
+histories cannot depend on which tier answered.  Everything here is best
+effort: any failure to publish or attach (no /dev/shm, exhausted segment
+space, a platform without the module) falls back to the private warm path —
+correctness never depends on the segment existing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "SharedCacheIndex",
+    "SharedCachePublisher",
+    "SharedCacheView",
+    "attach_shared_cache",
+    "publish_shared_cache",
+]
+
+
+@dataclass
+class SharedCacheIndex:
+    """Picklable map from cache digests to segment offsets.
+
+    ``segment`` names the shared-memory block; ``op_index`` /
+    ``region_index`` map payload digests to ``(offset, length)`` byte spans
+    inside it.  This is the only object shipped to workers — a few dozen
+    bytes per entry, versus the payloads themselves which stay in the
+    mapped segment.
+    """
+
+    segment: str
+    size: int
+    op_index: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    region_index: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.op_index) + len(self.region_index)
+
+
+def _raw_items(cache) -> Dict[str, dict]:
+    """Digest -> raw payload dict for every entry a cache can serve locally.
+
+    Store-backed entries are already encoded in the raw index; memory-only
+    entries (the common warm-parent case) are encoded here.  Encoding
+    failures skip the entry — publishing is best effort.
+    """
+    if cache is None:
+        return {}
+    items: Dict[str, dict] = dict(cache._disk_index)
+    for key, value in cache._memory.items():
+        digest = cache.digest(key)
+        if digest in items:
+            continue
+        try:
+            items[digest] = cache._encode(value)
+        except Exception:
+            continue
+    return items
+
+
+class SharedCachePublisher:
+    """Owns one published segment; unlink through :meth:`close`.
+
+    The parent keeps the publisher alive for the lifetime of the worker
+    pool.  Closing unlinks the segment; workers that already attached keep
+    their mappings (POSIX shared memory is reference counted), so teardown
+    can never crash an in-flight batch.
+    """
+
+    def __init__(self, shm, index: SharedCacheIndex) -> None:
+        self._shm = shm
+        self.index = index
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except Exception:
+            pass  # already unlinked / platform cleanup raced us
+
+
+def publish_shared_cache(op_cache, region_cache) -> Optional[SharedCachePublisher]:
+    """Publish both caches' entries into one shared segment (best effort).
+
+    Returns None when there is nothing to share or shared memory is
+    unavailable; callers treat that as "use the private warm path".
+    """
+    op_items = _raw_items(op_cache)
+    region_items = _raw_items(region_cache)
+    if not op_items and not region_items:
+        return None
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:
+        return None
+
+    chunks = []
+    op_index: Dict[str, Tuple[int, int]] = {}
+    region_index: Dict[str, Tuple[int, int]] = {}
+    offset = 0
+    for table, items in ((op_index, op_items), (region_index, region_items)):
+        for digest, raw in items.items():
+            encoded = json.dumps(raw).encode()
+            table[digest] = (offset, len(encoded))
+            chunks.append(encoded)
+            offset += len(encoded)
+    blob = b"".join(chunks)
+    if not blob:
+        return None
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=len(blob))
+        shm.buf[: len(blob)] = blob
+    except Exception:
+        return None  # no /dev/shm, size limits, ... — private path still works
+    index = SharedCacheIndex(
+        segment=shm.name,
+        size=len(blob),
+        op_index=op_index,
+        region_index=region_index,
+    )
+    return SharedCachePublisher(shm, index)
+
+
+class SharedCacheView:
+    """A worker's read-only attachment to a published segment.
+
+    ``op_lookup`` / ``region_lookup`` have the ``digest -> raw dict | None``
+    shape :meth:`repro.runtime.opcache.CostCacheBase.attach_shared` expects.
+    Only the byte span of a requested entry is ever copied out of the
+    mapping (to feed the JSON decoder); the segment itself is never
+    duplicated.
+    """
+
+    def __init__(self, shm, index: SharedCacheIndex) -> None:
+        self._shm = shm
+        self._index = index
+
+    def _lookup(self, table: Dict[str, Tuple[int, int]], digest: str) -> Optional[dict]:
+        span = table.get(digest)
+        if span is None:
+            return None
+        offset, length = span
+        try:
+            return json.loads(bytes(self._shm.buf[offset : offset + length]))
+        except Exception:
+            return None  # truncated / unmapped segment: treat as a miss
+
+    def op_lookup(self, digest: str) -> Optional[dict]:
+        return self._lookup(self._index.op_index, digest)
+
+    def region_lookup(self, digest: str) -> Optional[dict]:
+        return self._lookup(self._index.region_index, digest)
+
+
+def attach_shared_cache(index: Optional[SharedCacheIndex]) -> Optional[SharedCacheView]:
+    """Attach to a parent-published segment; None when unavailable.
+
+    The attachment must not reach the ``resource_tracker``: the publisher
+    owns the segment's lifetime, and on Python versions that track
+    attachments (bpo-38119) a tracked attach would either destroy the
+    segment out from under sibling workers at exit or — under fork, where
+    all processes share one tracker — send duplicate UNREGISTERs that the
+    tracker logs as KeyError tracebacks.  Registration is suppressed for
+    the duration of the attach instead of undone after it.
+    """
+    if index is None:
+        return None
+    try:
+        from multiprocessing import shared_memory
+
+        try:
+            from multiprocessing import resource_tracker
+
+            original_register = resource_tracker.register
+
+            def _skip_shm_register(name, rtype):
+                if rtype != "shared_memory":
+                    original_register(name, rtype)
+
+            resource_tracker.register = _skip_shm_register
+        except Exception:
+            resource_tracker = None  # tracker variants differ across versions
+            original_register = None
+        try:
+            shm = shared_memory.SharedMemory(name=index.segment)
+        finally:
+            if original_register is not None:
+                resource_tracker.register = original_register
+    except Exception:
+        return None
+    return SharedCacheView(shm, index)

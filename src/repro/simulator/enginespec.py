@@ -13,13 +13,18 @@ object with a compact string grammar — the ``--engine`` flag on
     --engine scalar                             # bit-for-bit reference loop
     --engine trial-batched:backend=cupy         # cross-trial stacking on GPU
     --engine graph-batched:op_cache=off,region_cache=off
+    --engine graph-batched:region_store=runs/regions.jsonl
+    --engine graph-batched:cache_service=http://cache-host:8642
 
 ``MAPPER`` is one of ``scalar`` / ``vectorized`` / ``graph-batched`` /
 ``trial-batched`` (each level rides on the previous one); keys are
 ``backend`` (see :mod:`repro.mapping.backend`), ``op_cache`` and
-``region_cache`` (booleans: ``on/off/true/false/yes/no/1/0``).  ``str()`` of
-a spec is canonical and round-trips through :meth:`EngineSpec.parse`,
-omitting values that equal the defaults.
+``region_cache`` (booleans: ``on/off/true/false/yes/no/1/0``),
+``region_store`` (a path — persist region results as a JSONL store the way
+``--op-cache`` persists op costs) and ``cache_service`` (a ``repro serve``
+base URL whose ``/cache/region`` routes act as the cluster-wide region
+tier).  ``str()`` of a spec is canonical and round-trips through
+:meth:`EngineSpec.parse`, omitting values that equal the defaults.
 
 The legacy flags (``--scalar-mapper`` / ``--per-op-mapper`` /
 ``--no-op-cache`` / ``--no-region-cache``) remain as deprecation aliases
@@ -67,6 +72,8 @@ class EngineSpec:
     backend: str = "numpy"
     op_cache: bool = True
     region_cache: bool = True
+    region_store: Optional[str] = None
+    cache_service: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mapper not in MAPPER_MODES:
@@ -120,10 +127,18 @@ class EngineSpec:
                     values["backend"] = value.strip()
                 elif key in ("op_cache", "region_cache"):
                     values[key] = _parse_bool(key, value)
+                elif key in ("region_store", "cache_service"):
+                    stripped = value.strip()
+                    if not stripped:
+                        raise ValueError(
+                            f"engine spec: {key} needs a non-empty value"
+                        )
+                    values[key] = stripped
                 else:
                     raise ValueError(
                         f"unknown engine spec option {key!r} "
-                        "(expected backend / op_cache / region_cache)"
+                        "(expected backend / op_cache / region_cache / "
+                        "region_store / cache_service)"
                     )
         return cls(**values)
 
@@ -139,6 +154,10 @@ class EngineSpec:
             options.append(
                 f"region_cache={'on' if self.region_cache else 'off'}"
             )
+        if self.region_store is not None:
+            options.append(f"region_store={self.region_store}")
+        if self.cache_service is not None:
+            options.append(f"cache_service={self.cache_service}")
         if options:
             return f"{self.mapper}:{','.join(options)}"
         return self.mapper
@@ -160,6 +179,8 @@ class EngineSpec:
             backend=self.backend,
             op_cache_enabled=self.op_cache,
             region_cache_enabled=self.region_cache,
+            region_store_path=self.region_store,
+            region_cache_service=self.cache_service,
             **extra,
         )
 
@@ -201,6 +222,8 @@ class EngineSpec:
             backend=backend,
             op_cache=bool(getattr(options, "op_cache_enabled", True)),
             region_cache=bool(getattr(options, "region_cache_enabled", True)),
+            region_store=getattr(options, "region_store_path", None),
+            cache_service=getattr(options, "region_cache_service", None),
         )
 
 

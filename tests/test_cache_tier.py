@@ -1,0 +1,397 @@
+"""Tests for the shared cost-cache tier.
+
+Covers the three tiers added on top of the private in-memory caches: the
+persistent region store (JSONL, digest-keyed, duplicate-tolerant under
+concurrent writers), the zero-copy shared-memory segment pool workers
+attach, and the cluster cache service (``/cache/region`` on ``repro
+serve`` plus the batched :class:`RemoteCostCache` client).  The invariant
+under test everywhere: every tier serves bit-identical entries, so search
+histories never depend on which tier answered.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.fast import FASTSearch
+from repro.core.problem import ObjectiveKind, SearchProblem
+from repro.core.trial import TrialEvaluator
+from repro.fusion.fast_fusion import FusionDecision, RegionStats
+from repro.reporting.serialization import trial_metrics_to_dict
+from repro.runtime.executor import ParallelExecutor
+from repro.runtime.opcache import (
+    OpCostCache,
+    RegionCostCache,
+    get_region_cache,
+    region_entry_from_dict,
+    region_entry_to_dict,
+    reset_op_caches,
+)
+from repro.runtime.remote import RemoteCostCache, RemoteExecutionError
+from repro.runtime.service import serve
+from repro.runtime.shmcache import attach_shared_cache, publish_shared_cache
+from repro.simulator.engine import SimulationOptions
+from repro.simulator.enginespec import EngineSpec
+from repro.simulator.result import RegionPerformance
+from repro.workloads.ops import OpType
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    reset_op_caches()
+    yield
+    reset_op_caches()
+
+
+def _region_entry(index: int = 0, scale: float = 1.0) -> tuple:
+    """A realistic (RegionPerformance, RegionStats) pair with awkward floats."""
+    record = RegionPerformance(
+        index=index,
+        name=f"region_{index}",
+        op_names=[f"conv_{index}", f"relu_{index}"],
+        primary_op_type=OpType.CONV2D,
+        flops=123456789,
+        compute_cycles=0.1 + 0.2,  # 0.30000000000000004: exact round-trip test
+        vector_cycles=scale * 7.25,
+        dram_input_bytes=scale * 1e6 / 3.0,
+        dram_weight_bytes=1.0 + 1e-16,
+        dram_output_bytes=98304.0,
+        pre_fusion_cycles=scale * 1234.5678901234567,
+        post_fusion_cycles=scale * 1234.5678901234567,
+        matrix_utilization=2.0 / 3.0,
+        fusion=FusionDecision(),
+        op_busy_cycles={f"conv_{index}": scale * 999.125},
+    )
+    stats = RegionStats(
+        index=index,
+        name=f"region_{index}",
+        busy_cycles=scale * 1234.5678901234567,
+        t_max_cycles=scale * 2000.0,
+        input_dram_cycles=scale * 10.0 / 7.0,
+        weight_dram_cycles=0.0,
+        output_dram_cycles=scale * 3.3333333333333335,
+        input_bytes=4096,
+        weight_bytes=2048,
+        output_bytes=8192,
+        blocking_gm_bytes=0,
+        predecessor=None if index == 0 else index - 1,
+        is_graph_output=index == 0,
+    )
+    return (record, stats)
+
+
+# ---------------------------------------------------------------------------
+class TestRegionEntryCodec:
+    def test_roundtrip_is_exact(self):
+        entry = _region_entry(index=3, scale=1.7)
+        decoded = region_entry_to_dict(entry)
+        # The wire form must survive actual JSON serialization.
+        wire = json.loads(json.dumps(decoded))
+        record, stats = region_entry_from_dict(wire)
+        assert record == entry[0]
+        assert stats == entry[1]
+
+    def test_failure_sentinel(self):
+        wire = json.loads(json.dumps(region_entry_to_dict((None,))))
+        assert wire == {"failed": True}
+        assert region_entry_from_dict(wire) == (None,)
+
+
+# ---------------------------------------------------------------------------
+class TestRegionStore:
+    def test_store_roundtrip_and_disk_hits(self, tmp_path):
+        store = tmp_path / "regions.jsonl"
+        writer = RegionCostCache(path=store)
+        entries = {(i, "key"): _region_entry(i) for i in range(4)}
+        entries[(9, "fail")] = (None,)
+        for key, entry in entries.items():
+            writer.put(key, entry)
+        assert store.exists()
+
+        reader = RegionCostCache(path=store)
+        assert reader.stats.disk_entries_loaded == len(entries)
+        for key, entry in entries.items():
+            assert reader.get(key) == entry
+        assert reader.stats.disk_hits == len(entries)
+        assert reader.stats.hits == len(entries)
+        # A second read of the same key is a memory hit, not a disk hit.
+        assert reader.get((0, "key")) == entries[(0, "key")]
+        assert reader.stats.disk_hits == len(entries)
+
+    def test_single_writer_never_duplicates(self, tmp_path):
+        store = tmp_path / "regions.jsonl"
+        cache = RegionCostCache(path=store)
+        entry = _region_entry()
+        for _ in range(5):
+            cache.put(("same", "key"), entry)
+        assert len(store.read_text().splitlines()) == 1
+
+    def test_preload_false_skips_load_but_appends(self, tmp_path):
+        store = tmp_path / "regions.jsonl"
+        RegionCostCache(path=store).put(("old",), _region_entry(0))
+        lazy = RegionCostCache(path=store, preload=False)
+        assert lazy.stats.disk_entries_loaded == 0
+        assert lazy.get(("old",)) is None  # not loaded, by design
+        lazy.put(("new",), _region_entry(1))
+        assert len(store.read_text().splitlines()) == 2
+        assert RegionCostCache(path=store).get(("old",)) is not None
+
+
+def _append_worker(store_path: str, writer_id: int) -> None:
+    """One writer process: race the shared key, then add a private one."""
+    cache = RegionCostCache(path=store_path, preload=False)
+    cache.put(("contested", "key"), _region_entry(index=7, scale=2.5))
+    cache.put(("private", writer_id), _region_entry(index=writer_id))
+
+
+class TestConcurrentAppends:
+    def test_multiprocess_append_race_same_key(self, tmp_path):
+        store = tmp_path / "regions.jsonl"
+        ctx = multiprocessing.get_context("spawn")
+        workers = [
+            ctx.Process(target=_append_worker, args=(str(store), i))
+            for i in range(4)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+
+        # Every line is intact JSON (single-write appends never interleave).
+        lines = store.read_text().splitlines()
+        assert len(lines) == 8  # 4 x contested + 4 x private
+        records = [json.loads(line) for line in lines]
+        contested_digest = RegionCostCache.digest(("contested", "key"))
+        contested = [r for r in records if r["key"] == contested_digest]
+        assert len(contested) == 4
+        # Duplicate records are bitwise-identical: loading serves the entry
+        # regardless of which writer's record wins.
+        assert all(r == contested[0] for r in contested)
+
+        loaded = RegionCostCache(path=store)
+        assert loaded.stats.corrupt_records == 0
+        assert loaded.get(("contested", "key")) == _region_entry(index=7, scale=2.5)
+        for i in range(4):
+            assert loaded.get(("private", i)) == _region_entry(index=i)
+
+        # Compaction folds the duplicates down to one record per key.
+        kept = loaded.compact()
+        assert kept == 5
+        assert len(store.read_text().splitlines()) == 5
+        recompacted = RegionCostCache(path=store)
+        assert recompacted.get(("contested", "key")) == _region_entry(
+            index=7, scale=2.5
+        )
+
+
+# ---------------------------------------------------------------------------
+class TestSharedMemoryTier:
+    def test_publish_attach_bit_equal(self):
+        op_cache = OpCostCache()
+        region_cache = RegionCostCache()
+        region_cache.publish_raw = True
+        entries = {("r", i): _region_entry(i) for i in range(3)}
+        for key, entry in entries.items():
+            region_cache.put(key, entry)
+
+        publisher = publish_shared_cache(op_cache, region_cache)
+        assert publisher is not None
+        try:
+            view = attach_shared_cache(publisher.index)
+            assert view is not None
+            # A completely cold cache served purely by the shared segment.
+            cold = RegionCostCache()
+            cold.attach_shared(view.region_lookup)
+            for key, entry in entries.items():
+                assert cold.get(key) == entry
+            assert cold.stats.shared_hits == len(entries)
+            assert cold.stats.hits == len(entries)
+            assert cold.get(("missing",)) is None
+            assert cold.stats.misses == 1
+        finally:
+            publisher.close()
+
+    def test_empty_caches_publish_nothing(self):
+        assert publish_shared_cache(OpCostCache(), RegionCostCache()) is None
+
+    def test_parallel_shared_cache_history_matches_serial(self, tmp_path):
+        problem = SearchProblem(["mobilenet-v2"], ObjectiveKind.PERF_PER_TDP)
+
+        def run(executor=None, store=None):
+            reset_op_caches()
+            options = SimulationOptions(
+                fusion_solver="greedy", region_store_path=store
+            )
+            search = FASTSearch(
+                problem,
+                optimizer="random",
+                seed=17,
+                evaluator=TrialEvaluator(problem, simulation_options=options),
+                executor=executor,
+            )
+            result = search.run(num_trials=6, batch_size=3)
+            return [trial_metrics_to_dict(m) for m in result.history], result
+
+        store = str(tmp_path / "regions.jsonl")
+        serial_history, _ = run()
+        _, _ = run(store=store)  # write the store serially
+
+        executor = ParallelExecutor(num_workers=2, shared_cache=True)
+        try:
+            parallel_history, result = run(executor=executor, store=store)
+        finally:
+            executor.close()
+        assert parallel_history == serial_history
+        stats = result.runtime
+        # Workers attached the parent-published segment and served the whole
+        # first batch from cache: no region was recomputed.
+        assert stats.shared_cache_attached >= 1
+        assert stats.shared_cache_entries > 0
+        assert stats.region_cache_hits > 0
+        assert stats.region_cache_misses == 0
+
+
+# ---------------------------------------------------------------------------
+class TestClusterTier:
+    def test_service_roundtrip_and_fingerprint_check(self, tmp_path):
+        store = tmp_path / "svc.jsonl"
+        engine = EngineSpec.parse(f"graph-batched:region_store={store}")
+        with serve(port=0, engine=engine) as svc:
+            client = RemoteCostCache(svc.url, fingerprint="0123456789abcdef")
+            raw = region_entry_to_dict(_region_entry(2))
+            assert client.put_many({"d-1": raw, "d-2": {"failed": True}}) == 2
+            assert client.put_many({"d-1": raw}) == 0  # dedup
+            got = client.get_many(["d-1", "d-2", "d-3"])
+            assert got == {"d-1": raw, "d-2": {"failed": True}}
+            assert region_entry_from_dict(got["d-1"]) == _region_entry(2)
+
+            bad = RemoteCostCache(svc.url, fingerprint="NOT-HEX", max_retries=0)
+            with pytest.raises(RemoteExecutionError, match="400"):
+                bad.get_many(["d-1"])
+        # PUTs were persisted to the service's region store.
+        assert len(store.read_text().splitlines()) == 2
+
+    def test_prefetch_promotes_and_counts(self):
+        with serve(port=0) as svc:
+            client = RemoteCostCache(svc.url, fingerprint="0123456789abcdef")
+            keys = [("k", i) for i in range(3)]
+            entries = {key: _region_entry(i) for i, key in enumerate(keys)}
+            client.put_many(
+                {
+                    RegionCostCache.digest(key): region_entry_to_dict(entry)
+                    for key, entry in entries.items()
+                }
+            )
+            cache = RegionCostCache()
+            cache.attach_remote(client)
+            fetched = cache.prefetch(keys + [("unknown",)])
+            assert fetched == 3
+            assert cache.stats.remote_hits == 3
+            assert cache.stats.remote_misses == 1
+            for key, entry in entries.items():
+                assert cache.get(key) == entry
+            # Prefetched entries surface as ordinary hits afterwards.
+            assert cache.stats.hits == 3
+
+    def test_search_against_cache_service(self, tmp_path):
+        problem = SearchProblem(["mobilenet-v2"], ObjectiveKind.PERF_PER_TDP)
+
+        def run(url=None):
+            reset_op_caches()
+            options = SimulationOptions(
+                fusion_solver="greedy", region_cache_service=url
+            )
+            search = FASTSearch(
+                problem,
+                optimizer="random",
+                seed=23,
+                evaluator=TrialEvaluator(problem, simulation_options=options),
+            )
+            result = search.run(num_trials=5, batch_size=5)
+            return [trial_metrics_to_dict(m) for m in result.history], result
+
+        baseline, _ = run()
+        # The serve gets its own region store so its cache survives the
+        # reset_op_caches() that makes each client run cold (in-process the
+        # service and the clients share the per-path cache registry).
+        engine = EngineSpec.parse(
+            f"graph-batched:region_store={tmp_path / 'svc.jsonl'}"
+        )
+        with serve(port=0, engine=engine) as svc:
+            _, first = run(svc.url)
+            _, second = run(svc.url)  # cold client, warm service
+        assert first.runtime.remote_cache_puts > 0
+        assert first.runtime.remote_cache_hits == 0
+        total = (
+            second.runtime.remote_cache_hits + second.runtime.remote_cache_misses
+        )
+        assert total > 0
+        # Acceptance: a repeat sweep against a warmed cache service resolves
+        # at least half its region lookups remotely (here: all of them).
+        assert second.runtime.remote_cache_hits / total >= 0.5
+        assert second.runtime.region_cache_misses == 0
+        # The tier is invisible in the histories.
+        for history in (run(None)[0],):
+            assert history == baseline
+
+    def test_service_down_is_nonfatal(self):
+        problem = SearchProblem(["mobilenet-v2"], ObjectiveKind.PERF_PER_TDP)
+        reset_op_caches()
+        options = SimulationOptions(
+            fusion_solver="greedy",
+            region_cache_service="http://127.0.0.1:9",  # nothing listens here
+        )
+        search = FASTSearch(
+            problem,
+            optimizer="random",
+            seed=23,
+            evaluator=TrialEvaluator(problem, simulation_options=options),
+        )
+        result = search.run(num_trials=3, batch_size=3)
+        assert result.num_trials == 3
+        assert result.runtime.remote_cache_failures > 0
+
+
+# ---------------------------------------------------------------------------
+class TestEngineSpecCacheKeys:
+    def test_parse_str_roundtrip(self):
+        text = "graph-batched:region_store=runs/r.jsonl,cache_service=http://h:8642"
+        spec = EngineSpec.parse(text)
+        assert spec.region_store == "runs/r.jsonl"
+        assert spec.cache_service == "http://h:8642"
+        assert EngineSpec.parse(str(spec)) == spec
+
+    def test_options_roundtrip(self):
+        spec = EngineSpec.parse(
+            "graph-batched:region_store=r.jsonl,cache_service=http://h:1"
+        )
+        options = spec.to_simulation_options(fusion_solver="greedy")
+        assert options.region_store_path == "r.jsonl"
+        assert options.region_cache_service == "http://h:1"
+        assert EngineSpec.from_simulation_options(options) == spec
+
+    def test_cache_keys_are_perf_only(self):
+        """Region store / cache service must not change the problem fingerprint."""
+        from repro.runtime.cache import problem_fingerprint
+
+        problem = SearchProblem(["mobilenet-v2"], ObjectiveKind.PERF_PER_TDP)
+        plain = TrialEvaluator(
+            problem,
+            simulation_options=SimulationOptions(fusion_solver="greedy"),
+        )
+        tiered = TrialEvaluator(
+            problem,
+            simulation_options=SimulationOptions(
+                fusion_solver="greedy",
+                region_store_path="x.jsonl",
+                region_cache_service="http://h:8642",
+            ),
+        )
+        assert problem_fingerprint(problem, plain) == problem_fingerprint(
+            problem, tiered
+        )

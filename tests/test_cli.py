@@ -201,6 +201,7 @@ class TestCommands:
             "trial-batched+cupy",
             "trial-batched+torch",
             "parallel-2",
+            "parallel-2+shared-cache",
         ]
         # Backend rows without the library installed are recorded as
         # skipped, never silently dropped or counted as failures.
